@@ -1,0 +1,84 @@
+#ifndef WEBTX_BENCH_BENCH_UTIL_H_
+#define WEBTX_BENCH_BENCH_UTIL_H_
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "exp/table.h"
+#include "sched/scheduler_policy.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace webtx::bench {
+
+/// Where figure harnesses drop their CSVs (created on demand).
+inline std::string ResultsDir() {
+  const std::string dir = "webtx_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Saves a printed table as CSV next to the stdout output.
+inline void SaveCsv(const Table& table, const std::string& name) {
+  const std::string path = ResultsDir() + "/" + name + ".csv";
+  const Status s = table.WriteCsv(path);
+  if (s.ok()) {
+    std::cout << "(series saved to " << path << ")\n";
+  } else {
+    std::cout << "(could not save " << path << ": " << s << ")\n";
+  }
+}
+
+/// Per-policy metric means for one utilization point, averaged over seeds.
+struct PolicyMetrics {
+  double avg_tardiness = 0.0;
+  double avg_weighted_tardiness = 0.0;
+  double max_weighted_tardiness = 0.0;
+  double miss_ratio = 0.0;
+};
+
+/// Runs `policies` (caller-owned, reusable) on identical workload
+/// instances for every seed and averages the metrics. Unlike
+/// exp/RunSweep, this accepts policy *objects*, so ablation benches can
+/// pass custom-configured instances.
+inline std::vector<PolicyMetrics> RunPoint(
+    const WorkloadSpec& spec, const std::vector<SchedulerPolicy*>& policies,
+    const std::vector<uint64_t>& seeds) {
+  auto generator = WorkloadGenerator::Create(spec);
+  WEBTX_CHECK(generator.ok()) << generator.status().ToString();
+  SimOptions options;
+  options.record_outcomes = false;
+
+  std::vector<PolicyMetrics> out(policies.size());
+  for (const uint64_t seed : seeds) {
+    auto sim =
+        Simulator::Create(generator.ValueOrDie().Generate(seed), options);
+    WEBTX_CHECK(sim.ok()) << sim.status().ToString();
+    for (size_t p = 0; p < policies.size(); ++p) {
+      const RunResult r = sim.ValueOrDie().Run(*policies[p]);
+      out[p].avg_tardiness += r.avg_tardiness;
+      out[p].avg_weighted_tardiness += r.avg_weighted_tardiness;
+      out[p].max_weighted_tardiness += r.max_weighted_tardiness;
+      out[p].miss_ratio += r.miss_ratio;
+    }
+  }
+  const auto n = static_cast<double>(seeds.size());
+  for (auto& m : out) {
+    m.avg_tardiness /= n;
+    m.avg_weighted_tardiness /= n;
+    m.max_weighted_tardiness /= n;
+    m.miss_ratio /= n;
+  }
+  return out;
+}
+
+/// The paper's five averaged runs.
+inline std::vector<uint64_t> PaperSeeds() { return {1, 2, 3, 4, 5}; }
+
+}  // namespace webtx::bench
+
+#endif  // WEBTX_BENCH_BENCH_UTIL_H_

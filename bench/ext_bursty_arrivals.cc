@@ -1,0 +1,55 @@
+// Extension: bursty arrivals. The paper's Sec. I motivates adaptivity
+// with "the bursty and unpredictable behavior of web user populations",
+// and Sec. IV-C explains that ASETS beats EDF even at low AVERAGE load
+// because Poisson arrivals create transiently overloaded intervals. This
+// harness makes that argument explicit: an ON/OFF modulated arrival
+// process concentrates the same long-run load into bursts and the
+// adaptive policy's edge over EDF should widen with burstiness.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "sched/policies/asets.h"
+#include "sched/policies/single_queue_policies.h"
+
+namespace webtx {
+namespace {
+
+void RunForBurstiness(double burstiness, Table& summary) {
+  WorkloadSpec spec;
+  spec.utilization = 0.5;  // modest average load; bursts do the damage
+  spec.burstiness = burstiness;
+
+  EdfPolicy edf;
+  SrptPolicy srpt;
+  AsetsPolicy asets;
+  const std::vector<SchedulerPolicy*> policies = {&edf, &srpt, &asets};
+  const auto m = bench::RunPoint(spec, policies, bench::PaperSeeds());
+
+  const double gain_vs_edf =
+      (m[0].avg_tardiness - m[2].avg_tardiness) / m[0].avg_tardiness *
+      100.0;
+  summary.AddNumericRow(FormatFixed(burstiness, 1),
+                        {m[0].avg_tardiness, m[1].avg_tardiness,
+                         m[2].avg_tardiness, gain_vs_edf});
+}
+
+}  // namespace
+}  // namespace webtx
+
+int main() {
+  std::cout << "Extension — bursty arrivals (utilization 0.5, alpha 0.5, "
+               "k_max 3, 5 seeds):\n\n";
+  webtx::Table summary({"burstiness", "EDF", "SRPT", "ASETS*",
+                        "ASETS* gain vs EDF %"});
+  for (const double burstiness : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    webtx::RunForBurstiness(burstiness, summary);
+  }
+  summary.Print(std::cout);
+  webtx::bench::SaveCsv(summary, "ext_bursty_arrivals");
+  std::cout << "\nExpected: tardiness rises for every policy as bursts "
+               "concentrate load,\nand the adaptive policy's gain over "
+               "EDF widens (transient overload inside\nbursts is exactly "
+               "where EDF's domino effect bites).\n";
+  return 0;
+}

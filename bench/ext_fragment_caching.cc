@@ -1,0 +1,141 @@
+// Extension: fragment caching / WebView materialization (paper Sec. II-A,
+// ref. [8]: "if caching or materialization is utilized for fragments,
+// then transactions' lengths are adjusted accordingly"). A site serves a
+// stream of page requests while the backend tables churn at a varying
+// update rate; caching shortens fresh fragments to a lookup, and the
+// update rate controls how often entries go stale.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "exp/table.h"
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "webdb/cache.h"
+#include "webdb/database.h"
+#include "webdb/page.h"
+#include "webdb/profiler.h"
+#include "webdb/server.h"
+
+namespace wdb = webtx::webdb;
+
+namespace {
+
+void BuildSite(wdb::InMemoryDatabase& db) {
+  WEBTX_CHECK(db.CreateTable("stocks", {{"symbol", wdb::ColumnType::kText},
+                                        {"price", wdb::ColumnType::kNumber}})
+                  .ok());
+  auto stocks = db.GetTable("stocks").ValueOrDie();
+  for (int i = 0; i < 500; ++i) {
+    WEBTX_CHECK(
+        stocks->Insert({"S" + std::to_string(i), 10.0 + i}).ok());
+  }
+}
+
+wdb::PageTemplate Page() {
+  wdb::PageTemplate page;
+  page.name = "board";
+  wdb::FragmentTemplate prices;
+  prices.name = "prices";
+  prices.query.name = "q_prices";
+  prices.query.table = "stocks";
+  prices.sla_offset = 3.0;
+  page.fragments.push_back(prices);
+
+  wdb::FragmentTemplate movers;
+  movers.name = "movers";
+  movers.query.name = "q_movers";
+  movers.query.table = "stocks";
+  movers.query.filters = {
+      {"price", wdb::CompareOp::kGe, wdb::Value{400.0}}};
+  movers.sla_offset = 2.0;
+  movers.base_weight = 2.0;
+  movers.depends_on = {0};
+  page.fragments.push_back(movers);
+  return page;
+}
+
+struct CellResult {
+  double avg_weighted_tardiness = 0.0;
+  double hit_ratio = 0.0;
+};
+
+CellResult RunSite(bool with_cache, double update_probability,
+                   uint64_t seed) {
+  wdb::InMemoryDatabase db;
+  BuildSite(db);
+  wdb::Profiler profiler;
+  wdb::FragmentCache cache(&db);
+  wdb::PageRequestServer server(&db, &profiler, wdb::CostModel{},
+                                with_cache ? &cache : nullptr);
+
+  // Request stream with interleaved table updates. Materializing right
+  // after each request keeps the cache state in submission order, and
+  // the profiler warm.
+  webtx::Rng rng(seed);
+  const webtx::ExponentialDistribution interarrival(0.5);
+  double clock = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    clock += interarrival.Sample(rng);
+    if (rng.NextDouble() < update_probability) {
+      auto stocks = db.GetTable("stocks").ValueOrDie();
+      const auto row = static_cast<size_t>(rng.NextInRange(0, 499));
+      WEBTX_CHECK(
+          stocks->UpdateCell(row, "price", 10.0 + rng.NextDouble() * 500)
+              .ok());
+    }
+    auto ids = server.Submit(Page(), wdb::SubscriptionTier::kSilver, clock);
+    WEBTX_CHECK(ids.ok());
+    for (const webtx::TxnId id : ids.ValueOrDie()) {
+      WEBTX_CHECK(server.Materialize(id).ok());
+    }
+  }
+
+  webtx::SimOptions options;
+  options.record_outcomes = false;
+  auto sim = webtx::Simulator::Create(server.workload(), options);
+  WEBTX_CHECK(sim.ok());
+  auto policy = webtx::CreatePolicy("ASETS*");
+  WEBTX_CHECK(policy.ok());
+  const webtx::RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+
+  CellResult cell;
+  cell.avg_weighted_tardiness = r.avg_weighted_tardiness;
+  const double lookups =
+      static_cast<double>(cache.hits() + cache.misses());
+  cell.hit_ratio =
+      lookups > 0 ? static_cast<double>(cache.hits()) / lookups : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension — fragment caching under table churn (150 page "
+               "requests, ASETS*, 5 seeds):\n\n";
+  webtx::Table table({"update prob/request", "no cache", "with cache",
+                      "cache hit ratio"});
+  for (const double p : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+    double off = 0.0;
+    double on = 0.0;
+    double hit = 0.0;
+    const int seeds = 5;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+      off += RunSite(false, p, seed).avg_weighted_tardiness;
+      const CellResult c = RunSite(true, p, seed);
+      on += c.avg_weighted_tardiness;
+      hit += c.hit_ratio;
+    }
+    table.AddNumericRow(webtx::FormatFixed(p, 1),
+                        {off / seeds, on / seeds, hit / seeds});
+  }
+  table.Print(std::cout);
+  webtx::bench::SaveCsv(table, "ext_fragment_caching");
+  std::cout << "\nCaching slashes tardiness when tables are stable and "
+               "degrades gracefully\ntoward the uncached cost as churn "
+               "approaches one update per request.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figures 16 and 17: balance-aware ASETS* (Sec. III-D) at the workflow
+// level with weights, utilization 0.9. Sweeping the activation rate:
+//   Fig. 16 — maximum weighted tardiness (worst case) falls as the rate
+//             grows, by up to ~27% at rate 0.01;
+//   Fig. 17 — average weighted tardiness (average case) rises slightly,
+//             by <= ~5% at rate 0.01.
+// The paper sweeps time-based rates 0.002-0.01 and count-based rates
+// 0.02-0.1 ("same behavior"); we print both.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "sched/policies/asets_star.h"
+#include "sched/policies/balance_aware.h"
+
+namespace webtx {
+namespace {
+
+void RunMode(ActivationMode mode, const std::vector<double>& rates,
+             const std::string& label, const std::string& csv_name) {
+  WorkloadSpec spec;
+  spec.utilization = 0.9;
+  spec.max_weight = 10;
+  spec.max_workflow_length = 5;
+
+  // Max-statistics are noisy; use more seeds than the paper's five so the
+  // monotone trend is visible above seed noise.
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 15; ++s) seeds.push_back(s);
+
+  AsetsStarPolicy plain;
+  const auto baseline = bench::RunPoint(spec, {&plain}, seeds)[0];
+
+  Table table({"activation rate", "max w-tardiness ASETS*",
+               "max w-tardiness BA", "worst-case gain %",
+               "avg w-tardiness ASETS*", "avg w-tardiness BA",
+               "avg-case cost %"});
+  for (const double rate : rates) {
+    BalanceAwareOptions options;
+    options.mode = mode;
+    options.rate = rate;
+    BalanceAwarePolicy balanced(std::make_unique<AsetsStarPolicy>(),
+                                options);
+    const auto m = bench::RunPoint(spec, {&balanced}, seeds)[0];
+    const double gain = (baseline.max_weighted_tardiness -
+                         m.max_weighted_tardiness) /
+                        baseline.max_weighted_tardiness * 100.0;
+    const double cost = (m.avg_weighted_tardiness -
+                         baseline.avg_weighted_tardiness) /
+                        baseline.avg_weighted_tardiness * 100.0;
+    table.AddNumericRow(FormatFixed(rate, 3),
+                        {baseline.max_weighted_tardiness,
+                         m.max_weighted_tardiness, gain,
+                         baseline.avg_weighted_tardiness,
+                         m.avg_weighted_tardiness, cost});
+  }
+  std::cout << label << ":\n\n";
+  table.Print(std::cout);
+  bench::SaveCsv(table, csv_name);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace webtx
+
+namespace webtx {
+namespace {
+
+// Ablation: the literal Sec. III-D T_old rule (w_i / absolute d_i). Over
+// a long horizon it degenerates to weight-only selection and cannot
+// rescue worst-case victims — quantified here to justify the default
+// weighted-overdue selection (see EXPERIMENTS.md).
+void RunLiteralSelectionAblation() {
+  WorkloadSpec spec;
+  spec.utilization = 0.9;
+  spec.max_weight = 10;
+  spec.max_workflow_length = 5;
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 15; ++s) seeds.push_back(s);
+
+  AsetsStarPolicy plain;
+  const auto baseline = bench::RunPoint(spec, {&plain}, seeds)[0];
+
+  Table table({"activation rate", "worst-case gain % (overdue)",
+               "worst-case gain % (literal w/d)"});
+  for (const double rate : {0.002, 0.006, 0.01}) {
+    BalanceAwareOptions overdue;
+    overdue.rate = rate;
+    BalanceAwarePolicy ba_overdue(std::make_unique<AsetsStarPolicy>(),
+                                  overdue);
+    BalanceAwareOptions literal = overdue;
+    literal.selection = OldestSelection::kWeightOverDeadline;
+    BalanceAwarePolicy ba_literal(std::make_unique<AsetsStarPolicy>(),
+                                  literal);
+    const auto m_o = bench::RunPoint(spec, {&ba_overdue}, seeds)[0];
+    const auto m_l = bench::RunPoint(spec, {&ba_literal}, seeds)[0];
+    const auto gain = [&](const bench::PolicyMetrics& m) {
+      return (baseline.max_weighted_tardiness - m.max_weighted_tardiness) /
+             baseline.max_weighted_tardiness * 100.0;
+    };
+    table.AddNumericRow(FormatFixed(rate, 3), {gain(m_o), gain(m_l)});
+  }
+  std::cout << "T_old selection ablation (time-based):\n\n";
+  table.Print(std::cout);
+  bench::SaveCsv(table, "fig16_17_selection_ablation");
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace webtx
+
+int main() {
+  std::cout << "Figures 16-17 — Balance-aware ASETS* "
+               "(utilization 0.9, weights 1-10, workflows <= 5):\n\n";
+  webtx::RunMode(webtx::ActivationMode::kTimeBased,
+                 {0.002, 0.004, 0.006, 0.008, 0.01},
+                 "Time-based activation (paper's plotted case)",
+                 "fig16_17_time_based");
+  webtx::RunMode(webtx::ActivationMode::kCountBased,
+                 {0.02, 0.04, 0.06, 0.08, 0.1},
+                 "Count-based activation (paper: same behavior, plot "
+                 "omitted)",
+                 "fig16_17_count_based");
+  webtx::RunLiteralSelectionAblation();
+  std::cout << "Paper check: worst-case gain grows with the rate (up to "
+               "~27%),\naverage-case cost stays small (<= ~5%).\n";
+  return 0;
+}

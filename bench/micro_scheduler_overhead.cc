@@ -1,0 +1,107 @@
+// Microbenchmarks for the Sec. III-A2 complexity claim: "We can use the
+// standard balanced binary search tree as the priority queue, which
+// requires only a time of O(log N) ... ASETS* scales in a similar manner
+// as EDF and SRPT."
+//
+// Benchmarks the full simulation cost per scheduling event as the number
+// of concurrently queued transactions grows, per policy, plus raw
+// IndexedPriorityQueue operations.
+
+#include <benchmark/benchmark.h>
+
+#include "sched/indexed_priority_queue.h"
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+// A heavily overloaded open workload: with utilization 4.0 the queue
+// grows to O(N) concurrent transactions, so per-event costs expose the
+// O(log N) (or worse) scaling of the policy's data structures.
+std::vector<TransactionSpec> OverloadWorkload(size_t n) {
+  WorkloadSpec spec;
+  spec.num_transactions = n;
+  spec.utilization = 4.0;
+  spec.max_weight = 10;
+  auto generator = WorkloadGenerator::Create(spec);
+  WEBTX_CHECK(generator.ok());
+  return generator.ValueOrDie().Generate(/*seed=*/5);
+}
+
+void BM_PolicyEventCost(benchmark::State& state,
+                        const std::string& policy_name) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto txns = OverloadWorkload(n);
+  SimOptions options;
+  options.record_outcomes = false;
+  auto sim = Simulator::Create(txns, options);
+  WEBTX_CHECK(sim.ok());
+  auto policy = CreatePolicy(policy_name);
+  WEBTX_CHECK(policy.ok());
+
+  size_t events = 0;
+  for (auto _ : state) {
+    const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+    events += r.num_scheduling_points;
+    benchmark::DoNotOptimize(r.avg_tardiness);
+  }
+  // items_per_second reports scheduling events per second; an O(log N)
+  // policy shows a slow (logarithmic) decay as N grows.
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+BENCHMARK_CAPTURE(BM_PolicyEventCost, EDF, "EDF")
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PolicyEventCost, SRPT, "SRPT")
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PolicyEventCost, HDF, "HDF")
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PolicyEventCost, ASETS, "ASETS")
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PolicyEventCost, ASETS_STAR, "ASETS*")
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexedPqPushPop(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> keys(n);
+  for (auto& k : keys) k = rng.NextDouble();
+  for (auto _ : state) {
+    IndexedPriorityQueue q(n);
+    for (uint32_t id = 0; id < n; ++id) q.Push(id, keys[id]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndexedPqPushPop)->RangeMultiplier(8)->Range(64, 262144);
+
+void BM_IndexedPqUpdate(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  IndexedPriorityQueue q(n);
+  for (uint32_t id = 0; id < n; ++id) q.Push(id, rng.NextDouble());
+  uint32_t id = 0;
+  for (auto _ : state) {
+    q.Update(id, rng.NextDouble());
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedPqUpdate)->RangeMultiplier(8)->Range(64, 262144);
+
+}  // namespace
+}  // namespace webtx
+
+BENCHMARK_MAIN();

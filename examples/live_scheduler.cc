@@ -1,0 +1,113 @@
+// The paper's Sec. VI claim in action: ASETS is "not limited to
+// web-databases ... [it] could be applied in any Real-Time system with
+// soft-deadlines". This example schedules REAL work (CPU-burning tasks)
+// on worker threads through rt::Executor, comparing FCFS against ASETS
+// on identical task mixes: a stream of short urgent jobs competing with
+// long background jobs.
+//
+//   $ ./build/examples/live_scheduler [tasks_per_policy]
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exp/table.h"
+#include "rt/executor.h"
+#include "sched/policy_factory.h"
+
+namespace {
+
+// Spins for roughly `seconds` of CPU time (the "query execution").
+void Burn(double seconds) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  volatile uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    sink = sink + 1;
+  }
+}
+
+struct MixResult {
+  double avg_tardiness_ms = 0.0;
+  double max_tardiness_ms = 0.0;
+  double miss_ratio = 0.0;
+};
+
+MixResult RunMix(const std::string& policy_name, size_t num_tasks,
+                 uint64_t seed) {
+  auto policy = webtx::CreatePolicy(policy_name);
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    std::exit(EXIT_FAILURE);
+  }
+  webtx::rt::ExecutorOptions options;
+  options.num_workers = 2;
+  webtx::rt::Executor executor(std::move(policy).ValueOrDie(), options);
+
+  webtx::Rng rng(seed);
+  std::vector<webtx::TxnId> ids;
+  ids.reserve(num_tasks);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    // 1 in 4 tasks is a long background job; the rest are short and
+    // urgent — exactly the mix where deadline-aware ordering pays.
+    const bool long_job = rng.NextInRange(0, 3) == 0;
+    const double cost = long_job ? 0.020 : 0.002;
+    webtx::rt::TaskSpec task;
+    task.estimated_cost = cost;
+    task.relative_deadline = long_job ? 0.5 : 0.015;
+    task.weight = 1.0;
+    task.fn = [cost] { Burn(cost); };
+    auto id = executor.Submit(std::move(task));
+    if (!id.ok()) {
+      std::cerr << id.status() << "\n";
+      std::exit(EXIT_FAILURE);
+    }
+    ids.push_back(id.ValueOrDie());
+    // Bursty submission: occasional pauses let the queue drain.
+    if (rng.NextInRange(0, 9) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+  }
+  executor.Drain();
+
+  MixResult result;
+  size_t missed = 0;
+  for (const webtx::TxnId id : ids) {
+    const auto outcome = executor.OutcomeOf(id);
+    const double tardiness_ms = outcome.tardiness_seconds * 1e3;
+    result.avg_tardiness_ms += tardiness_ms;
+    result.max_tardiness_ms = std::max(result.max_tardiness_ms,
+                                       tardiness_ms);
+    if (tardiness_ms > 0.0) ++missed;
+  }
+  result.avg_tardiness_ms /= static_cast<double>(ids.size());
+  result.miss_ratio =
+      static_cast<double>(missed) / static_cast<double>(ids.size());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_tasks = argc > 1 ? std::stoul(argv[1]) : 300;
+  std::cout << "Live scheduling of " << num_tasks
+            << " real CPU tasks on 2 workers (short urgent jobs vs long "
+               "background jobs):\n\n";
+
+  webtx::Table table({"policy", "avg tardiness (ms)", "max tardiness (ms)",
+                      "deadline miss ratio"});
+  for (const char* name : {"FCFS", "EDF", "SRPT", "ASETS"}) {
+    const MixResult r = RunMix(name, num_tasks, /*seed=*/7);
+    table.AddNumericRow(name,
+                        {r.avg_tardiness_ms, r.max_tardiness_ms,
+                         r.miss_ratio});
+  }
+  table.Print(std::cout);
+  std::cout << "\nDeadline-aware policies keep the short urgent jobs from "
+               "queueing behind\nlong background work; FCFS cannot.\n";
+  return EXIT_SUCCESS;
+}

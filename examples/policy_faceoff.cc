@@ -1,0 +1,125 @@
+// Compare any set of scheduling policies on a Table-I workload across a
+// utilization sweep.
+//
+//   $ ./build/examples/policy_faceoff                      # paper defaults
+//   $ ./build/examples/policy_faceoff --policies=EDF,SRPT,ASETS
+//       --kmax=2 --n=500 --seeds=3 --metric=avg_tardiness
+//   $ ./build/examples/policy_faceoff --weights=10 --workflow-len=5
+//       --policies=EDF,HDF,ASETS* --metric=avg_weighted_tardiness
+// (flags may appear on one line; wrapped here for readability)
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "exp/table.h"
+
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string field;
+  while (std::getline(is, field, ',')) out.push_back(field);
+  return out;
+}
+
+struct Args {
+  std::vector<std::string> policies = {"FCFS", "LS", "EDF", "SRPT", "ASETS"};
+  std::string metric = "avg_tardiness";
+  webtx::WorkloadSpec spec;
+  size_t seeds = 5;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::cerr << "expected --key=value, got: " << arg << "\n";
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "policies") {
+      args.policies = SplitComma(value);
+    } else if (key == "metric") {
+      args.metric = value;
+    } else if (key == "n") {
+      args.spec.num_transactions = std::stoul(value);
+    } else if (key == "kmax") {
+      args.spec.k_max = std::stod(value);
+    } else if (key == "alpha") {
+      args.spec.zipf_alpha = std::stod(value);
+    } else if (key == "weights") {
+      args.spec.max_weight = std::stoul(value);
+    } else if (key == "workflow-len") {
+      args.spec.max_workflow_length = std::stoul(value);
+    } else if (key == "workflows-per-txn") {
+      args.spec.max_workflows_per_txn = std::stoul(value);
+    } else if (key == "seeds") {
+      args.seeds = std::stoul(value);
+    } else {
+      std::cerr << "unknown flag --" << key << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+double MetricOf(const webtx::SweepCell& cell, const std::string& metric) {
+  if (metric == "avg_tardiness") return cell.avg_tardiness;
+  if (metric == "avg_weighted_tardiness") return cell.avg_weighted_tardiness;
+  if (metric == "max_weighted_tardiness") return cell.max_weighted_tardiness;
+  if (metric == "miss_ratio") return cell.miss_ratio;
+  if (metric == "avg_response") return cell.avg_response;
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) return EXIT_FAILURE;
+
+  webtx::SweepConfig config;
+  config.base = args.spec;
+  config.utilizations = webtx::PaperUtilizationGrid();
+  config.policies = args.policies;
+  config.seeds.clear();
+  for (uint64_t s = 1; s <= args.seeds; ++s) config.seeds.push_back(s);
+
+  auto cells = webtx::RunSweep(config);
+  if (!cells.ok()) {
+    std::cerr << cells.status() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::vector<std::string> columns = {"utilization"};
+  for (const auto& p : args.policies) columns.push_back(p);
+  webtx::Table table(columns);
+  const size_t np = args.policies.size();
+  const auto& all = cells.ValueOrDie();
+  for (size_t u = 0; u < config.utilizations.size(); ++u) {
+    std::vector<double> row;
+    for (size_t p = 0; p < np; ++p) {
+      const double m = MetricOf(all[u * np + p], args.metric);
+      if (m < 0.0) {
+        std::cerr << "unknown metric '" << args.metric << "'\n";
+        return EXIT_FAILURE;
+      }
+      row.push_back(m);
+    }
+    table.AddNumericRow(webtx::FormatFixed(config.utilizations[u], 1), row);
+  }
+
+  std::cout << args.metric << " (" << args.seeds << "-seed average, N="
+            << args.spec.num_transactions << ", alpha="
+            << args.spec.zipf_alpha << ", k_max=" << args.spec.k_max
+            << "):\n\n";
+  table.Print(std::cout);
+  return EXIT_SUCCESS;
+}

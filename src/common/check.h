@@ -1,0 +1,58 @@
+#ifndef WEBTX_COMMON_CHECK_H_
+#define WEBTX_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace webtx {
+namespace internal {
+
+/// Collects a fatal message via operator<< and aborts on destruction.
+/// Used only through the WEBTX_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace webtx
+
+/// Aborts with a message when `condition` is false. Invariant violations
+/// only — recoverable errors use Status/Result.
+#define WEBTX_CHECK(condition)                                         \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::webtx::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define WEBTX_CHECK_EQ(a, b) WEBTX_CHECK((a) == (b))
+#define WEBTX_CHECK_NE(a, b) WEBTX_CHECK((a) != (b))
+#define WEBTX_CHECK_LT(a, b) WEBTX_CHECK((a) < (b))
+#define WEBTX_CHECK_LE(a, b) WEBTX_CHECK((a) <= (b))
+#define WEBTX_CHECK_GT(a, b) WEBTX_CHECK((a) > (b))
+#define WEBTX_CHECK_GE(a, b) WEBTX_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+// Short-circuits without evaluating `condition` while still marking its
+// operands as used (avoids -Wunused in release builds).
+#define WEBTX_DCHECK(condition) WEBTX_CHECK(true || (condition))
+#else
+#define WEBTX_DCHECK(condition) WEBTX_CHECK(condition)
+#endif
+
+#endif  // WEBTX_COMMON_CHECK_H_

@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace webtx {
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    WEBTX_CHECK(fields[i].find_first_of(",\"\n") == std::string::npos)
+        << "CSV field needs quoting, which is unsupported: " << fields[i];
+    if (i > 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(SplitCsvLine(line));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  CsvWriter writer(out);
+  for (const auto& row : rows) writer.WriteRow(row);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<long long> ParseInt(std::string_view field) {
+  std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return value;
+}
+
+}  // namespace webtx

@@ -1,0 +1,49 @@
+#ifndef WEBTX_COMMON_CSV_H_
+#define WEBTX_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace webtx {
+
+/// Minimal CSV support for traces and experiment output. Fields never
+/// contain commas or quotes in this library, so no quoting is implemented;
+/// writers CHECK that assumption.
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Splits one CSV line into fields (no quoting support).
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
+/// Reads an entire CSV file into rows of fields. Skips blank lines and
+/// lines starting with '#'.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes `rows` (first row typically a header) to `path`.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Parses a double / integer field with error reporting.
+Result<double> ParseDouble(std::string_view field);
+Result<long long> ParseInt(std::string_view field);
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_CSV_H_

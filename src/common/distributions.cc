@@ -1,0 +1,69 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace webtx {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  WEBTX_CHECK_GE(n, 1u) << "Zipf support must be non-empty";
+  WEBTX_CHECK_GE(alpha, 0.0) << "Zipf skew must be non-negative";
+  cdf_.resize(n);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    const double p = 1.0 / std::pow(static_cast<double>(k), alpha);
+    total += p;
+    weighted += p * static_cast<double>(k);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+  mean_ = weighted / total;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  if (k < 1 || k > n_) return 0.0;
+  const double p = cdf_[k - 1];
+  const double prev = (k == 1) ? 0.0 : cdf_[k - 2];
+  return p - prev;
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  WEBTX_CHECK_GT(rate, 0.0) << "Exponential rate must be positive";
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  // 1 - u in (0, 1]; avoids log(0).
+  const double u = rng.NextDouble();
+  return -std::log1p(-u) / rate_;
+}
+
+UniformRealDistribution::UniformRealDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  WEBTX_CHECK_LE(lo, hi) << "Uniform bounds out of order";
+}
+
+double UniformRealDistribution::Sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.NextDouble();
+}
+
+UniformIntDistribution::UniformIntDistribution(uint64_t lo, uint64_t hi)
+    : lo_(lo), hi_(hi) {
+  WEBTX_CHECK_LE(lo, hi) << "Uniform bounds out of order";
+}
+
+uint64_t UniformIntDistribution::Sample(Rng& rng) const {
+  return rng.NextInRange(lo_, hi_);
+}
+
+}  // namespace webtx

@@ -1,0 +1,85 @@
+#ifndef WEBTX_COMMON_DISTRIBUTIONS_H_
+#define WEBTX_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace webtx {
+
+/// Zipf distribution over the integers {1, ..., n} with skew parameter
+/// alpha >= 0: P(k) proportional to 1 / k^alpha. alpha = 0 is uniform; larger
+/// alpha skews mass toward small values ("short transactions", Sec. IV-A of
+/// the paper uses alpha = 0.5 over [1, 50]).
+///
+/// Sampling is by binary search over the precomputed CDF: O(n) setup,
+/// O(log n) per sample, exact (no rejection).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double alpha);
+
+  /// Draws one value in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  /// Exact mean of the distribution.
+  double Mean() const { return mean_; }
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// P(X = k) for k in [1, n]; 0 outside.
+  double Pmf(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  double mean_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i + 1)
+};
+
+/// Exponential distribution with the given rate (lambda > 0); interarrival
+/// times of a Poisson process with that rate.
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+
+  double Sample(Rng& rng) const;
+  double Mean() const { return 1.0 / rate_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Continuous uniform distribution on [lo, hi).
+class UniformRealDistribution {
+ public:
+  UniformRealDistribution(double lo, double hi);
+
+  double Sample(Rng& rng) const;
+  double Mean() const { return 0.5 * (lo_ + hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Discrete uniform distribution on the integers {lo, ..., hi} inclusive.
+class UniformIntDistribution {
+ public:
+  UniformIntDistribution(uint64_t lo, uint64_t hi);
+
+  uint64_t Sample(Rng& rng) const;
+  double Mean() const {
+    return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_));
+  }
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,79 @@
+#ifndef WEBTX_COMMON_RESULT_H_
+#define WEBTX_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace webtx {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Trace> r = Trace::FromFile(path);
+///   if (!r.ok()) return r.status();
+///   Trace t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value / Status so call sites read naturally
+  /// (`return value;` / `return Status::NotFound(...)`).
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
+    WEBTX_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// The value. Aborts the process if this Result holds an error.
+  const T& ValueOrDie() const& {
+    WEBTX_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(data_).ToString();
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    WEBTX_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(data_).ToString();
+    return std::get<T>(data_);
+  }
+  T ValueOrDie() && {
+    WEBTX_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(data_).ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error Status on failure.
+#define WEBTX_ASSIGN_OR_RETURN(lhs, expr)                    \
+  WEBTX_ASSIGN_OR_RETURN_IMPL(                               \
+      WEBTX_CONCAT_NAME(_webtx_result_, __LINE__), lhs, expr)
+
+#define WEBTX_CONCAT_NAME_INNER(a, b) a##b
+#define WEBTX_CONCAT_NAME(a, b) WEBTX_CONCAT_NAME_INNER(a, b)
+#define WEBTX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_RESULT_H_

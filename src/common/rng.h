@@ -1,0 +1,91 @@
+#ifndef WEBTX_COMMON_RNG_H_
+#define WEBTX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace webtx {
+
+/// SplitMix64: used to expand a single 64-bit seed into the xoshiro state.
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG. Deterministic across
+/// platforms given the same seed, which keeps simulation runs reproducible.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x2545f4914f6cdd1dULL) { Seed(seed); }
+
+  /// Re-initializes the full 256-bit state from a 64-bit seed.
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    const uint64_t span = hi - lo + 1;
+    if (span == 0) return Next();  // full 64-bit range
+    // Lemire's unbiased bounded generation (rejection on the low word).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto l = static_cast<uint64_t>(m);
+    if (l < span) {
+      const uint64_t threshold = -span % span;
+      while (l < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return lo + static_cast<uint64_t>(m >> 64);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_RNG_H_

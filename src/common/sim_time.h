@@ -1,0 +1,27 @@
+#ifndef WEBTX_COMMON_SIM_TIME_H_
+#define WEBTX_COMMON_SIM_TIME_H_
+
+#include <cmath>
+
+namespace webtx {
+
+/// Simulated time, in abstract "time units" (the paper's transaction lengths
+/// are 1-50 time units). Double-precision is exact enough for the event
+/// horizon of these workloads; comparisons that gate list membership use
+/// an epsilon to absorb accumulated rounding.
+using SimTime = double;
+
+/// Comparison slack for simulated-time arithmetic.
+inline constexpr SimTime kTimeEpsilon = 1e-9;
+
+/// a <= b up to rounding error.
+inline bool TimeLessEq(SimTime a, SimTime b) { return a <= b + kTimeEpsilon; }
+
+/// a == b up to rounding error.
+inline bool TimeEq(SimTime a, SimTime b) {
+  return std::fabs(a - b) <= kTimeEpsilon;
+}
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_SIM_TIME_H_

@@ -1,0 +1,61 @@
+#ifndef WEBTX_COMMON_STATS_H_
+#define WEBTX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace webtx {
+
+/// Streaming accumulator for count / mean / variance / min / max using
+/// Welford's algorithm (numerically stable single pass).
+class StreamingStats {
+ public:
+  StreamingStats() = default;
+
+  void Add(double x);
+  void Merge(const StreamingStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples to answer arbitrary quantile queries. Intended for
+/// per-run metric post-processing (a few thousand samples), not hot paths.
+class QuantileSketch {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+
+  /// Quantile by linear interpolation between closest ranks;
+  /// q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_STATS_H_

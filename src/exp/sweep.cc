@@ -1,0 +1,94 @@
+#include "exp/sweep.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace webtx {
+
+std::vector<double> PaperUtilizationGrid() {
+  std::vector<double> grid;
+  for (int i = 1; i <= 10; ++i) grid.push_back(0.1 * i);
+  return grid;
+}
+
+Result<RunResult> RunOne(const WorkloadSpec& spec, uint64_t seed,
+                         const std::string& policy_spec) {
+  WEBTX_ASSIGN_OR_RETURN(auto generator, WorkloadGenerator::Create(spec));
+  WEBTX_ASSIGN_OR_RETURN(auto policy, CreatePolicy(policy_spec));
+  WEBTX_ASSIGN_OR_RETURN(auto sim, Simulator::Create(generator.Generate(seed)));
+  return sim.Run(*policy);
+}
+
+Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
+  if (config.utilizations.empty()) {
+    return Status::InvalidArgument("sweep has no utilization points");
+  }
+  if (config.policies.empty()) {
+    return Status::InvalidArgument("sweep has no policies");
+  }
+  if (config.seeds.empty()) {
+    return Status::InvalidArgument("sweep has no seeds");
+  }
+
+  // Instantiate policies once; they are reusable across runs via Bind.
+  std::vector<std::unique_ptr<SchedulerPolicy>> policies;
+  for (const std::string& spec : config.policies) {
+    WEBTX_ASSIGN_OR_RETURN(auto policy, CreatePolicy(spec));
+    policies.push_back(std::move(policy));
+  }
+
+  SimOptions sim_options;
+  sim_options.record_outcomes = false;
+
+  std::vector<SweepCell> cells;
+  cells.reserve(config.utilizations.size() * config.policies.size());
+  for (const double utilization : config.utilizations) {
+    WorkloadSpec wspec = config.base;
+    wspec.utilization = utilization;
+    WEBTX_ASSIGN_OR_RETURN(auto generator, WorkloadGenerator::Create(wspec));
+
+    std::vector<SweepCell> row(config.policies.size());
+    std::vector<StreamingStats> tardiness_stats(config.policies.size());
+    std::vector<StreamingStats> weighted_stats(config.policies.size());
+    for (size_t p = 0; p < config.policies.size(); ++p) {
+      row[p].utilization = utilization;
+      row[p].policy = config.policies[p];
+    }
+    for (const uint64_t seed : config.seeds) {
+      WEBTX_ASSIGN_OR_RETURN(auto sim,
+                             Simulator::Create(generator.Generate(seed),
+                                               sim_options));
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const RunResult r = sim.Run(*policies[p]);
+        tardiness_stats[p].Add(r.avg_tardiness);
+        weighted_stats[p].Add(r.avg_weighted_tardiness);
+        row[p].max_tardiness += r.max_tardiness;
+        row[p].max_weighted_tardiness += r.max_weighted_tardiness;
+        row[p].miss_ratio += r.miss_ratio;
+        row[p].avg_response += r.avg_response;
+      }
+    }
+    const auto num_seeds = static_cast<double>(config.seeds.size());
+    for (size_t p = 0; p < row.size(); ++p) {
+      SweepCell& cell = row[p];
+      cell.avg_tardiness = tardiness_stats[p].mean();
+      cell.avg_tardiness_stddev = tardiness_stats[p].stddev();
+      cell.avg_weighted_tardiness = weighted_stats[p].mean();
+      cell.avg_weighted_tardiness_stddev = weighted_stats[p].stddev();
+      cell.max_tardiness /= num_seeds;
+      cell.max_weighted_tardiness /= num_seeds;
+      cell.miss_ratio /= num_seeds;
+      cell.avg_response /= num_seeds;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace webtx

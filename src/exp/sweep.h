@@ -1,0 +1,58 @@
+#ifndef WEBTX_EXP_SWEEP_H_
+#define WEBTX_EXP_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/metrics.h"
+#include "workload/spec.h"
+
+namespace webtx {
+
+/// One utilization x policy cell, averaged over seeds (the paper reports
+/// "the averages of five runs for each experiment setting", Sec. IV-A).
+struct SweepCell {
+  double utilization = 0.0;
+  std::string policy;
+  double avg_tardiness = 0.0;
+  double avg_weighted_tardiness = 0.0;
+  double max_tardiness = 0.0;
+  double max_weighted_tardiness = 0.0;
+  double miss_ratio = 0.0;
+  double avg_response = 0.0;
+  /// Sample standard deviations across seeds, for error bars.
+  double avg_tardiness_stddev = 0.0;
+  double avg_weighted_tardiness_stddev = 0.0;
+};
+
+/// A utilization sweep over a set of policies, the workhorse behind every
+/// figure in Sec. IV.
+struct SweepConfig {
+  /// Workload template; `utilization` is overridden per sweep point.
+  WorkloadSpec base;
+  /// Utilization values to sweep (paper: 0.1 .. 1.0).
+  std::vector<double> utilizations;
+  /// Policy specs understood by CreatePolicy (sched/policy_factory.h).
+  std::vector<std::string> policies;
+  /// Seeds averaged per cell (paper: five runs).
+  std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
+};
+
+/// Runs the full sweep. Every (utilization, seed) pair generates one
+/// workload instance, replayed under each policy, so policies are compared
+/// on identical inputs. Cells are ordered utilization-major, then in
+/// `config.policies` order.
+Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config);
+
+/// Runs one workload under one policy spec (convenience for examples).
+Result<RunResult> RunOne(const WorkloadSpec& spec, uint64_t seed,
+                         const std::string& policy_spec);
+
+/// Default utilization grid 0.1, 0.2, ..., 1.0 (paper Table I).
+std::vector<double> PaperUtilizationGrid();
+
+}  // namespace webtx
+
+#endif  // WEBTX_EXP_SWEEP_H_

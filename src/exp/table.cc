@@ -1,0 +1,69 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace webtx {
+
+std::string FormatFixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  WEBTX_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  WEBTX_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(FormatFixed(v, precision));
+  AddRow(std::move(row));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w;
+  total += 2 * (columns_.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> all;
+  all.reserve(rows_.size() + 1);
+  all.push_back(columns_);
+  for (const auto& row : rows_) all.push_back(row);
+  return WriteCsvFile(path, all);
+}
+
+}  // namespace webtx

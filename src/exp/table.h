@@ -1,0 +1,45 @@
+#ifndef WEBTX_EXP_TABLE_H_
+#define WEBTX_EXP_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webtx {
+
+/// Fixed-width ASCII table for figure harness output, mirroring the series
+/// a paper plot shows (one row per x value, one column per series). Also
+/// exports CSV so results can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Adds a row; must match the number of columns.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell verbatim, remaining cells formatted doubles.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Pretty-prints with aligned columns and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by harnesses).
+std::string FormatFixed(double value, int precision = 3);
+
+}  // namespace webtx
+
+#endif  // WEBTX_EXP_TABLE_H_

@@ -1,0 +1,191 @@
+#include "rt/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx::rt {
+
+const DependencyGraph& Executor::View::graph() const {
+  WEBTX_CHECK(false)
+      << "rt::Executor supports transaction-level policies only; "
+         "workflow-level policies need the full graph up front";
+  std::abort();  // unreachable; keeps the non-void return well-formed
+}
+
+const WorkflowRegistry& Executor::View::workflows() const {
+  WEBTX_CHECK(false)
+      << "rt::Executor supports transaction-level policies only; "
+         "workflow-level policies need the full graph up front";
+  std::abort();
+}
+
+Executor::Executor(std::unique_ptr<SchedulerPolicy> policy,
+                   ExecutorOptions options)
+    : policy_(std::move(policy)),
+      options_(options),
+      view_(this),
+      epoch_(std::chrono::steady_clock::now()) {
+  WEBTX_CHECK(policy_ != nullptr);
+  WEBTX_CHECK_GE(options_.num_workers, 1u);
+  policy_->Bind(view_);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+double Executor::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+Result<TxnId> Executor::Submit(TaskSpec task) {
+  if (task.fn == nullptr) {
+    return Status::InvalidArgument("task has no work function");
+  }
+  if (task.estimated_cost <= 0.0 || task.weight <= 0.0 ||
+      task.relative_deadline <= 0.0) {
+    return Status::InvalidArgument(
+        "estimated_cost, weight and relative_deadline must be positive");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::FailedPrecondition("executor is shutting down");
+  }
+  const auto id = static_cast<TxnId>(specs_.size());
+  for (const TxnId dep : task.dependencies) {
+    if (dep >= id) {
+      return Status::InvalidArgument(
+          "dependency ids must reference already-submitted tasks");
+    }
+  }
+
+  const double now = NowSeconds();
+  TransactionSpec spec;
+  spec.id = id;
+  spec.arrival = now;
+  spec.length = task.estimated_cost;
+  spec.deadline = now + task.relative_deadline;
+  spec.weight = task.weight;
+  spec.dependencies = task.dependencies;
+
+  uint32_t unmet = 0;
+  for (const TxnId dep : task.dependencies) {
+    if (!outcomes_[dep].finished) {
+      successors_[dep].push_back(id);
+      ++unmet;
+    }
+  }
+
+  specs_.push_back(std::move(spec));
+  remaining_.push_back(task.estimated_cost);
+  unmet_deps_.push_back(unmet);
+  successors_.emplace_back();
+  functions_.push_back(std::move(task.fn));
+  TaskOutcome outcome;
+  outcome.submit_seconds = now;
+  outcomes_.push_back(outcome);
+
+  policy_->OnArrival(id, now);
+  if (unmet == 0) {
+    ready_list_.push_back(id);
+    policy_->OnReady(id, now);
+    work_available_.notify_one();
+  }
+  return id;
+}
+
+void Executor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_available_.wait(lock, [this] {
+      return !ready_list_.empty() ||
+             (shutting_down_ && finished_ == specs_.size());
+    });
+    if (ready_list_.empty()) return;  // drained and shutting down
+
+    const double dispatch_now = NowSeconds();
+    const TxnId id = policy_->PickNext(dispatch_now);
+    WEBTX_CHECK_NE(id, kInvalidTxn)
+        << "policy idled while tasks were queued";
+    // Non-preemptive dispatch: the task leaves the scheduling queues for
+    // good (OnCompletion is the policy's dequeue signal; the executor
+    // tracks the actual completion separately).
+    policy_->OnCompletion(id, dispatch_now);
+    const auto it = std::find(ready_list_.begin(), ready_list_.end(), id);
+    WEBTX_CHECK(it != ready_list_.end());
+    *it = ready_list_.back();
+    ready_list_.pop_back();
+    running_.push_back(id);
+    std::function<void()> fn = std::move(functions_[id]);
+
+    lock.unlock();
+    fn();
+    lock.lock();
+
+    const double now = NowSeconds();
+    TaskOutcome& outcome = outcomes_[id];
+    outcome.finished = true;
+    outcome.finish_seconds = now;
+    outcome.tardiness_seconds = std::max(0.0, now - specs_[id].deadline);
+    remaining_[id] = 0.0;
+    ++finished_;
+    running_.erase(std::find(running_.begin(), running_.end(), id));
+
+    bool released = false;
+    for (const TxnId succ : successors_[id]) {
+      WEBTX_DCHECK(unmet_deps_[succ] > 0);
+      if (--unmet_deps_[succ] == 0 && !outcomes_[succ].finished) {
+        ready_list_.push_back(succ);
+        policy_->OnReady(succ, now);
+        released = true;
+      }
+    }
+    if (released) work_available_.notify_all();
+    if (finished_ == specs_.size()) {
+      all_done_.notify_all();
+      // Wake peers so they can observe the drained+shutdown state.
+      if (shutting_down_) work_available_.notify_all();
+    }
+  }
+}
+
+void Executor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return finished_ == specs_.size(); });
+}
+
+void Executor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  Drain();
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+TaskOutcome Executor::OutcomeOf(TxnId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEBTX_CHECK_LT(id, outcomes_.size());
+  return outcomes_[id];
+}
+
+size_t Executor::finished_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+}  // namespace webtx::rt

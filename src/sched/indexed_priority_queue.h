@@ -1,0 +1,158 @@
+#ifndef WEBTX_SCHED_INDEXED_PRIORITY_QUEUE_H_
+#define WEBTX_SCHED_INDEXED_PRIORITY_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace webtx {
+
+/// Min-heap over dense 32-bit ids with an id -> heap-position index,
+/// supporting O(log n) push / pop / erase / key update and O(1) membership
+/// tests. This is the "balanced binary search tree" priority structure of
+/// Sec. III-A2: every scheduler event costs O(log N).
+///
+/// Ordering is (key, id) lexicographic, so ties are deterministic (lower id
+/// wins).
+class IndexedPriorityQueue {
+ public:
+  IndexedPriorityQueue() = default;
+
+  /// Pre-sizes the position index for ids in [0, n).
+  explicit IndexedPriorityQueue(size_t n) { pos_.resize(n, kNoPos); }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(uint32_t id) const {
+    return id < pos_.size() && pos_[id] != kNoPos;
+  }
+
+  /// Current key of a contained id.
+  double KeyOf(uint32_t id) const {
+    WEBTX_DCHECK(Contains(id));
+    return heap_[pos_[id]].key;
+  }
+
+  /// Inserts `id` with `key`. The id must not be present.
+  void Push(uint32_t id, double key) {
+    if (id >= pos_.size()) pos_.resize(id + 1, kNoPos);
+    WEBTX_DCHECK(pos_[id] == kNoPos);
+    heap_.push_back(Entry{key, id});
+    pos_[id] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// The id with the smallest (key, id). Queue must be non-empty.
+  uint32_t Top() const {
+    WEBTX_DCHECK(!heap_.empty());
+    return heap_[0].id;
+  }
+
+  double TopKey() const {
+    WEBTX_DCHECK(!heap_.empty());
+    return heap_[0].key;
+  }
+
+  /// Removes and returns the minimum id.
+  uint32_t Pop() {
+    const uint32_t id = Top();
+    Erase(id);
+    return id;
+  }
+
+  /// Removes `id` if present; returns whether it was present.
+  bool Erase(uint32_t id) {
+    if (!Contains(id)) return false;
+    const size_t i = pos_[id];
+    const size_t last = heap_.size() - 1;
+    if (i != last) {
+      SwapEntries(i, last);
+      heap_.pop_back();
+      pos_[id] = kNoPos;
+      // The moved entry may need to go either direction.
+      if (!SiftUp(i)) SiftDown(i);
+    } else {
+      heap_.pop_back();
+      pos_[id] = kNoPos;
+    }
+    return true;
+  }
+
+  /// Changes the key of a contained id.
+  void Update(uint32_t id, double key) {
+    WEBTX_DCHECK(Contains(id));
+    const size_t i = pos_[id];
+    heap_[i].key = key;
+    if (!SiftUp(i)) SiftDown(i);
+  }
+
+  /// Push, or Update when already present.
+  void PushOrUpdate(uint32_t id, double key) {
+    if (Contains(id)) {
+      Update(id, key);
+    } else {
+      Push(id, key);
+    }
+  }
+
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kNoPos;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t id;
+  };
+  static constexpr size_t kNoPos = std::numeric_limits<size_t>::max();
+
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void SwapEntries(size_t i, size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i].id] = i;
+    pos_[heap_[j].id] = j;
+  }
+
+  /// Returns true if the entry moved.
+  bool SiftUp(size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!Less(heap_[i], heap_[parent])) break;
+      SwapEntries(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t left = 2 * i + 1;
+      const size_t right = left + 1;
+      size_t smallest = i;
+      if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      SwapEntries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<size_t> pos_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_INDEXED_PRIORITY_QUEUE_H_

@@ -1,0 +1,125 @@
+#include "sched/policies/asets.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace webtx {
+
+void AsetsPolicy::Reset() {
+  edf_.Clear();
+  hdf_.Clear();
+  critical_.Clear();
+}
+
+double AsetsPolicy::HdfKey(TxnId id) const {
+  return view().remaining(id) / view().specs()[id].weight;
+}
+
+void AsetsPolicy::OnReady(TxnId id, SimTime now) {
+  const TransactionSpec& spec = view().specs()[id];
+  const SimTime r = view().remaining(id);
+  if (TimeLessEq(now + r, spec.deadline)) {
+    edf_.Push(id, spec.deadline);
+    critical_.Push(id, spec.deadline - r);
+  } else {
+    hdf_.Push(id, HdfKey(id));
+  }
+}
+
+void AsetsPolicy::OnCompletion(TxnId id, SimTime now) {
+  (void)now;
+  if (edf_.Erase(id)) {
+    critical_.Erase(id);
+  } else {
+    const bool present = hdf_.Erase(id);
+    WEBTX_DCHECK(present) << "completed transaction was in neither list";
+  }
+}
+
+void AsetsPolicy::OnRemainingUpdated(TxnId id, SimTime now) {
+  (void)now;
+  if (edf_.Contains(id)) {
+    // Deadline key is unchanged; only the critical time d_i - r_i moved.
+    critical_.Update(id, view().specs()[id].deadline - view().remaining(id));
+  } else if (hdf_.Contains(id)) {
+    hdf_.Update(id, HdfKey(id));
+  }
+}
+
+void AsetsPolicy::MigrateDue(SimTime now) {
+  while (!critical_.empty() && critical_.TopKey() < now - kTimeEpsilon) {
+    const TxnId id = critical_.Pop();
+    const bool present = edf_.Erase(id);
+    WEBTX_DCHECK(present) << "critical queue out of sync with EDF-List";
+    hdf_.Push(id, HdfKey(id));
+  }
+}
+
+TxnId AsetsPolicy::PickNext(SimTime now) {
+  MigrateDue(now);
+  if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
+  if (edf_.empty()) return hdf_.Top();
+  if (hdf_.empty()) return edf_.Top();
+
+  const TxnId e = edf_.Top();
+  const TxnId h = hdf_.Top();
+  const double r_e = view().remaining(e);
+  const double r_h = view().remaining(h);
+  const double w_e = view().specs()[e].weight;
+  const double w_h = view().specs()[h].weight;
+  const double s_e = view().SlackAt(e, now);
+  const double s_h = view().SlackAt(h, now);
+
+  double impact_e;  // tardiness added to h by running e first
+  double impact_h;  // tardiness added to e by running h first
+  if (options_.clamp_slack) {
+    impact_e = std::max(0.0, r_e - std::max(0.0, s_h)) * w_h;
+    impact_h = std::max(0.0, r_h - std::max(0.0, s_e)) * w_e;
+  } else {
+    impact_e = (r_e - s_h) * w_h;
+    impact_h = (r_h - s_e) * w_e;
+  }
+  const bool run_edf =
+      options_.ties_to_edf ? impact_e <= impact_h : impact_e < impact_h;
+  return run_edf ? e : h;
+}
+
+TxnId AsetsPolicy::PickNextExcluding(SimTime now,
+                                     const std::vector<TxnId>& exclude) {
+  if (exclude.empty()) return PickNext(now);
+  // Park excluded winners outside both lists, decide, restore.
+  struct Parked {
+    TxnId id;
+    bool in_edf;
+  };
+  std::vector<Parked> parked;
+  TxnId found = kInvalidTxn;
+  while (true) {
+    const TxnId pick = PickNext(now);
+    if (pick == kInvalidTxn ||
+        std::find(exclude.begin(), exclude.end(), pick) == exclude.end()) {
+      found = pick;
+      break;
+    }
+    if (edf_.Erase(pick)) {
+      critical_.Erase(pick);
+      parked.push_back(Parked{pick, true});
+    } else {
+      const bool present = hdf_.Erase(pick);
+      WEBTX_DCHECK(present);
+      parked.push_back(Parked{pick, false});
+    }
+  }
+  for (const Parked& p : parked) {
+    if (p.in_edf) {
+      const SimTime deadline = view().specs()[p.id].deadline;
+      edf_.Push(p.id, deadline);
+      critical_.Push(p.id, deadline - view().remaining(p.id));
+    } else {
+      hdf_.Push(p.id, HdfKey(p.id));
+    }
+  }
+  return found;
+}
+
+}  // namespace webtx

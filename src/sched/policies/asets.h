@@ -1,0 +1,87 @@
+#ifndef WEBTX_SCHED_POLICIES_ASETS_H_
+#define WEBTX_SCHED_POLICIES_ASETS_H_
+
+#include <string>
+
+#include "sched/indexed_priority_queue.h"
+#include "sched/scheduler_policy.h"
+
+namespace webtx {
+
+/// Knobs exposed for the ablation benches; the defaults reproduce the paper
+/// (Eq. (1) and the Fig. 7 pseudo-code).
+struct AsetsOptions {
+  /// Clamp slacks at zero inside the negative-impact formula. The default
+  /// matches Eq. (1)/Fig. 7, where the tardy side contributes no slack.
+  bool clamp_slack = true;
+  /// Break impact ties toward the EDF side. Fig. 7 uses a strict '<'
+  /// (ties run the HDF side); Sec. III-B's prose uses '<=' (ties run the
+  /// EDF side). Default follows the pseudo-code.
+  bool ties_to_edf = false;
+};
+
+/// ASETS: the transaction-level adaptive hybrid of EDF and HDF/SRPT
+/// (Sec. III-A; [Sharaf et al., SMDB 2008]).
+///
+/// Ready transactions that can still meet their deadline live in the
+/// *EDF-List* (ordered by deadline, Definition 6); the rest live in the
+/// *HDF-List* (ordered by r_i/w_i — SRPT when weights are equal,
+/// Definition 7). At each scheduling point the policy compares the
+/// negative impact of the two list heads and runs the cheaper one:
+///
+///   impact(EDF head)  = r_EDF * w_HDF                       (Fig. 7 l.15)
+///   impact(HDF head)  = max(0, r_HDF - s_EDF) * w_EDF       (Fig. 7 l.16)
+///
+/// With equal weights this is exactly Eq. (1). Transactions migrate from
+/// the EDF-List to the HDF-List when their deadline becomes unreachable; a
+/// third queue keyed by the critical time d_i - r_i makes each migration
+/// O(log N) amortized, so every scheduler event is O(log N).
+class AsetsPolicy : public SchedulerPolicy {
+ public:
+  explicit AsetsPolicy(AsetsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ASETS"; }
+
+  void OnReady(TxnId id, SimTime now) override;
+  void OnCompletion(TxnId id, SimTime now) override;
+  void OnRemainingUpdated(TxnId id, SimTime now) override;
+  TxnId PickNext(SimTime now) override;
+  TxnId PickNextExcluding(SimTime now,
+                          const std::vector<TxnId>& exclude) override;
+
+  /// Introspection for tests: current list sizes.
+  size_t edf_list_size() const { return edf_.size(); }
+  size_t hdf_list_size() const { return hdf_.size(); }
+
+ protected:
+  void Reset() override;
+
+ private:
+  /// Moves every EDF-List member whose deadline became unreachable
+  /// (now + r_i > d_i) to the HDF-List.
+  void MigrateDue(SimTime now);
+
+  double HdfKey(TxnId id) const;
+
+  AsetsOptions options_;
+  IndexedPriorityQueue edf_;       // key: deadline d_i
+  IndexedPriorityQueue hdf_;       // key: r_i / w_i
+  IndexedPriorityQueue critical_;  // EDF-List members, key: d_i - r_i
+};
+
+/// The *Ready* baseline of Sec. III-B: dependent transactions sit in an
+/// opaque Wait queue until runnable, and transaction-level ASETS schedules
+/// the ready ones. Since the simulator only feeds policies OnReady for
+/// runnable transactions, this is ASETS by construction — the class exists
+/// to give the baseline its paper name and to contrast with the
+/// workflow-aware ASETS*.
+class ReadyPolicy final : public AsetsPolicy {
+ public:
+  explicit ReadyPolicy(AsetsOptions options = {}) : AsetsPolicy(options) {}
+
+  std::string name() const override { return "Ready"; }
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_POLICIES_ASETS_H_

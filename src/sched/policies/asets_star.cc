@@ -1,0 +1,157 @@
+#include "sched/policies/asets_star.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace webtx {
+
+void AsetsStarPolicy::Bind(const SimView& v) {
+  SchedulerPolicy::Bind(v);
+  states_.assign(v.workflows().num_workflows(), WorkflowState{});
+}
+
+void AsetsStarPolicy::Reset() {
+  states_.clear();
+  excluded_heads_.clear();
+  edf_.Clear();
+  hdf_.Clear();
+  critical_.Clear();
+}
+
+bool AsetsStarPolicy::IsExcluded(TxnId id) const {
+  return std::find(excluded_heads_.begin(), excluded_heads_.end(), id) !=
+         excluded_heads_.end();
+}
+
+bool AsetsStarPolicy::HeadBetter(TxnId a, TxnId b) const {
+  if (b == kInvalidTxn) return true;
+  const TransactionSpec& sa = view().specs()[a];
+  const TransactionSpec& sb = view().specs()[b];
+  switch (options_.head_rule) {
+    case HeadSelectionRule::kEarliestDeadline:
+      if (sa.deadline != sb.deadline) return sa.deadline < sb.deadline;
+      break;
+    case HeadSelectionRule::kShortestRemaining: {
+      const SimTime ra = view().remaining(a);
+      const SimTime rb = view().remaining(b);
+      if (ra != rb) return ra < rb;
+      break;
+    }
+    case HeadSelectionRule::kFifoArrival:
+      if (sa.arrival != sb.arrival) return sa.arrival < sb.arrival;
+      break;
+  }
+  return a < b;
+}
+
+void AsetsStarPolicy::Refresh(WorkflowId wid, SimTime now) {
+  const Workflow& wf = view().workflows().workflow(wid);
+  WorkflowState ws;
+  ws.rep_deadline = std::numeric_limits<double>::infinity();
+  ws.rep_remaining = std::numeric_limits<double>::infinity();
+  ws.rep_weight = 0.0;
+  for (const TxnId m : wf.members) {
+    if (view().IsFinished(m) || !view().IsArrived(m)) continue;
+    const TransactionSpec& spec = view().specs()[m];
+    ws.rep_deadline = std::min(ws.rep_deadline, spec.deadline);
+    ws.rep_remaining = std::min(ws.rep_remaining, view().remaining(m));
+    ws.rep_weight = std::max(ws.rep_weight, spec.weight);
+    if (view().IsReady(m) && !IsExcluded(m) && HeadBetter(m, ws.head)) {
+      ws.head = m;
+    }
+  }
+  ws.active = ws.head != kInvalidTxn;
+  states_[wid] = ws;
+
+  edf_.Erase(wid);
+  hdf_.Erase(wid);
+  critical_.Erase(wid);
+  if (!ws.active) return;
+  if (TimeLessEq(now + ws.rep_remaining, ws.rep_deadline)) {
+    edf_.Push(wid, ws.rep_deadline);
+    critical_.Push(wid, ws.rep_deadline - ws.rep_remaining);
+  } else {
+    hdf_.Push(wid, HdfKey(ws));
+  }
+}
+
+void AsetsStarPolicy::RefreshWorkflowsOf(TxnId id, SimTime now) {
+  for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+    Refresh(wid, now);
+  }
+}
+
+void AsetsStarPolicy::OnArrival(TxnId id, SimTime now) {
+  RefreshWorkflowsOf(id, now);
+}
+
+void AsetsStarPolicy::OnReady(TxnId id, SimTime now) {
+  RefreshWorkflowsOf(id, now);
+}
+
+void AsetsStarPolicy::OnCompletion(TxnId id, SimTime now) {
+  RefreshWorkflowsOf(id, now);
+}
+
+void AsetsStarPolicy::OnRemainingUpdated(TxnId id, SimTime now) {
+  RefreshWorkflowsOf(id, now);
+}
+
+void AsetsStarPolicy::MigrateDue(SimTime now) {
+  while (!critical_.empty() && critical_.TopKey() < now - kTimeEpsilon) {
+    const WorkflowId wid = critical_.Pop();
+    const bool present = edf_.Erase(wid);
+    WEBTX_DCHECK(present) << "critical queue out of sync with EDF-List";
+    hdf_.Push(wid, HdfKey(states_[wid]));
+  }
+}
+
+TxnId AsetsStarPolicy::PickNext(SimTime now) {
+  MigrateDue(now);
+  if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
+  if (edf_.empty()) return states_[hdf_.Top()].head;
+  if (hdf_.empty()) return states_[edf_.Top()].head;
+
+  const WorkflowState& we = states_[edf_.Top()];
+  const WorkflowState& wh = states_[hdf_.Top()];
+  const double r_head_e = view().remaining(we.head);
+  const double r_head_h = view().remaining(wh.head);
+  const double s_rep_e = we.rep_deadline - (now + we.rep_remaining);
+  const double s_rep_h = wh.rep_deadline - (now + wh.rep_remaining);
+
+  double impact_e;  // tardiness added to wh's representative by running we
+  double impact_h;  // tardiness added to we's representative by running wh
+  if (options_.impact.clamp_slack) {
+    impact_e = std::max(0.0, r_head_e - std::max(0.0, s_rep_h)) * wh.rep_weight;
+    impact_h = std::max(0.0, r_head_h - std::max(0.0, s_rep_e)) * we.rep_weight;
+  } else {
+    impact_e = (r_head_e - s_rep_h) * wh.rep_weight;
+    impact_h = (r_head_h - s_rep_e) * we.rep_weight;
+  }
+  const bool run_edf = options_.impact.ties_to_edf ? impact_e <= impact_h
+                                                   : impact_e < impact_h;
+  return run_edf ? we.head : wh.head;
+}
+
+TxnId AsetsStarPolicy::PickNextExcluding(SimTime now,
+                                         const std::vector<TxnId>& exclude) {
+  if (exclude.empty()) return PickNext(now);
+  // Re-derive heads of the affected workflows with the exclusion set
+  // active, decide, then restore the unexcluded view.
+  excluded_heads_ = exclude;
+  for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+  const TxnId pick = PickNext(now);
+  WEBTX_DCHECK(pick == kInvalidTxn || !IsExcluded(pick));
+  excluded_heads_.clear();
+  for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+  return pick;
+}
+
+AsetsStarPolicy::WorkflowSnapshot AsetsStarPolicy::SnapshotOf(
+    WorkflowId id) const {
+  const WorkflowState& ws = states_[id];
+  return WorkflowSnapshot{ws.active, ws.head, ws.rep_deadline,
+                          ws.rep_remaining, ws.rep_weight};
+}
+
+}  // namespace webtx

@@ -1,0 +1,128 @@
+#ifndef WEBTX_SCHED_POLICIES_ASETS_STAR_H_
+#define WEBTX_SCHED_POLICIES_ASETS_STAR_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/indexed_priority_queue.h"
+#include "sched/policies/asets.h"
+#include "sched/scheduler_policy.h"
+#include "txn/workflow.h"
+
+namespace webtx {
+
+/// How ASETS* chooses a workflow's head transaction when several members
+/// are ready (Definition 8 leaves this open). Ablated by
+/// bench/ablation_head_choice.
+enum class HeadSelectionRule {
+  kEarliestDeadline,   // default: most urgent ready member
+  kShortestRemaining,  // cheapest ready member
+  kFifoArrival,        // earliest-arrived ready member
+};
+
+struct AsetsStarOptions {
+  AsetsOptions impact;  // negative-impact rule knobs (shared with ASETS)
+  HeadSelectionRule head_rule = HeadSelectionRule::kEarliestDeadline;
+};
+
+/// ASETS*: the workflow-level, weight-aware generalization of ASETS
+/// (Sec. III-B/III-C, Fig. 7) — the paper's primary contribution.
+///
+/// Scheduling units are *workflows* (one per root transaction, Sec. II-A).
+/// Each workflow with at least one ready member is represented by:
+///   - its *head* transaction T_head: a ready member (Definition 8), the
+///     transaction that actually runs if the workflow wins;
+///   - its *representative* transaction T_rep (Definition 9): a virtual
+///     transaction with d_rep = min deadline, r_rep = min remaining time
+///     and w_rep = max weight over the workflow's in-system (arrived,
+///     unfinished) members — letting the scheduler "see into the Wait
+///     queue" and boost heads whose dependents are urgent or valuable.
+///
+/// A workflow sits in the EDF-List iff its representative can still meet
+/// its deadline (now + r_rep <= d_rep), ordered by d_rep; otherwise in the
+/// HDF-List ordered by r_rep/w_rep. The winner between the two list tops
+/// minimizes weighted negative impact:
+///
+///   impact(EDF wf)  = r_head,EDF * w_rep,HDF                 (Fig. 7 l.15)
+///   impact(HDF wf)  = max(0, r_head,HDF - s_rep,EDF) * w_rep,EDF   (l.16)
+///
+/// With singleton workflows (no precedence constraints) head == rep and
+/// ASETS* reduces exactly to transaction-level ASETS; with equal weights
+/// HDF reduces to SRPT — the policy is parameter-free and adapts to load,
+/// dependencies and weights automatically.
+class AsetsStarPolicy final : public SchedulerPolicy {
+ public:
+  explicit AsetsStarPolicy(AsetsStarOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "ASETS*"; }
+
+  void Bind(const SimView& view) override;
+  void OnArrival(TxnId id, SimTime now) override;
+  void OnReady(TxnId id, SimTime now) override;
+  void OnCompletion(TxnId id, SimTime now) override;
+  void OnRemainingUpdated(TxnId id, SimTime now) override;
+  TxnId PickNext(SimTime now) override;
+  TxnId PickNextExcluding(SimTime now,
+                          const std::vector<TxnId>& exclude) override;
+
+  /// Introspection for tests.
+  size_t edf_list_size() const { return edf_.size(); }
+  size_t hdf_list_size() const { return hdf_.size(); }
+
+  /// Representative / head of a workflow as currently cached (tests only).
+  struct WorkflowSnapshot {
+    bool active = false;
+    TxnId head = kInvalidTxn;
+    SimTime rep_deadline = 0.0;
+    SimTime rep_remaining = 0.0;
+    double rep_weight = 0.0;
+  };
+  WorkflowSnapshot SnapshotOf(WorkflowId id) const;
+
+ protected:
+  void Reset() override;
+
+ private:
+  struct WorkflowState {
+    bool active = false;     // has at least one ready member
+    TxnId head = kInvalidTxn;
+    SimTime rep_deadline = 0.0;
+    SimTime rep_remaining = 0.0;
+    double rep_weight = 1.0;
+  };
+
+  /// Recomputes head/representative of one workflow and re-files it in the
+  /// EDF-/HDF-List. O(workflow size + log #workflows).
+  void Refresh(WorkflowId wid, SimTime now);
+
+  /// Refreshes every workflow the transaction belongs to.
+  void RefreshWorkflowsOf(TxnId id, SimTime now);
+
+  /// Moves EDF-List workflows whose representative deadline became
+  /// unreachable to the HDF-List.
+  void MigrateDue(SimTime now);
+
+  double HdfKey(const WorkflowState& ws) const {
+    return ws.rep_remaining / ws.rep_weight;
+  }
+
+  /// True when `a` beats `b` under the configured head-selection rule.
+  bool HeadBetter(TxnId a, TxnId b) const;
+
+  bool IsExcluded(TxnId id) const;
+
+  AsetsStarOptions options_;
+  std::vector<WorkflowState> states_;
+  /// Transactions already placed on other servers during a multi-server
+  /// scheduling round; Refresh skips them as head candidates. Empty
+  /// outside PickNextExcluding.
+  std::vector<TxnId> excluded_heads_;
+  IndexedPriorityQueue edf_;       // key: d_rep
+  IndexedPriorityQueue hdf_;       // key: r_rep / w_rep
+  IndexedPriorityQueue critical_;  // EDF-List members, key: d_rep - r_rep
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_POLICIES_ASETS_STAR_H_

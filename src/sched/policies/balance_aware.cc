@@ -1,0 +1,109 @@
+#include "sched/policies/balance_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace webtx {
+
+BalanceAwarePolicy::BalanceAwarePolicy(
+    std::unique_ptr<SchedulerPolicy> inner, BalanceAwareOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  WEBTX_CHECK(inner_ != nullptr);
+  WEBTX_CHECK_GT(options_.rate, 0.0) << "activation rate must be positive";
+}
+
+std::string BalanceAwarePolicy::name() const {
+  return inner_->name() + "-BA";
+}
+
+void BalanceAwarePolicy::Bind(const SimView& v) {
+  SchedulerPolicy::Bind(v);
+  inner_->Bind(v);
+}
+
+void BalanceAwarePolicy::Reset() {
+  last_activation_time_ = 0.0;
+  points_since_activation_ = 0;
+  activations_ = 0;
+}
+
+void BalanceAwarePolicy::OnArrival(TxnId id, SimTime now) {
+  inner_->OnArrival(id, now);
+}
+void BalanceAwarePolicy::OnReady(TxnId id, SimTime now) {
+  inner_->OnReady(id, now);
+}
+void BalanceAwarePolicy::OnCompletion(TxnId id, SimTime now) {
+  inner_->OnCompletion(id, now);
+}
+void BalanceAwarePolicy::OnRemainingUpdated(TxnId id, SimTime now) {
+  inner_->OnRemainingUpdated(id, now);
+}
+
+bool BalanceAwarePolicy::ActivationDue(SimTime now) const {
+  switch (options_.mode) {
+    case ActivationMode::kTimeBased:
+      return now - last_activation_time_ >= 1.0 / options_.rate;
+    case ActivationMode::kCountBased: {
+      const auto period =
+          static_cast<size_t>(std::llround(std::max(1.0, 1.0 / options_.rate)));
+      return points_since_activation_ >= period;
+    }
+  }
+  return false;
+}
+
+TxnId BalanceAwarePolicy::PickOldest(
+    SimTime now, const std::vector<TxnId>& exclude) const {
+  TxnId best = kInvalidTxn;
+  double best_score = -1.0;
+  for (const TxnId id : view().ready_transactions()) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    const TransactionSpec& spec = view().specs()[id];
+    double score = 0.0;
+    switch (options_.selection) {
+      case OldestSelection::kWeightedOverdue:
+        // Current weighted lateness. Candidates that are not overdue are
+        // not worth a forced run (skipping them keeps the average-case
+        // cost down); returning kInvalidTxn lets PickNext fall through
+        // to the inner policy.
+        score = spec.weight * std::max(0.0, now - spec.deadline);
+        if (score <= 0.0) continue;
+        break;
+      case OldestSelection::kWeightOverDeadline:
+        score = spec.weight / spec.deadline;
+        break;
+    }
+    if (score > best_score || (score == best_score && id < best)) {
+      best_score = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TxnId BalanceAwarePolicy::PickNext(SimTime now) {
+  return PickNextExcluding(now, {});
+}
+
+TxnId BalanceAwarePolicy::PickNextExcluding(
+    SimTime now, const std::vector<TxnId>& exclude) {
+  // Only the first placement of a multi-server round counts as a
+  // scheduling point for activation pacing.
+  if (exclude.empty()) ++points_since_activation_;
+  if (ActivationDue(now)) {
+    const TxnId oldest = PickOldest(now, exclude);
+    if (oldest != kInvalidTxn) {
+      ++activations_;
+      last_activation_time_ = now;
+      points_since_activation_ = 0;
+      return oldest;
+    }
+  }
+  return inner_->PickNextExcluding(now, exclude);
+}
+
+}  // namespace webtx

@@ -1,0 +1,27 @@
+#include "sched/policies/mix.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace webtx {
+
+MixPolicy::MixPolicy(double beta, double value_scale)
+    : beta_(beta), value_scale_(value_scale) {
+  WEBTX_CHECK(beta >= 0.0 && beta <= 1.0) << "MIX beta must be in [0, 1]";
+  WEBTX_CHECK_GT(value_scale, 0.0);
+}
+
+std::string MixPolicy::name() const {
+  std::ostringstream os;
+  os << "MIX(" << beta_ << ")";
+  return os.str();
+}
+
+double MixPolicy::KeyFor(TxnId id, SimTime now) const {
+  (void)now;
+  const TransactionSpec& spec = view().specs()[id];
+  return (1.0 - beta_) * spec.deadline - beta_ * value_scale_ * spec.weight;
+}
+
+}  // namespace webtx

@@ -1,0 +1,40 @@
+#ifndef WEBTX_SCHED_POLICIES_MIX_H_
+#define WEBTX_SCHED_POLICIES_MIX_H_
+
+#include <string>
+
+#include "sched/policies/single_queue_policies.h"
+
+namespace webtx {
+
+/// MIX [Buttazzo, Spuri & Sensini, RTSS '95], discussed in the paper's
+/// related work (Sec. V): a STATIC hybrid that ranks transactions by a
+/// fixed linear combination of deadline urgency and value, in contrast to
+/// the parameter-free adaptive switching of ASETS*.
+///
+/// Priority key (smaller runs first):
+///   key_i = (1 - beta) * d_i - beta * value_scale * w_i
+/// beta = 0 is pure EDF; beta = 1 is pure HVF; `value_scale` converts a
+/// unit of weight into time units so the two terms are commensurate (the
+/// original paper normalizes similarly; exact constants are not specified
+/// there, so the scale is exposed as a knob and swept by
+/// bench/ext_mix_comparison).
+class MixPolicy final : public SingleQueuePolicy {
+ public:
+  explicit MixPolicy(double beta = 0.5, double value_scale = 50.0);
+
+  std::string name() const override;
+
+  double beta() const { return beta_; }
+
+ protected:
+  double KeyFor(TxnId id, SimTime now) const override;
+
+ private:
+  double beta_;
+  double value_scale_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_POLICIES_MIX_H_

@@ -1,0 +1,92 @@
+#ifndef WEBTX_SCHED_SCHEDULER_POLICY_H_
+#define WEBTX_SCHED_SCHEDULER_POLICY_H_
+
+#include <string>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "sched/sim_view.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Interface every scheduling policy implements.
+///
+/// The simulator drives a policy through a fixed protocol:
+///   1. `Bind(view)` once per run, before any event.
+///   2. For each event, in simulated-time order:
+///      - `OnArrival(id)` when a transaction enters the system;
+///      - `OnReady(id)` when it becomes runnable (at arrival for
+///        independent transactions, or when its last dependency finishes);
+///      - `OnCompletion(id)` when it finishes;
+///      - `OnRemainingUpdated(id)` after the simulator reduces the
+///        remaining time of the transaction that was running, at every
+///        scheduling point where it did not finish.
+///   3. `PickNext(now)` at every scheduling point (arrival or completion,
+///      per Sec. III-A2 of the paper); the returned transaction must be
+///      ready, or kInvalidTxn to idle. The chosen transaction runs until
+///      the next scheduling point (preemptive at arrivals).
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  SchedulerPolicy(const SchedulerPolicy&) = delete;
+  SchedulerPolicy& operator=(const SchedulerPolicy&) = delete;
+
+  /// Display name, e.g. "EDF", "ASETS*".
+  virtual std::string name() const = 0;
+
+  /// Attaches the policy to a run and clears all internal state. Must be
+  /// called before any event; a policy object can be reused across runs.
+  virtual void Bind(const SimView& view) {
+    view_ = &view;
+    Reset();
+  }
+
+  virtual void OnArrival(TxnId id, SimTime now) {
+    (void)id;
+    (void)now;
+  }
+  virtual void OnReady(TxnId id, SimTime now) = 0;
+  virtual void OnCompletion(TxnId id, SimTime now) = 0;
+  virtual void OnRemainingUpdated(TxnId id, SimTime now) {
+    (void)id;
+    (void)now;
+  }
+
+  /// The transaction to run until the next scheduling point, or
+  /// kInvalidTxn when no transaction is ready.
+  virtual TxnId PickNext(SimTime now) = 0;
+
+  /// Multi-server extension: the transaction to run on a free server
+  /// given that the transactions in `exclude` are already placed on
+  /// other servers this scheduling point. The k-server simulator calls
+  /// this greedily (exclude grows by one per placed server); with an
+  /// empty `exclude` it must equal PickNext. The base implementation
+  /// only supports the single-server case; policies opt into
+  /// multi-server by overriding.
+  virtual TxnId PickNextExcluding(SimTime now,
+                                  const std::vector<TxnId>& exclude) {
+    WEBTX_CHECK(exclude.empty())
+        << name() << " does not support multi-server scheduling";
+    return PickNext(now);
+  }
+
+ protected:
+  SchedulerPolicy() = default;
+
+  /// Clears per-run state. Called by Bind.
+  virtual void Reset() = 0;
+
+  const SimView& view() const {
+    WEBTX_DCHECK(view_ != nullptr) << "policy used before Bind()";
+    return *view_;
+  }
+
+ private:
+  const SimView* view_ = nullptr;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_SCHEDULER_POLICY_H_

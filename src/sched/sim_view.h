@@ -1,0 +1,53 @@
+#ifndef WEBTX_SCHED_SIM_VIEW_H_
+#define WEBTX_SCHED_SIM_VIEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+#include "txn/workflow.h"
+
+namespace webtx {
+
+/// Read-only window onto simulator runtime state, handed to scheduling
+/// policies. Policies never mutate simulation state; they only observe it
+/// and answer PickNext.
+class SimView {
+ public:
+  virtual ~SimView() = default;
+
+  /// Static descriptions of every transaction in the workload.
+  virtual const std::vector<TransactionSpec>& specs() const = 0;
+
+  /// Precedence structure over the workload.
+  virtual const DependencyGraph& graph() const = 0;
+
+  /// Workflow decomposition (one workflow per root transaction).
+  virtual const WorkflowRegistry& workflows() const = 0;
+
+  /// Remaining processing time r_i; equals length before first dispatch,
+  /// 0 once finished. Updated at scheduling points.
+  virtual SimTime remaining(TxnId id) const = 0;
+
+  virtual bool IsArrived(TxnId id) const = 0;
+  virtual bool IsFinished(TxnId id) const = 0;
+
+  /// Arrived, all dependencies finished, and not itself finished.
+  virtual bool IsReady(TxnId id) const = 0;
+
+  /// All currently ready transactions, in unspecified order.
+  virtual const std::vector<TxnId>& ready_transactions() const = 0;
+
+  size_t num_transactions() const { return specs().size(); }
+
+  /// Slack of `id` at time `now` (Definition 2).
+  SimTime SlackAt(TxnId id, SimTime now) const {
+    return specs()[id].SlackAt(now, remaining(id));
+  }
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_SIM_VIEW_H_

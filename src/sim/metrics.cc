@@ -1,0 +1,43 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx {
+
+RunResult RunResult::FromOutcomes(std::string policy_name,
+                                  const std::vector<TransactionSpec>& specs,
+                                  std::vector<TxnOutcome> outcomes) {
+  WEBTX_CHECK_EQ(specs.size(), outcomes.size());
+  RunResult r;
+  r.policy_name = std::move(policy_name);
+  r.outcomes = std::move(outcomes);
+  const size_t n = r.outcomes.size();
+  if (n == 0) return r;
+
+  double sum_t = 0.0;
+  double sum_wt = 0.0;
+  double sum_resp = 0.0;
+  size_t missed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TxnOutcome& o = r.outcomes[i];
+    sum_t += o.tardiness;
+    sum_wt += o.weighted_tardiness;
+    sum_resp += o.response;
+    if (o.missed_deadline) ++missed;
+    r.max_tardiness = std::max(r.max_tardiness, o.tardiness);
+    r.max_weighted_tardiness =
+        std::max(r.max_weighted_tardiness, o.weighted_tardiness);
+    r.makespan = std::max(r.makespan, o.finish);
+  }
+  const auto dn = static_cast<double>(n);
+  r.avg_tardiness = sum_t / dn;
+  r.avg_weighted_tardiness = sum_wt / dn;
+  r.avg_response = sum_resp / dn;
+  r.miss_ratio = static_cast<double>(missed) / dn;
+  return r;
+}
+
+}  // namespace webtx

@@ -1,0 +1,65 @@
+#ifndef WEBTX_SIM_METRICS_H_
+#define WEBTX_SIM_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Per-transaction outcome of one simulated run.
+struct TxnOutcome {
+  SimTime finish = 0.0;
+  SimTime tardiness = 0.0;           // max(0, finish - deadline), Def. 3
+  SimTime weighted_tardiness = 0.0;  // tardiness * weight
+  SimTime response = 0.0;            // finish - arrival
+  bool missed_deadline = false;
+};
+
+/// One contiguous stretch of a transaction executing on a server.
+struct ScheduleSegment {
+  TxnId txn = kInvalidTxn;
+  uint32_t server = 0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+/// Aggregated result of one simulated run under one policy.
+struct RunResult {
+  std::string policy_name;
+
+  std::vector<TxnOutcome> outcomes;
+
+  /// Execution timeline (only when SimOptions::record_schedule is set):
+  /// every dispatch-to-preemption/completion stretch, in start order.
+  std::vector<ScheduleSegment> schedule;
+
+  // The paper's metrics (Definitions 4 and 5, plus worst case for Fig. 16).
+  double avg_tardiness = 0.0;
+  double avg_weighted_tardiness = 0.0;
+  double max_tardiness = 0.0;
+  double max_weighted_tardiness = 0.0;
+
+  // Secondary metrics.
+  double miss_ratio = 0.0;     // fraction of transactions past deadline
+  double avg_response = 0.0;   // mean response time
+  SimTime makespan = 0.0;      // finish time of the last transaction
+
+  // Scheduler accounting.
+  size_t num_scheduling_points = 0;
+  size_t num_preemptions = 0;
+  size_t num_idle_decisions = 0;
+
+  /// Fills the aggregate fields from `outcomes` and the specs. Called by
+  /// the simulator; exposed for tests and trace post-processing.
+  static RunResult FromOutcomes(std::string policy_name,
+                                const std::vector<TransactionSpec>& specs,
+                                std::vector<TxnOutcome> outcomes);
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_METRICS_H_

@@ -1,0 +1,113 @@
+#include "sim/schedule_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace webtx {
+
+namespace {
+
+std::string Describe(const ScheduleSegment& s) {
+  return "T" + std::to_string(s.txn) + "@server" +
+         std::to_string(s.server) + " [" + std::to_string(s.start) + ", " +
+         std::to_string(s.end) + ")";
+}
+
+}  // namespace
+
+Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
+                        const RunResult& result, size_t num_servers) {
+  constexpr double kEps = 1e-6;
+  if (result.outcomes.size() != specs.size()) {
+    return Status::FailedPrecondition(
+        "outcomes were not recorded; enable record_outcomes");
+  }
+
+  std::vector<std::vector<const ScheduleSegment*>> by_server(num_servers);
+  std::map<TxnId, std::vector<const ScheduleSegment*>> by_txn;
+  for (const ScheduleSegment& s : result.schedule) {
+    if (s.server >= num_servers) {
+      return Status::FailedPrecondition("segment on unknown server: " +
+                                        Describe(s));
+    }
+    if (s.txn >= specs.size()) {
+      return Status::FailedPrecondition("segment for unknown transaction: " +
+                                        Describe(s));
+    }
+    if (s.end <= s.start) {
+      return Status::FailedPrecondition("empty or negative segment: " +
+                                        Describe(s));
+    }
+    if (s.start < specs[s.txn].arrival - kEps) {
+      return Status::FailedPrecondition("runs before arrival: " +
+                                        Describe(s));
+    }
+    by_server[s.server].push_back(&s);
+    by_txn[s.txn].push_back(&s);
+  }
+
+  // 2. No overlap per server.
+  for (auto& segments : by_server) {
+    std::sort(segments.begin(), segments.end(),
+              [](const ScheduleSegment* a, const ScheduleSegment* b) {
+                return a->start < b->start;
+              });
+    for (size_t i = 1; i < segments.size(); ++i) {
+      if (segments[i]->start < segments[i - 1]->end - kEps) {
+        return Status::FailedPrecondition(
+            "server overlap between " + Describe(*segments[i - 1]) +
+            " and " + Describe(*segments[i]));
+      }
+    }
+  }
+
+  // 3-5. Per-transaction checks.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const auto id = static_cast<TxnId>(i);
+    auto it = by_txn.find(id);
+    if (it == by_txn.end()) {
+      return Status::FailedPrecondition("T" + std::to_string(i) +
+                                        " never executed");
+    }
+    auto& segments = it->second;
+    std::sort(segments.begin(), segments.end(),
+              [](const ScheduleSegment* a, const ScheduleSegment* b) {
+                return a->start < b->start;
+              });
+    double executed = 0.0;
+    for (size_t s = 0; s < segments.size(); ++s) {
+      executed += segments[s]->end - segments[s]->start;
+      if (s > 0 && segments[s]->start < segments[s - 1]->end - kEps) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " runs on two servers at once: " +
+            Describe(*segments[s - 1]) + " and " + Describe(*segments[s]));
+      }
+    }
+    if (std::fabs(executed - specs[i].length) > kEps) {
+      return Status::FailedPrecondition(
+          "T" + std::to_string(i) + " executed " + std::to_string(executed) +
+          " != length " + std::to_string(specs[i].length));
+    }
+    if (std::fabs(segments.back()->end - result.outcomes[i].finish) > kEps) {
+      return Status::FailedPrecondition(
+          "T" + std::to_string(i) + " last segment ends at " +
+          std::to_string(segments.back()->end) + " but finish is " +
+          std::to_string(result.outcomes[i].finish));
+    }
+    // 6. Precedence.
+    for (const TxnId dep : specs[i].dependencies) {
+      if (segments.front()->start < result.outcomes[dep].finish - kEps) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " starts at " +
+            std::to_string(segments.front()->start) + " before T" +
+            std::to_string(dep) + " finishes at " +
+            std::to_string(result.outcomes[dep].finish));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace webtx

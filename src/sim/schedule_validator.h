@@ -1,0 +1,33 @@
+#ifndef WEBTX_SIM_SCHEDULE_VALIDATOR_H_
+#define WEBTX_SIM_SCHEDULE_VALIDATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/metrics.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Independently audits a recorded execution timeline against the
+/// workload — a second implementation of the simulation rules used to
+/// cross-check the simulator itself (run with
+/// SimOptions::record_schedule and record_outcomes enabled):
+///
+///   1. every segment has positive duration and a valid server index;
+///   2. segments on one server never overlap;
+///   3. a transaction never runs on two servers at once;
+///   4. no transaction runs before its arrival;
+///   5. per-transaction executed time sums to its length, ending exactly
+///      at its recorded finish;
+///   6. precedence: a transaction starts only after every dependency's
+///      recorded finish.
+///
+/// Returns OK or a FailedPrecondition describing the first violation.
+Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
+                        const RunResult& result, size_t num_servers);
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_SCHEDULE_VALIDATOR_H_

@@ -1,0 +1,292 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace webtx {
+
+namespace {
+constexpr size_t kNoReadyPos = std::numeric_limits<size_t>::max();
+constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+// Floor for the policy-visible remaining time of a transaction that
+// overran its estimate; keeps priority keys (r, r/w, d - r) sane.
+constexpr SimTime kMinEstimatedRemaining = 1e-6;
+}  // namespace
+
+Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
+                                    SimOptions options) {
+  for (size_t i = 0; i < txns.size(); ++i) {
+    const TransactionSpec& t = txns[i];
+    if (t.length <= 0.0) {
+      return Status::InvalidArgument("T" + std::to_string(i) +
+                                     " has non-positive length");
+    }
+    if (t.arrival < 0.0) {
+      return Status::InvalidArgument("T" + std::to_string(i) +
+                                     " has negative arrival time");
+    }
+    if (t.weight <= 0.0) {
+      return Status::InvalidArgument("T" + std::to_string(i) +
+                                     " has non-positive weight");
+    }
+    if (t.length_estimate < 0.0) {
+      return Status::InvalidArgument("T" + std::to_string(i) +
+                                     " has negative length estimate");
+    }
+  }
+  WEBTX_ASSIGN_OR_RETURN(DependencyGraph graph, DependencyGraph::Build(txns));
+  WorkflowRegistry registry = WorkflowRegistry::Build(graph);
+  return Simulator(std::move(txns), std::move(graph), std::move(registry),
+                   options);
+}
+
+Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
+                     WorkflowRegistry registry, SimOptions options)
+    : specs_(std::move(txns)),
+      graph_(std::move(graph)),
+      registry_(std::move(registry)),
+      options_(options) {
+  arrival_order_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    arrival_order_[i] = static_cast<TxnId>(i);
+  }
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [this](TxnId a, TxnId b) {
+                     if (specs_[a].arrival != specs_[b].arrival) {
+                       return specs_[a].arrival < specs_[b].arrival;
+                     }
+                     return a < b;
+                   });
+}
+
+void Simulator::ResetRuntimeState() {
+  const size_t n = specs_.size();
+  true_remaining_.resize(n);
+  estimated_remaining_.resize(n);
+  arrived_.assign(n, 0);
+  finished_.assign(n, 0);
+  unmet_deps_.resize(n);
+  ready_list_.clear();
+  ready_pos_.assign(n, kNoReadyPos);
+  for (size_t i = 0; i < n; ++i) {
+    true_remaining_[i] = specs_[i].length;
+    estimated_remaining_[i] = specs_[i].EstimateOrLength();
+    unmet_deps_[i] = static_cast<uint32_t>(specs_[i].dependencies.size());
+  }
+}
+
+void Simulator::ReadyListAdd(TxnId id) {
+  WEBTX_DCHECK(ready_pos_[id] == kNoReadyPos);
+  ready_pos_[id] = ready_list_.size();
+  ready_list_.push_back(id);
+}
+
+void Simulator::ReadyListRemove(TxnId id) {
+  const size_t pos = ready_pos_[id];
+  WEBTX_DCHECK(pos != kNoReadyPos);
+  const TxnId moved = ready_list_.back();
+  ready_list_[pos] = moved;
+  ready_pos_[moved] = pos;
+  ready_list_.pop_back();
+  ready_pos_[id] = kNoReadyPos;
+}
+
+void Simulator::MakeReady(TxnId id, SimTime now, SchedulerPolicy& policy) {
+  ReadyListAdd(id);
+  policy.OnReady(id, now);
+}
+
+RunResult Simulator::Run(SchedulerPolicy& policy) {
+  ResetRuntimeState();
+  policy.Bind(*this);
+  WEBTX_CHECK_GE(options_.num_servers, 1u);
+
+  const size_t n = specs_.size();
+  const size_t k = options_.num_servers;
+  std::vector<TxnOutcome> outcomes(n);
+
+  size_t next_arrival = 0;
+  size_t finished_count = 0;
+  std::vector<TxnId> running(k, kInvalidTxn);
+  std::vector<SimTime> dispatch_time(k, 0.0);
+  std::vector<SimTime> segment_start(k, 0.0);
+  std::vector<ScheduleSegment> schedule;
+  SimTime now = 0.0;
+  size_t scheduling_points = 0;
+  size_t preemptions = 0;
+  size_t idle_decisions = 0;
+
+  // Closes the execution stretch of server `s` at time `t`.
+  const auto close_segment = [&](size_t s, SimTime t) {
+    if (!options_.record_schedule) return;
+    if (t - segment_start[s] <= kTimeEpsilon) return;
+    schedule.push_back(ScheduleSegment{running[s], static_cast<uint32_t>(s),
+                                       segment_start[s], t});
+  };
+
+  // Charges elapsed work to every busy server up to `t`.
+  const auto charge_progress = [&](SimTime t) {
+    for (size_t s = 0; s < k; ++s) {
+      if (running[s] == kInvalidTxn) continue;
+      const SimTime elapsed = t - dispatch_time[s];
+      true_remaining_[running[s]] -= elapsed;
+      estimated_remaining_[running[s]] =
+          std::max(kMinEstimatedRemaining,
+                   estimated_remaining_[running[s]] - elapsed);
+      dispatch_time[s] = t;
+      WEBTX_DCHECK(true_remaining_[running[s]] > -kTimeEpsilon);
+    }
+  };
+
+  while (finished_count < n) {
+    const SimTime t_arrival = next_arrival < n
+                                  ? specs_[arrival_order_[next_arrival]].arrival
+                                  : kNever;
+    SimTime t_completion = kNever;
+    size_t completing_server = k;
+    for (size_t s = 0; s < k; ++s) {
+      if (running[s] == kInvalidTxn) continue;
+      const SimTime tc = dispatch_time[s] + true_remaining_[running[s]];
+      if (tc < t_completion) {
+        t_completion = tc;
+        completing_server = s;
+      }
+    }
+
+    WEBTX_CHECK(t_arrival != kNever || t_completion != kNever)
+        << "simulation stalled: " << (n - finished_count)
+        << " transactions unfinished, nothing running, no arrivals left "
+           "(policy idled while work was pending?)";
+
+    if (t_completion <= t_arrival) {
+      // Completion event (wins ties against simultaneous arrivals;
+      // simultaneous completions are processed one per scheduling point,
+      // lowest server index first).
+      now = t_completion;
+      charge_progress(now);
+      close_segment(completing_server, now);
+      const TxnId done = running[completing_server];
+      running[completing_server] = kInvalidTxn;
+      true_remaining_[done] = 0.0;
+      estimated_remaining_[done] = 0.0;
+      finished_[done] = 1;
+      ++finished_count;
+      ReadyListRemove(done);
+
+      TxnOutcome& o = outcomes[done];
+      o.finish = now;
+      o.tardiness = TardinessOf(now, specs_[done].deadline);
+      o.weighted_tardiness = o.tardiness * specs_[done].weight;
+      o.response = now - specs_[done].arrival;
+      o.missed_deadline = o.tardiness > 0.0;
+
+      policy.OnCompletion(done, now);
+      for (const TxnId succ : graph_.successors(done)) {
+        WEBTX_DCHECK(unmet_deps_[succ] > 0);
+        if (--unmet_deps_[succ] == 0 && arrived_[succ]) {
+          MakeReady(succ, now, policy);
+        }
+      }
+    } else {
+      // Arrival event; charge progress to the running transactions first.
+      now = t_arrival;
+      charge_progress(now);
+      while (next_arrival < n &&
+             specs_[arrival_order_[next_arrival]].arrival == now) {
+        const TxnId id = arrival_order_[next_arrival++];
+        arrived_[id] = 1;
+        policy.OnArrival(id, now);
+        if (unmet_deps_[id] == 0) MakeReady(id, now, policy);
+      }
+    }
+    for (size_t s = 0; s < k; ++s) {
+      if (running[s] != kInvalidTxn) {
+        policy.OnRemainingUpdated(running[s], now);
+      }
+    }
+
+    // Scheduling point (Sec. III-A2: consult the policy on every arrival
+    // and completion). Servers are (re)filled greedily; the policy sees
+    // the transactions already placed this round as excluded.
+    ++scheduling_points;
+    std::vector<TxnId> picks;
+    picks.reserve(k);
+    for (size_t slot = 0; slot < k; ++slot) {
+      const TxnId pick = policy.PickNextExcluding(now, picks);
+      if (pick == kInvalidTxn) break;
+      WEBTX_CHECK(IsReady(pick))
+          << "policy " << policy.name() << " picked non-ready T" << pick
+          << " at t=" << now;
+      WEBTX_DCHECK(std::find(picks.begin(), picks.end(), pick) ==
+                   picks.end())
+          << "policy " << policy.name() << " picked T" << pick << " twice";
+      picks.push_back(pick);
+    }
+    if (picks.size() < k) {
+      WEBTX_CHECK_EQ(picks.size(),
+                     std::min<size_t>(k, ready_list_.size()))
+          << "policy " << policy.name() << " idled a server with "
+          << ready_list_.size() << " ready transactions at t=" << now;
+    }
+    if (picks.empty()) ++idle_decisions;
+
+    // Assign picks to servers, keeping continuing transactions in place.
+    std::vector<TxnId> next_running(k, kInvalidTxn);
+    std::vector<char> pick_taken(picks.size(), 0);
+    for (size_t s = 0; s < k; ++s) {
+      if (running[s] == kInvalidTxn) continue;
+      for (size_t p = 0; p < picks.size(); ++p) {
+        if (!pick_taken[p] && picks[p] == running[s]) {
+          next_running[s] = running[s];
+          pick_taken[p] = 1;
+          break;
+        }
+      }
+    }
+    {
+      size_t p = 0;
+      for (size_t s = 0; s < k; ++s) {
+        if (next_running[s] != kInvalidTxn) continue;
+        while (p < picks.size() && pick_taken[p]) ++p;
+        if (p >= picks.size()) break;
+        next_running[s] = picks[p];
+        pick_taken[p] = 1;
+      }
+    }
+    for (size_t s = 0; s < k; ++s) {
+      if (running[s] != kInvalidTxn && !finished_[running[s]] &&
+          std::find(next_running.begin(), next_running.end(), running[s]) ==
+              next_running.end()) {
+        ++preemptions;
+      }
+      if (next_running[s] != running[s]) {
+        if (running[s] != kInvalidTxn) close_segment(s, now);
+        if (next_running[s] != kInvalidTxn) {
+          dispatch_time[s] = now + options_.context_switch_cost;
+          segment_start[s] = dispatch_time[s];
+        }
+      }
+      running[s] = next_running[s];
+    }
+  }
+
+  RunResult result =
+      RunResult::FromOutcomes(policy.name(), specs_, std::move(outcomes));
+  result.num_scheduling_points = scheduling_points;
+  result.num_preemptions = preemptions;
+  result.num_idle_decisions = idle_decisions;
+  if (!options_.record_outcomes) result.outcomes.clear();
+  if (options_.record_schedule) {
+    std::sort(schedule.begin(), schedule.end(),
+              [](const ScheduleSegment& a, const ScheduleSegment& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.server < b.server;
+              });
+    result.schedule = std::move(schedule);
+  }
+  return result;
+}
+
+}  // namespace webtx

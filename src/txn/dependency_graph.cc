@@ -1,0 +1,80 @@
+#include "txn/dependency_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+namespace webtx {
+
+Result<DependencyGraph> DependencyGraph::Build(
+    const std::vector<TransactionSpec>& txns) {
+  const size_t n = txns.size();
+  DependencyGraph g;
+  g.preds_.resize(n);
+  g.succs_.resize(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (txns[i].id != static_cast<TxnId>(i)) {
+      return Status::InvalidArgument(
+          "transaction ids must be dense 0..N-1; slot " + std::to_string(i) +
+          " holds id " + std::to_string(txns[i].id));
+    }
+    std::vector<TxnId> deps = txns[i].dependencies;
+    std::sort(deps.begin(), deps.end());
+    for (size_t k = 0; k < deps.size(); ++k) {
+      const TxnId d = deps[k];
+      if (d >= n) {
+        return Status::InvalidArgument("T" + std::to_string(i) +
+                                       " depends on unknown transaction " +
+                                       std::to_string(d));
+      }
+      if (d == static_cast<TxnId>(i)) {
+        return Status::InvalidArgument("T" + std::to_string(i) +
+                                       " depends on itself");
+      }
+      if (k > 0 && deps[k] == deps[k - 1]) {
+        return Status::InvalidArgument("T" + std::to_string(i) +
+                                       " lists duplicate dependency " +
+                                       std::to_string(d));
+      }
+    }
+    g.preds_[i] = std::move(deps);
+    for (const TxnId d : g.preds_[i]) {
+      g.succs_[d].push_back(static_cast<TxnId>(i));
+      ++g.num_edges_;
+    }
+  }
+  for (auto& s : g.succs_) std::sort(s.begin(), s.end());
+
+  // Kahn's algorithm: topological order doubling as cycle detection.
+  std::vector<size_t> indegree(n);
+  std::deque<TxnId> frontier;
+  for (size_t i = 0; i < n; ++i) {
+    indegree[i] = g.preds_[i].size();
+    if (indegree[i] == 0) frontier.push_back(static_cast<TxnId>(i));
+  }
+  g.topo_.reserve(n);
+  while (!frontier.empty()) {
+    const TxnId u = frontier.front();
+    frontier.pop_front();
+    g.topo_.push_back(u);
+    for (const TxnId v : g.succs_[u]) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  if (g.topo_.size() != n) {
+    return Status::InvalidArgument(
+        "dependency lists contain a cycle; workflows must be acyclic");
+  }
+  return g;
+}
+
+std::vector<TxnId> DependencyGraph::Roots() const {
+  std::vector<TxnId> roots;
+  for (size_t i = 0; i < succs_.size(); ++i) {
+    if (succs_[i].empty()) roots.push_back(static_cast<TxnId>(i));
+  }
+  return roots;
+}
+
+}  // namespace webtx

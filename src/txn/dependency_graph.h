@@ -1,0 +1,60 @@
+#ifndef WEBTX_TXN_DEPENDENCY_GRAPH_H_
+#define WEBTX_TXN_DEPENDENCY_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Immutable precedence structure over a set of transactions.
+///
+/// Edges point from predecessor to dependent: if T_x appears in T_y's
+/// dependency list (T_x -> T_y), then `successors(x)` contains y and
+/// `predecessors(y)` contains x. The graph must be acyclic; `Build`
+/// validates ids, rejects self-dependencies, duplicate edges, and cycles.
+class DependencyGraph {
+ public:
+  /// Validates and builds the graph from per-transaction dependency lists.
+  static Result<DependencyGraph> Build(
+      const std::vector<TransactionSpec>& txns);
+
+  size_t num_transactions() const { return preds_.size(); }
+
+  const std::vector<TxnId>& predecessors(TxnId id) const {
+    return preds_[id];
+  }
+  const std::vector<TxnId>& successors(TxnId id) const { return succs_[id]; }
+
+  /// True when the transaction has no predecessors (independent, a workflow
+  /// leaf per Sec. II-A).
+  bool IsIndependent(TxnId id) const { return preds_[id].empty(); }
+
+  /// True when the transaction appears in no dependency list — a workflow
+  /// *root* in the paper's terminology; one workflow is defined per root.
+  bool IsRoot(TxnId id) const { return succs_[id].empty(); }
+
+  /// All roots, ascending by id.
+  std::vector<TxnId> Roots() const;
+
+  /// A topological order (predecessors before dependents).
+  const std::vector<TxnId>& TopologicalOrder() const { return topo_; }
+
+  /// Total number of precedence edges.
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  DependencyGraph() = default;
+
+  std::vector<std::vector<TxnId>> preds_;
+  std::vector<std::vector<TxnId>> succs_;
+  std::vector<TxnId> topo_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_TXN_DEPENDENCY_GRAPH_H_

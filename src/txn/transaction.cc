@@ -1,0 +1,19 @@
+#include "txn/transaction.h"
+
+#include <sstream>
+
+namespace webtx {
+
+std::string TransactionSpec::DebugString() const {
+  std::ostringstream os;
+  os << "T" << id << "{a=" << arrival << ", l=" << length
+     << ", d=" << deadline << ", w=" << weight << ", deps=[";
+  for (size_t i = 0; i < dependencies.size(); ++i) {
+    if (i > 0) os << ",";
+    os << dependencies[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace webtx

@@ -1,0 +1,44 @@
+#include "txn/workflow.h"
+
+#include <algorithm>
+
+namespace webtx {
+
+WorkflowRegistry WorkflowRegistry::Build(const DependencyGraph& graph) {
+  WorkflowRegistry registry;
+  const size_t n = graph.num_transactions();
+  registry.txn_to_workflows_.resize(n);
+
+  std::vector<char> visited(n);
+  std::vector<TxnId> stack;
+  for (const TxnId root : graph.Roots()) {
+    Workflow wf;
+    wf.id = static_cast<WorkflowId>(registry.workflows_.size());
+    wf.root = root;
+
+    std::fill(visited.begin(), visited.end(), 0);
+    stack.assign(1, root);
+    visited[root] = 1;
+    while (!stack.empty()) {
+      const TxnId u = stack.back();
+      stack.pop_back();
+      wf.members.push_back(u);
+      for (const TxnId p : graph.predecessors(u)) {
+        if (!visited[p]) {
+          visited[p] = 1;
+          stack.push_back(p);
+        }
+      }
+    }
+    std::sort(wf.members.begin(), wf.members.end());
+    registry.max_workflow_size_ =
+        std::max(registry.max_workflow_size_, wf.members.size());
+    for (const TxnId m : wf.members) {
+      registry.txn_to_workflows_[m].push_back(wf.id);
+    }
+    registry.workflows_.push_back(std::move(wf));
+  }
+  return registry;
+}
+
+}  // namespace webtx

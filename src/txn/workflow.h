@@ -1,0 +1,58 @@
+#ifndef WEBTX_TXN_WORKFLOW_H_
+#define WEBTX_TXN_WORKFLOW_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Dense workflow identifier (0..num_workflows-1).
+using WorkflowId = uint32_t;
+
+inline constexpr WorkflowId kInvalidWorkflow =
+    std::numeric_limits<WorkflowId>::max();
+
+/// One workflow as defined in Sec. II-A: for every *root* transaction (a
+/// transaction appearing in no dependency list) the workflow contains the
+/// root plus every transaction reachable backwards through dependency
+/// lists. A transaction can belong to several workflows.
+struct Workflow {
+  WorkflowId id = kInvalidWorkflow;
+  TxnId root = kInvalidTxn;
+  /// All member transactions (including the root), ascending by id.
+  std::vector<TxnId> members;
+};
+
+/// Workflow decomposition of a transaction set: the list of workflows plus
+/// the inverse map transaction -> workflows it belongs to.
+class WorkflowRegistry {
+ public:
+  /// Builds the registry by backward reachability from every root of `graph`.
+  static WorkflowRegistry Build(const DependencyGraph& graph);
+
+  size_t num_workflows() const { return workflows_.size(); }
+  const Workflow& workflow(WorkflowId id) const { return workflows_[id]; }
+  const std::vector<Workflow>& workflows() const { return workflows_; }
+
+  /// Workflows the transaction belongs to (ascending).
+  const std::vector<WorkflowId>& WorkflowsOf(TxnId id) const {
+    return txn_to_workflows_[id];
+  }
+
+  /// Largest workflow size in the registry (useful for sizing scratch
+  /// buffers; workflows are expected to be small, <= ~10 per Sec. IV-A).
+  size_t max_workflow_size() const { return max_workflow_size_; }
+
+ private:
+  std::vector<Workflow> workflows_;
+  std::vector<std::vector<WorkflowId>> txn_to_workflows_;
+  size_t max_workflow_size_ = 0;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_TXN_WORKFLOW_H_

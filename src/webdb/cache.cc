@@ -1,0 +1,58 @@
+#include "webdb/cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx::webdb {
+
+FragmentCache::FragmentCache(const InMemoryDatabase* db) : db_(db) {
+  WEBTX_CHECK(db_ != nullptr);
+}
+
+std::vector<std::pair<std::string, uint64_t>> FragmentCache::SnapshotFor(
+    const QuerySpec& query) const {
+  std::vector<std::pair<std::string, uint64_t>> snapshot;
+  for (const std::string& table_name : {query.table, query.join_table}) {
+    if (table_name.empty()) continue;
+    auto table = db_->GetTable(table_name);
+    // Unknown tables yield version 0; the query itself will fail later.
+    snapshot.emplace_back(table_name,
+                          table.ok() ? table.ValueOrDie()->version() : 0);
+  }
+  return snapshot;
+}
+
+bool FragmentCache::SnapshotIsCurrent(const Entry& entry) const {
+  for (const auto& [table_name, version] : entry.snapshot) {
+    auto table = db_->GetTable(table_name);
+    if (!table.ok() || table.ValueOrDie()->version() != version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const QueryResult* FragmentCache::Lookup(const QuerySpec& query) {
+  const auto it = entries_.find(query.name);
+  if (it == entries_.end() || !SnapshotIsCurrent(it->second)) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.result;
+}
+
+void FragmentCache::Store(const QuerySpec& query, QueryResult result) {
+  Entry entry;
+  entry.result = std::move(result);
+  entry.snapshot = SnapshotFor(query);
+  entries_[query.name] = std::move(entry);
+}
+
+bool FragmentCache::Fresh(const QuerySpec& query) const {
+  const auto it = entries_.find(query.name);
+  return it != entries_.end() && SnapshotIsCurrent(it->second);
+}
+
+}  // namespace webtx::webdb

@@ -1,0 +1,67 @@
+#ifndef WEBTX_WEBDB_CACHE_H_
+#define WEBTX_WEBDB_CACHE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "webdb/database.h"
+#include "webdb/query.h"
+
+namespace webtx::webdb {
+
+/// Materialized-fragment cache (the WebView materialization of the
+/// paper's Sec. II-A / ref. [8]): stores query results keyed by query
+/// class, invalidated by table-version changes. A cache hit turns a
+/// fragment materialization into a cheap lookup, which is exactly why
+/// the paper notes that "transactions' lengths are adjusted accordingly"
+/// — PageRequestServer consults this cache when estimating lengths.
+class FragmentCache {
+ public:
+  /// `db` must outlive the cache.
+  explicit FragmentCache(const InMemoryDatabase* db);
+
+  FragmentCache(const FragmentCache&) = delete;
+  FragmentCache& operator=(const FragmentCache&) = delete;
+
+  /// Returns the cached result for `query` if present AND every table it
+  /// reads is unchanged since the entry was stored; nullptr otherwise.
+  const QueryResult* Lookup(const QuerySpec& query);
+
+  /// Stores a freshly materialized result for `query`.
+  void Store(const QuerySpec& query, QueryResult result);
+
+  /// True when Lookup would hit (non-mutating convenience).
+  bool Fresh(const QuerySpec& query) const;
+
+  /// Drops every entry.
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+  /// Modeled cost of serving a fragment from cache, in scheduler time
+  /// units (a fraction of any real query's fixed cost).
+  static constexpr double kHitCost = 0.1;
+
+ private:
+  struct Entry {
+    QueryResult result;
+    // (table name, version at store time) for every table read.
+    std::vector<std::pair<std::string, uint64_t>> snapshot;
+  };
+
+  bool SnapshotIsCurrent(const Entry& entry) const;
+  std::vector<std::pair<std::string, uint64_t>> SnapshotFor(
+      const QuerySpec& query) const;
+
+  const InMemoryDatabase* db_;
+  std::map<std::string, Entry> entries_;  // keyed by query class name
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_CACHE_H_

@@ -1,0 +1,84 @@
+#include "webdb/database.h"
+
+#include <sstream>
+#include <utility>
+
+namespace webtx::webdb {
+
+std::string ValueToString(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::ostringstream os;
+    os << *d;
+    return os.str();
+  }
+  return std::get<std::string>(v);
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Result<size_t> Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == column) return i;
+  }
+  return Status::NotFound("table " + name_ + " has no column '" + column +
+                          "'");
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueMatchesType(row[i], schema_[i].type)) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_[i].name + "' of table " + name_);
+    }
+  }
+  rows_.push_back(std::move(row));
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::UpdateCell(size_t row_index, const std::string& column,
+                         Value v) {
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row_index) +
+                              " out of range for table " + name_);
+  }
+  WEBTX_ASSIGN_OR_RETURN(const size_t col, ColumnIndex(column));
+  if (!ValueMatchesType(v, schema_[col].type)) {
+    return Status::InvalidArgument("type mismatch updating column '" + column +
+                                   "' of table " + name_);
+  }
+  rows_[row_index][col] = std::move(v);
+  ++version_;
+  return Status::OK();
+}
+
+Status InMemoryDatabase::CreateTable(const std::string& name, Schema schema) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("table " + name + " needs >= 1 column");
+  }
+  if (HasTable(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  tables_.emplace(name, Table(name, std::move(schema)));
+  return Status::OK();
+}
+
+Result<Table*> InMemoryDatabase::GetTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+Result<const Table*> InMemoryDatabase::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+}  // namespace webtx::webdb

@@ -1,0 +1,74 @@
+#ifndef WEBTX_WEBDB_DATABASE_H_
+#define WEBTX_WEBDB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "webdb/value.h"
+
+namespace webtx::webdb {
+
+/// One in-memory relation.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Monotone modification counter; bumped by every Insert/UpdateCell.
+  /// Caches key their entries on this to detect staleness.
+  uint64_t version() const { return version_; }
+
+  /// Index of a column by name.
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Appends one validated row (arity + types must match the schema).
+  Status Insert(Row row);
+
+  /// Replaces the value at (row_index, column). Used by the examples to
+  /// model live updates (stock ticks) between page requests.
+  Status UpdateCell(size_t row_index, const std::string& column, Value v);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  uint64_t version_ = 0;
+};
+
+/// The single back-end database of the paper's system model (Sec. II-A):
+/// all fragments of every dynamic page are materialized by transactions
+/// against this store.
+class InMemoryDatabase {
+ public:
+  InMemoryDatabase() = default;
+
+  InMemoryDatabase(const InMemoryDatabase&) = delete;
+  InMemoryDatabase& operator=(const InMemoryDatabase&) = delete;
+  InMemoryDatabase(InMemoryDatabase&&) = default;
+  InMemoryDatabase& operator=(InMemoryDatabase&&) = default;
+
+  /// Creates an empty table; fails on duplicate names or empty schema.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_DATABASE_H_

@@ -1,0 +1,63 @@
+#include "webdb/page.h"
+
+#include <set>
+
+namespace webtx::webdb {
+
+Status PageTemplate::Validate() const {
+  if (fragments.empty()) {
+    return Status::InvalidArgument("page " + name + " has no fragments");
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const FragmentTemplate& f = fragments[i];
+    if (!names.insert(f.name).second) {
+      return Status::InvalidArgument("page " + name +
+                                     " has duplicate fragment '" + f.name +
+                                     "'");
+    }
+    if (f.sla_offset <= 0.0) {
+      return Status::InvalidArgument("fragment '" + f.name +
+                                     "' needs a positive SLA offset");
+    }
+    if (f.base_weight <= 0.0) {
+      return Status::InvalidArgument("fragment '" + f.name +
+                                     "' needs a positive base weight");
+    }
+    for (const size_t dep : f.depends_on) {
+      if (dep >= i) {
+        return Status::InvalidArgument(
+            "fragment '" + f.name +
+            "' may only depend on earlier fragments (got index " +
+            std::to_string(dep) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double TierWeightMultiplier(SubscriptionTier tier) {
+  switch (tier) {
+    case SubscriptionTier::kBronze:
+      return 1.0;
+    case SubscriptionTier::kSilver:
+      return 2.0;
+    case SubscriptionTier::kGold:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+const char* TierName(SubscriptionTier tier) {
+  switch (tier) {
+    case SubscriptionTier::kBronze:
+      return "bronze";
+    case SubscriptionTier::kSilver:
+      return "silver";
+    case SubscriptionTier::kGold:
+      return "gold";
+  }
+  return "unknown";
+}
+
+}  // namespace webtx::webdb

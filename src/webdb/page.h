@@ -1,0 +1,54 @@
+#ifndef WEBTX_WEBDB_PAGE_H_
+#define WEBTX_WEBDB_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "webdb/query.h"
+
+namespace webtx::webdb {
+
+/// One content fragment of a dynamic page (paper Sec. II-A): the query
+/// that materializes it, its SLA, importance, and which sibling fragments
+/// must be materialized first.
+struct FragmentTemplate {
+  /// Fragment name, unique within the page.
+  std::string name;
+  /// Query executed against the back-end database.
+  QuerySpec query;
+  /// Soft deadline relative to the page request time (the fragment-level
+  /// SLA of Sec. I). Absolute deadline = request arrival + sla_offset.
+  SimTime sla_offset = 10.0;
+  /// Fragment importance; the final transaction weight is
+  /// base_weight * subscription-tier multiplier.
+  double base_weight = 1.0;
+  /// Indices (within the page) of fragments whose output feeds this one —
+  /// the dependency list l_i.
+  std::vector<size_t> depends_on;
+};
+
+/// A dynamic web page layout: an ordered set of interdependent fragments.
+struct PageTemplate {
+  std::string name;
+  std::vector<FragmentTemplate> fragments;
+
+  /// Checks fragment-name uniqueness and that depends_on indices are
+  /// in-range, non-self and acyclic (indices must reference earlier
+  /// fragments, which makes cycles unrepresentable).
+  Status Validate() const;
+};
+
+/// Subscription tiers of the paper's application scenario (Sec. II-B):
+/// "gold, silver, or bronze, corresponding to how much money they paid".
+enum class SubscriptionTier { kBronze, kSilver, kGold };
+
+/// Weight multiplier applied to every fragment of a user's page request.
+double TierWeightMultiplier(SubscriptionTier tier);
+
+const char* TierName(SubscriptionTier tier);
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_PAGE_H_

@@ -1,0 +1,28 @@
+#include "webdb/profiler.h"
+
+namespace webtx::webdb {
+
+void Profiler::Observe(const std::string& query_class, double cost) {
+  auto [it, inserted] = estimates_.try_emplace(query_class);
+  ClassStats& stats = it->second;
+  if (inserted || stats.observations == 0) {
+    stats.ewma = cost;
+  } else {
+    stats.ewma = smoothing_ * cost + (1.0 - smoothing_) * stats.ewma;
+  }
+  ++stats.observations;
+}
+
+double Profiler::Estimate(const std::string& query_class,
+                          double fallback) const {
+  const auto it = estimates_.find(query_class);
+  if (it == estimates_.end()) return fallback;
+  return it->second.ewma;
+}
+
+size_t Profiler::ObservationCount(const std::string& query_class) const {
+  const auto it = estimates_.find(query_class);
+  return it == estimates_.end() ? 0 : it->second.observations;
+}
+
+}  // namespace webtx::webdb

@@ -1,0 +1,48 @@
+#ifndef WEBTX_WEBDB_PROFILER_H_
+#define WEBTX_WEBDB_PROFILER_H_
+
+#include <map>
+#include <string>
+
+#include "common/check.h"
+
+namespace webtx::webdb {
+
+/// Per-query-class execution-time estimator. The paper's scheduler relies
+/// on length estimates "computed by the system based on previous
+/// statistics and profiles of transaction execution" (Sec. II-A); this
+/// class is that profile store: an exponentially weighted moving average
+/// of observed costs per query class.
+class Profiler {
+ public:
+  /// `smoothing` is the EWMA weight of a new observation in (0, 1].
+  explicit Profiler(double smoothing = 0.25) : smoothing_(smoothing) {
+    WEBTX_CHECK(smoothing > 0.0 && smoothing <= 1.0);
+  }
+
+  /// Folds an observed execution cost into the class estimate.
+  void Observe(const std::string& query_class, double cost);
+
+  /// Current estimate for the class, or `fallback` when the class has
+  /// never been observed (a fresh system has no profile yet).
+  double Estimate(const std::string& query_class, double fallback) const;
+
+  bool HasProfile(const std::string& query_class) const {
+    return estimates_.count(query_class) > 0;
+  }
+  size_t num_classes() const { return estimates_.size(); }
+  size_t ObservationCount(const std::string& query_class) const;
+
+ private:
+  struct ClassStats {
+    double ewma = 0.0;
+    size_t observations = 0;
+  };
+
+  double smoothing_;
+  std::map<std::string, ClassStats> estimates_;
+};
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_PROFILER_H_

@@ -1,0 +1,196 @@
+#include "webdb/query.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx::webdb {
+
+namespace {
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  // Mixed-type comparisons are rejected earlier (schema typing); variant's
+  // ordering handles both alternatives consistently here.
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+/// Resolves filters to column indices and validates literal types.
+Result<std::vector<std::pair<size_t, const Filter*>>> ResolveFilters(
+    const Table& table, const std::vector<Filter>& filters) {
+  std::vector<std::pair<size_t, const Filter*>> resolved;
+  resolved.reserve(filters.size());
+  for (const Filter& f : filters) {
+    WEBTX_ASSIGN_OR_RETURN(const size_t col, table.ColumnIndex(f.column));
+    if (!ValueMatchesType(f.literal, table.schema()[col].type)) {
+      return Status::InvalidArgument("filter literal type mismatch on " +
+                                     table.name() + "." + f.column);
+    }
+    resolved.emplace_back(col, &f);
+  }
+  return resolved;
+}
+
+bool RowPasses(const Row& row,
+               const std::vector<std::pair<size_t, const Filter*>>& filters) {
+  for (const auto& [col, f] : filters) {
+    if (!CompareValues(row[col], f->op, f->literal)) return false;
+  }
+  return true;
+}
+
+Result<size_t> FindOutputColumn(const Schema& schema,
+                                const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == name) return i;
+  }
+  return Status::NotFound("no output column '" + name + "'");
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const InMemoryDatabase* db, CostModel model)
+    : db_(db), model_(model) {
+  WEBTX_CHECK(db_ != nullptr);
+}
+
+Result<QueryResult> QueryEngine::Execute(const QuerySpec& query) const {
+  WEBTX_ASSIGN_OR_RETURN(const Table* base, db_->GetTable(query.table));
+  WEBTX_ASSIGN_OR_RETURN(auto base_filters,
+                         ResolveFilters(*base, query.filters));
+
+  QueryResult result;
+  result.cost = model_.fixed;
+
+  // 1. Filtered scan of the base table.
+  result.schema = base->schema();
+  result.cost += model_.scan_per_row * static_cast<double>(base->num_rows());
+  for (const Row& row : base->rows()) {
+    if (RowPasses(row, base_filters)) result.rows.push_back(row);
+  }
+
+  // 2. Optional equi hash-join.
+  if (!query.join_table.empty()) {
+    WEBTX_ASSIGN_OR_RETURN(const Table* right,
+                           db_->GetTable(query.join_table));
+    WEBTX_ASSIGN_OR_RETURN(auto right_filters,
+                           ResolveFilters(*right, query.join_filters));
+    WEBTX_ASSIGN_OR_RETURN(const size_t left_key,
+                           FindOutputColumn(result.schema,
+                                            query.join_left_column));
+    WEBTX_ASSIGN_OR_RETURN(const size_t right_key,
+                           right->ColumnIndex(query.join_right_column));
+    if (result.schema[left_key].type != right->schema()[right_key].type) {
+      return Status::InvalidArgument("join key type mismatch between " +
+                                     query.table + "." +
+                                     query.join_left_column + " and " +
+                                     query.join_table + "." +
+                                     query.join_right_column);
+    }
+
+    // Build side: the (filtered) right table.
+    std::map<Value, std::vector<const Row*>> hash;
+    size_t built = 0;
+    for (const Row& row : right->rows()) {
+      if (!RowPasses(row, right_filters)) continue;
+      hash[row[right_key]].push_back(&row);
+      ++built;
+    }
+    result.cost +=
+        model_.scan_per_row * static_cast<double>(right->num_rows()) +
+        model_.build_per_row * static_cast<double>(built);
+
+    // Output schema: left columns, then right columns (right-side names
+    // prefixed with the table name on collision).
+    Schema joined_schema = result.schema;
+    for (const ColumnDef& col : right->schema()) {
+      ColumnDef out = col;
+      if (FindOutputColumn(result.schema, col.name).ok()) {
+        out.name = query.join_table + "." + col.name;
+      }
+      joined_schema.push_back(std::move(out));
+    }
+
+    std::vector<Row> joined;
+    result.cost +=
+        model_.probe_per_row * static_cast<double>(result.rows.size());
+    for (const Row& left_row : result.rows) {
+      const auto it = hash.find(left_row[left_key]);
+      if (it == hash.end()) continue;
+      for (const Row* right_row : it->second) {
+        Row out = left_row;
+        out.insert(out.end(), right_row->begin(), right_row->end());
+        joined.push_back(std::move(out));
+      }
+    }
+    result.schema = std::move(joined_schema);
+    result.rows = std::move(joined);
+  }
+
+  // 3. Optional aggregate folding the result to one row.
+  if (query.aggregate != AggregateFn::kNone) {
+    result.cost +=
+        model_.agg_per_row * static_cast<double>(result.rows.size());
+    double acc = 0.0;
+    size_t count = result.rows.size();
+    if (query.aggregate != AggregateFn::kCount) {
+      WEBTX_ASSIGN_OR_RETURN(const size_t col,
+                             FindOutputColumn(result.schema,
+                                              query.aggregate_column));
+      if (result.schema[col].type != ColumnType::kNumber) {
+        return Status::InvalidArgument("aggregate over non-numeric column '" +
+                                       query.aggregate_column + "'");
+      }
+      bool first = true;
+      for (const Row& row : result.rows) {
+        const double v = std::get<double>(row[col]);
+        switch (query.aggregate) {
+          case AggregateFn::kSum:
+          case AggregateFn::kAvg:
+            acc += v;
+            break;
+          case AggregateFn::kMin:
+            acc = first ? v : std::min(acc, v);
+            break;
+          case AggregateFn::kMax:
+            acc = first ? v : std::max(acc, v);
+            break;
+          case AggregateFn::kCount:
+          case AggregateFn::kNone:
+            break;
+        }
+        first = false;
+      }
+      if (query.aggregate == AggregateFn::kAvg && count > 0) {
+        acc /= static_cast<double>(count);
+      }
+    }
+    const double out = query.aggregate == AggregateFn::kCount
+                           ? static_cast<double>(count)
+                           : acc;
+    result.schema = {
+        ColumnDef{query.name.empty() ? "agg" : query.name,
+                  ColumnType::kNumber}};
+    result.rows = {Row{Value{out}}};
+  }
+
+  result.cost += model_.emit_per_row * static_cast<double>(result.rows.size());
+  return result;
+}
+
+}  // namespace webtx::webdb

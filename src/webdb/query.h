@@ -1,0 +1,84 @@
+#ifndef WEBTX_WEBDB_QUERY_H_
+#define WEBTX_WEBDB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "webdb/database.h"
+#include "webdb/value.h"
+
+namespace webtx::webdb {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One predicate `column <op> literal`; numbers compare numerically,
+/// strings lexicographically.
+struct Filter {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+enum class AggregateFn { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// A declarative web-transaction query: filtered scan of a base table,
+/// optionally hash-joined with a second filtered table, optionally folded
+/// by one aggregate. This tiny algebra covers the paper's Sec. II-B
+/// application scenario (list stocks; join with a portfolio; aggregate a
+/// portfolio's value; filter for alerts).
+struct QuerySpec {
+  /// Query-class label used by the Profiler to estimate lengths.
+  std::string name;
+
+  std::string table;
+  std::vector<Filter> filters;  // ANDed, applied to `table`
+
+  /// Equi-join configuration; empty join_table = no join.
+  std::string join_table;
+  std::string join_left_column;   // key in `table`
+  std::string join_right_column;  // key in `join_table`
+  std::vector<Filter> join_filters;  // ANDed, applied to `join_table`
+
+  AggregateFn aggregate = AggregateFn::kNone;
+  std::string aggregate_column;  // ignored for kCount
+};
+
+/// Rows produced plus the simulated processing cost in scheduler time
+/// units.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  double cost = 0.0;
+};
+
+/// Linear cost model calibrated so typical example queries land in the
+/// paper's 1-50 time-unit length range.
+struct CostModel {
+  double fixed = 0.5;            // parse/plan/connection overhead
+  double scan_per_row = 0.002;   // per base/probe row scanned
+  double build_per_row = 0.004;  // per hash-table build row
+  double probe_per_row = 0.003;  // per probe into the hash table
+  double agg_per_row = 0.001;    // per aggregated row
+  double emit_per_row = 0.002;   // per output row materialized to HTML
+};
+
+/// Executes QuerySpecs against an InMemoryDatabase and reports both the
+/// result and its modeled cost.
+class QueryEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit QueryEngine(const InMemoryDatabase* db, CostModel model = {});
+
+  Result<QueryResult> Execute(const QuerySpec& query) const;
+
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  const InMemoryDatabase* db_;
+  CostModel model_;
+};
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_QUERY_H_

@@ -1,0 +1,285 @@
+#include "webdb/query_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace webtx::webdb {
+
+namespace {
+
+enum class TokenType {
+  kIdentifier,  // table/column names and keywords
+  kNumber,
+  kString,  // 'quoted'
+  kStar,
+  kLeftParen,
+  kRightParen,
+  kOperator,  // = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '*') {
+        tokens.push_back({TokenType::kStar, "*"});
+        ++i;
+      } else if (c == '(') {
+        tokens.push_back({TokenType::kLeftParen, "("});
+        ++i;
+      } else if (c == ')') {
+        tokens.push_back({TokenType::kRightParen, ")"});
+        ++i;
+      } else if (c == '\'') {
+        const size_t close = input_.find('\'', i + 1);
+        if (close == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        tokens.push_back(
+            {TokenType::kString, input_.substr(i + 1, close - i - 1)});
+        i = close + 1;
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        std::string op(1, c);
+        if (i + 1 < n && input_[i + 1] == '=') {
+          op += '=';
+          i += 2;
+        } else {
+          ++i;
+        }
+        if (op == "!") {
+          return Status::InvalidArgument("stray '!' (did you mean '!='?)");
+        }
+        tokens.push_back({TokenType::kOperator, op});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '.') {
+        size_t j = i + 1;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(
+                             input_[j])) ||
+                         input_[j] == '.' || input_[j] == 'e' ||
+                         input_[j] == 'E' || input_[j] == '-' ||
+                         input_[j] == '+')) {
+          ++j;
+        }
+        tokens.push_back({TokenType::kNumber, input_.substr(i, j - i)});
+        i = j;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i + 1;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(
+                             input_[j])) ||
+                         input_[j] == '_' || input_[j] == '.')) {
+          ++j;
+        }
+        tokens.push_back({TokenType::kIdentifier, input_.substr(i, j - i)});
+        i = j;
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "'");
+      }
+    }
+    tokens.push_back({TokenType::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> Parse() {
+    QuerySpec spec;
+    WEBTX_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    WEBTX_RETURN_NOT_OK(ParseSelect(spec));
+    WEBTX_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    WEBTX_ASSIGN_OR_RETURN(spec.table, ExpectIdentifier("table name"));
+    if (PeekKeyword("JOIN")) {
+      ++pos_;
+      WEBTX_ASSIGN_OR_RETURN(spec.join_table,
+                             ExpectIdentifier("join table name"));
+      WEBTX_RETURN_NOT_OK(ExpectKeyword("ON"));
+      WEBTX_ASSIGN_OR_RETURN(spec.join_left_column,
+                             ExpectIdentifier("join key column"));
+      WEBTX_RETURN_NOT_OK(ExpectOperator("="));
+      WEBTX_ASSIGN_OR_RETURN(spec.join_right_column,
+                             ExpectIdentifier("join key column"));
+    }
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      while (true) {
+        WEBTX_RETURN_NOT_OK(ParseCondition(spec));
+        if (!PeekKeyword("AND")) break;
+        ++pos_;
+      }
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("unexpected trailing token '" +
+                                     Peek().text + "'");
+    }
+    return spec;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return Peek().type == TokenType::kIdentifier &&
+           ToUpper(Peek().text) == keyword;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::InvalidArgument("expected " + keyword + ", got '" +
+                                     Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected " + what + ", got '" +
+                                     Peek().text + "'");
+    }
+    return tokens_[pos_++].text;
+  }
+
+  Status ExpectOperator(const std::string& op) {
+    if (Peek().type != TokenType::kOperator || Peek().text != op) {
+      return Status::InvalidArgument("expected '" + op + "', got '" +
+                                     Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseSelect(QuerySpec& spec) {
+    if (Peek().type == TokenType::kStar) {
+      ++pos_;
+      return Status::OK();
+    }
+    WEBTX_ASSIGN_OR_RETURN(const std::string fn,
+                           ExpectIdentifier("aggregate function or *"));
+    const std::string fn_upper = ToUpper(fn);
+    if (fn_upper == "SUM") {
+      spec.aggregate = AggregateFn::kSum;
+    } else if (fn_upper == "AVG") {
+      spec.aggregate = AggregateFn::kAvg;
+    } else if (fn_upper == "MIN") {
+      spec.aggregate = AggregateFn::kMin;
+    } else if (fn_upper == "MAX") {
+      spec.aggregate = AggregateFn::kMax;
+    } else if (fn_upper == "COUNT") {
+      spec.aggregate = AggregateFn::kCount;
+    } else {
+      return Status::InvalidArgument("unknown aggregate '" + fn + "'");
+    }
+    if (Peek().type != TokenType::kLeftParen) {
+      return Status::InvalidArgument("expected '(' after " + fn_upper);
+    }
+    ++pos_;
+    if (spec.aggregate == AggregateFn::kCount &&
+        Peek().type == TokenType::kStar) {
+      ++pos_;
+    } else {
+      WEBTX_ASSIGN_OR_RETURN(spec.aggregate_column,
+                             ExpectIdentifier("aggregate column"));
+    }
+    if (Peek().type != TokenType::kRightParen) {
+      return Status::InvalidArgument("expected ')' in aggregate");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseCondition(QuerySpec& spec) {
+    WEBTX_ASSIGN_OR_RETURN(std::string column,
+                           ExpectIdentifier("filter column"));
+    if (Peek().type != TokenType::kOperator) {
+      return Status::InvalidArgument("expected comparison after '" + column +
+                                     "'");
+    }
+    const std::string op_text = tokens_[pos_++].text;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + op_text + "'");
+    }
+
+    Value literal;
+    if (Peek().type == TokenType::kString) {
+      literal = tokens_[pos_++].text;
+    } else if (Peek().type == TokenType::kNumber) {
+      WEBTX_ASSIGN_OR_RETURN(const double number,
+                             ParseDouble(tokens_[pos_++].text));
+      literal = number;
+    } else {
+      return Status::InvalidArgument("expected literal, got '" +
+                                     Peek().text + "'");
+    }
+
+    // "<join_table>.<column>" routes the condition to the build side.
+    bool join_side = false;
+    if (!spec.join_table.empty() &&
+        column.rfind(spec.join_table + ".", 0) == 0) {
+      column = column.substr(spec.join_table.size() + 1);
+      join_side = true;
+    }
+    Filter filter{std::move(column), op, std::move(literal)};
+    if (join_side) {
+      spec.join_filters.push_back(std::move(filter));
+    } else {
+      spec.filters.push_back(std::move(filter));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  WEBTX_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace webtx::webdb

@@ -1,0 +1,40 @@
+#ifndef WEBTX_WEBDB_QUERY_PARSER_H_
+#define WEBTX_WEBDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "webdb/query.h"
+
+namespace webtx::webdb {
+
+/// Parses a small SQL-like surface syntax into a QuerySpec, so page
+/// templates can declare fragments as readable strings:
+///
+///   SELECT * FROM stocks
+///   SELECT * FROM stocks WHERE price >= 100 AND symbol != 'IBM'
+///   SELECT * FROM stocks JOIN portfolio ON symbol = symbol
+///       WHERE portfolio.user = 'alice'
+///   SELECT SUM(price) FROM stocks JOIN portfolio ON symbol = symbol
+///   SELECT COUNT(*) FROM stocks WHERE change_pct >= 5
+///
+/// Grammar (case-insensitive keywords; identifiers are [A-Za-z_][\w.]*;
+/// string literals use single quotes, numbers are doubles):
+///
+///   query  := SELECT select FROM ident [join] [where]
+///   select := '*' | fn '(' ident ')' | COUNT '(' '*' ')'
+///   fn     := SUM | AVG | MIN | MAX | COUNT
+///   join   := JOIN ident ON ident '=' ident
+///   where  := WHERE cond (AND cond)*
+///   cond   := ident op literal
+///   op     := '=' | '!=' | '<' | '<=' | '>' | '>='
+///
+/// WHERE conditions whose column is prefixed with the join table's name
+/// ("portfolio.user") apply to the join (build) side; all others apply
+/// to the base table. The returned spec's `name` is left empty — set it
+/// to the fragment's query class before use.
+Result<QuerySpec> ParseQuery(const std::string& text);
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_QUERY_PARSER_H_

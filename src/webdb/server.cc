@@ -1,0 +1,97 @@
+#include "webdb/server.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx::webdb {
+
+PageRequestServer::PageRequestServer(const InMemoryDatabase* db,
+                                     Profiler* profiler, CostModel cost_model,
+                                     FragmentCache* cache)
+    : db_(db), profiler_(profiler), engine_(db, cost_model), cache_(cache) {
+  WEBTX_CHECK(db_ != nullptr);
+  WEBTX_CHECK(profiler_ != nullptr);
+}
+
+Result<std::vector<TxnId>> PageRequestServer::Submit(const PageTemplate& page,
+                                                     SubscriptionTier tier,
+                                                     SimTime arrival) {
+  WEBTX_RETURN_NOT_OK(page.Validate());
+  if (arrival < 0.0) {
+    return Status::InvalidArgument("request arrival must be non-negative");
+  }
+  const size_t request_index = requests_.size();
+  requests_.push_back(RequestRecord{page.name, tier, arrival});
+
+  const double tier_multiplier = TierWeightMultiplier(tier);
+  const TxnId first_id = static_cast<TxnId>(workload_.size());
+  std::vector<TxnId> ids;
+  ids.reserve(page.fragments.size());
+
+  for (size_t f = 0; f < page.fragments.size(); ++f) {
+    const FragmentTemplate& frag = page.fragments[f];
+
+    // Length: a fresh cached materialization is a cheap lookup;
+    // otherwise the profiled estimate for this query class, falling back
+    // to the engine's modeled cost for an unseen class.
+    double length;
+    if (cache_ != nullptr && cache_->Fresh(frag.query)) {
+      length = FragmentCache::kHitCost;
+    } else {
+      WEBTX_ASSIGN_OR_RETURN(const QueryResult probe,
+                             engine_.Execute(frag.query));
+      length = profiler_->Estimate(frag.query.name, /*fallback=*/probe.cost);
+    }
+
+    TransactionSpec txn;
+    txn.id = static_cast<TxnId>(workload_.size());
+    txn.arrival = arrival;
+    txn.length = length;
+    txn.deadline = arrival + frag.sla_offset;
+    txn.weight = frag.base_weight * tier_multiplier;
+    for (const size_t dep : frag.depends_on) {
+      txn.dependencies.push_back(first_id + static_cast<TxnId>(dep));
+    }
+    ids.push_back(txn.id);
+    workload_.push_back(std::move(txn));
+    refs_.push_back(FragmentRef{request_index, f, page.name, frag.name,
+                                frag.query.name});
+    queries_.push_back(frag.query);
+  }
+  return ids;
+}
+
+const PageRequestServer::FragmentRef& PageRequestServer::RefOf(
+    TxnId id) const {
+  WEBTX_CHECK_LT(id, refs_.size());
+  return refs_[id];
+}
+
+Result<QueryResult> PageRequestServer::Materialize(TxnId id) {
+  if (id >= queries_.size()) {
+    return Status::OutOfRange("no transaction " + std::to_string(id));
+  }
+  const QuerySpec& query = queries_[id];
+  if (cache_ != nullptr) {
+    if (const QueryResult* cached = cache_->Lookup(query)) {
+      QueryResult result = *cached;
+      result.cost = FragmentCache::kHitCost;
+      return result;
+    }
+  }
+  WEBTX_ASSIGN_OR_RETURN(QueryResult result, engine_.Execute(query));
+  profiler_->Observe(query.name, result.cost);
+  if (cache_ != nullptr) cache_->Store(query, result);
+  return result;
+}
+
+Status PageRequestServer::MaterializeAll() {
+  for (TxnId id = 0; id < workload_.size(); ++id) {
+    WEBTX_ASSIGN_OR_RETURN(const QueryResult unused, Materialize(id));
+    (void)unused;
+  }
+  return Status::OK();
+}
+
+}  // namespace webtx::webdb

@@ -1,0 +1,90 @@
+#ifndef WEBTX_WEBDB_SERVER_H_
+#define WEBTX_WEBDB_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/transaction.h"
+#include "webdb/cache.h"
+#include "webdb/page.h"
+#include "webdb/profiler.h"
+#include "webdb/query.h"
+
+namespace webtx::webdb {
+
+/// Front end of the dynamic-content system: turns incoming page requests
+/// into the transaction workload the back-end scheduler sees.
+///
+/// Each page request expands into one transaction per fragment, wired per
+/// the page's dependency structure — exactly the paper's model where "user-
+/// requested web pages are dynamically created by executing a number of
+/// database queries or web transactions" forming workflows. Deadlines come
+/// from fragment SLAs, weights from fragment importance scaled by the
+/// user's subscription tier, and lengths from the Profiler (falling back
+/// to the query engine's modeled cost when no profile exists yet).
+///
+/// Typical use:
+///   PageRequestServer server(&db, &profiler);
+///   server.Submit(stock_page, SubscriptionTier::kGold, /*arrival=*/0.0);
+///   ... more requests ...
+///   auto sim = Simulator::Create(server.workload());
+///   RunResult r = sim.ValueOrDie().Run(asets_star);
+///   server.MaterializeAll();  // run queries for real, train the profiler
+class PageRequestServer {
+ public:
+  /// `db` and `profiler` must outlive the server. `cache` is optional
+  /// (nullptr = no fragment caching); when present, fragments whose
+  /// cached materialization is still fresh get kHitCost as their length
+  /// ("transactions' lengths are adjusted accordingly", Sec. II-A) and
+  /// Materialize serves them from the cache.
+  PageRequestServer(const InMemoryDatabase* db, Profiler* profiler,
+                    CostModel cost_model = {},
+                    FragmentCache* cache = nullptr);
+
+  /// Expands one request into transactions appended to the workload.
+  /// Returns the ids of the new transactions (fragment order).
+  Result<std::vector<TxnId>> Submit(const PageTemplate& page,
+                                    SubscriptionTier tier, SimTime arrival);
+
+  /// The accumulated workload, ready for Simulator::Create.
+  const std::vector<TransactionSpec>& workload() const { return workload_; }
+  size_t num_requests() const { return requests_.size(); }
+
+  /// Where a transaction came from.
+  struct FragmentRef {
+    size_t request = 0;
+    size_t fragment = 0;
+    std::string page_name;
+    std::string fragment_name;
+    std::string query_class;
+  };
+  const FragmentRef& RefOf(TxnId id) const;
+
+  /// Executes the query behind transaction `id` against the live database
+  /// and feeds the observed cost to the profiler.
+  Result<QueryResult> Materialize(TxnId id);
+
+  /// Materializes every submitted transaction (profiler training pass).
+  Status MaterializeAll();
+
+ private:
+  const InMemoryDatabase* db_;
+  Profiler* profiler_;
+  QueryEngine engine_;
+  FragmentCache* cache_;  // may be nullptr
+
+  struct RequestRecord {
+    std::string page_name;
+    SubscriptionTier tier;
+    SimTime arrival;
+  };
+  std::vector<RequestRecord> requests_;
+  std::vector<TransactionSpec> workload_;
+  std::vector<FragmentRef> refs_;      // parallel to workload_
+  std::vector<QuerySpec> queries_;     // parallel to workload_
+};
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_SERVER_H_

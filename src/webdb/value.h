@@ -1,0 +1,43 @@
+#ifndef WEBTX_WEBDB_VALUE_H_
+#define WEBTX_WEBDB_VALUE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace webtx::webdb {
+
+/// Column type of the in-memory backend database.
+enum class ColumnType {
+  kNumber,  // double
+  kText,    // std::string
+};
+
+/// A single cell value.
+using Value = std::variant<double, std::string>;
+
+/// A tuple; fields positionally match the table schema.
+using Row = std::vector<Value>;
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kNumber;
+};
+
+/// An ordered list of columns.
+using Schema = std::vector<ColumnDef>;
+
+/// True when `v` holds the representation `type` requires.
+inline bool ValueMatchesType(const Value& v, ColumnType type) {
+  return (type == ColumnType::kNumber)
+             ? std::holds_alternative<double>(v)
+             : std::holds_alternative<std::string>(v);
+}
+
+/// Renders a value for debug output.
+std::string ValueToString(const Value& v);
+
+}  // namespace webtx::webdb
+
+#endif  // WEBTX_WEBDB_VALUE_H_

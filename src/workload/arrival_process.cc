@@ -1,0 +1,70 @@
+#include "workload/arrival_process.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace webtx {
+
+PoissonProcess::PoissonProcess(double rate) : interarrival_(rate) {}
+
+SimTime PoissonProcess::Next(Rng& rng) {
+  clock_ += interarrival_.Sample(rng);
+  return clock_;
+}
+
+OnOffPoissonProcess::OnOffPoissonProcess(double rate, double burstiness,
+                                         double mean_cycle)
+    // Member rates are clamped positive so construction reaches the
+    // meaningful CHECKs below even for out-of-range arguments.
+    : rate_(rate),
+      on_fraction_(1.0 - burstiness),
+      on_duration_(1.0 / std::max(1e-9, mean_cycle * on_fraction_)),
+      off_duration_(1.0 /
+                    std::max(1e-9, mean_cycle * (1.0 - on_fraction_))),
+      burst_interarrival_(std::max(1e-9, rate) /
+                          std::max(1e-9, on_fraction_)) {
+  WEBTX_CHECK_GT(rate, 0.0);
+  WEBTX_CHECK(burstiness >= 0.0 && burstiness < 1.0)
+      << "burstiness must be in [0, 1)";
+  WEBTX_CHECK_GT(mean_cycle, 0.0);
+}
+
+void OnOffPoissonProcess::Reset() {
+  clock_ = 0.0;
+  phase_end_ = 0.0;
+  in_on_phase_ = false;
+}
+
+SimTime OnOffPoissonProcess::Next(Rng& rng) {
+  if (on_fraction_ >= 1.0) {
+    // Degenerate: plain Poisson.
+    clock_ += burst_interarrival_.Sample(rng);
+    return clock_;
+  }
+  while (true) {
+    if (!in_on_phase_) {
+      // Skip the OFF window, then open an ON window.
+      clock_ = phase_end_ + off_duration_.Sample(rng);
+      phase_end_ = clock_ + on_duration_.Sample(rng);
+      in_on_phase_ = true;
+    }
+    const SimTime candidate = clock_ + burst_interarrival_.Sample(rng);
+    if (candidate <= phase_end_) {
+      clock_ = candidate;
+      return clock_;
+    }
+    // The would-be arrival falls past the ON window: close the phase.
+    in_on_phase_ = false;
+  }
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(double rate,
+                                                   double burstiness) {
+  if (burstiness <= 0.0) {
+    return std::make_unique<PoissonProcess>(rate);
+  }
+  return std::make_unique<OnOffPoissonProcess>(rate, burstiness);
+}
+
+}  // namespace webtx

@@ -1,0 +1,78 @@
+#ifndef WEBTX_WORKLOAD_ARRIVAL_PROCESS_H_
+#define WEBTX_WORKLOAD_ARRIVAL_PROCESS_H_
+
+#include <memory>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace webtx {
+
+/// A point process generating transaction arrival instants.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival instant (strictly non-decreasing across calls).
+  virtual SimTime Next(Rng& rng) = 0;
+
+  /// Restarts the process at time zero.
+  virtual void Reset() = 0;
+};
+
+/// Homogeneous Poisson arrivals with the given rate — the paper's Table-I
+/// process.
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate);
+
+  SimTime Next(Rng& rng) override;
+  void Reset() override { clock_ = 0.0; }
+
+ private:
+  ExponentialDistribution interarrival_;
+  SimTime clock_ = 0.0;
+};
+
+/// Markov-modulated ON/OFF Poisson process: an extension modeling the
+/// "bursty and unpredictable behavior of web user populations" the
+/// paper's introduction motivates (not part of Table I). ON and OFF
+/// phases alternate with exponentially distributed durations; arrivals
+/// occur only during ON phases, at a rate inflated so the LONG-RUN rate
+/// equals `rate` regardless of burstiness.
+///
+/// `burstiness` in [0, 1): 0 degenerates to plain Poisson; larger values
+/// concentrate the same arrival mass into shorter ON windows.
+class OnOffPoissonProcess final : public ArrivalProcess {
+ public:
+  /// `mean_cycle` is the expected ON+OFF cycle duration in time units.
+  OnOffPoissonProcess(double rate, double burstiness,
+                      double mean_cycle = 400.0);
+
+  SimTime Next(Rng& rng) override;
+  void Reset() override;
+
+  /// Fraction of time spent in the ON phase.
+  double on_fraction() const { return on_fraction_; }
+
+ private:
+  double rate_;
+  double on_fraction_;
+  ExponentialDistribution on_duration_;
+  ExponentialDistribution off_duration_;
+  ExponentialDistribution burst_interarrival_;
+
+  SimTime clock_ = 0.0;
+  SimTime phase_end_ = 0.0;  // end of the current ON window
+  bool in_on_phase_ = false;
+};
+
+/// Builds the process implied by (rate, burstiness): plain Poisson when
+/// burstiness == 0, ON/OFF modulated otherwise.
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(double rate,
+                                                   double burstiness);
+
+}  // namespace webtx
+
+#endif  // WEBTX_WORKLOAD_ARRIVAL_PROCESS_H_

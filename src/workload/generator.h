@@ -1,0 +1,50 @@
+#ifndef WEBTX_WORKLOAD_GENERATOR_H_
+#define WEBTX_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "txn/transaction.h"
+#include "workload/spec.h"
+
+namespace webtx {
+
+/// Synthesizes transaction workloads per the paper's Sec. IV-A recipe:
+///
+///   1. lengths ~ min_length - 1 + Zipf(alpha) over the length range;
+///   2. arrival times: Poisson process with rate utilization / mean-length
+///      (cumulative exponential interarrivals), in id order;
+///   3. deadlines: d_i = a_i + l_i + k_i * l_i, k_i ~ U[0, k_max];
+///   4. weights: integer U[min_weight, max_weight];
+///   5. workflow topology: chains built in arrival order. Each chain is
+///      created with a target length ~ U[1, max_workflow_length]; each
+///      transaction joins n ~ U[1, max_workflows_per_txn] distinct open
+///      chains (opening new chains when fewer exist), adding a dependency
+///      on the chain's current last transaction; a chain closes when it
+///      reaches its target length. Edges always point from earlier to
+///      later transactions, so the result is a DAG by construction.
+///      Chains that share a transaction merge into larger workflow DAGs,
+///      which is how a transaction comes to belong to several workflows.
+///
+/// Given the same spec and seed, the generated workload is bit-identical
+/// across platforms (xoshiro256**-based).
+class WorkloadGenerator {
+ public:
+  /// Validates the spec (returns InvalidArgument on bad parameters).
+  static Result<WorkloadGenerator> Create(const WorkloadSpec& spec);
+
+  /// Generates one workload instance for `seed`.
+  std::vector<TransactionSpec> Generate(uint64_t seed) const;
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  explicit WorkloadGenerator(const WorkloadSpec& spec) : spec_(spec) {}
+
+  WorkloadSpec spec_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,104 @@
+#ifndef WEBTX_WORKLOAD_SPEC_H_
+#define WEBTX_WORKLOAD_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace webtx {
+
+/// How deadlines are assigned to workflow members (no effect on
+/// independent transactions).
+enum class DeadlineModel {
+  /// d_i = E_i + k_i * l_i, where E_i is the earliest possible finish of
+  /// T_i given its predecessors (E_i = a_i + l_i when independent, which
+  /// is exactly the paper's Table-I formula). Keeps chains feasible at
+  /// low load while preserving the precedence/deadline conflicts of
+  /// Sec. II-B (a dependent with a small k_i can still be due before its
+  /// predecessors).
+  kPathAware,
+  /// The literal Table-I formula d_i = a_i + l_i + k_i * l_i even inside
+  /// workflows; long chains are then intrinsically tardy regardless of
+  /// load (every policy pays the same floor).
+  kOwnLength,
+};
+
+/// Workload parameters — a direct encoding of the paper's Table I.
+///
+/// Defaults reproduce the paper's base setting: 1000 transactions, lengths
+/// Zipf(alpha = 0.5) over [1, 50] time units, slack factor k ~ U[0, 3],
+/// Poisson arrivals with rate utilization / mean-length, equal weights, no
+/// precedence constraints. Weighted experiments set max_weight = 10;
+/// workflow experiments set max_workflow_length / max_workflows_per_txn.
+struct WorkloadSpec {
+  /// Number of transactions per run (paper: 1000).
+  size_t num_transactions = 1000;
+
+  /// Zipf skew of the length distribution (paper default alpha = 0.5,
+  /// "skewed toward short transactions").
+  double zipf_alpha = 0.5;
+  /// Length support [min_length, max_length] in time units (paper: 1-50).
+  uint64_t min_length = 1;
+  uint64_t max_length = 50;
+
+  /// Deadline d_i = a_i + l_i + k_i * l_i with k_i ~ U[0, k_max]
+  /// (paper default k_max = 3.0).
+  double k_max = 3.0;
+
+  /// Target system utilization; Poisson arrival rate =
+  /// utilization / mean-transaction-length (paper sweeps 0.1 .. 1.0).
+  double utilization = 0.5;
+
+  /// Integer weights drawn uniformly from [min_weight, max_weight]
+  /// (paper: 1-10 in the weighted experiments; 1-1 elsewhere).
+  uint64_t min_weight = 1;
+  uint64_t max_weight = 1;
+
+  /// Workflow topology (Sec. IV-A): a chain's length is drawn uniformly
+  /// from [1, max_workflow_length]; the number of chains a transaction
+  /// joins is drawn uniformly from [1, max_workflows_per_txn]. Length 1
+  /// with 1 chain per transaction yields independent transactions.
+  size_t max_workflow_length = 1;
+  size_t max_workflows_per_txn = 1;
+
+  /// When true (default), every member of a workflow chain arrives when
+  /// the chain's first member arrives — the paper's page-request
+  /// semantics (Sec. II-B: "all transactions are submitted to the
+  /// database as the user logs onto the system"). Deadlines are computed
+  /// from this shared arrival, which is what creates the paper's
+  /// precedence/deadline *conflicts* (a short urgent dependent can have
+  /// an earlier deadline than its long predecessor). When false, each
+  /// transaction keeps its own Poisson arrival. Irrelevant when
+  /// max_workflow_length == 1.
+  bool batch_workflow_arrivals = true;
+
+  /// See DeadlineModel; default keeps workflow deadlines feasible.
+  DeadlineModel deadline_model = DeadlineModel::kPathAware;
+
+  /// Length-estimation error in [0, 1): the scheduler plans with
+  /// length_estimate = length * U[1 - e, 1 + e] instead of the true
+  /// length (Sec. II-A: lengths are "computed by the system based on
+  /// previous statistics", i.e. never exact). 0 (default) = perfect
+  /// estimates, as the paper's evaluation implicitly assumes.
+  double estimate_error = 0.0;
+
+  /// Arrival burstiness in [0, 1): 0 (default) is the paper's plain
+  /// Poisson process; larger values concentrate the same long-run
+  /// arrival rate into ON/OFF bursts (see workload/arrival_process.h) —
+  /// an extension modeling the bursty web populations of Sec. I.
+  double burstiness = 0.0;
+
+  /// Rejects nonsensical parameter combinations.
+  Status Validate() const;
+
+  /// Exact mean of the configured length distribution.
+  double MeanLength() const;
+
+  /// Poisson arrival rate implied by utilization and the mean length.
+  double ArrivalRate() const { return utilization / MeanLength(); }
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_WORKLOAD_SPEC_H_

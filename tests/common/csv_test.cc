@@ -1,0 +1,135 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+class TempFile {
+ public:
+  TempFile() {
+    char buf[] = "/tmp/webtx_csv_test_XXXXXX";
+    const int fd = mkstemp(buf);
+    EXPECT_GE(fd, 0);
+    close(fd);
+    path_ = buf;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvTest, SplitLineBasic) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, SplitLineEmptyFields) {
+  const auto fields = SplitCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, SplitSingleField) {
+  const auto fields = SplitCsvLine("solo");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "solo");
+}
+
+TEST(CsvTest, WriterFormatsRows) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteRow({"h1", "h2"});
+  writer.WriteRow({"1", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(CsvDeathTest, WriterRejectsFieldsNeedingQuoting) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  EXPECT_DEATH(writer.WriteRow({"a,b"}), "needs quoting");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  TempFile file;
+  const std::vector<std::vector<std::string>> rows = {
+      {"id", "value"}, {"0", "1.5"}, {"1", "2.5"}};
+  ASSERT_TRUE(WriteCsvFile(file.path(), rows).ok());
+  auto read = ReadCsvFile(file.path());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), rows);
+}
+
+TEST(CsvTest, ReadSkipsCommentsAndBlankLines) {
+  TempFile file;
+  {
+    std::ofstream out(file.path());
+    out << "# a comment\n\nx,y\n# another\n1,2\n";
+  }
+  auto read = ReadCsvFile(file.path());
+  ASSERT_TRUE(read.ok());
+  const auto& rows = read.ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "x");
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvTest, ReadHandlesCrlf) {
+  TempFile file;
+  {
+    std::ofstream out(file.path());
+    out << "a,b\r\n1,2\r\n";
+  }
+  auto read = ReadCsvFile(file.path());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie()[0][1], "b");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, WriteToUnwritablePathFails) {
+  const Status s = WriteCsvFile("/nonexistent/dir/file.csv", {{"a"}});
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ParseDoubleAcceptsNumbers) {
+  EXPECT_EQ(ParseDouble("3.25").ValueOrDie(), 3.25);
+  EXPECT_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_EQ(ParseDouble("0").ValueOrDie(), 0.0);
+}
+
+TEST(CsvTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(CsvTest, ParseIntAcceptsIntegers) {
+  EXPECT_EQ(ParseInt("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt("-7").ValueOrDie(), -7);
+}
+
+TEST(CsvTest, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("seven").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,144 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace webtx {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution zipf(50, 0.5);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= 50; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(zipf.Pmf(0), 0.0);
+  EXPECT_EQ(zipf.Pmf(51), 0.0);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (uint64_t k = 1; k <= 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-12);
+  EXPECT_NEAR(zipf.Mean(), 5.5, 1e-12);
+}
+
+TEST(ZipfTest, SkewFavorsSmallValues) {
+  const ZipfDistribution zipf(50, 0.5);
+  for (uint64_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.Pmf(k), zipf.Pmf(k + 1));
+  }
+}
+
+TEST(ZipfTest, HigherAlphaLowersMean) {
+  double prev = ZipfDistribution(50, 0.0).Mean();
+  for (const double alpha : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+    const double mean = ZipfDistribution(50, alpha).Mean();
+    EXPECT_LT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(ZipfTest, SamplesStayInSupport) {
+  const ZipfDistribution zipf(50, 0.5);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t s = zipf.Sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 50u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalMeanMatchesExactMean) {
+  const ZipfDistribution zipf(50, 0.5);
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(zipf.Sample(rng));
+  EXPECT_NEAR(sum / n, zipf.Mean(), 0.15);
+}
+
+TEST(ZipfTest, SingletonSupport) {
+  const ZipfDistribution zipf(1, 0.5);
+  Rng rng(5);
+  EXPECT_EQ(zipf.Sample(rng), 1u);
+  EXPECT_NEAR(zipf.Mean(), 1.0, 1e-12);
+}
+
+// Parameterized sweep: sampling frequencies track the pmf across alphas.
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalFrequenciesMatchPmf) {
+  const double alpha = GetParam();
+  const uint64_t n = 20;
+  const ZipfDistribution zipf(n, alpha);
+  Rng rng(42);
+  std::vector<int> counts(n + 1, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t k = 1; k <= n; ++k) {
+    const double expected = zipf.Pmf(k);
+    const double observed = static_cast<double>(counts[k]) / samples;
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "alpha=" << alpha << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.8, 1.0, 1.5));
+
+TEST(ExponentialTest, MeanIsInverseRate) {
+  const ExponentialDistribution exp_dist(0.25);
+  EXPECT_NEAR(exp_dist.Mean(), 4.0, 1e-12);
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += exp_dist.Sample(rng);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(ExponentialTest, SamplesNonNegative) {
+  const ExponentialDistribution exp_dist(2.0);
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(exp_dist.Sample(rng), 0.0);
+}
+
+TEST(UniformRealTest, SamplesWithinBounds) {
+  const UniformRealDistribution uniform(-2.5, 7.5);
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double s = uniform.Sample(rng);
+    ASSERT_GE(s, -2.5);
+    ASSERT_LT(s, 7.5);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / n, uniform.Mean(), 0.05);
+  EXPECT_NEAR(uniform.Mean(), 2.5, 1e-12);
+}
+
+TEST(UniformRealTest, DegenerateInterval) {
+  const UniformRealDistribution uniform(3.0, 3.0);
+  Rng rng(10);
+  EXPECT_EQ(uniform.Sample(rng), 3.0);
+}
+
+TEST(UniformIntTest, InclusiveBoundsAndMean) {
+  const UniformIntDistribution uniform(1, 10);
+  EXPECT_NEAR(uniform.Mean(), 5.5, 1e-12);
+  Rng rng(11);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t s = uniform.Sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 10u);
+    ++counts[s];
+  }
+  for (int k = 1; k <= 10; ++k) EXPECT_GT(counts[k], 8000);
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,75 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<std::string> ok_result = std::string("value");
+  EXPECT_EQ(ok_result.ValueOr("fallback"), "value");
+  Result<std::string> err_result = Status::Internal("x");
+  EXPECT_EQ(err_result.ValueOr("fallback"), "fallback");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r = std::string("abc");
+  r.ValueOrDie() += "def";
+  EXPECT_EQ(r.ValueOrDie(), "abcdef");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Consume(int x, int* out) {
+  WEBTX_ASSIGN_OR_RETURN(const int half, Half(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnOnSuccess) {
+  int out = 0;
+  EXPECT_TRUE(Consume(10, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = -1;
+  const Status s = Consume(3, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, -1);  // untouched
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("fatal");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(5);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.Next());
+  a.Seed(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextInRangeHitsBothEndpoints) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInRange(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextInRange(42, 42), 42u);
+}
+
+TEST(RngTest, NextInRangeIsRoughlyUniform) {
+  Rng rng(17);
+  const int buckets = 10;
+  std::vector<int> counts(buckets);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextInRange(0, buckets - 1)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / buckets, n / buckets * 0.1);
+  }
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~uint64_t{0});
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace webtx

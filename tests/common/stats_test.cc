@@ -1,0 +1,117 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TEST(StreamingStatsTest, EmptyDefaults) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 3.5);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = 1.3 * i + 0.5;
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 1.5, 1e-12);
+
+  StreamingStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.mean(), 1.5, 1e-12);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_EQ(q.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, ExactRanksOnSortedInput) {
+  QuantileSketch q;
+  for (int i = 0; i <= 100; ++i) q.Add(static_cast<double>(i));
+  EXPECT_EQ(q.Quantile(0.0), 0.0);
+  EXPECT_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_NEAR(q.Quantile(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.25), 25.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.99), 99.0, 1e-9);
+}
+
+TEST(QuantileSketchTest, UnsortedInsertOrder) {
+  QuantileSketch q;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) q.Add(x);
+  EXPECT_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_EQ(q.Quantile(1.0), 9.0);
+  EXPECT_NEAR(q.Quantile(0.5), 5.0, 1e-12);
+}
+
+TEST(QuantileSketchTest, AddAfterQueryResorts) {
+  QuantileSketch q;
+  q.Add(10.0);
+  q.Add(20.0);
+  EXPECT_EQ(q.Quantile(1.0), 20.0);
+  q.Add(5.0);
+  EXPECT_EQ(q.Quantile(0.0), 5.0);
+  EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(QuantileSketchDeathTest, RejectsOutOfRangeQuantile) {
+  QuantileSketch q;
+  q.Add(1.0);
+  EXPECT_DEATH({ (void)q.Quantile(1.5); }, "quantile out of range");
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,117 @@
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+SweepConfig SmallConfig() {
+  SweepConfig config;
+  config.base.num_transactions = 80;
+  config.utilizations = {0.3, 0.9};
+  config.policies = {"EDF", "SRPT"};
+  config.seeds = {1, 2};
+  return config;
+}
+
+TEST(SweepTest, PaperGridHasTenPoints) {
+  const auto grid = PaperUtilizationGrid();
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_NEAR(grid.front(), 0.1, 1e-12);
+  EXPECT_NEAR(grid.back(), 1.0, 1e-12);
+}
+
+TEST(SweepTest, CellsOrderedUtilizationMajor) {
+  auto cells = RunSweep(SmallConfig());
+  ASSERT_TRUE(cells.ok()) << cells.status();
+  const auto& v = cells.ValueOrDie();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0].utilization, 0.3, 1e-12);
+  EXPECT_EQ(v[0].policy, "EDF");
+  EXPECT_EQ(v[1].policy, "SRPT");
+  EXPECT_NEAR(v[2].utilization, 0.9, 1e-12);
+}
+
+TEST(SweepTest, MetricsAreAveragedAndFinite) {
+  auto cells = RunSweep(SmallConfig());
+  ASSERT_TRUE(cells.ok());
+  for (const auto& cell : cells.ValueOrDie()) {
+    EXPECT_GE(cell.avg_tardiness, 0.0);
+    EXPECT_GE(cell.avg_weighted_tardiness, cell.avg_tardiness - 1e-9);
+    EXPECT_GE(cell.max_weighted_tardiness, 0.0);
+    EXPECT_GE(cell.miss_ratio, 0.0);
+    EXPECT_LE(cell.miss_ratio, 1.0);
+    EXPECT_GT(cell.avg_response, 0.0);
+  }
+}
+
+TEST(SweepTest, StddevReflectsSeedDispersion) {
+  SweepConfig config = SmallConfig();
+  config.utilizations = {0.9};
+  config.seeds = {1, 2, 3, 4, 5};
+  auto cells = RunSweep(config);
+  ASSERT_TRUE(cells.ok());
+  for (const auto& cell : cells.ValueOrDie()) {
+    EXPECT_GT(cell.avg_tardiness_stddev, 0.0) << cell.policy;
+  }
+
+  // A single seed has no dispersion.
+  config.seeds = {1};
+  auto single = RunSweep(config);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.ValueOrDie()[0].avg_tardiness_stddev, 0.0);
+}
+
+TEST(SweepTest, DeterministicAcrossCalls) {
+  auto a = RunSweep(SmallConfig());
+  auto b = RunSweep(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a.ValueOrDie().size(); ++i) {
+    EXPECT_EQ(a.ValueOrDie()[i].avg_tardiness,
+              b.ValueOrDie()[i].avg_tardiness);
+  }
+}
+
+TEST(SweepTest, RejectsEmptyDimensions) {
+  SweepConfig config = SmallConfig();
+  config.utilizations.clear();
+  EXPECT_FALSE(RunSweep(config).ok());
+
+  config = SmallConfig();
+  config.policies.clear();
+  EXPECT_FALSE(RunSweep(config).ok());
+
+  config = SmallConfig();
+  config.seeds.clear();
+  EXPECT_FALSE(RunSweep(config).ok());
+}
+
+TEST(SweepTest, UnknownPolicyPropagatesError) {
+  SweepConfig config = SmallConfig();
+  config.policies = {"NoSuchPolicy"};
+  auto cells = RunSweep(config);
+  ASSERT_FALSE(cells.ok());
+  EXPECT_EQ(cells.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SweepTest, RunOneMatchesDirectSimulation) {
+  WorkloadSpec spec;
+  spec.num_transactions = 60;
+  spec.utilization = 0.5;
+  auto r = RunOne(spec, /*seed=*/3, "EDF");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.ValueOrDie().policy_name, "EDF");
+  EXPECT_EQ(r.ValueOrDie().outcomes.size(), 60u);
+}
+
+TEST(SweepTest, RunOneRejectsBadInputs) {
+  WorkloadSpec spec;
+  spec.num_transactions = 0;
+  EXPECT_FALSE(RunOne(spec, 1, "EDF").ok());
+  spec.num_transactions = 10;
+  EXPECT_FALSE(RunOne(spec, 1, "Bogus").ok());
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,71 @@
+#include "exp/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace webtx {
+namespace {
+
+TEST(TableTest, FormatFixedPrecision) {
+  EXPECT_EQ(FormatFixed(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatFixed(1.0, 1), "1.0");
+  EXPECT_EQ(FormatFixed(-2.5, 0), "-2");
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, AddNumericRowFormats) {
+  Table table({"x", "m1", "m2"});
+  table.AddNumericRow("0.5", {1.23456, 7.0}, 2);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("7.00"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.num_columns(), 3u);
+}
+
+TEST(TableDeathTest, RowArityMustMatch) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(TableDeathTest, EmptyColumnsRejected) {
+  EXPECT_DEATH(Table({}), "CHECK failed");
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  char buf[] = "/tmp/webtx_table_test_XXXXXX";
+  const int fd = mkstemp(buf);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string path = buf;
+
+  Table table({"x", "y"});
+  table.AddNumericRow("0.1", {2.0});
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.ValueOrDie().size(), 2u);
+  EXPECT_EQ(rows.ValueOrDie()[0], (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(rows.ValueOrDie()[1][0], "0.1");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,103 @@
+// Differential testing: the O(log N) incremental ASETS / ASETS*
+// implementations must schedule *identically* to naive O(N)
+// recompute-from-scratch references on randomized workloads. This
+// validates the trickiest production code paths: one-way EDF->HDF
+// migration via the critical-time queue, re-keying of the running
+// transaction, and per-event workflow representative refreshes.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets.h"
+#include "sched/policies/asets_star.h"
+#include "sim/simulator.h"
+#include "testing/reference_policies.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+struct Shape {
+  const char* label;
+  uint64_t max_weight;
+  size_t max_workflow_length;
+  size_t max_workflows_per_txn;
+  double burstiness;
+};
+
+constexpr Shape kShapes[] = {
+    {"independent", 1, 1, 1, 0.0},
+    {"weighted", 10, 1, 1, 0.0},
+    {"workflows", 1, 6, 1, 0.0},
+    {"weighted_overlapping", 10, 5, 3, 0.0},
+    {"bursty_weighted", 10, 4, 2, 0.6},
+};
+
+using Param = std::tuple<double, Shape, uint64_t>;  // utilization, shape, seed
+
+class DifferentialTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::vector<TransactionSpec> MakeWorkload() const {
+    const auto& [utilization, shape, seed] = GetParam();
+    WorkloadSpec spec;
+    spec.num_transactions = 250;
+    spec.utilization = utilization;
+    spec.max_weight = shape.max_weight;
+    spec.max_workflow_length = shape.max_workflow_length;
+    spec.max_workflows_per_txn = shape.max_workflows_per_txn;
+    spec.burstiness = shape.burstiness;
+    auto generator = WorkloadGenerator::Create(spec);
+    EXPECT_TRUE(generator.ok());
+    return generator.ValueOrDie().Generate(seed);
+  }
+};
+
+TEST_P(DifferentialTest, IncrementalAsetsMatchesNaiveReference) {
+  const auto txns = MakeWorkload();
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  AsetsPolicy incremental;
+  testing::NaiveAsetsPolicy naive;
+  const RunResult a = sim.ValueOrDie().Run(incremental);
+  const RunResult b = sim.ValueOrDie().Run(naive);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i].finish, b.outcomes[i].finish)
+        << "T" << i << " diverged";
+  }
+  EXPECT_EQ(a.num_preemptions, b.num_preemptions);
+}
+
+TEST_P(DifferentialTest, IncrementalAsetsStarMatchesNaiveReference) {
+  const auto txns = MakeWorkload();
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  AsetsStarPolicy incremental;
+  testing::NaiveAsetsStarPolicy naive;
+  const RunResult a = sim.ValueOrDie().Run(incremental);
+  const RunResult b = sim.ValueOrDie().Run(naive);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i].finish, b.outcomes[i].finish)
+        << "T" << i << " diverged";
+  }
+  EXPECT_EQ(a.num_preemptions, b.num_preemptions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DifferentialTest,
+    ::testing::Combine(::testing::Values(0.4, 0.8, 1.2),
+                       ::testing::ValuesIn(kShapes),
+                       ::testing::Values(11u, 12u, 13u)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name =
+          std::string(std::get<1>(param_info.param).label) + "_u" +
+          std::to_string(
+              static_cast<int>(std::get<0>(param_info.param) * 10)) +
+          "_s" + std::to_string(std::get<2>(param_info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,189 @@
+// Brute-force optimality checks on small batch instances (all
+// transactions released at t=0, no dependencies). For equal release
+// times on a single machine, preemption cannot reduce total (weighted)
+// tardiness or completion time, so the optimum over all n! permutations
+// is the true preemptive optimum — an exact yardstick for the policies:
+//
+//   * every policy's schedule costs at least the optimum (simulator
+//     sanity);
+//   * EDF finds a zero-tardiness schedule whenever one exists (EDF
+//     feasibility-optimality for equal release times);
+//   * SRPT minimizes total response time (SPT rule);
+//   * HDF minimizes total weighted response time (Smith's rule), and
+//     minimizes weighted tardiness when every deadline is hopeless
+//     [Becchetti et al., the paper's optimality citation].
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+struct BatchInstance {
+  std::vector<TransactionSpec> txns;
+};
+
+struct PermutationCosts {
+  double min_total_tardiness = 0.0;
+  double min_total_weighted_tardiness = 0.0;
+  double min_total_response = 0.0;
+  double min_total_weighted_response = 0.0;
+};
+
+PermutationCosts BruteForce(const BatchInstance& instance) {
+  const size_t n = instance.txns.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  PermutationCosts best;
+  bool first = true;
+  do {
+    double clock = 0.0;
+    double tardiness = 0.0;
+    double weighted_tardiness = 0.0;
+    double response = 0.0;
+    double weighted_response = 0.0;
+    for (const size_t i : order) {
+      const TransactionSpec& t = instance.txns[i];
+      clock += t.length;
+      const double late = std::max(0.0, clock - t.deadline);
+      tardiness += late;
+      weighted_tardiness += late * t.weight;
+      response += clock;
+      weighted_response += clock * t.weight;
+    }
+    if (first) {
+      best = {tardiness, weighted_tardiness, response, weighted_response};
+      first = false;
+    } else {
+      best.min_total_tardiness =
+          std::min(best.min_total_tardiness, tardiness);
+      best.min_total_weighted_tardiness =
+          std::min(best.min_total_weighted_tardiness, weighted_tardiness);
+      best.min_total_response = std::min(best.min_total_response, response);
+      best.min_total_weighted_response =
+          std::min(best.min_total_weighted_response, weighted_response);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+BatchInstance RandomInstance(uint64_t seed, bool hopeless_deadlines) {
+  Rng rng(seed);
+  BatchInstance instance;
+  const size_t n = 3 + static_cast<size_t>(rng.NextInRange(0, 4));  // 3..7
+  for (TxnId i = 0; i < n; ++i) {
+    const double length = 1.0 + static_cast<double>(rng.NextInRange(0, 9));
+    const double deadline =
+        hopeless_deadlines
+            ? 0.5 * rng.NextDouble()  // unreachable for every job
+            : 1.0 + static_cast<double>(rng.NextInRange(0, 29));
+    const double weight = 1.0 + static_cast<double>(rng.NextInRange(0, 4));
+    instance.txns.push_back(Txn(i, 0.0, length, deadline, weight));
+  }
+  return instance;
+}
+
+struct PolicyTotals {
+  double tardiness = 0.0;
+  double weighted_tardiness = 0.0;
+  double response = 0.0;
+  double weighted_response = 0.0;
+};
+
+PolicyTotals RunPolicy(const BatchInstance& instance,
+                       const std::string& name) {
+  auto sim = Simulator::Create(instance.txns);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  auto policy = CreatePolicy(name);
+  EXPECT_TRUE(policy.ok()) << policy.status();
+  const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  PolicyTotals totals;
+  for (size_t i = 0; i < r.outcomes.size(); ++i) {
+    totals.tardiness += r.outcomes[i].tardiness;
+    totals.weighted_tardiness += r.outcomes[i].weighted_tardiness;
+    totals.response += r.outcomes[i].response;
+    totals.weighted_response +=
+        r.outcomes[i].response * instance.txns[i].weight;
+  }
+  return totals;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimalityTest, NoPolicyBeatsTheBruteForceOptimum) {
+  const BatchInstance instance = RandomInstance(GetParam(), false);
+  const PermutationCosts optimal = BruteForce(instance);
+  for (const char* name :
+       {"FCFS", "EDF", "SRPT", "LS", "HDF", "HVF", "ASETS", "ASETS*"}) {
+    const PolicyTotals totals = RunPolicy(instance, name);
+    EXPECT_GE(totals.tardiness, optimal.min_total_tardiness - 1e-6) << name;
+    EXPECT_GE(totals.weighted_tardiness,
+              optimal.min_total_weighted_tardiness - 1e-6)
+        << name;
+    EXPECT_GE(totals.response, optimal.min_total_response - 1e-6) << name;
+  }
+}
+
+TEST_P(OptimalityTest, EdfFeasibleWheneverFeasibleScheduleExists) {
+  const BatchInstance instance = RandomInstance(GetParam(), false);
+  const PermutationCosts optimal = BruteForce(instance);
+  if (optimal.min_total_tardiness < 1e-9) {
+    EXPECT_NEAR(RunPolicy(instance, "EDF").tardiness, 0.0, 1e-9);
+  }
+}
+
+TEST_P(OptimalityTest, SrptMinimizesTotalResponse) {
+  const BatchInstance instance = RandomInstance(GetParam(), false);
+  const PermutationCosts optimal = BruteForce(instance);
+  EXPECT_NEAR(RunPolicy(instance, "SRPT").response,
+              optimal.min_total_response, 1e-6);
+}
+
+TEST_P(OptimalityTest, HdfMinimizesWeightedResponse) {
+  const BatchInstance instance = RandomInstance(GetParam(), false);
+  const PermutationCosts optimal = BruteForce(instance);
+  EXPECT_NEAR(RunPolicy(instance, "HDF").weighted_response,
+              optimal.min_total_weighted_response, 1e-6);
+}
+
+TEST_P(OptimalityTest, HdfOptimalForWeightedTardinessWhenAllHopeless) {
+  // With every deadline unreachable, weighted tardiness differs from
+  // weighted completion time by a constant, so HDF (Smith's rule) is
+  // exactly optimal — the paper's Sec. III-C premise.
+  const BatchInstance instance = RandomInstance(GetParam(), true);
+  const PermutationCosts optimal = BruteForce(instance);
+  EXPECT_NEAR(RunPolicy(instance, "HDF").weighted_tardiness,
+              optimal.min_total_weighted_tardiness, 1e-6);
+  // And ASETS/ASETS* collapse to HDF in this regime (Sec. III-A2).
+  EXPECT_NEAR(RunPolicy(instance, "ASETS").weighted_tardiness,
+              optimal.min_total_weighted_tardiness, 1e-6);
+  EXPECT_NEAR(RunPolicy(instance, "ASETS*").weighted_tardiness,
+              optimal.min_total_weighted_tardiness, 1e-6);
+}
+
+TEST_P(OptimalityTest, AsetsTracksOptimalTardinessClosely) {
+  // ASETS is a heuristic, but on tiny batch instances it should land
+  // within a small constant factor of the brute-force optimum. This is a
+  // regression tripwire, not a theorem.
+  const BatchInstance instance = RandomInstance(GetParam(), false);
+  const PermutationCosts optimal = BruteForce(instance);
+  const double asets = RunPolicy(instance, "ASETS").tardiness;
+  EXPECT_LE(asets, optimal.min_total_tardiness * 3.0 + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, OptimalityTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace webtx

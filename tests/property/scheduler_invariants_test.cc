@@ -1,0 +1,147 @@
+// Property-based invariants: every policy, across utilizations and
+// workload shapes, must produce feasible schedules.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sched/policy_factory.h"
+#include "sim/schedule_validator.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+struct WorkloadShape {
+  const char* label;
+  uint64_t max_weight;
+  size_t max_workflow_length;
+  size_t max_workflows_per_txn;
+};
+
+using Param = std::tuple<std::string, double, WorkloadShape>;
+
+class SchedulerInvariantsTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerInvariantsTest, ScheduleIsFeasibleAndAccounted) {
+  const auto& [policy_name, utilization, shape] = GetParam();
+
+  WorkloadSpec spec;
+  spec.num_transactions = 300;
+  spec.utilization = utilization;
+  spec.max_weight = shape.max_weight;
+  spec.max_workflow_length = shape.max_workflow_length;
+  spec.max_workflows_per_txn = shape.max_workflows_per_txn;
+
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  const auto txns = generator.ValueOrDie().Generate(/*seed=*/99);
+
+  // Exercise both the paper's single server and the multi-server
+  // extension; the feasibility invariants are server-count agnostic.
+  for (const size_t num_servers : {size_t{1}, size_t{3}}) {
+  SimOptions sim_options;
+  sim_options.record_schedule = true;
+  sim_options.num_servers = num_servers;
+  auto sim = Simulator::Create(txns, sim_options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  auto policy = CreatePolicy(policy_name);
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+
+  // Independent audit of the full execution timeline.
+  const Status audit = ValidateSchedule(txns, r, num_servers);
+  EXPECT_TRUE(audit.ok()) << audit;
+
+  ASSERT_EQ(r.outcomes.size(), txns.size());
+  double total_work = 0.0;
+  SimTime first_arrival = txns.empty() ? 0.0 : txns[0].arrival;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    const TxnOutcome& o = r.outcomes[i];
+    // Every transaction finished, no earlier than arrival + length.
+    EXPECT_GE(o.finish, txns[i].arrival + txns[i].length - 1e-6) << "T" << i;
+    // Tardiness matches Definition 3 exactly.
+    EXPECT_NEAR(o.tardiness, TardinessOf(o.finish, txns[i].deadline), 1e-9);
+    EXPECT_NEAR(o.weighted_tardiness, o.tardiness * txns[i].weight, 1e-9);
+    EXPECT_EQ(o.missed_deadline, o.tardiness > 0.0);
+    EXPECT_NEAR(o.response, o.finish - txns[i].arrival, 1e-9);
+    // Precedence: a dependent finishes at least its own length after
+    // every predecessor's finish.
+    for (const TxnId dep : txns[i].dependencies) {
+      EXPECT_GE(o.finish, r.outcomes[dep].finish + txns[i].length - 1e-6)
+          << "T" << i << " depends on T" << dep;
+    }
+    total_work += txns[i].length;
+  }
+  // Makespan bounds: at least the largest single job's span, and (work
+  // conservation — the server never idles while work is pending) at most
+  // the last arrival plus all remaining work run serially.
+  SimTime last_arrival = first_arrival;
+  SimTime max_span = 0.0;
+  for (const auto& t : txns) {
+    last_arrival = std::max(last_arrival, t.arrival);
+    max_span = std::max(max_span, t.arrival + t.length);
+  }
+  EXPECT_GE(r.makespan, max_span - 1e-6);
+  EXPECT_LE(r.makespan, last_arrival + total_work + 1e-6);
+  // There are at least arrival+completion events per transaction.
+  EXPECT_GE(r.num_scheduling_points, txns.size());
+  }
+}
+
+TEST_P(SchedulerInvariantsTest, RunsAreDeterministic) {
+  const auto& [policy_name, utilization, shape] = GetParam();
+  WorkloadSpec spec;
+  spec.num_transactions = 150;
+  spec.utilization = utilization;
+  spec.max_weight = shape.max_weight;
+  spec.max_workflow_length = shape.max_workflow_length;
+  spec.max_workflows_per_txn = shape.max_workflows_per_txn;
+
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  const auto txns = generator.ValueOrDie().Generate(7);
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  auto policy = CreatePolicy(policy_name);
+  ASSERT_TRUE(policy.ok());
+
+  const RunResult a = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  const RunResult b = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish);
+  }
+  EXPECT_EQ(a.num_scheduling_points, b.num_scheduling_points);
+}
+
+constexpr WorkloadShape kShapes[] = {
+    {"independent", 1, 1, 1},
+    {"weighted", 10, 1, 1},
+    {"workflows", 1, 5, 1},
+    {"weighted_workflows", 10, 6, 3},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulerInvariantsTest,
+    ::testing::Combine(
+        ::testing::Values("FCFS", "EDF", "SRPT", "LS", "HDF", "HVF", "ASETS",
+                          "Ready", "ASETS*", "ASETS*-BA(time=0.005)",
+                          "ASETS*-BA(count=0.05)"),
+        ::testing::Values(0.3, 0.7, 1.0),
+        ::testing::ValuesIn(kShapes)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_u" +
+                         std::to_string(static_cast<int>(
+                             std::get<1>(param_info.param) * 10)) +
+                         "_" + std::get<2>(param_info.param).label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace webtx

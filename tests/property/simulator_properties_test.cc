@@ -1,0 +1,196 @@
+// Property-based checks of the simulator itself and of analytic
+// reductions between policies.
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets.h"
+#include "sched/policies/single_queue_policies.h"
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "testing/fake_view.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+class BatchWorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BatchWorkloadTest, BatchArrivalsFinishBackToBack) {
+  // All transactions arrive at t=0 with no dependencies: any
+  // work-conserving policy must finish them back-to-back with makespan
+  // equal to the total work.
+  std::vector<TransactionSpec> txns;
+  double total = 0.0;
+  for (TxnId i = 0; i < 20; ++i) {
+    const double len = 1.0 + (i * 7) % 5;
+    txns.push_back(Txn(i, 0.0, len, 10.0 + 3.0 * i));
+    total += len;
+  }
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  auto policy = CreatePolicy(GetParam());
+  ASSERT_TRUE(policy.ok());
+  const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  EXPECT_NEAR(r.makespan, total, 1e-9);
+
+  // Finish times, sorted, are exactly the partial sums of some
+  // permutation of the lengths — i.e. there are no gaps.
+  std::vector<double> finishes;
+  for (const auto& o : r.outcomes) finishes.push_back(o.finish);
+  std::sort(finishes.begin(), finishes.end());
+  for (size_t i = 1; i < finishes.size(); ++i) {
+    EXPECT_GT(finishes[i], finishes[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BatchWorkloadTest,
+                         ::testing::Values("FCFS", "EDF", "SRPT", "LS",
+                                           "HDF", "HVF", "ASETS", "ASETS*"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(AsetsReductionTest, EqualsEdfWhenEveryDeadlineIsReachable) {
+  // Very low utilization + huge slack: ASETS behaves exactly like EDF.
+  WorkloadSpec spec;
+  spec.num_transactions = 200;
+  spec.utilization = 0.1;
+  spec.k_max = 50.0;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  const auto txns = generator.ValueOrDie().Generate(21);
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  EdfPolicy edf;
+  AsetsPolicy asets;
+  const RunResult r_edf = sim.ValueOrDie().Run(edf);
+  const RunResult r_asets = sim.ValueOrDie().Run(asets);
+  // If nothing ever misses, the two schedules coincide.
+  ASSERT_EQ(r_edf.miss_ratio, 0.0);
+  for (size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ(r_edf.outcomes[i].finish, r_asets.outcomes[i].finish);
+  }
+}
+
+TEST(AsetsReductionTest, EqualsSrptWhenEveryDeadlineIsHopeless) {
+  // Deadlines in the past from the start: ASETS collapses to SRPT.
+  std::vector<TransactionSpec> txns;
+  for (TxnId i = 0; i < 50; ++i) {
+    txns.push_back(Txn(i, 0.2 * i, 1.0 + (i * 13) % 7, 0.01));
+  }
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  SrptPolicy srpt;
+  AsetsPolicy asets;
+  const RunResult r_srpt = sim.ValueOrDie().Run(srpt);
+  const RunResult r_asets = sim.ValueOrDie().Run(asets);
+  for (size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ(r_srpt.outcomes[i].finish, r_asets.outcomes[i].finish);
+  }
+}
+
+TEST(SimulatorPropertyTest, UtilizationMonotonicallyRaisesTardiness) {
+  // Averaged over seeds, average tardiness grows with utilization under
+  // every reasonable policy (workload gets strictly denser).
+  for (const char* name : {"EDF", "SRPT", "ASETS"}) {
+    double prev = -1.0;
+    for (const double util : {0.2, 0.6, 1.0}) {
+      WorkloadSpec spec;
+      spec.num_transactions = 400;
+      spec.utilization = util;
+      auto generator = WorkloadGenerator::Create(spec);
+      ASSERT_TRUE(generator.ok());
+      double sum = 0.0;
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        auto sim = Simulator::Create(generator.ValueOrDie().Generate(seed));
+        ASSERT_TRUE(sim.ok());
+        auto policy = CreatePolicy(name);
+        ASSERT_TRUE(policy.ok());
+        sum += sim.ValueOrDie().Run(*policy.ValueOrDie()).avg_tardiness;
+      }
+      EXPECT_GT(sum, prev) << name << " at " << util;
+      prev = sum;
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, PreemptionsOnlyHappenWithArrivals) {
+  // A policy can only preempt at arrival points: with a single arrival
+  // batch there are no preemptions.
+  std::vector<TransactionSpec> txns;
+  for (TxnId i = 0; i < 10; ++i) {
+    txns.push_back(Txn(i, 0.0, 2.0 + i, 5.0 * i + 1.0));
+  }
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  for (const char* name : {"EDF", "SRPT", "ASETS", "ASETS*"}) {
+    auto policy = CreatePolicy(name);
+    ASSERT_TRUE(policy.ok());
+    const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+    EXPECT_EQ(r.num_preemptions, 0u) << name;
+  }
+}
+
+TEST(SimulatorPropertyTest, WeightsDoNotAffectUnweightedPolicies) {
+  WorkloadSpec spec;
+  spec.num_transactions = 200;
+  spec.utilization = 0.8;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  auto txns = generator.ValueOrDie().Generate(33);
+  auto with_weights = txns;
+  for (size_t i = 0; i < with_weights.size(); ++i) {
+    with_weights[i].weight = 1.0 + static_cast<double>(i % 9);
+  }
+  for (const char* name : {"FCFS", "EDF", "SRPT", "LS"}) {
+    auto sim_a = Simulator::Create(txns);
+    auto sim_b = Simulator::Create(with_weights);
+    ASSERT_TRUE(sim_a.ok());
+    ASSERT_TRUE(sim_b.ok());
+    auto policy = CreatePolicy(name);
+    ASSERT_TRUE(policy.ok());
+    const RunResult a = sim_a.ValueOrDie().Run(*policy.ValueOrDie());
+    const RunResult b = sim_b.ValueOrDie().Run(*policy.ValueOrDie());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish) << name;
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, ScalingAllDeadlinesPreservesEdfSchedule) {
+  // EDF depends only on the deadline ORDER: any strictly monotone
+  // transformation of deadlines yields the identical schedule.
+  WorkloadSpec spec;
+  spec.num_transactions = 150;
+  spec.utilization = 0.9;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  auto txns = generator.ValueOrDie().Generate(44);
+  auto scaled = txns;
+  for (auto& t : scaled) t.deadline = 3.0 * t.deadline + 7.0;
+  EdfPolicy edf;
+  auto sim_a = Simulator::Create(txns);
+  auto sim_b = Simulator::Create(scaled);
+  ASSERT_TRUE(sim_a.ok());
+  ASSERT_TRUE(sim_b.ok());
+  const RunResult a = sim_a.ValueOrDie().Run(edf);
+  const RunResult b = sim_b.ValueOrDie().Run(edf);
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish);
+  }
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,213 @@
+#include "rt/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/policy_factory.h"
+
+namespace webtx::rt {
+namespace {
+
+std::unique_ptr<SchedulerPolicy> Policy(const std::string& name) {
+  auto policy = CreatePolicy(name);
+  EXPECT_TRUE(policy.ok()) << policy.status();
+  return std::move(policy).ValueOrDie();
+}
+
+TaskSpec Quick(std::function<void()> fn, double deadline = 5.0,
+               double weight = 1.0, std::vector<TxnId> deps = {}) {
+  TaskSpec task;
+  task.relative_deadline = deadline;
+  task.weight = weight;
+  task.estimated_cost = 0.001;
+  task.dependencies = std::move(deps);
+  task.fn = std::move(fn);
+  return task;
+}
+
+TEST(ExecutorTest, RunsASubmittedTask) {
+  std::atomic<int> counter{0};
+  Executor executor(Policy("EDF"), {});
+  auto id = executor.Submit(Quick([&] { ++counter; }));
+  ASSERT_TRUE(id.ok()) << id.status();
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 1);
+  const TaskOutcome outcome = executor.OutcomeOf(id.ValueOrDie());
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_GE(outcome.finish_seconds, outcome.submit_seconds);
+  EXPECT_EQ(executor.finished_count(), 1u);
+}
+
+TEST(ExecutorTest, RunsManyTasksOnMultipleWorkers) {
+  std::atomic<int> counter{0};
+  ExecutorOptions options;
+  options.num_workers = 4;
+  Executor executor(Policy("ASETS"), options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(executor.Submit(Quick([&] { ++counter; })).ok());
+  }
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(executor.finished_count(), 200u);
+}
+
+TEST(ExecutorTest, DependenciesRunInOrder) {
+  std::vector<int> order;
+  std::mutex order_mu;
+  const auto record = [&](int step) {
+    return [&, step] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(step);
+    };
+  };
+  ExecutorOptions options;
+  options.num_workers = 3;
+  Executor executor(Policy("EDF"), options);
+  auto a = executor.Submit(Quick(record(0)));
+  ASSERT_TRUE(a.ok());
+  auto b = executor.Submit(Quick(record(1), 5.0, 1.0, {a.ValueOrDie()}));
+  ASSERT_TRUE(b.ok());
+  auto c = executor.Submit(Quick(record(2), 5.0, 1.0, {b.ValueOrDie()}));
+  ASSERT_TRUE(c.ok());
+  executor.Drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExecutorTest, PolicyOrdersQueuedWork) {
+  // One slow task occupies the single worker while three more queue up;
+  // EDF must then run them by deadline, not submission order.
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::atomic<bool> gate{false};
+  Executor executor(Policy("EDF"), {});
+  ASSERT_TRUE(executor
+                  .Submit(Quick([&] {
+                    while (!gate.load()) {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                    }
+                  }))
+                  .ok());
+  const auto record = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+  ASSERT_TRUE(executor.Submit(Quick(record(1), /*deadline=*/30.0)).ok());
+  ASSERT_TRUE(executor.Submit(Quick(record(2), /*deadline=*/10.0)).ok());
+  ASSERT_TRUE(executor.Submit(Quick(record(3), /*deadline=*/20.0)).ok());
+  gate.store(true);
+  executor.Drain();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(ExecutorTest, HvfRunsHeavierTasksFirst) {
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::atomic<bool> gate{false};
+  Executor executor(Policy("HVF"), {});
+  ASSERT_TRUE(executor
+                  .Submit(Quick([&] {
+                    while (!gate.load()) {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                    }
+                  }))
+                  .ok());
+  const auto record = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+  ASSERT_TRUE(executor.Submit(Quick(record(1), 5.0, /*weight=*/1.0)).ok());
+  ASSERT_TRUE(executor.Submit(Quick(record(2), 5.0, /*weight=*/9.0)).ok());
+  ASSERT_TRUE(executor.Submit(Quick(record(3), 5.0, /*weight=*/4.0)).ok());
+  gate.store(true);
+  executor.Drain();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(ExecutorTest, TasksCanSubmitMoreTasks) {
+  std::atomic<int> counter{0};
+  Executor executor(Policy("SRPT"), {});
+  std::atomic<Executor*> self{&executor};
+  ASSERT_TRUE(executor
+                  .Submit(Quick([&] {
+                    ++counter;
+                    for (int i = 0; i < 5; ++i) {
+                      ASSERT_TRUE(
+                          self.load()->Submit(Quick([&] { ++counter; }))
+                              .ok());
+                    }
+                  }))
+                  .ok());
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 6);
+}
+
+TEST(ExecutorTest, SubmitValidation) {
+  Executor executor(Policy("EDF"), {});
+  TaskSpec no_fn;
+  EXPECT_FALSE(executor.Submit(no_fn).ok());
+
+  TaskSpec bad_cost = Quick([] {});
+  bad_cost.estimated_cost = 0.0;
+  EXPECT_FALSE(executor.Submit(bad_cost).ok());
+
+  TaskSpec bad_dep = Quick([] {});
+  bad_dep.dependencies = {42};
+  EXPECT_FALSE(executor.Submit(bad_dep).ok());
+}
+
+TEST(ExecutorTest, SubmitAfterShutdownFails) {
+  Executor executor(Policy("EDF"), {});
+  executor.Shutdown();
+  EXPECT_EQ(executor.Submit(Quick([] {})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExecutorTest, TardinessMeasuredOnRealClock) {
+  Executor executor(Policy("EDF"), {});
+  auto id = executor.Submit(Quick(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); },
+      /*deadline=*/0.005));
+  ASSERT_TRUE(id.ok());
+  executor.Drain();
+  const TaskOutcome outcome = executor.OutcomeOf(id.ValueOrDie());
+  EXPECT_GT(outcome.tardiness_seconds, 0.0);
+}
+
+TEST(ExecutorTest, ShutdownDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  auto executor = std::make_unique<Executor>(Policy("ASETS"), ExecutorOptions{});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(executor->Submit(Quick([&] { ++counter; })).ok());
+  }
+  executor->Shutdown();
+  EXPECT_EQ(counter.load(), 50);
+  executor.reset();  // destructor after Shutdown is a no-op
+}
+
+TEST(ExecutorTest, DependencyOnAlreadyFinishedTaskIsImmediatelyReady) {
+  std::atomic<int> counter{0};
+  Executor executor(Policy("EDF"), {});
+  auto first = executor.Submit(Quick([&] { ++counter; }));
+  ASSERT_TRUE(first.ok());
+  executor.Drain();
+  auto second =
+      executor.Submit(Quick([&] { ++counter; }, 5.0, 1.0,
+                            {first.ValueOrDie()}));
+  ASSERT_TRUE(second.ok()) << second.status();
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace webtx::rt

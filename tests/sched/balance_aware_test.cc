@@ -1,0 +1,136 @@
+#include "sched/policies/balance_aware.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets.h"
+#include "sched/policies/single_queue_policies.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::FakeView;
+using testing::Txn;
+
+std::unique_ptr<BalanceAwarePolicy> MakeTimeBased(double rate) {
+  BalanceAwareOptions options;
+  options.mode = ActivationMode::kTimeBased;
+  options.rate = rate;
+  return std::make_unique<BalanceAwarePolicy>(std::make_unique<AsetsPolicy>(),
+                                              options);
+}
+
+// All three transactions are tardy from t=0, so inner ASETS acts as SRPT
+// and always picks T0 (shortest). T_old = argmax w_i/d_i = T2
+// (1/0.1 = 10 beats 1/0.9 and 1/4).
+std::vector<TransactionSpec> Workload() {
+  return {Txn(0, 0, 1, 0.9, 1.0), Txn(1, 0, 5, 4, 1.0),
+          Txn(2, 0, 9, 0.1, 1.0)};
+}
+
+TEST(BalanceAwareTest, NameAppendsSuffix) {
+  EXPECT_EQ(MakeTimeBased(0.01)->name(), "ASETS-BA");
+}
+
+TEST(BalanceAwareTest, DelegatesBeforeFirstActivationPeriod) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  auto policy = MakeTimeBased(0.01);  // period = 100 time units
+  policy->Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy->OnReady(id, 0.0);
+  // t=50 < 100: inner ASETS decision (all tardy -> shortest = T0).
+  EXPECT_EQ(policy->PickNext(50.0), 0u);
+  EXPECT_EQ(policy->activation_count(), 0u);
+}
+
+TEST(BalanceAwareTest, TimeBasedActivationRunsOldest) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  auto policy = MakeTimeBased(0.01);
+  policy->Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy->OnReady(id, 0.0);
+  // t=120 >= 100: forced T_old = argmax w/d = T2.
+  EXPECT_EQ(policy->PickNext(120.0), 2u);
+  EXPECT_EQ(policy->activation_count(), 1u);
+  // Immediately after, the activation clock restarted: inner decision.
+  EXPECT_EQ(policy->PickNext(121.0), 0u);
+  EXPECT_EQ(policy->activation_count(), 1u);
+}
+
+TEST(BalanceAwareTest, CountBasedActivationEveryKPoints) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  BalanceAwareOptions options;
+  options.mode = ActivationMode::kCountBased;
+  options.rate = 0.25;  // every 4 scheduling points
+  BalanceAwarePolicy policy(std::make_unique<AsetsPolicy>(), options);
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy.OnReady(id, 0.0);
+
+  EXPECT_EQ(policy.PickNext(1.0), 0u);  // point 1
+  EXPECT_EQ(policy.PickNext(2.0), 0u);  // point 2
+  EXPECT_EQ(policy.PickNext(3.0), 0u);  // point 3
+  EXPECT_EQ(policy.PickNext(4.0), 2u);  // point 4: forced T_old
+  EXPECT_EQ(policy.activation_count(), 1u);
+  EXPECT_EQ(policy.PickNext(5.0), 0u);  // counter restarted
+}
+
+TEST(BalanceAwareTest, ActivationWithEmptyReadySetDelegates) {
+  FakeView view(Workload());
+  auto policy = MakeTimeBased(0.01);
+  policy->Bind(view);
+  EXPECT_EQ(policy->PickNext(500.0), kInvalidTxn);
+  EXPECT_EQ(policy->activation_count(), 0u);
+}
+
+TEST(BalanceAwareTest, ForwardsEventsToInner) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  auto policy = MakeTimeBased(0.0001);  // effectively never activates
+  policy->Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy->OnReady(id, 0.0);
+  view.Finish(0);
+  policy->OnCompletion(0, 1.0);
+  // Inner SRPT order continues: T1 (r=5) before T2 (r=9).
+  EXPECT_EQ(policy->PickNext(1.0), 1u);
+}
+
+TEST(BalanceAwareTest, RebindResetsActivationState) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  auto policy = MakeTimeBased(0.01);
+  policy->Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy->OnReady(id, 0.0);
+  EXPECT_EQ(policy->PickNext(120.0), 2u);
+  EXPECT_EQ(policy->activation_count(), 1u);
+
+  policy->Bind(view);
+  EXPECT_EQ(policy->activation_count(), 0u);
+}
+
+TEST(BalanceAwareDeathTest, RejectsNonPositiveRate) {
+  BalanceAwareOptions options;
+  options.rate = 0.0;
+  EXPECT_DEATH(BalanceAwarePolicy(std::make_unique<AsetsPolicy>(), options),
+               "rate must be positive");
+}
+
+TEST(BalanceAwareTest, WrapsAnyPolicy) {
+  FakeView view(Workload());
+  view.ArriveAll();
+  BalanceAwareOptions options;
+  options.rate = 0.01;
+  BalanceAwarePolicy policy(std::make_unique<EdfPolicy>(), options);
+  EXPECT_EQ(policy.name(), "EDF-BA");
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy.OnReady(id, 0.0);
+  EXPECT_EQ(policy.PickNext(1.0), 2u);  // EDF: earliest deadline (T2)
+  EXPECT_EQ(policy.activation_count(), 0u);
+  EXPECT_EQ(policy.PickNext(200.0), 2u);  // forced T_old happens to be T2
+  EXPECT_EQ(policy.activation_count(), 1u);
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,159 @@
+#include "sched/indexed_priority_queue.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace webtx {
+namespace {
+
+TEST(IndexedPriorityQueueTest, EmptyQueue) {
+  IndexedPriorityQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.Contains(0));
+  EXPECT_FALSE(q.Erase(0));
+}
+
+TEST(IndexedPriorityQueueTest, PushPopInKeyOrder) {
+  IndexedPriorityQueue q;
+  q.Push(0, 5.0);
+  q.Push(1, 1.0);
+  q.Push(2, 3.0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 1u);
+  EXPECT_EQ(q.Pop(), 2u);
+  EXPECT_EQ(q.Pop(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(IndexedPriorityQueueTest, TiesBrokenByLowerId) {
+  IndexedPriorityQueue q;
+  q.Push(7, 2.0);
+  q.Push(3, 2.0);
+  q.Push(5, 2.0);
+  EXPECT_EQ(q.Pop(), 3u);
+  EXPECT_EQ(q.Pop(), 5u);
+  EXPECT_EQ(q.Pop(), 7u);
+}
+
+TEST(IndexedPriorityQueueTest, TopAndTopKey) {
+  IndexedPriorityQueue q;
+  q.Push(4, 9.0);
+  q.Push(2, 1.5);
+  EXPECT_EQ(q.Top(), 2u);
+  EXPECT_EQ(q.TopKey(), 1.5);
+  EXPECT_EQ(q.size(), 2u);  // Top does not remove
+}
+
+TEST(IndexedPriorityQueueTest, ContainsAndKeyOf) {
+  IndexedPriorityQueue q;
+  q.Push(1, 2.5);
+  EXPECT_TRUE(q.Contains(1));
+  EXPECT_FALSE(q.Contains(0));
+  EXPECT_EQ(q.KeyOf(1), 2.5);
+}
+
+TEST(IndexedPriorityQueueTest, EraseMiddleKeepsOrder) {
+  IndexedPriorityQueue q;
+  for (uint32_t id = 0; id < 10; ++id) {
+    q.Push(id, static_cast<double>(id));
+  }
+  EXPECT_TRUE(q.Erase(5));
+  EXPECT_FALSE(q.Contains(5));
+  EXPECT_FALSE(q.Erase(5));
+  std::vector<uint32_t> popped;
+  while (!q.empty()) popped.push_back(q.Pop());
+  EXPECT_EQ(popped, (std::vector<uint32_t>{0, 1, 2, 3, 4, 6, 7, 8, 9}));
+}
+
+TEST(IndexedPriorityQueueTest, UpdateMovesBothDirections) {
+  IndexedPriorityQueue q;
+  q.Push(0, 1.0);
+  q.Push(1, 2.0);
+  q.Push(2, 3.0);
+  q.Update(2, 0.5);  // up
+  EXPECT_EQ(q.Top(), 2u);
+  q.Update(2, 10.0);  // down
+  EXPECT_EQ(q.Top(), 0u);
+  q.Update(0, 5.0);
+  EXPECT_EQ(q.Top(), 1u);
+}
+
+TEST(IndexedPriorityQueueTest, PushOrUpdate) {
+  IndexedPriorityQueue q;
+  q.PushOrUpdate(3, 4.0);
+  EXPECT_EQ(q.KeyOf(3), 4.0);
+  q.PushOrUpdate(3, 1.0);
+  EXPECT_EQ(q.KeyOf(3), 1.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(IndexedPriorityQueueTest, ClearEmptiesAndAllowsReuse) {
+  IndexedPriorityQueue q;
+  q.Push(0, 1.0);
+  q.Push(1, 2.0);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Contains(0));
+  q.Push(0, 9.0);
+  EXPECT_EQ(q.Top(), 0u);
+}
+
+TEST(IndexedPriorityQueueTest, SparseIdsGrowIndex) {
+  IndexedPriorityQueue q;
+  q.Push(1000, 1.0);
+  q.Push(3, 2.0);
+  EXPECT_EQ(q.Pop(), 1000u);
+  EXPECT_EQ(q.Pop(), 3u);
+}
+
+TEST(IndexedPriorityQueueTest, PresizedConstructor) {
+  IndexedPriorityQueue q(100);
+  EXPECT_FALSE(q.Contains(50));
+  q.Push(50, 1.0);
+  EXPECT_TRUE(q.Contains(50));
+}
+
+TEST(IndexedPriorityQueueTest, RandomizedAgainstSortReference) {
+  Rng rng(1234);
+  IndexedPriorityQueue q;
+  std::vector<std::pair<double, uint32_t>> reference;
+
+  // Interleaved pushes, erases, and updates; then drain and compare.
+  for (uint32_t id = 0; id < 500; ++id) {
+    const double key = rng.NextDouble() * 100.0;
+    q.Push(id, key);
+    reference.emplace_back(key, id);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto id = static_cast<uint32_t>(rng.NextInRange(0, 499));
+    if (rng.NextDouble() < 0.5) {
+      if (q.Contains(id)) {
+        q.Erase(id);
+        reference.erase(std::find_if(reference.begin(), reference.end(),
+                                     [&](const auto& e) {
+                                       return e.second == id;
+                                     }));
+      }
+    } else if (q.Contains(id)) {
+      const double key = rng.NextDouble() * 100.0;
+      q.Update(id, key);
+      std::find_if(reference.begin(), reference.end(), [&](const auto& e) {
+        return e.second == id;
+      })->first = key;
+    }
+  }
+  std::sort(reference.begin(), reference.end());
+  for (const auto& [key, id] : reference) {
+    ASSERT_EQ(q.TopKey(), key);
+    ASSERT_EQ(q.Pop(), id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,68 @@
+#include "sched/policies/mix.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::FakeView;
+using testing::Txn;
+
+// T0: very early deadline, weight 1. T1: late deadline, weight 10.
+std::vector<TransactionSpec> Polar() {
+  return {Txn(0, 0, 5, 10, 1.0), Txn(1, 0, 5, 200, 10.0)};
+}
+
+TEST(MixTest, BetaZeroIsEdf) {
+  FakeView view(Polar());
+  view.ArriveAll();
+  MixPolicy policy(0.0);
+  policy.Bind(view);
+  policy.OnReady(0, 0.0);
+  policy.OnReady(1, 0.0);
+  EXPECT_EQ(policy.PickNext(0.0), 0u);
+}
+
+TEST(MixTest, BetaOneIsHvf) {
+  FakeView view(Polar());
+  view.ArriveAll();
+  MixPolicy policy(1.0);
+  policy.Bind(view);
+  policy.OnReady(0, 0.0);
+  policy.OnReady(1, 0.0);
+  EXPECT_EQ(policy.PickNext(0.0), 1u);
+}
+
+TEST(MixTest, IntermediateBetaBlends) {
+  // key = (1-b)*d - b*50*w. At b=0.5: T0: 5 - 25 = -20; T1: 100 - 250 =
+  // -150 -> T1 wins; at b=0.1: T0: 9 - 5 = 4; T1: 180 - 50 = 130 -> T0.
+  FakeView view(Polar());
+  view.ArriveAll();
+  MixPolicy half(0.5);
+  half.Bind(view);
+  half.OnReady(0, 0.0);
+  half.OnReady(1, 0.0);
+  EXPECT_EQ(half.PickNext(0.0), 1u);
+
+  MixPolicy tenth(0.1);
+  tenth.Bind(view);
+  tenth.OnReady(0, 0.0);
+  tenth.OnReady(1, 0.0);
+  EXPECT_EQ(tenth.PickNext(0.0), 0u);
+}
+
+TEST(MixTest, NameIncludesBeta) {
+  EXPECT_EQ(MixPolicy(0.5).name(), "MIX(0.5)");
+  EXPECT_EQ(MixPolicy(0.25).name(), "MIX(0.25)");
+}
+
+TEST(MixDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(MixPolicy(-0.1), "beta");
+  EXPECT_DEATH(MixPolicy(1.1), "beta");
+  EXPECT_DEATH(MixPolicy(0.5, 0.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace webtx

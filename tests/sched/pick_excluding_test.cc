@@ -1,0 +1,117 @@
+// Direct unit coverage of the multi-server PickNextExcluding hook: the
+// policies must return their best admissible candidate and leave their
+// internal queues exactly as they were.
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets.h"
+#include "sched/policies/asets_star.h"
+#include "sched/policies/single_queue_policies.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::FakeView;
+using testing::Txn;
+
+TEST(PickExcludingTest, SingleQueueSkipsExcludedTops) {
+  FakeView view({Txn(0, 0, 2, 10), Txn(1, 0, 2, 20), Txn(2, 0, 2, 30)});
+  view.ArriveAll();
+  EdfPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy.OnReady(id, 0.0);
+
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {}), 0u);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0}), 1u);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0, 1}), 2u);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0, 1, 2}), kInvalidTxn);
+  // Queue restored: the unexcluded pick is unchanged and sized right.
+  EXPECT_EQ(policy.PickNext(0.0), 0u);
+  EXPECT_EQ(policy.queue_size(), 3u);
+}
+
+TEST(PickExcludingTest, AsetsSkipsAcrossBothLists) {
+  // T0 meets its deadline (EDF-List); T1 and T2 are tardy (HDF-List).
+  FakeView view({Txn(0, 0, 2, 30), Txn(1, 0, 3, 1), Txn(2, 0, 5, 1)});
+  view.ArriveAll();
+  AsetsPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy.OnReady(id, 0.0);
+  const size_t edf_before = policy.edf_list_size();
+  const size_t hdf_before = policy.hdf_list_size();
+
+  const TxnId first = policy.PickNext(0.0);
+  const TxnId second = policy.PickNextExcluding(0.0, {first});
+  const TxnId third = policy.PickNextExcluding(0.0, {first, second});
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {first, second, third}),
+            kInvalidTxn);
+  // Lists restored.
+  EXPECT_EQ(policy.edf_list_size(), edf_before);
+  EXPECT_EQ(policy.hdf_list_size(), hdf_before);
+  EXPECT_EQ(policy.PickNext(0.0), first);
+}
+
+TEST(PickExcludingTest, AsetsStarFallsBackToNextReadyMember) {
+  // Diamond: T0 and T1 both ready in the workflow rooted at T2. With the
+  // preferred head excluded, the other ready member must be offered.
+  FakeView view({Txn(0, 0, 4, 10), Txn(1, 0, 4, 20),
+                 Txn(2, 0, 2, 30, 1.0, {0, 1})});
+  view.ArriveAll();
+  AsetsStarPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) {
+    policy.OnArrival(id, 0.0);
+    if (view.IsReady(id)) policy.OnReady(id, 0.0);
+  }
+  EXPECT_EQ(policy.PickNext(0.0), 0u);  // earliest-deadline head
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0}), 1u);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0, 1}), kInvalidTxn);
+  // State restored: the preferred head is back.
+  EXPECT_EQ(policy.PickNext(0.0), 0u);
+  EXPECT_EQ(policy.SnapshotOf(0).head, 0u);
+}
+
+TEST(PickExcludingTest, AsetsStarPrefersOtherWorkflowOverWorseMember) {
+  // Two workflows; excluding the top workflow's head should offer the
+  // *other workflow's* head when it beats the top workflow's remaining
+  // ready members — here each workflow has one ready member, so the
+  // second pick must come from the other workflow.
+  FakeView view({Txn(0, 0, 3, 10), Txn(1, 0, 3, 20)});
+  view.ArriveAll();
+  AsetsStarPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 2; ++id) {
+    policy.OnArrival(id, 0.0);
+    policy.OnReady(id, 0.0);
+  }
+  EXPECT_EQ(policy.PickNext(0.0), 0u);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {0}), 1u);
+}
+
+TEST(PickExcludingDeathTest, BaseImplementationRejectsExclusion) {
+  // A policy that does not override the hook only supports k = 1.
+  class MinimalPolicy final : public SchedulerPolicy {
+   public:
+    std::string name() const override { return "Minimal"; }
+    void OnReady(TxnId, SimTime) override {}
+    void OnCompletion(TxnId, SimTime) override {}
+    TxnId PickNext(SimTime) override { return kInvalidTxn; }
+
+   protected:
+    void Reset() override {}
+  };
+  FakeView view({Txn(0, 0, 1, 10)});
+  view.ArriveAll();
+  MinimalPolicy policy;
+  policy.Bind(view);
+  EXPECT_EQ(policy.PickNextExcluding(0.0, {}), kInvalidTxn);
+  EXPECT_DEATH((void)policy.PickNextExcluding(0.0, {0}),
+               "does not support multi-server");
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,80 @@
+#include "sched/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TEST(PolicyFactoryTest, CreatesEveryKnownPolicy) {
+  for (const std::string& name : KnownPolicyNames()) {
+    auto policy = CreatePolicy(name);
+    ASSERT_TRUE(policy.ok()) << name << ": " << policy.status();
+    EXPECT_EQ(policy.ValueOrDie()->name(), name);
+  }
+}
+
+TEST(PolicyFactoryTest, KnownNamesListIsComplete) {
+  const auto names = KnownPolicyNames();
+  EXPECT_EQ(names.size(), 9u);
+  for (const char* expected :
+       {"FCFS", "EDF", "SRPT", "LS", "HDF", "HVF", "ASETS", "Ready",
+        "ASETS*"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(PolicyFactoryTest, MixVariants) {
+  auto bare = CreatePolicy("MIX");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.ValueOrDie()->name(), "MIX(0.5)");
+
+  auto parameterized = CreatePolicy("MIX(0.25)");
+  ASSERT_TRUE(parameterized.ok()) << parameterized.status();
+  EXPECT_EQ(parameterized.ValueOrDie()->name(), "MIX(0.25)");
+
+  EXPECT_FALSE(CreatePolicy("MIX(1.5)").ok());
+  EXPECT_FALSE(CreatePolicy("MIX(-0.1)").ok());
+  EXPECT_FALSE(CreatePolicy("MIX(abc)").ok());
+}
+
+TEST(PolicyFactoryTest, UnknownNameFails) {
+  auto policy = CreatePolicy("RoundRobin");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyFactoryTest, BalanceAwareTimeBased) {
+  auto policy = CreatePolicy("ASETS*-BA(time=0.005)");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_EQ(policy.ValueOrDie()->name(), "ASETS*-BA");
+}
+
+TEST(PolicyFactoryTest, BalanceAwareCountBased) {
+  auto policy = CreatePolicy("ASETS-BA(count=0.05)");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_EQ(policy.ValueOrDie()->name(), "ASETS-BA");
+}
+
+TEST(PolicyFactoryTest, BalanceAwareAroundBaseline) {
+  auto policy = CreatePolicy("EDF-BA(time=0.01)");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_EQ(policy.ValueOrDie()->name(), "EDF-BA");
+}
+
+TEST(PolicyFactoryTest, MalformedBalanceAwareSpecs) {
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(time=0.005").ok());   // no ')'
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(time)").ok());        // no '='
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(weekly=0.1)").ok());  // bad mode
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(time=abc)").ok());    // bad rate
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(time=0)").ok());      // zero rate
+  EXPECT_FALSE(CreatePolicy("ASETS*-BA(time=-1)").ok());     // negative
+  EXPECT_FALSE(CreatePolicy("Nope-BA(time=0.01)").ok());     // bad inner
+}
+
+TEST(PolicyFactoryTest, EmptySpecFails) {
+  EXPECT_FALSE(CreatePolicy("").ok());
+}
+
+}  // namespace
+}  // namespace webtx

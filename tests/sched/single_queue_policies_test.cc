@@ -1,0 +1,130 @@
+#include "sched/policies/single_queue_policies.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::FakeView;
+using testing::Txn;
+
+// Four ready transactions with distinct orderings per policy dimension:
+//   id  arrival  length  deadline  weight
+//   0      0        8       40       1      earliest arrival
+//   1      1        2       30       1      shortest remaining
+//   2      2        6       20       4      highest weight & density
+//   3      3        4       10       2      earliest deadline, least slack
+std::vector<TransactionSpec> Mixed() {
+  return {Txn(0, 0, 8, 40, 1.0), Txn(1, 1, 2, 30, 1.0), Txn(2, 2, 6, 20, 4.0),
+          Txn(3, 3, 4, 10, 2.0)};
+}
+
+class SingleQueuePolicyTest : public ::testing::Test {
+ protected:
+  SingleQueuePolicyTest() : view_(Mixed()) {
+    view_.ArriveAll();
+  }
+
+  void FeedAll(SchedulerPolicy& policy, SimTime now = 3.0) {
+    policy.Bind(view_);
+    for (TxnId id = 0; id < 4; ++id) policy.OnReady(id, now);
+  }
+
+  FakeView view_;
+};
+
+TEST_F(SingleQueuePolicyTest, FcfsPicksEarliestArrival) {
+  FcfsPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 0u);
+  EXPECT_EQ(policy.name(), "FCFS");
+}
+
+TEST_F(SingleQueuePolicyTest, EdfPicksEarliestDeadline) {
+  EdfPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 3u);
+  EXPECT_EQ(policy.name(), "EDF");
+}
+
+TEST_F(SingleQueuePolicyTest, SrptPicksShortestRemaining) {
+  SrptPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 1u);
+}
+
+TEST_F(SingleQueuePolicyTest, LsPicksLeastSlack) {
+  // Slacks at t=3: T0: 40-3-8=29, T1: 30-3-2=25, T2: 20-3-6=11, T3: 10-3-4=3.
+  LsPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 3u);
+}
+
+TEST_F(SingleQueuePolicyTest, HdfPicksHighestDensity) {
+  // Densities w/r: T0: 1/8, T1: 1/2, T2: 4/6, T3: 2/4.
+  HdfPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 2u);
+}
+
+TEST_F(SingleQueuePolicyTest, HvfPicksHighestWeight) {
+  HvfPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 2u);
+}
+
+TEST_F(SingleQueuePolicyTest, CompletionRemovesFromQueue) {
+  EdfPolicy policy;
+  FeedAll(policy);
+  view_.Finish(3);
+  policy.OnCompletion(3, 4.0);
+  EXPECT_EQ(policy.PickNext(4.0), 2u);
+  EXPECT_EQ(policy.queue_size(), 3u);
+}
+
+TEST_F(SingleQueuePolicyTest, EmptyQueueReturnsInvalid) {
+  EdfPolicy policy;
+  policy.Bind(view_);
+  EXPECT_EQ(policy.PickNext(0.0), kInvalidTxn);
+}
+
+TEST_F(SingleQueuePolicyTest, SrptReordersOnRemainingUpdate) {
+  SrptPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 1u);
+  // T1 "ran" but was preempted with 1.9 left; T2 shrinks below it.
+  view_.SetRemaining(2, 0.5);
+  policy.OnRemainingUpdated(2, 5.0);
+  EXPECT_EQ(policy.PickNext(5.0), 2u);
+}
+
+TEST_F(SingleQueuePolicyTest, HdfReordersOnRemainingUpdate) {
+  HdfPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.PickNext(3.0), 2u);
+  view_.SetRemaining(1, 0.2);  // density 1/0.2 = 5 > 4/6
+  policy.OnRemainingUpdated(1, 5.0);
+  EXPECT_EQ(policy.PickNext(5.0), 1u);
+}
+
+TEST_F(SingleQueuePolicyTest, StaticPoliciesIgnoreRemainingUpdate) {
+  EdfPolicy policy;
+  FeedAll(policy);
+  view_.SetRemaining(0, 0.001);
+  policy.OnRemainingUpdated(0, 5.0);
+  EXPECT_EQ(policy.PickNext(5.0), 3u);  // still earliest deadline
+}
+
+TEST_F(SingleQueuePolicyTest, RebindResetsState) {
+  EdfPolicy policy;
+  FeedAll(policy);
+  EXPECT_EQ(policy.queue_size(), 4u);
+  policy.Bind(view_);
+  EXPECT_EQ(policy.queue_size(), 0u);
+  EXPECT_EQ(policy.PickNext(0.0), kInvalidTxn);
+}
+
+}  // namespace
+}  // namespace webtx

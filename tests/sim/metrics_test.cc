@@ -1,0 +1,78 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+TEST(MetricsTest, EmptyOutcomes) {
+  const RunResult r = RunResult::FromOutcomes("X", {}, {});
+  EXPECT_EQ(r.policy_name, "X");
+  EXPECT_EQ(r.avg_tardiness, 0.0);
+  EXPECT_EQ(r.miss_ratio, 0.0);
+  EXPECT_TRUE(r.outcomes.empty());
+}
+
+TEST(MetricsTest, AggregatesMatchDefinitions) {
+  // Definitions 4 and 5: averages over ALL N transactions (tardy or not).
+  const std::vector<TransactionSpec> specs = {
+      Txn(0, 0, 1, 10, 2.0), Txn(1, 0, 1, 10, 3.0), Txn(2, 0, 1, 10, 1.0)};
+  std::vector<TxnOutcome> outcomes(3);
+  outcomes[0] = {.finish = 12.0,
+                 .tardiness = 2.0,
+                 .weighted_tardiness = 4.0,
+                 .response = 12.0,
+                 .missed_deadline = true};
+  outcomes[1] = {.finish = 8.0,
+                 .tardiness = 0.0,
+                 .weighted_tardiness = 0.0,
+                 .response = 8.0,
+                 .missed_deadline = false};
+  outcomes[2] = {.finish = 16.0,
+                 .tardiness = 6.0,
+                 .weighted_tardiness = 6.0,
+                 .response = 16.0,
+                 .missed_deadline = true};
+
+  const RunResult r = RunResult::FromOutcomes("P", specs, outcomes);
+  EXPECT_NEAR(r.avg_tardiness, 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.avg_weighted_tardiness, 10.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.max_tardiness, 6.0);
+  EXPECT_EQ(r.max_weighted_tardiness, 6.0);
+  EXPECT_NEAR(r.miss_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.avg_response, 12.0, 1e-12);
+  EXPECT_EQ(r.makespan, 16.0);
+  EXPECT_EQ(r.outcomes.size(), 3u);
+}
+
+TEST(MetricsTest, MaxWeightedTardinessCanComeFromLowTardiness) {
+  // A small tardiness with huge weight dominates the weighted maximum.
+  const std::vector<TransactionSpec> specs = {Txn(0, 0, 1, 10, 10.0),
+                                              Txn(1, 0, 1, 10, 1.0)};
+  std::vector<TxnOutcome> outcomes(2);
+  outcomes[0] = {.finish = 11.0,
+                 .tardiness = 1.0,
+                 .weighted_tardiness = 10.0,
+                 .response = 11.0,
+                 .missed_deadline = true};
+  outcomes[1] = {.finish = 15.0,
+                 .tardiness = 5.0,
+                 .weighted_tardiness = 5.0,
+                 .response = 15.0,
+                 .missed_deadline = true};
+  const RunResult r = RunResult::FromOutcomes("P", specs, outcomes);
+  EXPECT_EQ(r.max_tardiness, 5.0);
+  EXPECT_EQ(r.max_weighted_tardiness, 10.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  const std::vector<TransactionSpec> specs = {Txn(0, 0, 1, 10)};
+  EXPECT_DEATH(RunResult::FromOutcomes("P", specs, {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace webtx

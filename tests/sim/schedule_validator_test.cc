@@ -1,0 +1,149 @@
+#include "sim/schedule_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/policy_factory.h"
+#include "sim/simulator.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+RunResult RunRecorded(const std::vector<TransactionSpec>& txns,
+                      const std::string& policy_name, size_t servers = 1) {
+  SimOptions options;
+  options.record_schedule = true;
+  options.num_servers = servers;
+  auto sim = Simulator::Create(txns, options);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  auto policy = CreatePolicy(policy_name);
+  EXPECT_TRUE(policy.ok());
+  return sim.ValueOrDie().Run(*policy.ValueOrDie());
+}
+
+TEST(ScheduleValidatorTest, AcceptsARealSchedule) {
+  const std::vector<TransactionSpec> txns = {
+      Txn(0, 0, 4, 10), Txn(1, 1, 2, 5), Txn(2, 0, 3, 20, 1.0, {0})};
+  const RunResult r = RunRecorded(txns, "SRPT");
+  EXPECT_TRUE(ValidateSchedule(txns, r, 1).ok());
+  EXPECT_FALSE(r.schedule.empty());
+}
+
+TEST(ScheduleValidatorTest, ScheduleIsOffByDefault) {
+  const std::vector<TransactionSpec> txns = {Txn(0, 0, 1, 5)};
+  auto sim = Simulator::Create(txns);
+  ASSERT_TRUE(sim.ok());
+  auto policy = CreatePolicy("EDF");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_TRUE(sim.ValueOrDie().Run(*policy.ValueOrDie()).schedule.empty());
+}
+
+TEST(ScheduleValidatorTest, SegmentsCoverPreemptions) {
+  // SRPT preempts T0 for T1: T0 must appear as two segments.
+  const std::vector<TransactionSpec> txns = {Txn(0, 0, 10, 100),
+                                             Txn(1, 3, 2, 100)};
+  const RunResult r = RunRecorded(txns, "SRPT");
+  size_t t0_segments = 0;
+  for (const auto& s : r.schedule) {
+    if (s.txn == 0) ++t0_segments;
+  }
+  EXPECT_EQ(t0_segments, 2u);
+  EXPECT_TRUE(ValidateSchedule(txns, r, 1).ok());
+}
+
+TEST(ScheduleValidatorTest, RequiresOutcomes) {
+  const std::vector<TransactionSpec> txns = {Txn(0, 0, 1, 5)};
+  SimOptions options;
+  options.record_schedule = true;
+  options.record_outcomes = false;
+  auto sim = Simulator::Create(txns, options);
+  ASSERT_TRUE(sim.ok());
+  auto policy = CreatePolicy("EDF");
+  ASSERT_TRUE(policy.ok());
+  const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  EXPECT_FALSE(ValidateSchedule(txns, r, 1).ok());
+}
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  CorruptionTest()
+      : txns_({Txn(0, 0, 4, 10), Txn(1, 1, 2, 5),
+               Txn(2, 0, 3, 20, 1.0, {0})}),
+        result_(RunRecorded(txns_, "EDF")) {}
+
+  std::vector<TransactionSpec> txns_;
+  RunResult result_;
+};
+
+TEST_F(CorruptionTest, DetectsBadServerIndex) {
+  result_.schedule[0].server = 7;
+  EXPECT_FALSE(ValidateSchedule(txns_, result_, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsEmptySegment) {
+  result_.schedule[0].end = result_.schedule[0].start;
+  EXPECT_FALSE(ValidateSchedule(txns_, result_, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsRunBeforeArrival) {
+  RunResult r = result_;
+  for (auto& s : r.schedule) {
+    if (s.txn == 1) {
+      s.start -= 1.0;  // T1 arrives at 1; pull its start before that
+      break;
+    }
+  }
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsServerOverlap) {
+  RunResult r = result_;
+  ASSERT_GE(r.schedule.size(), 2u);
+  r.schedule[1].start = r.schedule[0].start + 0.1;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsLostWork) {
+  RunResult r = result_;
+  r.schedule.pop_back();
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsFinishMismatch) {
+  RunResult r = result_;
+  r.outcomes[0].finish += 5.0;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsPrecedenceViolation) {
+  RunResult r = result_;
+  // Claim T0 finished much later; T2 (which depends on it) now appears
+  // to have started too early.
+  r.outcomes[0].finish += 3.0;
+  for (auto& s : r.schedule) {
+    if (s.txn == 0 && TimeEq(s.end, result_.outcomes[0].finish)) {
+      s.end += 3.0;
+      s.start += 3.0;
+    }
+  }
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST(ScheduleValidatorTest, MultiServerSchedulesValidate) {
+  const std::vector<TransactionSpec> txns = {
+      Txn(0, 0, 5, 10),  Txn(1, 0, 7, 12), Txn(2, 1, 2, 6),
+      Txn(3, 2, 4, 20, 1.0, {0}), Txn(4, 2, 1, 9)};
+  for (const char* name : {"FCFS", "EDF", "SRPT", "ASETS", "ASETS*"}) {
+    for (const size_t servers : {1u, 2u, 3u}) {
+      const RunResult r = RunRecorded(txns, name, servers);
+      EXPECT_TRUE(ValidateSchedule(txns, r, servers).ok())
+          << name << " k=" << servers << ": "
+          << ValidateSchedule(txns, r, servers).ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webtx

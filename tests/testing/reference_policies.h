@@ -1,0 +1,163 @@
+#ifndef WEBTX_TESTS_TESTING_REFERENCE_POLICIES_H_
+#define WEBTX_TESTS_TESTING_REFERENCE_POLICIES_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler_policy.h"
+#include "txn/workflow.h"
+
+namespace webtx::testing {
+
+/// Reference ASETS: recomputes both lists from scratch at every
+/// scheduling decision — O(n) per pick, no incremental state at all.
+/// Differential tests assert it schedules identically to the O(log n)
+/// production AsetsPolicy, which validates the latter's migration and
+/// re-keying bookkeeping.
+class NaiveAsetsPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "NaiveASETS"; }
+
+  void OnReady(TxnId, SimTime) override {}
+  void OnCompletion(TxnId, SimTime) override {}
+
+  TxnId PickNext(SimTime now) override {
+    TxnId edf_top = kInvalidTxn;
+    TxnId hdf_top = kInvalidTxn;
+    for (const TxnId id : view().ready_transactions()) {
+      const TransactionSpec& spec = view().specs()[id];
+      const SimTime r = view().remaining(id);
+      if (TimeLessEq(now + r, spec.deadline)) {
+        if (edf_top == kInvalidTxn || Less(spec.deadline, id, EdfKey(edf_top), edf_top)) {
+          edf_top = id;
+        }
+      } else {
+        if (hdf_top == kInvalidTxn ||
+            Less(HdfKey(id), id, HdfKey(hdf_top), hdf_top)) {
+          hdf_top = id;
+        }
+      }
+    }
+    if (edf_top == kInvalidTxn && hdf_top == kInvalidTxn) return kInvalidTxn;
+    if (edf_top == kInvalidTxn) return hdf_top;
+    if (hdf_top == kInvalidTxn) return edf_top;
+
+    const double r_e = view().remaining(edf_top);
+    const double r_h = view().remaining(hdf_top);
+    const double w_e = view().specs()[edf_top].weight;
+    const double w_h = view().specs()[hdf_top].weight;
+    const double s_e = view().SlackAt(edf_top, now);
+    const double s_h = view().SlackAt(hdf_top, now);
+    const double impact_e = std::max(0.0, r_e - std::max(0.0, s_h)) * w_h;
+    const double impact_h = std::max(0.0, r_h - std::max(0.0, s_e)) * w_e;
+    return impact_e < impact_h ? edf_top : hdf_top;
+  }
+
+ protected:
+  void Reset() override {}
+
+ private:
+  static bool Less(double key_a, TxnId a, double key_b, TxnId b) {
+    if (key_a != key_b) return key_a < key_b;
+    return a < b;
+  }
+  double EdfKey(TxnId id) const { return view().specs()[id].deadline; }
+  double HdfKey(TxnId id) const {
+    return view().remaining(id) / view().specs()[id].weight;
+  }
+};
+
+/// Reference ASETS*: recomputes every workflow's head/representative and
+/// both lists from scratch at every decision. Mirrors the default
+/// options of AsetsStarPolicy (earliest-deadline head, clamped impacts,
+/// ties to the HDF side).
+class NaiveAsetsStarPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "NaiveASETS*"; }
+
+  void OnReady(TxnId, SimTime) override {}
+  void OnCompletion(TxnId, SimTime) override {}
+
+  TxnId PickNext(SimTime now) override {
+    struct State {
+      bool active = false;
+      TxnId head = kInvalidTxn;
+      double d_rep = 0.0;
+      double r_rep = 0.0;
+      double w_rep = 0.0;
+    };
+    const WorkflowRegistry& registry = view().workflows();
+    WorkflowId edf_top = kInvalidWorkflow;
+    WorkflowId hdf_top = kInvalidWorkflow;
+    State edf_state;
+    State hdf_state;
+
+    for (WorkflowId wid = 0; wid < registry.num_workflows(); ++wid) {
+      State s;
+      s.d_rep = std::numeric_limits<double>::infinity();
+      s.r_rep = std::numeric_limits<double>::infinity();
+      s.w_rep = 0.0;
+      for (const TxnId m : registry.workflow(wid).members) {
+        if (view().IsFinished(m) || !view().IsArrived(m)) continue;
+        const TransactionSpec& spec = view().specs()[m];
+        s.d_rep = std::min(s.d_rep, spec.deadline);
+        s.r_rep = std::min(s.r_rep, view().remaining(m));
+        s.w_rep = std::max(s.w_rep, spec.weight);
+        if (view().IsReady(m) && HeadBetter(m, s.head)) s.head = m;
+      }
+      s.active = s.head != kInvalidTxn;
+      if (!s.active) continue;
+      if (TimeLessEq(now + s.r_rep, s.d_rep)) {
+        if (edf_top == kInvalidWorkflow ||
+            Less(s.d_rep, wid, edf_state.d_rep, edf_top)) {
+          edf_top = wid;
+          edf_state = s;
+        }
+      } else {
+        if (hdf_top == kInvalidWorkflow ||
+            Less(s.r_rep / s.w_rep, wid, hdf_state.r_rep / hdf_state.w_rep,
+                 hdf_top)) {
+          hdf_top = wid;
+          hdf_state = s;
+        }
+      }
+    }
+    if (edf_top == kInvalidWorkflow && hdf_top == kInvalidWorkflow) {
+      return kInvalidTxn;
+    }
+    if (edf_top == kInvalidWorkflow) return hdf_state.head;
+    if (hdf_top == kInvalidWorkflow) return edf_state.head;
+
+    const double r_head_e = view().remaining(edf_state.head);
+    const double r_head_h = view().remaining(hdf_state.head);
+    const double s_rep_e = edf_state.d_rep - (now + edf_state.r_rep);
+    const double s_rep_h = hdf_state.d_rep - (now + hdf_state.r_rep);
+    const double impact_e =
+        std::max(0.0, r_head_e - std::max(0.0, s_rep_h)) * hdf_state.w_rep;
+    const double impact_h =
+        std::max(0.0, r_head_h - std::max(0.0, s_rep_e)) * edf_state.w_rep;
+    return impact_e < impact_h ? edf_state.head : hdf_state.head;
+  }
+
+ protected:
+  void Reset() override {}
+
+ private:
+  static bool Less(double key_a, WorkflowId a, double key_b, WorkflowId b) {
+    if (key_a != key_b) return key_a < key_b;
+    return a < b;
+  }
+  bool HeadBetter(TxnId a, TxnId b) const {
+    if (b == kInvalidTxn) return true;
+    const double da = view().specs()[a].deadline;
+    const double db = view().specs()[b].deadline;
+    if (da != db) return da < db;
+    return a < b;
+  }
+};
+
+}  // namespace webtx::testing
+
+#endif  // WEBTX_TESTS_TESTING_REFERENCE_POLICIES_H_

@@ -1,0 +1,67 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TransactionSpec MakeTxn() {
+  TransactionSpec t;
+  t.id = 3;
+  t.arrival = 10.0;
+  t.length = 5.0;
+  t.deadline = 25.0;
+  t.weight = 2.0;
+  t.dependencies = {0, 1};
+  return t;
+}
+
+TEST(TransactionTest, SlackAtMatchesDefinition2) {
+  const TransactionSpec t = MakeTxn();
+  // s_i = d_i - (t + r_i)
+  EXPECT_EQ(t.SlackAt(10.0, 5.0), 10.0);
+  EXPECT_EQ(t.SlackAt(20.0, 5.0), 0.0);
+  EXPECT_EQ(t.SlackAt(22.0, 5.0), -2.0);
+  EXPECT_EQ(t.SlackAt(10.0, 2.0), 13.0);
+}
+
+TEST(TransactionTest, InitialSlack) {
+  const TransactionSpec t = MakeTxn();
+  EXPECT_EQ(t.InitialSlack(), 10.0);
+}
+
+TEST(TransactionTest, TardinessOfMatchesDefinition3) {
+  // t_i = 0 iff f_i <= d_i; otherwise f_i - d_i.
+  EXPECT_EQ(TardinessOf(20.0, 25.0), 0.0);
+  EXPECT_EQ(TardinessOf(25.0, 25.0), 0.0);
+  EXPECT_EQ(TardinessOf(30.0, 25.0), 5.0);
+}
+
+TEST(TransactionTest, DebugStringListsFields) {
+  const std::string s = MakeTxn().DebugString();
+  EXPECT_NE(s.find("T3"), std::string::npos);
+  EXPECT_NE(s.find("a=10"), std::string::npos);
+  EXPECT_NE(s.find("l=5"), std::string::npos);
+  EXPECT_NE(s.find("d=25"), std::string::npos);
+  EXPECT_NE(s.find("w=2"), std::string::npos);
+  EXPECT_NE(s.find("deps=[0,1]"), std::string::npos);
+}
+
+TEST(TransactionTest, DefaultsAreIndependentUnitWeight) {
+  const TransactionSpec t;
+  EXPECT_EQ(t.id, kInvalidTxn);
+  EXPECT_EQ(t.weight, 1.0);
+  EXPECT_TRUE(t.dependencies.empty());
+}
+
+TEST(SimTimeTest, EpsilonComparisons) {
+  EXPECT_TRUE(TimeLessEq(1.0, 1.0));
+  EXPECT_TRUE(TimeLessEq(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(TimeLessEq(1.0 + 1e-12, 1.0));  // within epsilon
+  EXPECT_FALSE(TimeLessEq(1.1, 1.0));
+  EXPECT_TRUE(TimeEq(2.0, 2.0 + 1e-12));
+  EXPECT_FALSE(TimeEq(2.0, 2.1));
+}
+
+}  // namespace
+}  // namespace webtx

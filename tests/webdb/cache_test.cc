@@ -1,0 +1,161 @@
+#include "webdb/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "webdb/profiler.h"
+#include "webdb/server.h"
+
+namespace webtx::webdb {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() : cache_(&db_) {
+    EXPECT_TRUE(db_.CreateTable("items", {{"name", ColumnType::kText},
+                                          {"value", ColumnType::kNumber}})
+                    .ok());
+    auto items = db_.GetTable("items").ValueOrDie();
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(items->Insert({"i" + std::to_string(i), i * 1.0}).ok());
+    }
+    query_.name = "q_items";
+    query_.table = "items";
+  }
+
+  QueryResult Execute() {
+    QueryEngine engine(&db_);
+    return engine.Execute(query_).ValueOrDie();
+  }
+
+  InMemoryDatabase db_;
+  FragmentCache cache_;
+  QuerySpec query_;
+};
+
+TEST_F(CacheTest, MissThenHit) {
+  EXPECT_EQ(cache_.Lookup(query_), nullptr);
+  EXPECT_EQ(cache_.misses(), 1u);
+  cache_.Store(query_, Execute());
+  const QueryResult* cached = cache_.Lookup(query_);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->rows.size(), 20u);
+  EXPECT_EQ(cache_.hits(), 1u);
+  EXPECT_TRUE(cache_.Fresh(query_));
+}
+
+TEST_F(CacheTest, InsertInvalidates) {
+  cache_.Store(query_, Execute());
+  ASSERT_TRUE(cache_.Fresh(query_));
+  auto items = db_.GetTable("items").ValueOrDie();
+  ASSERT_TRUE(items->Insert({std::string("new"), 99.0}).ok());
+  EXPECT_FALSE(cache_.Fresh(query_));
+  EXPECT_EQ(cache_.Lookup(query_), nullptr);
+}
+
+TEST_F(CacheTest, UpdateInvalidates) {
+  cache_.Store(query_, Execute());
+  auto items = db_.GetTable("items").ValueOrDie();
+  ASSERT_TRUE(items->UpdateCell(0, "value", 42.0).ok());
+  EXPECT_FALSE(cache_.Fresh(query_));
+}
+
+TEST_F(CacheTest, RestoringAfterChangeServesNewData) {
+  cache_.Store(query_, Execute());
+  auto items = db_.GetTable("items").ValueOrDie();
+  ASSERT_TRUE(items->Insert({std::string("new"), 99.0}).ok());
+  cache_.Store(query_, Execute());
+  const QueryResult* cached = cache_.Lookup(query_);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->rows.size(), 21u);
+}
+
+TEST_F(CacheTest, JoinQueriesTrackBothTables) {
+  ASSERT_TRUE(
+      db_.CreateTable("tags", {{"name", ColumnType::kText},
+                               {"tag", ColumnType::kText}})
+          .ok());
+  auto tags = db_.GetTable("tags").ValueOrDie();
+  ASSERT_TRUE(tags->Insert({std::string("i1"), std::string("hot")}).ok());
+
+  QuerySpec join = query_;
+  join.name = "q_join";
+  join.join_table = "tags";
+  join.join_left_column = "name";
+  join.join_right_column = "name";
+  QueryEngine engine(&db_);
+  cache_.Store(join, engine.Execute(join).ValueOrDie());
+  ASSERT_TRUE(cache_.Fresh(join));
+  // Mutating the *join* table must invalidate too.
+  ASSERT_TRUE(tags->Insert({std::string("i2"), std::string("cold")}).ok());
+  EXPECT_FALSE(cache_.Fresh(join));
+}
+
+TEST_F(CacheTest, EntriesAreKeyedByQueryClass) {
+  QuerySpec other = query_;
+  other.name = "q_other";
+  cache_.Store(query_, Execute());
+  EXPECT_FALSE(cache_.Fresh(other));
+  EXPECT_TRUE(cache_.Fresh(query_));
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(CacheTest, ClearDropsEverything) {
+  cache_.Store(query_, Execute());
+  cache_.Clear();
+  EXPECT_EQ(cache_.size(), 0u);
+  EXPECT_FALSE(cache_.Fresh(query_));
+}
+
+TEST_F(CacheTest, ServerUsesHitCostForFreshFragments) {
+  Profiler profiler;
+  PageRequestServer server(&db_, &profiler, CostModel{}, &cache_);
+
+  PageTemplate page;
+  page.name = "p";
+  FragmentTemplate frag;
+  frag.name = "f";
+  frag.query = query_;
+  frag.sla_offset = 5.0;
+  page.fragments.push_back(frag);
+
+  // Cold: length is the modeled cost (well above the hit cost).
+  ASSERT_TRUE(server.Submit(page, SubscriptionTier::kBronze, 0.0).ok());
+  EXPECT_GT(server.workload()[0].length, FragmentCache::kHitCost);
+
+  // Materialize populates the cache; the next request is a cheap lookup.
+  ASSERT_TRUE(server.MaterializeAll().ok());
+  ASSERT_TRUE(server.Submit(page, SubscriptionTier::kBronze, 1.0).ok());
+  EXPECT_EQ(server.workload()[1].length, FragmentCache::kHitCost);
+
+  // A table change makes the next request expensive again.
+  auto items = db_.GetTable("items").ValueOrDie();
+  ASSERT_TRUE(items->Insert({std::string("x"), 1.0}).ok());
+  ASSERT_TRUE(server.Submit(page, SubscriptionTier::kBronze, 2.0).ok());
+  EXPECT_GT(server.workload()[2].length, FragmentCache::kHitCost);
+}
+
+TEST_F(CacheTest, ServerMaterializeServesFromCache) {
+  Profiler profiler;
+  PageRequestServer server(&db_, &profiler, CostModel{}, &cache_);
+  PageTemplate page;
+  page.name = "p";
+  FragmentTemplate frag;
+  frag.name = "f";
+  frag.query = query_;
+  frag.sla_offset = 5.0;
+  page.fragments.push_back(frag);
+  ASSERT_TRUE(server.Submit(page, SubscriptionTier::kBronze, 0.0).ok());
+
+  auto cold = server.Materialize(0);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold.ValueOrDie().cost, FragmentCache::kHitCost);
+  auto warm = server.Materialize(0);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.ValueOrDie().cost, FragmentCache::kHitCost);
+  EXPECT_EQ(warm.ValueOrDie().rows.size(), cold.ValueOrDie().rows.size());
+  // Cache hits are not fed to the profiler (they are not executions).
+  EXPECT_EQ(profiler.ObservationCount("q_items"), 1u);
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,100 @@
+#include "webdb/database.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx::webdb {
+namespace {
+
+Schema StockSchema() {
+  return {{"symbol", ColumnType::kText}, {"price", ColumnType::kNumber}};
+}
+
+TEST(DatabaseTest, CreateAndLookupTable) {
+  InMemoryDatabase db;
+  ASSERT_TRUE(db.CreateTable("stocks", StockSchema()).ok());
+  EXPECT_TRUE(db.HasTable("stocks"));
+  EXPECT_FALSE(db.HasTable("bonds"));
+  EXPECT_EQ(db.num_tables(), 1u);
+  auto table = db.GetTable("stocks");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.ValueOrDie()->name(), "stocks");
+  EXPECT_EQ(table.ValueOrDie()->schema().size(), 2u);
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  InMemoryDatabase db;
+  ASSERT_TRUE(db.CreateTable("t", StockSchema()).ok());
+  const Status s = db.CreateTable("t", StockSchema());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, EmptySchemaRejected) {
+  InMemoryDatabase db;
+  EXPECT_EQ(db.CreateTable("t", {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, MissingTableLookupFails) {
+  InMemoryDatabase db;
+  EXPECT_EQ(db.GetTable("ghost").status().code(), StatusCode::kNotFound);
+  const InMemoryDatabase& const_db = db;
+  EXPECT_FALSE(const_db.GetTable("ghost").ok());
+}
+
+TEST(TableTest, InsertValidRow) {
+  Table t("stocks", StockSchema());
+  ASSERT_TRUE(t.Insert({std::string("IBM"), 142.5}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.rows()[0][0]), "IBM");
+  EXPECT_EQ(std::get<double>(t.rows()[0][1]), 142.5);
+}
+
+TEST(TableTest, InsertWrongArityRejected) {
+  Table t("stocks", StockSchema());
+  EXPECT_EQ(t.Insert({std::string("IBM")}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertTypeMismatchRejected) {
+  Table t("stocks", StockSchema());
+  EXPECT_FALSE(t.Insert({142.5, std::string("IBM")}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  Table t("stocks", StockSchema());
+  EXPECT_EQ(t.ColumnIndex("symbol").ValueOrDie(), 0u);
+  EXPECT_EQ(t.ColumnIndex("price").ValueOrDie(), 1u);
+  EXPECT_EQ(t.ColumnIndex("volume").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, UpdateCell) {
+  Table t("stocks", StockSchema());
+  ASSERT_TRUE(t.Insert({std::string("IBM"), 142.5}).ok());
+  ASSERT_TRUE(t.UpdateCell(0, "price", 150.0).ok());
+  EXPECT_EQ(std::get<double>(t.rows()[0][1]), 150.0);
+}
+
+TEST(TableTest, UpdateCellErrors) {
+  Table t("stocks", StockSchema());
+  ASSERT_TRUE(t.Insert({std::string("IBM"), 142.5}).ok());
+  EXPECT_EQ(t.UpdateCell(5, "price", 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.UpdateCell(0, "volume", 1.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.UpdateCell(0, "price", std::string("x")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, TypeMatching) {
+  EXPECT_TRUE(ValueMatchesType(Value{1.0}, ColumnType::kNumber));
+  EXPECT_FALSE(ValueMatchesType(Value{1.0}, ColumnType::kText));
+  EXPECT_TRUE(ValueMatchesType(Value{std::string("x")}, ColumnType::kText));
+  EXPECT_FALSE(ValueMatchesType(Value{std::string("x")},
+                                ColumnType::kNumber));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ValueToString(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(ValueToString(Value{2.5}), "2.5");
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,79 @@
+#include "webdb/page.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx::webdb {
+namespace {
+
+PageTemplate TwoFragmentPage() {
+  PageTemplate page;
+  page.name = "p";
+  FragmentTemplate a;
+  a.name = "a";
+  a.query.table = "t";
+  page.fragments.push_back(a);
+  FragmentTemplate b;
+  b.name = "b";
+  b.query.table = "t";
+  b.depends_on = {0};
+  page.fragments.push_back(b);
+  return page;
+}
+
+TEST(PageTest, ValidPageAccepted) {
+  EXPECT_TRUE(TwoFragmentPage().Validate().ok());
+}
+
+TEST(PageTest, EmptyPageRejected) {
+  PageTemplate page;
+  page.name = "empty";
+  EXPECT_FALSE(page.Validate().ok());
+}
+
+TEST(PageTest, DuplicateFragmentNamesRejected) {
+  PageTemplate page = TwoFragmentPage();
+  page.fragments[1].name = "a";
+  const Status s = page.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(PageTest, ForwardDependencyRejected) {
+  PageTemplate page = TwoFragmentPage();
+  page.fragments[0].depends_on = {1};  // depends on a later fragment
+  EXPECT_FALSE(page.Validate().ok());
+}
+
+TEST(PageTest, SelfDependencyRejected) {
+  PageTemplate page = TwoFragmentPage();
+  page.fragments[1].depends_on = {1};
+  EXPECT_FALSE(page.Validate().ok());
+}
+
+TEST(PageTest, NonPositiveSlaRejected) {
+  PageTemplate page = TwoFragmentPage();
+  page.fragments[0].sla_offset = 0.0;
+  EXPECT_FALSE(page.Validate().ok());
+}
+
+TEST(PageTest, NonPositiveWeightRejected) {
+  PageTemplate page = TwoFragmentPage();
+  page.fragments[0].base_weight = -1.0;
+  EXPECT_FALSE(page.Validate().ok());
+}
+
+TEST(PageTest, TierMultipliersAreMonotone) {
+  EXPECT_LT(TierWeightMultiplier(SubscriptionTier::kBronze),
+            TierWeightMultiplier(SubscriptionTier::kSilver));
+  EXPECT_LT(TierWeightMultiplier(SubscriptionTier::kSilver),
+            TierWeightMultiplier(SubscriptionTier::kGold));
+}
+
+TEST(PageTest, TierNames) {
+  EXPECT_STREQ(TierName(SubscriptionTier::kBronze), "bronze");
+  EXPECT_STREQ(TierName(SubscriptionTier::kSilver), "silver");
+  EXPECT_STREQ(TierName(SubscriptionTier::kGold), "gold");
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,62 @@
+#include "webdb/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx::webdb {
+namespace {
+
+TEST(ProfilerTest, FallbackForUnknownClass) {
+  Profiler p;
+  EXPECT_EQ(p.Estimate("unseen", 7.5), 7.5);
+  EXPECT_FALSE(p.HasProfile("unseen"));
+  EXPECT_EQ(p.num_classes(), 0u);
+  EXPECT_EQ(p.ObservationCount("unseen"), 0u);
+}
+
+TEST(ProfilerTest, FirstObservationSetsEstimate) {
+  Profiler p(0.25);
+  p.Observe("q", 12.0);
+  EXPECT_TRUE(p.HasProfile("q"));
+  EXPECT_EQ(p.Estimate("q", 0.0), 12.0);
+  EXPECT_EQ(p.ObservationCount("q"), 1u);
+}
+
+TEST(ProfilerTest, EwmaSmoothsSubsequentObservations) {
+  Profiler p(0.5);
+  p.Observe("q", 10.0);
+  p.Observe("q", 20.0);  // 0.5*20 + 0.5*10 = 15
+  EXPECT_NEAR(p.Estimate("q", 0.0), 15.0, 1e-12);
+  p.Observe("q", 15.0);  // 0.5*15 + 0.5*15 = 15
+  EXPECT_NEAR(p.Estimate("q", 0.0), 15.0, 1e-12);
+  EXPECT_EQ(p.ObservationCount("q"), 3u);
+}
+
+TEST(ProfilerTest, SmoothingOneTracksLatest) {
+  Profiler p(1.0);
+  p.Observe("q", 10.0);
+  p.Observe("q", 99.0);
+  EXPECT_EQ(p.Estimate("q", 0.0), 99.0);
+}
+
+TEST(ProfilerTest, ClassesAreIndependent) {
+  Profiler p;
+  p.Observe("a", 1.0);
+  p.Observe("b", 100.0);
+  EXPECT_EQ(p.Estimate("a", 0.0), 1.0);
+  EXPECT_EQ(p.Estimate("b", 0.0), 100.0);
+  EXPECT_EQ(p.num_classes(), 2u);
+}
+
+TEST(ProfilerTest, ConvergesToSteadyCost) {
+  Profiler p(0.25);
+  for (int i = 0; i < 60; ++i) p.Observe("q", 42.0);
+  EXPECT_NEAR(p.Estimate("q", 0.0), 42.0, 1e-6);
+}
+
+TEST(ProfilerDeathTest, RejectsBadSmoothing) {
+  EXPECT_DEATH(Profiler(0.0), "CHECK failed");
+  EXPECT_DEATH(Profiler(1.5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace webtx::webdb

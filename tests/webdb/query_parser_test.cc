@@ -1,0 +1,128 @@
+#include "webdb/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx::webdb {
+namespace {
+
+QuerySpec MustParse(const std::string& text) {
+  auto spec = ParseQuery(text);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status();
+  return std::move(spec).ValueOrDie();
+}
+
+TEST(QueryParserTest, BareScan) {
+  const QuerySpec spec = MustParse("SELECT * FROM stocks");
+  EXPECT_EQ(spec.table, "stocks");
+  EXPECT_TRUE(spec.filters.empty());
+  EXPECT_TRUE(spec.join_table.empty());
+  EXPECT_EQ(spec.aggregate, AggregateFn::kNone);
+}
+
+TEST(QueryParserTest, KeywordsAreCaseInsensitive) {
+  const QuerySpec spec = MustParse("select * from stocks where price > 5");
+  EXPECT_EQ(spec.table, "stocks");
+  ASSERT_EQ(spec.filters.size(), 1u);
+}
+
+TEST(QueryParserTest, NumericFilters) {
+  const QuerySpec spec = MustParse(
+      "SELECT * FROM stocks WHERE price >= 100 AND change_pct < -2.5");
+  ASSERT_EQ(spec.filters.size(), 2u);
+  EXPECT_EQ(spec.filters[0].column, "price");
+  EXPECT_EQ(spec.filters[0].op, CompareOp::kGe);
+  EXPECT_EQ(std::get<double>(spec.filters[0].literal), 100.0);
+  EXPECT_EQ(spec.filters[1].op, CompareOp::kLt);
+  EXPECT_EQ(std::get<double>(spec.filters[1].literal), -2.5);
+}
+
+TEST(QueryParserTest, StringFilterAndAllOperators) {
+  const struct {
+    const char* op_text;
+    CompareOp op;
+  } cases[] = {{"=", CompareOp::kEq},  {"!=", CompareOp::kNe},
+               {"<", CompareOp::kLt},  {"<=", CompareOp::kLe},
+               {">", CompareOp::kGt},  {">=", CompareOp::kGe}};
+  for (const auto& c : cases) {
+    const QuerySpec spec = MustParse(
+        std::string("SELECT * FROM t WHERE name ") + c.op_text + " 'abc'");
+    ASSERT_EQ(spec.filters.size(), 1u) << c.op_text;
+    EXPECT_EQ(spec.filters[0].op, c.op) << c.op_text;
+    EXPECT_EQ(std::get<std::string>(spec.filters[0].literal), "abc");
+  }
+}
+
+TEST(QueryParserTest, Join) {
+  const QuerySpec spec = MustParse(
+      "SELECT * FROM stocks JOIN portfolio ON symbol = symbol");
+  EXPECT_EQ(spec.join_table, "portfolio");
+  EXPECT_EQ(spec.join_left_column, "symbol");
+  EXPECT_EQ(spec.join_right_column, "symbol");
+}
+
+TEST(QueryParserTest, JoinSideFiltersRouteByPrefix) {
+  const QuerySpec spec = MustParse(
+      "SELECT * FROM stocks JOIN portfolio ON symbol = symbol "
+      "WHERE portfolio.user = 'alice' AND price > 10");
+  ASSERT_EQ(spec.join_filters.size(), 1u);
+  EXPECT_EQ(spec.join_filters[0].column, "user");
+  ASSERT_EQ(spec.filters.size(), 1u);
+  EXPECT_EQ(spec.filters[0].column, "price");
+}
+
+TEST(QueryParserTest, Aggregates) {
+  EXPECT_EQ(MustParse("SELECT SUM(price) FROM t").aggregate,
+            AggregateFn::kSum);
+  EXPECT_EQ(MustParse("SELECT AVG(price) FROM t").aggregate,
+            AggregateFn::kAvg);
+  EXPECT_EQ(MustParse("SELECT MIN(price) FROM t").aggregate,
+            AggregateFn::kMin);
+  EXPECT_EQ(MustParse("SELECT MAX(price) FROM t").aggregate,
+            AggregateFn::kMax);
+  const QuerySpec count = MustParse("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(count.aggregate, AggregateFn::kCount);
+  EXPECT_TRUE(count.aggregate_column.empty());
+  const QuerySpec sum = MustParse("SELECT SUM(price) FROM t");
+  EXPECT_EQ(sum.aggregate_column, "price");
+}
+
+TEST(QueryParserTest, FullQuery) {
+  const QuerySpec spec = MustParse(
+      "SELECT SUM(price) FROM stocks JOIN portfolio ON symbol = symbol "
+      "WHERE portfolio.user = 'bob' AND price >= 5");
+  EXPECT_EQ(spec.aggregate, AggregateFn::kSum);
+  EXPECT_EQ(spec.join_table, "portfolio");
+  EXPECT_EQ(spec.join_filters.size(), 1u);
+  EXPECT_EQ(spec.filters.size(), 1u);
+}
+
+TEST(QueryParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FORM stocks").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT price FROM t").ok());  // bare column
+  EXPECT_FALSE(ParseQuery("SELECT SUM price FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(price FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MEDIAN(price) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t JOIN").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t JOIN u ON a != b").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE price").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE price >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE price > 'x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t extra").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a ! 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a = #").ok());
+}
+
+TEST(QueryParserTest, CountStarOnlyForCount) {
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(QueryParserTest, ParsedSpecHasNoName) {
+  EXPECT_TRUE(MustParse("SELECT * FROM t").name.empty());
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,218 @@
+#include "webdb/query.h"
+
+#include <gtest/gtest.h>
+
+namespace webtx::webdb {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() {
+    EXPECT_TRUE(db_.CreateTable("stocks", {{"symbol", ColumnType::kText},
+                                           {"price", ColumnType::kNumber}})
+                    .ok());
+    EXPECT_TRUE(db_.CreateTable("portfolio",
+                                {{"user", ColumnType::kText},
+                                 {"symbol", ColumnType::kText},
+                                 {"qty", ColumnType::kNumber}})
+                    .ok());
+    auto stocks = db_.GetTable("stocks").ValueOrDie();
+    EXPECT_TRUE(stocks->Insert({std::string("A"), 10.0}).ok());
+    EXPECT_TRUE(stocks->Insert({std::string("B"), 20.0}).ok());
+    EXPECT_TRUE(stocks->Insert({std::string("C"), 30.0}).ok());
+    auto portfolio = db_.GetTable("portfolio").ValueOrDie();
+    EXPECT_TRUE(
+        portfolio->Insert({std::string("alice"), std::string("A"), 5.0})
+            .ok());
+    EXPECT_TRUE(
+        portfolio->Insert({std::string("alice"), std::string("C"), 2.0})
+            .ok());
+    EXPECT_TRUE(
+        portfolio->Insert({std::string("bob"), std::string("B"), 7.0}).ok());
+  }
+
+  InMemoryDatabase db_;
+  QueryEngine engine_{&db_};
+};
+
+TEST_F(QueryTest, FullScan) {
+  QuerySpec q;
+  q.table = "stocks";
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 3u);
+  EXPECT_GT(r.ValueOrDie().cost, 0.0);
+}
+
+TEST_F(QueryTest, FilterOperators) {
+  const struct {
+    CompareOp op;
+    double literal;
+    size_t expected;
+  } cases[] = {
+      {CompareOp::kEq, 20.0, 1}, {CompareOp::kNe, 20.0, 2},
+      {CompareOp::kLt, 20.0, 1}, {CompareOp::kLe, 20.0, 2},
+      {CompareOp::kGt, 20.0, 1}, {CompareOp::kGe, 20.0, 2},
+  };
+  for (const auto& c : cases) {
+    QuerySpec q;
+    q.table = "stocks";
+    q.filters = {{"price", c.op, Value{c.literal}}};
+    auto r = engine_.Execute(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie().rows.size(), c.expected)
+        << "op " << static_cast<int>(c.op);
+  }
+}
+
+TEST_F(QueryTest, TextFilter) {
+  QuerySpec q;
+  q.table = "portfolio";
+  q.filters = {{"user", CompareOp::kEq, Value{std::string("alice")}}};
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 2u);
+}
+
+TEST_F(QueryTest, ConjunctiveFilters) {
+  QuerySpec q;
+  q.table = "stocks";
+  q.filters = {{"price", CompareOp::kGt, Value{10.0}},
+               {"price", CompareOp::kLt, Value{30.0}}};
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(r.ValueOrDie().rows[0][0]), "B");
+}
+
+TEST_F(QueryTest, EquiJoin) {
+  QuerySpec q;
+  q.table = "stocks";
+  q.join_table = "portfolio";
+  q.join_left_column = "symbol";
+  q.join_right_column = "symbol";
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // A:alice, B:bob, C:alice.
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 3u);
+  // Output schema: stocks columns + portfolio columns with collision
+  // prefixing on "symbol".
+  const Schema& schema = r.ValueOrDie().schema;
+  ASSERT_EQ(schema.size(), 5u);
+  EXPECT_EQ(schema[0].name, "symbol");
+  EXPECT_EQ(schema[2].name, "user");
+  EXPECT_EQ(schema[3].name, "portfolio.symbol");
+}
+
+TEST_F(QueryTest, JoinWithBuildSideFilter) {
+  QuerySpec q;
+  q.table = "stocks";
+  q.join_table = "portfolio";
+  q.join_left_column = "symbol";
+  q.join_right_column = "symbol";
+  q.join_filters = {{"user", CompareOp::kEq, Value{std::string("alice")}}};
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 2u);  // A and C
+}
+
+TEST_F(QueryTest, AggregateCount) {
+  QuerySpec q;
+  q.name = "count_q";
+  q.table = "stocks";
+  q.aggregate = AggregateFn::kCount;
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().rows.size(), 1u);
+  EXPECT_EQ(std::get<double>(r.ValueOrDie().rows[0][0]), 3.0);
+  EXPECT_EQ(r.ValueOrDie().schema[0].name, "count_q");
+}
+
+TEST_F(QueryTest, AggregateSumAvgMinMax) {
+  const struct {
+    AggregateFn fn;
+    double expected;
+  } cases[] = {{AggregateFn::kSum, 60.0},
+               {AggregateFn::kAvg, 20.0},
+               {AggregateFn::kMin, 10.0},
+               {AggregateFn::kMax, 30.0}};
+  for (const auto& c : cases) {
+    QuerySpec q;
+    q.table = "stocks";
+    q.aggregate = c.fn;
+    q.aggregate_column = "price";
+    auto r = engine_.Execute(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(std::get<double>(r.ValueOrDie().rows[0][0]), c.expected);
+  }
+}
+
+TEST_F(QueryTest, AggregateOverJoin) {
+  // Sum of alice's holdings' prices: 10 (A) + 30 (C) = 40.
+  QuerySpec q;
+  q.table = "stocks";
+  q.join_table = "portfolio";
+  q.join_left_column = "symbol";
+  q.join_right_column = "symbol";
+  q.join_filters = {{"user", CompareOp::kEq, Value{std::string("alice")}}};
+  q.aggregate = AggregateFn::kSum;
+  q.aggregate_column = "price";
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<double>(r.ValueOrDie().rows[0][0]), 40.0);
+}
+
+TEST_F(QueryTest, AggregateOverEmptyInput) {
+  QuerySpec q;
+  q.table = "stocks";
+  q.filters = {{"price", CompareOp::kGt, Value{1000.0}}};
+  q.aggregate = AggregateFn::kSum;
+  q.aggregate_column = "price";
+  auto r = engine_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<double>(r.ValueOrDie().rows[0][0]), 0.0);
+}
+
+TEST_F(QueryTest, CostGrowsWithWorkDone) {
+  QuerySpec scan;
+  scan.table = "stocks";
+  QuerySpec join = scan;
+  join.join_table = "portfolio";
+  join.join_left_column = "symbol";
+  join.join_right_column = "symbol";
+  const double scan_cost = engine_.Execute(scan).ValueOrDie().cost;
+  const double join_cost = engine_.Execute(join).ValueOrDie().cost;
+  EXPECT_GT(join_cost, scan_cost);
+  EXPECT_GT(scan_cost, engine_.cost_model().fixed);
+}
+
+TEST_F(QueryTest, ErrorsAreReported) {
+  QuerySpec q;
+  q.table = "ghost";
+  EXPECT_EQ(engine_.Execute(q).status().code(), StatusCode::kNotFound);
+
+  q.table = "stocks";
+  q.filters = {{"volume", CompareOp::kEq, Value{1.0}}};
+  EXPECT_FALSE(engine_.Execute(q).ok());
+
+  q.filters = {{"price", CompareOp::kEq, Value{std::string("text")}}};
+  EXPECT_FALSE(engine_.Execute(q).ok());
+
+  q.filters.clear();
+  q.join_table = "portfolio";
+  q.join_left_column = "price";  // number
+  q.join_right_column = "user";  // text -> type mismatch
+  EXPECT_FALSE(engine_.Execute(q).ok());
+
+  q.join_left_column = "symbol";
+  q.join_right_column = "nope";
+  EXPECT_FALSE(engine_.Execute(q).ok());
+
+  q.join_table.clear();
+  q.aggregate = AggregateFn::kSum;
+  q.aggregate_column = "symbol";  // non-numeric
+  EXPECT_FALSE(engine_.Execute(q).ok());
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,154 @@
+#include "webdb/server.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace webtx::webdb {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() {
+    EXPECT_TRUE(
+        db_.CreateTable("items", {{"name", ColumnType::kText},
+                                  {"value", ColumnType::kNumber}})
+            .ok());
+    auto items = db_.GetTable("items").ValueOrDie();
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(
+          items->Insert({"item" + std::to_string(i), i * 1.0}).ok());
+    }
+  }
+
+  PageTemplate MakePage() const {
+    PageTemplate page;
+    page.name = "page";
+    FragmentTemplate list;
+    list.name = "list";
+    list.query.name = "q_list";
+    list.query.table = "items";
+    list.sla_offset = 5.0;
+    list.base_weight = 1.0;
+    page.fragments.push_back(list);
+
+    FragmentTemplate total;
+    total.name = "total";
+    total.query.name = "q_total";
+    total.query.table = "items";
+    total.query.aggregate = AggregateFn::kSum;
+    total.query.aggregate_column = "value";
+    total.sla_offset = 3.0;
+    total.base_weight = 2.0;
+    total.depends_on = {0};
+    page.fragments.push_back(total);
+    return page;
+  }
+
+  InMemoryDatabase db_;
+  Profiler profiler_;
+};
+
+TEST_F(ServerTest, SubmitExpandsFragmentsToTransactions) {
+  PageRequestServer server(&db_, &profiler_);
+  auto ids = server.Submit(MakePage(), SubscriptionTier::kGold, 2.0);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_EQ(ids.ValueOrDie(), (std::vector<TxnId>{0, 1}));
+  ASSERT_EQ(server.workload().size(), 2u);
+
+  const TransactionSpec& t0 = server.workload()[0];
+  const TransactionSpec& t1 = server.workload()[1];
+  EXPECT_EQ(t0.arrival, 2.0);
+  EXPECT_EQ(t0.deadline, 7.0);           // arrival + SLA offset
+  EXPECT_EQ(t0.weight, 4.0);             // 1.0 * gold (4x)
+  EXPECT_TRUE(t0.dependencies.empty());
+  EXPECT_EQ(t1.deadline, 5.0);
+  EXPECT_EQ(t1.weight, 8.0);             // 2.0 * gold
+  EXPECT_EQ(t1.dependencies, std::vector<TxnId>{0});
+  EXPECT_GT(t0.length, 0.0);
+}
+
+TEST_F(ServerTest, SecondRequestOffsetsDependencyIds) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kBronze, 0.0).ok());
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kSilver, 1.0).ok());
+  ASSERT_EQ(server.workload().size(), 4u);
+  EXPECT_EQ(server.workload()[3].dependencies, std::vector<TxnId>{2});
+  EXPECT_EQ(server.num_requests(), 2u);
+}
+
+TEST_F(ServerTest, TierScalesWeights) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kBronze, 0.0).ok());
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  EXPECT_EQ(server.workload()[0].weight * 4.0, server.workload()[2].weight);
+}
+
+TEST_F(ServerTest, RefTracksProvenance) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  const auto& ref = server.RefOf(1);
+  EXPECT_EQ(ref.request, 0u);
+  EXPECT_EQ(ref.fragment, 1u);
+  EXPECT_EQ(ref.page_name, "page");
+  EXPECT_EQ(ref.fragment_name, "total");
+  EXPECT_EQ(ref.query_class, "q_total");
+}
+
+TEST_F(ServerTest, InvalidPageRejected) {
+  PageRequestServer server(&db_, &profiler_);
+  PageTemplate bad = MakePage();
+  bad.fragments[0].sla_offset = -1.0;
+  EXPECT_FALSE(server.Submit(bad, SubscriptionTier::kGold, 0.0).ok());
+  EXPECT_TRUE(server.workload().empty());
+}
+
+TEST_F(ServerTest, NegativeArrivalRejected) {
+  PageRequestServer server(&db_, &profiler_);
+  EXPECT_FALSE(server.Submit(MakePage(), SubscriptionTier::kGold, -1.0).ok());
+}
+
+TEST_F(ServerTest, MaterializeTrainsProfiler) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  EXPECT_FALSE(profiler_.HasProfile("q_list"));
+  auto result = server.Materialize(0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().rows.size(), 50u);
+  EXPECT_TRUE(profiler_.HasProfile("q_list"));
+  EXPECT_GT(profiler_.Estimate("q_list", 0.0), 0.0);
+}
+
+TEST_F(ServerTest, MaterializeAllCoversEveryTransaction) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  ASSERT_TRUE(server.MaterializeAll().ok());
+  EXPECT_EQ(profiler_.ObservationCount("q_list"), 1u);
+  EXPECT_EQ(profiler_.ObservationCount("q_total"), 1u);
+}
+
+TEST_F(ServerTest, MaterializeUnknownIdFails) {
+  PageRequestServer server(&db_, &profiler_);
+  EXPECT_EQ(server.Materialize(0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ServerTest, ProfiledLengthsFeedSubsequentRequests) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  // Poison the profile: future submissions should use it verbatim.
+  profiler_.Observe("q_list", 123.0);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 1.0).ok());
+  EXPECT_EQ(server.workload()[2].length, 123.0);
+}
+
+TEST_F(ServerTest, WorkloadFeedsSimulator) {
+  PageRequestServer server(&db_, &profiler_);
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kGold, 0.0).ok());
+  ASSERT_TRUE(server.Submit(MakePage(), SubscriptionTier::kBronze, 0.5).ok());
+  auto sim = Simulator::Create(server.workload());
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  EXPECT_EQ(sim.ValueOrDie().workflows().num_workflows(), 2u);
+}
+
+}  // namespace
+}  // namespace webtx::webdb

@@ -1,0 +1,141 @@
+#include "workload/arrival_process.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+std::vector<SimTime> Collect(ArrivalProcess& process, Rng& rng, size_t n) {
+  std::vector<SimTime> arrivals(n);
+  for (auto& a : arrivals) a = process.Next(rng);
+  return arrivals;
+}
+
+double EmpiricalRate(const std::vector<SimTime>& arrivals) {
+  return static_cast<double>(arrivals.size()) / arrivals.back();
+}
+
+/// Index of dispersion of counts over fixed windows; 1 for Poisson,
+/// larger for bursty processes.
+double DispersionIndex(const std::vector<SimTime>& arrivals,
+                       double window) {
+  const size_t num_windows =
+      static_cast<size_t>(arrivals.back() / window);
+  std::vector<size_t> counts(num_windows, 0);
+  for (const SimTime a : arrivals) {
+    const auto w = static_cast<size_t>(a / window);
+    if (w < num_windows) ++counts[w];
+  }
+  double mean = 0.0;
+  for (const size_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(num_windows);
+  double var = 0.0;
+  for (const size_t c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(num_windows - 1);
+  return var / mean;
+}
+
+TEST(PoissonProcessTest, ArrivalsAreIncreasing) {
+  PoissonProcess process(0.5);
+  Rng rng(1);
+  SimTime prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime next = process.Next(rng);
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(PoissonProcessTest, EmpiricalRateMatches) {
+  PoissonProcess process(0.25);
+  Rng rng(2);
+  const auto arrivals = Collect(process, rng, 50000);
+  EXPECT_NEAR(EmpiricalRate(arrivals), 0.25, 0.01);
+}
+
+TEST(PoissonProcessTest, ResetRestartsClock) {
+  PoissonProcess process(1.0);
+  Rng rng(3);
+  (void)process.Next(rng);
+  (void)process.Next(rng);
+  process.Reset();
+  Rng rng2(3);
+  PoissonProcess fresh(1.0);
+  // Same RNG state would reproduce; here we only check the clock reset:
+  // the first arrival after Reset is "small" again.
+  const SimTime a = process.Next(rng2);
+  const SimTime b = fresh.Next(rng2);
+  EXPECT_LT(a, 20.0);
+  EXPECT_GT(b, 0.0);
+}
+
+TEST(OnOffProcessTest, LongRunRatePreservedAcrossBurstiness) {
+  for (const double burstiness : {0.2, 0.5, 0.8}) {
+    OnOffPoissonProcess process(0.5, burstiness);
+    Rng rng(4);
+    const auto arrivals = Collect(process, rng, 100000);
+    EXPECT_NEAR(EmpiricalRate(arrivals), 0.5, 0.05)
+        << "burstiness " << burstiness;
+  }
+}
+
+TEST(OnOffProcessTest, ArrivalsAreIncreasing) {
+  OnOffPoissonProcess process(1.0, 0.7);
+  Rng rng(5);
+  SimTime prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime next = process.Next(rng);
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(OnOffProcessTest, BurstinessRaisesDispersion) {
+  Rng rng(6);
+  PoissonProcess plain(1.0);
+  const double base = DispersionIndex(Collect(plain, rng, 100000), 100.0);
+  EXPECT_NEAR(base, 1.0, 0.25);
+
+  double prev = base;
+  for (const double burstiness : {0.5, 0.8}) {
+    OnOffPoissonProcess bursty(1.0, burstiness);
+    Rng rng2(6);
+    const double d =
+        DispersionIndex(Collect(bursty, rng2, 100000), 100.0);
+    EXPECT_GT(d, prev) << "burstiness " << burstiness;
+    prev = d;
+  }
+}
+
+TEST(OnOffProcessTest, OnFraction) {
+  EXPECT_NEAR(OnOffPoissonProcess(1.0, 0.3).on_fraction(), 0.7, 1e-12);
+}
+
+TEST(OnOffProcessTest, ResetRestarts) {
+  OnOffPoissonProcess process(1.0, 0.5);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) (void)process.Next(rng);
+  process.Reset();
+  EXPECT_GT(process.Next(rng), 0.0);
+}
+
+TEST(MakeArrivalProcessTest, DispatchesOnBurstiness) {
+  auto plain = MakeArrivalProcess(1.0, 0.0);
+  auto bursty = MakeArrivalProcess(1.0, 0.5);
+  EXPECT_NE(dynamic_cast<PoissonProcess*>(plain.get()), nullptr);
+  EXPECT_NE(dynamic_cast<OnOffPoissonProcess*>(bursty.get()), nullptr);
+}
+
+TEST(OnOffProcessDeathTest, RejectsBadBurstiness) {
+  EXPECT_DEATH(OnOffPoissonProcess(1.0, 1.0), "burstiness");
+  EXPECT_DEATH(OnOffPoissonProcess(1.0, -0.1), "burstiness");
+}
+
+}  // namespace
+}  // namespace webtx
