@@ -23,11 +23,10 @@ void RunAblation() {
   AsetsStarOptions fifo;
   fifo.head_rule = HeadSelectionRule::kFifoArrival;
 
-  AsetsStarPolicy p_earliest(earliest);
-  AsetsStarPolicy p_shortest(shortest);
-  AsetsStarPolicy p_fifo(fifo);
-  const std::vector<SchedulerPolicy*> policies = {&p_earliest, &p_shortest,
-                                                  &p_fifo};
+  const std::vector<PolicyFactory> policies = {
+      bench::FactoryOf<AsetsStarPolicy>(earliest),
+      bench::FactoryOf<AsetsStarPolicy>(shortest),
+      bench::FactoryOf<AsetsStarPolicy>(fifo)};
 
   Table table({"utilization", "earliest-deadline", "shortest-remaining",
                "fifo-arrival"});

@@ -21,11 +21,10 @@ void RunTransactionLevel() {
   AsetsOptions ties_edf = paper;
   ties_edf.ties_to_edf = true;
 
-  AsetsPolicy p_paper(paper);
-  AsetsPolicy p_unclamped(unclamped);
-  AsetsPolicy p_ties(ties_edf);
-  const std::vector<SchedulerPolicy*> policies = {&p_paper, &p_unclamped,
-                                                  &p_ties};
+  const std::vector<PolicyFactory> policies = {
+      bench::FactoryOf<AsetsPolicy>(paper),
+      bench::FactoryOf<AsetsPolicy>(unclamped),
+      bench::FactoryOf<AsetsPolicy>(ties_edf)};
 
   Table table({"utilization", "paper rule", "unclamped slack",
                "ties to EDF"});
@@ -53,11 +52,10 @@ void RunWorkflowLevel() {
   AsetsStarOptions ties_edf = paper;
   ties_edf.impact.ties_to_edf = true;
 
-  AsetsStarPolicy p_paper(paper);
-  AsetsStarPolicy p_unclamped(unclamped);
-  AsetsStarPolicy p_ties(ties_edf);
-  const std::vector<SchedulerPolicy*> policies = {&p_paper, &p_unclamped,
-                                                  &p_ties};
+  const std::vector<PolicyFactory> policies = {
+      bench::FactoryOf<AsetsStarPolicy>(paper),
+      bench::FactoryOf<AsetsStarPolicy>(unclamped),
+      bench::FactoryOf<AsetsStarPolicy>(ties_edf)};
 
   Table table({"utilization", "paper rule", "unclamped slack",
                "ties to EDF"});

@@ -9,8 +9,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
@@ -20,10 +18,7 @@ void RunForBurstiness(double burstiness, Table& summary) {
   spec.utilization = 0.5;  // modest average load; bursts do the damage
   spec.burstiness = burstiness;
 
-  EdfPolicy edf;
-  SrptPolicy srpt;
-  AsetsPolicy asets;
-  const std::vector<SchedulerPolicy*> policies = {&edf, &srpt, &asets};
+  const auto policies = bench::SpecFactories({"EDF", "SRPT", "ASETS"});
   const auto m = bench::RunPoint(spec, policies, bench::PaperSeeds());
 
   const double gain_vs_edf =

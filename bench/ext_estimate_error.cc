@@ -14,20 +14,15 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
 
-void RunSweep() {
+void RunEstimateErrorSweep() {
   WorkloadSpec spec;
   spec.utilization = 0.7;
 
-  EdfPolicy edf;
-  SrptPolicy srpt;
-  AsetsPolicy asets;
-  const std::vector<SchedulerPolicy*> policies = {&edf, &srpt, &asets};
+  const auto policies = bench::SpecFactories({"EDF", "SRPT", "ASETS"});
 
   Table table({"estimate error", "EDF", "SRPT", "ASETS*",
                "ASETS* vs best baseline %"});
@@ -53,6 +48,6 @@ void RunSweep() {
 }  // namespace webtx
 
 int main() {
-  webtx::RunSweep();
+  webtx::RunEstimateErrorSweep();
   return 0;
 }

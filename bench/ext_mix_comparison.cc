@@ -9,7 +9,6 @@
 #include "bench/bench_util.h"
 #include "sched/policies/asets_star.h"
 #include "sched/policies/mix.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
@@ -19,14 +18,10 @@ void RunComparison() {
   spec.max_weight = 10;
   spec.max_workflow_length = 5;
 
-  MixPolicy mix00(0.0);
-  MixPolicy mix25(0.25);
-  MixPolicy mix50(0.5);
-  MixPolicy mix75(0.75);
-  MixPolicy mix100(1.0);
-  AsetsStarPolicy star;
-  const std::vector<SchedulerPolicy*> policies = {&mix00, &mix25, &mix50,
-                                                  &mix75, &mix100, &star};
+  const std::vector<PolicyFactory> policies = {
+      bench::FactoryOf<MixPolicy>(0.0),  bench::FactoryOf<MixPolicy>(0.25),
+      bench::FactoryOf<MixPolicy>(0.5),  bench::FactoryOf<MixPolicy>(0.75),
+      bench::FactoryOf<MixPolicy>(1.0),  bench::FactoryOf<AsetsStarPolicy>()};
 
   Table table({"utilization", "MIX(0)", "MIX(.25)", "MIX(.5)", "MIX(.75)",
                "MIX(1)", "ASETS*", "best-MIX beta"});

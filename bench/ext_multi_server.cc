@@ -8,11 +8,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "common/check.h"
-#include "exp/table.h"
-#include "sched/policy_factory.h"
-#include "sim/simulator.h"
-#include "workload/generator.h"
 
 namespace webtx {
 namespace {
@@ -24,30 +19,17 @@ void RunForServers(size_t servers, Table& table) {
   // Arrival rate sized for ~3 busy workers; 1-2 servers are overloaded,
   // 4 servers comfortable, 8 idle-heavy.
   spec.utilization = 3.0;
-  auto generator = WorkloadGenerator::Create(spec);
-  WEBTX_CHECK(generator.ok());
 
-  const std::vector<std::string> names = {"FCFS", "EDF", "HDF", "Ready",
-                                          "ASETS*"};
-  std::vector<double> sums(names.size(), 0.0);
-  const auto seeds = bench::PaperSeeds();
-  for (const uint64_t seed : seeds) {
-    SimOptions options;
-    options.num_servers = servers;
-    options.record_outcomes = false;
-    auto sim =
-        Simulator::Create(generator.ValueOrDie().Generate(seed), options);
-    WEBTX_CHECK(sim.ok());
-    for (size_t p = 0; p < names.size(); ++p) {
-      auto policy = CreatePolicy(names[p]);
-      WEBTX_CHECK(policy.ok());
-      sums[p] += sim.ValueOrDie().Run(*policy.ValueOrDie())
-                     .avg_weighted_tardiness;
-    }
-  }
+  const auto policies =
+      bench::SpecFactories({"FCFS", "EDF", "HDF", "Ready", "ASETS*"});
+  SimOptions options;
+  options.num_servers = servers;
+  const auto m =
+      bench::RunPoint(spec, policies, bench::PaperSeeds(), options);
+
   std::vector<double> row;
-  for (const double s : sums) {
-    row.push_back(s / static_cast<double>(seeds.size()));
+  for (const bench::PolicyMetrics& metrics : m) {
+    row.push_back(metrics.avg_weighted_tardiness);
   }
   table.AddNumericRow(std::to_string(servers), row);
 }

@@ -6,11 +6,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "common/check.h"
-#include "exp/table.h"
-#include "sched/policy_factory.h"
-#include "sim/simulator.h"
-#include "workload/generator.h"
 
 namespace webtx {
 namespace {
@@ -18,33 +13,19 @@ namespace {
 void RunSweepAtCost(double cost, Table& table) {
   WorkloadSpec spec;
   spec.utilization = 0.7;
-  auto generator = WorkloadGenerator::Create(spec);
-  WEBTX_CHECK(generator.ok());
 
-  const std::vector<std::string> names = {"FCFS", "EDF", "SRPT", "ASETS"};
-  std::vector<double> sums(names.size(), 0.0);
-  std::vector<double> preemptions(names.size(), 0.0);
-  const auto seeds = bench::PaperSeeds();
-  for (const uint64_t seed : seeds) {
-    SimOptions options;
-    options.context_switch_cost = cost;
-    options.record_outcomes = false;
-    auto sim =
-        Simulator::Create(generator.ValueOrDie().Generate(seed), options);
-    WEBTX_CHECK(sim.ok());
-    for (size_t p = 0; p < names.size(); ++p) {
-      auto policy = CreatePolicy(names[p]);
-      WEBTX_CHECK(policy.ok());
-      const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
-      sums[p] += r.avg_tardiness;
-      preemptions[p] += static_cast<double>(r.num_preemptions);
-    }
-  }
+  const auto policies =
+      bench::SpecFactories({"FCFS", "EDF", "SRPT", "ASETS"});
+  SimOptions options;
+  options.context_switch_cost = cost;
+  const auto m =
+      bench::RunPoint(spec, policies, bench::PaperSeeds(), options);
+
   std::vector<double> row;
-  for (size_t p = 0; p < names.size(); ++p) {
-    row.push_back(sums[p] / static_cast<double>(seeds.size()));
+  for (const bench::PolicyMetrics& metrics : m) {
+    row.push_back(metrics.avg_tardiness);
   }
-  row.push_back(preemptions[3] / static_cast<double>(seeds.size()));
+  row.push_back(m[3].preemptions);
   table.AddNumericRow(FormatFixed(cost, 2), row);
 }
 

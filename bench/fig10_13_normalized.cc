@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
@@ -18,10 +16,7 @@ void RunForKmax(double k_max, const std::string& figure) {
   WorkloadSpec spec;
   spec.k_max = k_max;
 
-  EdfPolicy edf;
-  SrptPolicy srpt;
-  AsetsPolicy asets;
-  const std::vector<SchedulerPolicy*> policies = {&edf, &srpt, &asets};
+  const auto policies = bench::SpecFactories({"EDF", "SRPT", "ASETS"});
 
   Table table({"utilization", "ASETS*/EDF", "ASETS*/SRPT", "EDF", "SRPT",
                "ASETS*"});

@@ -7,8 +7,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets.h"
-#include "sched/policies/asets_star.h"
 
 namespace webtx {
 namespace {
@@ -18,9 +16,7 @@ void RunSetting(size_t max_len, size_t max_wf, const std::string& label) {
   spec.max_workflow_length = max_len;
   spec.max_workflows_per_txn = max_wf;
 
-  ReadyPolicy ready;
-  AsetsStarPolicy star;
-  const std::vector<SchedulerPolicy*> policies = {&ready, &star};
+  const auto policies = bench::SpecFactories({"Ready", "ASETS*"});
 
   Table table({"utilization", "Ready", "ASETS*", "improvement %"});
   double improvement_sum = 0.0;

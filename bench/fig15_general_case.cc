@@ -6,8 +6,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets_star.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
@@ -17,10 +15,7 @@ void RunFigure() {
   spec.max_weight = 10;
   spec.max_workflow_length = 5;
 
-  EdfPolicy edf;
-  HdfPolicy hdf;
-  AsetsStarPolicy star;
-  const std::vector<SchedulerPolicy*> policies = {&edf, &hdf, &star};
+  const auto policies = bench::SpecFactories({"EDF", "HDF", "ASETS*"});
 
   Table table({"utilization", "EDF", "HDF", "ASETS*"});
   int star_wins = 0;

@@ -29,8 +29,8 @@ void RunMode(ActivationMode mode, const std::vector<double>& rates,
   std::vector<uint64_t> seeds;
   for (uint64_t s = 1; s <= 15; ++s) seeds.push_back(s);
 
-  AsetsStarPolicy plain;
-  const auto baseline = bench::RunPoint(spec, {&plain}, seeds)[0];
+  const auto baseline = bench::RunPoint(
+      spec, {bench::FactoryOf<AsetsStarPolicy>()}, seeds)[0];
 
   Table table({"activation rate", "max w-tardiness ASETS*",
                "max w-tardiness BA", "worst-case gain %",
@@ -40,9 +40,11 @@ void RunMode(ActivationMode mode, const std::vector<double>& rates,
     BalanceAwareOptions options;
     options.mode = mode;
     options.rate = rate;
-    BalanceAwarePolicy balanced(std::make_unique<AsetsStarPolicy>(),
-                                options);
-    const auto m = bench::RunPoint(spec, {&balanced}, seeds)[0];
+    const PolicyFactory balanced = [options] {
+      return std::make_unique<BalanceAwarePolicy>(
+          std::make_unique<AsetsStarPolicy>(), options);
+    };
+    const auto m = bench::RunPoint(spec, {balanced}, seeds)[0];
     const double gain = (baseline.max_weighted_tardiness -
                          m.max_weighted_tardiness) /
                         baseline.max_weighted_tardiness * 100.0;
@@ -79,22 +81,24 @@ void RunLiteralSelectionAblation() {
   std::vector<uint64_t> seeds;
   for (uint64_t s = 1; s <= 15; ++s) seeds.push_back(s);
 
-  AsetsStarPolicy plain;
-  const auto baseline = bench::RunPoint(spec, {&plain}, seeds)[0];
+  const auto baseline = bench::RunPoint(
+      spec, {bench::FactoryOf<AsetsStarPolicy>()}, seeds)[0];
 
   Table table({"activation rate", "worst-case gain % (overdue)",
                "worst-case gain % (literal w/d)"});
   for (const double rate : {0.002, 0.006, 0.01}) {
     BalanceAwareOptions overdue;
     overdue.rate = rate;
-    BalanceAwarePolicy ba_overdue(std::make_unique<AsetsStarPolicy>(),
-                                  overdue);
     BalanceAwareOptions literal = overdue;
     literal.selection = OldestSelection::kWeightOverDeadline;
-    BalanceAwarePolicy ba_literal(std::make_unique<AsetsStarPolicy>(),
-                                  literal);
-    const auto m_o = bench::RunPoint(spec, {&ba_overdue}, seeds)[0];
-    const auto m_l = bench::RunPoint(spec, {&ba_literal}, seeds)[0];
+    const auto ba_factory = [](BalanceAwareOptions options) -> PolicyFactory {
+      return [options] {
+        return std::make_unique<BalanceAwarePolicy>(
+            std::make_unique<AsetsStarPolicy>(), options);
+      };
+    };
+    const auto m_o = bench::RunPoint(spec, {ba_factory(overdue)}, seeds)[0];
+    const auto m_l = bench::RunPoint(spec, {ba_factory(literal)}, seeds)[0];
     const auto gain = [&](const bench::PolicyMetrics& m) {
       return (baseline.max_weighted_tardiness - m.max_weighted_tardiness) /
              baseline.max_weighted_tardiness * 100.0;

@@ -9,8 +9,6 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "sched/policies/asets.h"
-#include "sched/policies/single_queue_policies.h"
 
 namespace webtx {
 namespace {
@@ -20,10 +18,7 @@ int RunForAlpha(double alpha, Table& crossovers) {
   WorkloadSpec spec;
   spec.zipf_alpha = alpha;
 
-  EdfPolicy edf;
-  SrptPolicy srpt;
-  AsetsPolicy asets;
-  const std::vector<SchedulerPolicy*> policies = {&edf, &srpt, &asets};
+  const auto policies = bench::SpecFactories({"EDF", "SRPT", "ASETS"});
 
   Table table({"utilization", "EDF", "SRPT", "ASETS*"});
   int crossover_step = -1;

@@ -6,7 +6,11 @@
 //       --kmax=2 --n=500 --seeds=3 --metric=avg_tardiness
 //   $ ./build/examples/policy_faceoff --weights=10 --workflow-len=5
 //       --policies=EDF,HDF,ASETS* --metric=avg_weighted_tardiness
+//   $ ./build/examples/policy_faceoff --threads=8 --progress=1
 // (flags may appear on one line; wrapped here for readability)
+//
+// The sweep fans out to --threads workers (0 = all hardware threads);
+// the table is bit-identical for every thread count.
 
 #include <cstdlib>
 #include <iostream>
@@ -32,6 +36,8 @@ struct Args {
   std::string metric = "avg_tardiness";
   webtx::WorkloadSpec spec;
   size_t seeds = 5;
+  size_t threads = 0;  // 0 = hardware concurrency
+  bool progress = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -62,6 +68,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.spec.max_workflows_per_txn = std::stoul(value);
     } else if (key == "seeds") {
       args.seeds = std::stoul(value);
+    } else if (key == "threads") {
+      args.threads = std::stoul(value);
+    } else if (key == "progress") {
+      args.progress = value != "0";
     } else {
       std::cerr << "unknown flag --" << key << "\n";
       return false;
@@ -91,6 +101,13 @@ int main(int argc, char** argv) {
   config.policies = args.policies;
   config.seeds.clear();
   for (uint64_t s = 1; s <= args.seeds; ++s) config.seeds.push_back(s);
+  config.num_threads = args.threads;
+  if (args.progress) {
+    config.progress = [](size_t completed, size_t total) {
+      std::cerr << "\rworkload instances: " << completed << "/" << total
+                << (completed == total ? "\n" : "") << std::flush;
+    };
+  }
 
   auto cells = webtx::RunSweep(config);
   if (!cells.ok()) {

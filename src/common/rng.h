@@ -22,6 +22,26 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Derives the workload-instance seed for one sweep cell from a base
+/// seed and the cell's grid coordinates. Each (base, utilization_index,
+/// replication) tuple maps to a statistically independent seed, so every
+/// replication owns its RNG stream and results are identical no matter
+/// which thread runs the cell or in what order cells complete
+/// (exp/sweep.h relies on this for its parallel engine).
+///
+/// Construction: the three coordinates are chained through SplitMix64,
+/// whose output is a bijective finalizer of its state — distinct tuples
+/// collide only with hash-level (2^-64) probability. Stable across
+/// platforms and releases; golden values are locked by
+/// tests/common/rng_derive_test.cc.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t utilization_index,
+                           uint64_t replication) {
+  uint64_t h = SplitMix64(base).Next();
+  h = SplitMix64(h ^ utilization_index).Next();
+  h = SplitMix64(h ^ replication).Next();
+  return h;
+}
+
 /// xoshiro256**: fast, high-quality 64-bit PRNG. Deterministic across
 /// platforms given the same seed, which keeps simulation runs reproducible.
 /// Satisfies the C++ UniformRandomBitGenerator requirements.

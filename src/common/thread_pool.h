@@ -1,0 +1,69 @@
+#ifndef WEBTX_COMMON_THREAD_POOL_H_
+#define WEBTX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webtx {
+
+/// A fixed-size worker pool for CPU-bound jobs, used by the experiment
+/// harness to run independent simulation replications concurrently
+/// (exp/sweep.h). Deliberately distinct from rt::Executor, which
+/// schedules *tasks by policy* on a wall clock; this pool runs opaque
+/// jobs FIFO and makes no ordering promises beyond start order.
+///
+/// Thread-safe: Submit may be called from any thread, including from
+/// jobs already running on the pool (but a job must not Wait() on the
+/// pool it runs on — that can deadlock once all workers block).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultConcurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins the workers. Jobs already queued still run to completion;
+  /// equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job` and returns a future that resolves when it finishes.
+  /// An exception thrown by the job is captured and rethrown from
+  /// future.get(); it never takes down a worker.
+  std::future<void> Submit(std::function<void()> job);
+
+  /// Blocks until every job submitted so far has finished. New jobs may
+  /// be submitted afterwards; the pool stays usable.
+  void Wait();
+
+  /// Stops accepting jobs, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  /// Number of worker threads.
+  size_t size() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  size_t in_flight_ = 0;                          // queued + running
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_THREAD_POOL_H_

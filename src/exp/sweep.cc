@@ -1,10 +1,12 @@
 #include "exp/sweep.h"
 
-#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "sched/policy_factory.h"
 #include "sim/simulator.h"
 #include "workload/generator.h"
@@ -25,6 +27,98 @@ Result<RunResult> RunOne(const WorkloadSpec& spec, uint64_t seed,
   return sim.Run(*policy);
 }
 
+Result<std::vector<PolicyFactory>> MakePolicyFactories(
+    const std::vector<std::string>& specs) {
+  std::vector<PolicyFactory> factories;
+  factories.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    // Validate now so workers can assume success.
+    WEBTX_ASSIGN_OR_RETURN(auto probe, CreatePolicy(spec));
+    (void)probe;
+    factories.push_back([spec]() {
+      auto policy = CreatePolicy(spec);
+      WEBTX_CHECK(policy.ok()) << policy.status().ToString();
+      return std::move(policy).ValueOrDie();
+    });
+  }
+  return factories;
+}
+
+namespace {
+
+/// Runs instance `i` to completion under every factory, filling
+/// `results[i]`. Everything touched here is private to the call: a fresh
+/// generator, simulator, and policy set per instance.
+Status RunOneInstance(const WorkloadInstance& instance,
+                      const std::vector<PolicyFactory>& factories,
+                      const SimOptions& sim_options,
+                      std::vector<RunResult>& out) {
+  WEBTX_ASSIGN_OR_RETURN(auto generator,
+                         WorkloadGenerator::Create(instance.spec));
+  WEBTX_ASSIGN_OR_RETURN(
+      auto sim,
+      Simulator::Create(generator.Generate(instance.seed), sim_options));
+  out.resize(factories.size());
+  for (size_t p = 0; p < factories.size(); ++p) {
+    const std::unique_ptr<SchedulerPolicy> policy = factories[p]();
+    out[p] = sim.Run(*policy);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<RunResult>>> RunInstances(
+    const std::vector<WorkloadInstance>& instances,
+    const std::vector<PolicyFactory>& factories,
+    const ParallelRunOptions& options) {
+  for (const PolicyFactory& factory : factories) {
+    if (factory == nullptr) {
+      return Status::InvalidArgument("null policy factory");
+    }
+  }
+
+  const size_t total = instances.size();
+  std::vector<std::vector<RunResult>> results(total);
+  std::vector<Status> statuses(total, Status::OK());
+
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::DefaultConcurrency()
+                                 : options.num_threads;
+  if (num_threads == 1) {
+    // Inline reference path: identical per-instance code, same
+    // positional merge, no pool.
+    for (size_t i = 0; i < total; ++i) {
+      statuses[i] =
+          RunOneInstance(instances[i], factories, options.sim, results[i]);
+      if (!statuses[i].ok()) return statuses[i];
+      if (options.progress) options.progress(i + 1, total);
+    }
+    return results;
+  }
+
+  {
+    std::mutex progress_mu;
+    size_t completed = 0;
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < total; ++i) {
+      pool.Submit([&, i] {
+        statuses[i] =
+            RunOneInstance(instances[i], factories, options.sim, results[i]);
+        if (options.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          options.progress(++completed, total);
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return results;
+}
+
 Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
   if (config.utilizations.empty()) {
     return Status::InvalidArgument("sweep has no utilization points");
@@ -35,56 +129,65 @@ Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
   if (config.seeds.empty()) {
     return Status::InvalidArgument("sweep has no seeds");
   }
+  WEBTX_ASSIGN_OR_RETURN(auto factories, MakePolicyFactories(config.policies));
 
-  // Instantiate policies once; they are reusable across runs via Bind.
-  std::vector<std::unique_ptr<SchedulerPolicy>> policies;
-  for (const std::string& spec : config.policies) {
-    WEBTX_ASSIGN_OR_RETURN(auto policy, CreatePolicy(spec));
-    policies.push_back(std::move(policy));
+  // One workload instance per (utilization, replication), each with its
+  // own DeriveSeed stream; instance index = u * num_seeds + r.
+  const size_t num_seeds = config.seeds.size();
+  std::vector<WorkloadInstance> instances;
+  instances.reserve(config.utilizations.size() * num_seeds);
+  for (size_t u = 0; u < config.utilizations.size(); ++u) {
+    for (size_t r = 0; r < num_seeds; ++r) {
+      WorkloadInstance instance;
+      instance.spec = config.base;
+      instance.spec.utilization = config.utilizations[u];
+      instance.seed = DeriveSeed(config.seeds[r], u, r);
+      instances.push_back(std::move(instance));
+    }
   }
 
-  SimOptions sim_options;
-  sim_options.record_outcomes = false;
+  ParallelRunOptions options;
+  options.sim.record_outcomes = false;
+  options.num_threads = config.num_threads;
+  options.progress = config.progress;
+  WEBTX_ASSIGN_OR_RETURN(auto runs, RunInstances(instances, factories,
+                                                 options));
 
+  // Serial merge in (utilization, replication, policy) order: the
+  // accumulation order is fixed, so means and stddevs are bit-identical
+  // no matter which worker produced each RunResult.
   std::vector<SweepCell> cells;
   cells.reserve(config.utilizations.size() * config.policies.size());
-  for (const double utilization : config.utilizations) {
-    WorkloadSpec wspec = config.base;
-    wspec.utilization = utilization;
-    WEBTX_ASSIGN_OR_RETURN(auto generator, WorkloadGenerator::Create(wspec));
-
+  for (size_t u = 0; u < config.utilizations.size(); ++u) {
     std::vector<SweepCell> row(config.policies.size());
     std::vector<StreamingStats> tardiness_stats(config.policies.size());
     std::vector<StreamingStats> weighted_stats(config.policies.size());
     for (size_t p = 0; p < config.policies.size(); ++p) {
-      row[p].utilization = utilization;
+      row[p].utilization = config.utilizations[u];
       row[p].policy = config.policies[p];
     }
-    for (const uint64_t seed : config.seeds) {
-      WEBTX_ASSIGN_OR_RETURN(auto sim,
-                             Simulator::Create(generator.Generate(seed),
-                                               sim_options));
-      for (size_t p = 0; p < policies.size(); ++p) {
-        const RunResult r = sim.Run(*policies[p]);
-        tardiness_stats[p].Add(r.avg_tardiness);
-        weighted_stats[p].Add(r.avg_weighted_tardiness);
-        row[p].max_tardiness += r.max_tardiness;
-        row[p].max_weighted_tardiness += r.max_weighted_tardiness;
-        row[p].miss_ratio += r.miss_ratio;
-        row[p].avg_response += r.avg_response;
+    for (size_t r = 0; r < num_seeds; ++r) {
+      const std::vector<RunResult>& run = runs[u * num_seeds + r];
+      for (size_t p = 0; p < config.policies.size(); ++p) {
+        tardiness_stats[p].Add(run[p].avg_tardiness);
+        weighted_stats[p].Add(run[p].avg_weighted_tardiness);
+        row[p].max_tardiness += run[p].max_tardiness;
+        row[p].max_weighted_tardiness += run[p].max_weighted_tardiness;
+        row[p].miss_ratio += run[p].miss_ratio;
+        row[p].avg_response += run[p].avg_response;
       }
     }
-    const auto num_seeds = static_cast<double>(config.seeds.size());
+    const auto n = static_cast<double>(num_seeds);
     for (size_t p = 0; p < row.size(); ++p) {
       SweepCell& cell = row[p];
       cell.avg_tardiness = tardiness_stats[p].mean();
       cell.avg_tardiness_stddev = tardiness_stats[p].stddev();
       cell.avg_weighted_tardiness = weighted_stats[p].mean();
       cell.avg_weighted_tardiness_stddev = weighted_stats[p].stddev();
-      cell.max_tardiness /= num_seeds;
-      cell.max_weighted_tardiness /= num_seeds;
-      cell.miss_ratio /= num_seeds;
-      cell.avg_response /= num_seeds;
+      cell.max_tardiness /= n;
+      cell.max_weighted_tardiness /= n;
+      cell.miss_ratio /= n;
+      cell.avg_response /= n;
       cells.push_back(std::move(cell));
     }
   }

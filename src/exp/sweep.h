@@ -1,12 +1,17 @@
 #ifndef WEBTX_EXP_SWEEP_H_
 #define WEBTX_EXP_SWEEP_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "sched/scheduler_policy.h"
 #include "sim/metrics.h"
+#include "sim/simulator.h"
 #include "workload/spec.h"
 
 namespace webtx {
@@ -27,6 +32,13 @@ struct SweepCell {
   double avg_weighted_tardiness_stddev = 0.0;
 };
 
+/// Called as workload instances complete: `completed` out of `total`
+/// (utilization, replication) instances are done. Invoked from worker
+/// threads, but never concurrently (the engine serializes calls);
+/// completion order varies run to run, so only `completed / total` is
+/// meaningful — never use the callback to infer which cell finished.
+using SweepProgressFn = std::function<void(size_t completed, size_t total)>;
+
 /// A utilization sweep over a set of policies, the workhorse behind every
 /// figure in Sec. IV.
 struct SweepConfig {
@@ -36,14 +48,28 @@ struct SweepConfig {
   std::vector<double> utilizations;
   /// Policy specs understood by CreatePolicy (sched/policy_factory.h).
   std::vector<std::string> policies;
-  /// Seeds averaged per cell (paper: five runs).
+  /// Seeds averaged per cell (paper: five runs). Each seed is the `base`
+  /// of DeriveSeed (common/rng.h); the workload instance for utilization
+  /// index u and replication r is generated from DeriveSeed(seeds[r], u,
+  /// r), so every cell owns an independent RNG stream.
   std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
+  /// Worker threads to fan workload instances out to. 0 = hardware
+  /// concurrency, 1 = run inline on the calling thread. Results are
+  /// bit-identical for every value (see RunSweep).
+  size_t num_threads = 0;
+  /// Optional progress reporting; see SweepProgressFn.
+  SweepProgressFn progress;
 };
 
-/// Runs the full sweep. Every (utilization, seed) pair generates one
-/// workload instance, replayed under each policy, so policies are compared
-/// on identical inputs. Cells are ordered utilization-major, then in
-/// `config.policies` order.
+/// Runs the full sweep. Every (utilization, replication) pair generates
+/// one workload instance, replayed under each policy, so policies are
+/// compared on identical inputs. Cells are ordered utilization-major,
+/// then in `config.policies` order.
+///
+/// Instances are independent and run concurrently on `num_threads`
+/// workers; per-cell seeds come from DeriveSeed and cells are merged
+/// back on the calling thread in serial order, so the returned vector is
+/// byte-identical regardless of thread count or completion order.
 Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config);
 
 /// Runs one workload under one policy spec (convenience for examples).
@@ -52,6 +78,49 @@ Result<RunResult> RunOne(const WorkloadSpec& spec, uint64_t seed,
 
 /// Default utilization grid 0.1, 0.2, ..., 1.0 (paper Table I).
 std::vector<double> PaperUtilizationGrid();
+
+// ---------------------------------------------------------------------------
+// Generic parallel replication engine (the layer RunSweep and the bench
+// harnesses are built on).
+
+/// Creates a fresh policy instance per call. Factories are invoked from
+/// worker threads — one instance per workload instance per policy, never
+/// shared — so they must be thread-safe and deterministic (same call,
+/// same policy behavior).
+using PolicyFactory = std::function<std::unique_ptr<SchedulerPolicy>()>;
+
+/// Wraps CreatePolicy specs as factories, validating every spec eagerly
+/// (the returned factories cannot fail).
+Result<std::vector<PolicyFactory>> MakePolicyFactories(
+    const std::vector<std::string>& specs);
+
+/// One workload to synthesize and replay: `spec` is passed to
+/// WorkloadGenerator, `seed` to Generate.
+struct WorkloadInstance {
+  WorkloadSpec spec;
+  uint64_t seed = 1;
+};
+
+struct ParallelRunOptions {
+  /// Simulator knobs applied to every run.
+  SimOptions sim;
+  /// 0 = hardware concurrency, 1 = inline on the calling thread.
+  size_t num_threads = 0;
+  /// Optional progress reporting; see SweepProgressFn.
+  SweepProgressFn progress;
+};
+
+/// Replays every instance under every policy: result[i][p] is
+/// instances[i] run under factories[p]. Instances fan out to a
+/// common/ThreadPool (each worker builds its own Simulator and policy
+/// objects, so nothing mutable is shared); results are collected
+/// positionally, making the output bit-identical for any thread count.
+/// On generator/workload errors, the first failing instance (in index
+/// order) determines the returned status.
+Result<std::vector<std::vector<RunResult>>> RunInstances(
+    const std::vector<WorkloadInstance>& instances,
+    const std::vector<PolicyFactory>& factories,
+    const ParallelRunOptions& options = {});
 
 }  // namespace webtx
 

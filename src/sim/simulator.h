@@ -45,6 +45,16 @@ struct SimOptions {
 ///   auto sim = Simulator::Create(specs, options);
 ///   EdfPolicy policy;
 ///   RunResult r = sim.ValueOrDie().Run(policy);
+///
+/// Thread safety: a Simulator is NOT thread-safe and must never be
+/// shared across threads — Run() mutates per-transaction runtime state
+/// in place (it resets that state on entry, so sequential reuse across
+/// policies on ONE thread is fine). The parallel sweep engine
+/// (exp/sweep.h) gets its parallelism by constructing an independent
+/// Simulator + SchedulerPolicy per workload instance per worker, never
+/// by sharing one. The same rule applies to SchedulerPolicy objects:
+/// Bind() resets policy state, but concurrent Run() calls against one
+/// policy object race on its queues.
 class Simulator final : public SimView {
  public:
   /// Validates the workload (dense ids, acyclic dependencies, positive

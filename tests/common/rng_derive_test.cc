@@ -1,0 +1,69 @@
+#include <cstdint>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace webtx {
+namespace {
+
+// DeriveSeed is a stability contract: CSVs regenerated on any platform
+// or release must come from the same workload instances. These goldens
+// lock the mapping; a failure here means every recorded experiment
+// changes meaning.
+TEST(DeriveSeedTest, GoldenValues) {
+  EXPECT_EQ(DeriveSeed(0, 0, 0), 0x238275bc38fcbe91ULL);
+  EXPECT_EQ(DeriveSeed(1, 0, 0), 0xb18a02f46d8d86c3ULL);
+  EXPECT_EQ(DeriveSeed(1, 0, 1), 0x6c5795e14b3b7e33ULL);
+  EXPECT_EQ(DeriveSeed(1, 1, 0), 0x5775264a9a7e1b09ULL);
+  EXPECT_EQ(DeriveSeed(5, 9, 4), 0xb164569d292d1564ULL);
+  EXPECT_EQ(DeriveSeed(~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0}),
+            0x595b17f487c0e71bULL);
+}
+
+TEST(DeriveSeedTest, DeterministicAcrossCalls) {
+  for (uint64_t base = 0; base < 4; ++base) {
+    EXPECT_EQ(DeriveSeed(base, 3, 7), DeriveSeed(base, 3, 7));
+  }
+}
+
+TEST(DeriveSeedTest, EveryCoordinateMatters) {
+  const uint64_t reference = DeriveSeed(10, 20, 30);
+  EXPECT_NE(DeriveSeed(11, 20, 30), reference);
+  EXPECT_NE(DeriveSeed(10, 21, 30), reference);
+  EXPECT_NE(DeriveSeed(10, 20, 31), reference);
+  // Coordinates are not interchangeable (no symmetric mixing).
+  EXPECT_NE(DeriveSeed(20, 10, 30), reference);
+  EXPECT_NE(DeriveSeed(10, 30, 20), reference);
+}
+
+// A full sweep grid (10 base seeds x 10 utilization points x 8
+// replications) must map to 800 distinct instance seeds: a collision
+// would silently average a replication with itself.
+TEST(DeriveSeedTest, CollisionFreeAcrossSweepGrid) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t base = 1; base <= 10; ++base) {
+    for (uint64_t u = 0; u < 10; ++u) {
+      for (uint64_t r = 0; r < 8; ++r) {
+        seen.insert(DeriveSeed(base, u, r));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 800u);
+}
+
+// Derived seeds feed Rng::Seed directly, so they should not be
+// degenerate (all zero / tiny) even for degenerate inputs.
+TEST(DeriveSeedTest, OutputsAreWellMixed) {
+  int high_bit_set = 0;
+  for (uint64_t r = 0; r < 64; ++r) {
+    if (DeriveSeed(0, 0, r) >> 63) ++high_bit_set;
+  }
+  // ~32 expected; a wide margin guards against a broken finalizer.
+  EXPECT_GT(high_bit_set, 10);
+  EXPECT_LT(high_bit_set, 54);
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::DefaultConcurrency());
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, FutureResolvesWhenJobFinishes) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<void> future = pool.Submit([&ran] { ran.store(true); });
+  future.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFutureNotWorker) {
+  ThreadPool pool(1);
+  std::future<void> failing =
+      pool.Submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The worker survived the throw and still runs later jobs.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitDrainsAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoJobsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, JobsMaySubmitMoreJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::promise<void> inner_done;
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      inner_done.set_value();
+    });
+  });
+  inner_done.get_future().get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitRacesFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8 * 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool: queued jobs still run before workers join
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace webtx

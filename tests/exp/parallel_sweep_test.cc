@@ -1,0 +1,187 @@
+// Differential tests for the parallel sweep engine: the documented
+// contract (sweep.h) is that RunSweep output is BYTE-identical for every
+// thread count. Every double is compared with exact equality on purpose
+// — a single reordered floating-point accumulation would break
+// reproducibility of the recorded CSVs.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.h"
+
+namespace webtx {
+namespace {
+
+SweepConfig BaseConfig() {
+  SweepConfig config;
+  config.base.num_transactions = 120;
+  config.utilizations = {0.2, 0.6, 1.0};
+  config.policies = {"EDF", "SRPT", "ASETS", "FCFS"};
+  config.seeds = {1, 2, 3};
+  return config;
+}
+
+void ExpectBitIdentical(const std::vector<SweepCell>& a,
+                        const std::vector<SweepCell>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " (" + a[i].policy + ")");
+    EXPECT_EQ(a[i].utilization, b[i].utilization);
+    EXPECT_EQ(a[i].policy, b[i].policy);
+    EXPECT_EQ(a[i].avg_tardiness, b[i].avg_tardiness);
+    EXPECT_EQ(a[i].avg_weighted_tardiness, b[i].avg_weighted_tardiness);
+    EXPECT_EQ(a[i].max_tardiness, b[i].max_tardiness);
+    EXPECT_EQ(a[i].max_weighted_tardiness, b[i].max_weighted_tardiness);
+    EXPECT_EQ(a[i].miss_ratio, b[i].miss_ratio);
+    EXPECT_EQ(a[i].avg_response, b[i].avg_response);
+    EXPECT_EQ(a[i].avg_tardiness_stddev, b[i].avg_tardiness_stddev);
+    EXPECT_EQ(a[i].avg_weighted_tardiness_stddev,
+              b[i].avg_weighted_tardiness_stddev);
+  }
+}
+
+TEST(ParallelSweepTest, ThreadCountDoesNotChangeCells) {
+  SweepConfig serial = BaseConfig();
+  serial.num_threads = 1;
+  auto reference = RunSweep(serial);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (const size_t num_threads : {2u, 8u}) {
+    SweepConfig parallel = BaseConfig();
+    parallel.num_threads = num_threads;
+    auto cells = RunSweep(parallel);
+    ASSERT_TRUE(cells.ok()) << cells.status();
+    SCOPED_TRACE("num_threads = " + std::to_string(num_threads));
+    ExpectBitIdentical(reference.ValueOrDie(), cells.ValueOrDie());
+  }
+}
+
+TEST(ParallelSweepTest, HardwareConcurrencyDefaultMatchesSerial) {
+  SweepConfig serial = BaseConfig();
+  serial.num_threads = 1;
+  SweepConfig defaulted = BaseConfig();
+  defaulted.num_threads = 0;  // hardware concurrency
+  auto a = RunSweep(serial);
+  auto b = RunSweep(defaulted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitIdentical(a.ValueOrDie(), b.ValueOrDie());
+}
+
+TEST(ParallelSweepTest, RepeatedParallelRunsAreIdentical) {
+  SweepConfig config = BaseConfig();
+  config.num_threads = 8;
+  auto a = RunSweep(config);
+  auto b = RunSweep(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitIdentical(a.ValueOrDie(), b.ValueOrDie());
+}
+
+TEST(ParallelSweepTest, CellOrderingIsUtilizationMajorPolicyMinor) {
+  SweepConfig config = BaseConfig();
+  config.num_threads = 8;
+  auto cells = RunSweep(config);
+  ASSERT_TRUE(cells.ok());
+  const auto& v = cells.ValueOrDie();
+  ASSERT_EQ(v.size(), config.utilizations.size() * config.policies.size());
+  for (size_t u = 0; u < config.utilizations.size(); ++u) {
+    for (size_t p = 0; p < config.policies.size(); ++p) {
+      const SweepCell& cell = v[u * config.policies.size() + p];
+      EXPECT_EQ(cell.utilization, config.utilizations[u]);
+      EXPECT_EQ(cell.policy, config.policies[p]);
+    }
+  }
+}
+
+TEST(ParallelSweepTest, StddevFieldsSurviveParallelMerge) {
+  SweepConfig config = BaseConfig();
+  config.utilizations = {0.9};
+  config.seeds = {1, 2, 3, 4, 5};
+  config.num_threads = 4;
+  auto cells = RunSweep(config);
+  ASSERT_TRUE(cells.ok());
+  for (const SweepCell& cell : cells.ValueOrDie()) {
+    EXPECT_GT(cell.avg_tardiness_stddev, 0.0) << cell.policy;
+  }
+}
+
+TEST(ParallelSweepTest, ProgressReportsEveryInstanceExactlyOnce) {
+  SweepConfig config = BaseConfig();
+  config.num_threads = 4;
+  std::mutex mu;
+  std::vector<size_t> completions;
+  size_t last_total = 0;
+  config.progress = [&](size_t completed, size_t total) {
+    std::lock_guard<std::mutex> lock(mu);
+    completions.push_back(completed);
+    last_total = total;
+  };
+  auto cells = RunSweep(config);
+  ASSERT_TRUE(cells.ok());
+  const size_t expected = config.utilizations.size() * config.seeds.size();
+  EXPECT_EQ(last_total, expected);
+  ASSERT_EQ(completions.size(), expected);
+  // The engine serializes callbacks, so `completed` is strictly 1..N.
+  for (size_t i = 0; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i], i + 1);
+  }
+}
+
+TEST(ParallelSweepTest, RunInstancesIsPositional) {
+  WorkloadSpec spec;
+  spec.num_transactions = 50;
+  spec.utilization = 0.5;
+  std::vector<WorkloadInstance> instances;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    instances.push_back(WorkloadInstance{spec, seed});
+  }
+  auto factories = MakePolicyFactories({"EDF", "SRPT"});
+  ASSERT_TRUE(factories.ok());
+
+  ParallelRunOptions serial;
+  serial.num_threads = 1;
+  ParallelRunOptions parallel;
+  parallel.num_threads = 4;
+  auto a = RunInstances(instances, factories.ValueOrDie(), serial);
+  auto b = RunInstances(instances, factories.ValueOrDie(), parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.ValueOrDie().size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(a.ValueOrDie()[i].size(), 2u);
+    for (size_t p = 0; p < 2; ++p) {
+      EXPECT_EQ(a.ValueOrDie()[i][p].avg_tardiness,
+                b.ValueOrDie()[i][p].avg_tardiness);
+      EXPECT_EQ(a.ValueOrDie()[i][p].policy_name,
+                b.ValueOrDie()[i][p].policy_name);
+    }
+  }
+}
+
+TEST(ParallelSweepTest, WorkloadErrorsPropagateFromWorkers) {
+  WorkloadSpec bad;
+  bad.num_transactions = 0;  // rejected by WorkloadGenerator::Create
+  WorkloadSpec good;
+  good.num_transactions = 20;
+  auto factories = MakePolicyFactories({"EDF"});
+  ASSERT_TRUE(factories.ok());
+  ParallelRunOptions options;
+  options.num_threads = 4;
+  auto result = RunInstances({WorkloadInstance{good, 1},
+                              WorkloadInstance{bad, 2}},
+                             factories.ValueOrDie(), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParallelSweepTest, UnknownPolicyFailsBeforeAnySimulation) {
+  auto factories = MakePolicyFactories({"EDF", "NoSuchPolicy"});
+  ASSERT_FALSE(factories.ok());
+  EXPECT_EQ(factories.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,0 +1,202 @@
+// Contention stress for rt::Executor's thread-safety claim: many
+// concurrent submitters, self-expanding tasks (tasks that Submit from
+// worker threads), and dependency chains, checked under sanitizers (see
+// the `tsan` CMake preset). Assertions are on aggregate invariants —
+// counts and outcome monotonicity — since wall-clock interleavings vary.
+
+#include "rt/executor.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/policy_factory.h"
+
+namespace webtx::rt {
+namespace {
+
+std::unique_ptr<Executor> MakeExecutor(const std::string& policy_spec,
+                                       size_t workers) {
+  auto policy = CreatePolicy(policy_spec);
+  EXPECT_TRUE(policy.ok()) << policy.status();
+  ExecutorOptions options;
+  options.num_workers = workers;
+  return std::make_unique<Executor>(std::move(policy).ValueOrDie(), options);
+}
+
+TaskSpec QuickTask(std::atomic<size_t>& counter) {
+  TaskSpec task;
+  task.estimated_cost = 0.0005;
+  task.relative_deadline = 5.0;
+  task.fn = [&counter] { counter.fetch_add(1); };
+  return task;
+}
+
+TEST(ExecutorStressTest, ManyConcurrentSubmitters) {
+  constexpr size_t kSubmitters = 8;
+  constexpr size_t kTasksPerSubmitter = 60;
+  auto executor = MakeExecutor("EDF", 4);
+  std::atomic<size_t> executed{0};
+  std::atomic<size_t> accepted{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (size_t i = 0; i < kTasksPerSubmitter; ++i) {
+        auto id = executor->Submit(QuickTask(executed));
+        ASSERT_TRUE(id.ok()) << id.status();
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  executor->Drain();
+
+  EXPECT_EQ(accepted.load(), kSubmitters * kTasksPerSubmitter);
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksPerSubmitter);
+  EXPECT_EQ(executor->finished_count(), kSubmitters * kTasksPerSubmitter);
+}
+
+TEST(ExecutorStressTest, SelfExpandingTasks) {
+  // Each root task spawns children from inside a worker thread, three
+  // levels deep: 8 roots * (1 + 2 + 4) = 56 tasks.
+  auto executor = MakeExecutor("SRPT", 4);
+  std::atomic<size_t> executed{0};
+  std::atomic<size_t> submit_failures{0};
+
+  std::function<void(size_t)> spawn = [&](size_t depth) {
+    executed.fetch_add(1);
+    if (depth == 0) return;
+    for (int child = 0; child < 2; ++child) {
+      TaskSpec task;
+      task.estimated_cost = 0.0005;
+      task.relative_deadline = 5.0;
+      task.fn = [&spawn, depth] { spawn(depth - 1); };
+      if (!executor->Submit(std::move(task)).ok()) {
+        submit_failures.fetch_add(1);
+      }
+    }
+  };
+
+  for (int root = 0; root < 8; ++root) {
+    TaskSpec task;
+    task.estimated_cost = 0.0005;
+    task.relative_deadline = 5.0;
+    task.fn = [&spawn] { spawn(2); };
+    ASSERT_TRUE(executor->Submit(std::move(task)).ok());
+  }
+  // One Drain suffices even though tasks self-expand: children are
+  // submitted from inside the parent's fn, before the parent counts as
+  // finished, so finished == submitted implies nothing is running and
+  // nothing more can appear.
+  executor->Drain();
+
+  EXPECT_EQ(submit_failures.load(), 0u);
+  EXPECT_EQ(executed.load(), 8u * 7u);
+  EXPECT_EQ(executor->finished_count(), 8u * 7u);
+}
+
+TEST(ExecutorStressTest, DependencyChainsAcrossSubmitters) {
+  // Each submitter builds its own dependency chain; tasks append their
+  // sequence number to a per-chain log, so dependency order violations
+  // surface as out-of-order logs even under full contention.
+  constexpr size_t kChains = 6;
+  constexpr size_t kChainLength = 40;
+  auto executor = MakeExecutor("EDF", 4);
+  std::vector<std::vector<size_t>> logs(kChains);
+  std::vector<std::mutex> log_mus(kChains);
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kChains);
+  for (size_t c = 0; c < kChains; ++c) {
+    submitters.emplace_back([&, c] {
+      TxnId previous = kInvalidTxn;
+      for (size_t i = 0; i < kChainLength; ++i) {
+        TaskSpec task;
+        task.estimated_cost = 0.0005;
+        task.relative_deadline = 5.0;
+        if (previous != kInvalidTxn) task.dependencies = {previous};
+        task.fn = [&logs, &log_mus, c, i] {
+          std::lock_guard<std::mutex> lock(log_mus[c]);
+          logs[c].push_back(i);
+        };
+        auto id = executor->Submit(std::move(task));
+        ASSERT_TRUE(id.ok()) << id.status();
+        previous = id.ValueOrDie();
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  executor->Drain();
+
+  EXPECT_EQ(executor->finished_count(), kChains * kChainLength);
+  for (size_t c = 0; c < kChains; ++c) {
+    ASSERT_EQ(logs[c].size(), kChainLength) << "chain " << c;
+    for (size_t i = 0; i < kChainLength; ++i) {
+      EXPECT_EQ(logs[c][i], i) << "chain " << c << " ran out of order";
+    }
+  }
+}
+
+TEST(ExecutorStressTest, OutcomesAreMonotoneAndComplete) {
+  constexpr size_t kTasks = 150;
+  auto executor = MakeExecutor("ASETS", 4);
+  std::atomic<size_t> executed{0};
+  std::vector<TxnId> ids;
+  ids.reserve(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    auto id = executor->Submit(QuickTask(executed));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.ValueOrDie());
+  }
+  executor->Drain();
+
+  double previous_submit = 0.0;
+  for (const TxnId id : ids) {
+    const TaskOutcome outcome = executor->OutcomeOf(id);
+    EXPECT_TRUE(outcome.finished) << "T" << id;
+    // finish can't precede submission, submissions are monotone within
+    // one submitter, and tardiness is non-negative by construction.
+    EXPECT_GE(outcome.finish_seconds, outcome.submit_seconds);
+    EXPECT_GE(outcome.submit_seconds, previous_submit);
+    EXPECT_GE(outcome.tardiness_seconds, 0.0);
+    previous_submit = outcome.submit_seconds;
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ExecutorStressTest, FinishedCountIsMonotoneWhileRunning) {
+  auto executor = MakeExecutor("EDF", 2);
+  std::atomic<size_t> executed{0};
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(executor->Submit(QuickTask(executed)).ok());
+  }
+  // Poll finished_count from a spectator thread while workers run; the
+  // count must never move backwards.
+  std::atomic<bool> regression{false};
+  std::thread spectator([&] {
+    size_t last = 0;
+    while (last < 200) {
+      const size_t now = executor->finished_count();
+      if (now < last) {
+        regression.store(true);
+        return;
+      }
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+  executor->Drain();
+  spectator.join();
+  EXPECT_FALSE(regression.load());
+  EXPECT_EQ(executor->finished_count(), 200u);
+}
+
+}  // namespace
+}  // namespace webtx::rt
