@@ -76,6 +76,12 @@ struct PolicyMetrics {
   double max_weighted_tardiness = 0.0;
   double miss_ratio = 0.0;
   double preemptions = 0.0;
+  /// Fraction of transactions completed (1 for failure-free runs).
+  double goodput = 0.0;
+  /// Mean injected faults per run (outage windows / abort instants that
+  /// hit a busy server).
+  double outages = 0.0;
+  double aborts = 0.0;
 };
 
 /// Runs every factory's policy on identical workload instances for each
@@ -109,6 +115,9 @@ inline std::vector<PolicyMetrics> RunPoint(
       out[p].max_weighted_tardiness += run[p].max_weighted_tardiness;
       out[p].miss_ratio += run[p].miss_ratio;
       out[p].preemptions += static_cast<double>(run[p].num_preemptions);
+      out[p].goodput += run[p].goodput;
+      out[p].outages += static_cast<double>(run[p].num_outages);
+      out[p].aborts += static_cast<double>(run[p].num_aborts);
     }
   }
   const auto n = static_cast<double>(seeds.size());
@@ -118,6 +127,9 @@ inline std::vector<PolicyMetrics> RunPoint(
     m.max_weighted_tardiness /= n;
     m.miss_ratio /= n;
     m.preemptions /= n;
+    m.goodput /= n;
+    m.outages /= n;
+    m.aborts /= n;
   }
   return out;
 }

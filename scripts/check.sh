@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification gate: build and run the test suite under the three
+# CMake presets — plain (RelWithDebInfo), ThreadSanitizer (concurrency
+# suites), and Address+LeakSanitizer (everything). This is what CI (and a
+# release) should run; each stage stops the script on the first failure.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  plain preset only (skips the sanitizer builds)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure+build [$preset]"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> ctest [$preset]"
+  ctest --preset "$preset" -j "$(nproc)"
+}
+
+run_preset default
+if [[ "$FAST" == "0" ]]; then
+  run_preset tsan
+  run_preset asan
+fi
+
+echo "All checks passed."

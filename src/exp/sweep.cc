@@ -55,9 +55,17 @@ Status RunOneInstance(const WorkloadInstance& instance,
                       std::vector<RunResult>& out) {
   WEBTX_ASSIGN_OR_RETURN(auto generator,
                          WorkloadGenerator::Create(instance.spec));
+  SimOptions instance_options = sim_options;
+  if (instance_options.fault_plan.enabled()) {
+    // Re-key the fault streams per instance so every (utilization,
+    // replication) pair sees an independent timeline; the derived seed
+    // is a pure function of the instance, not of worker assignment.
+    instance_options.fault_plan =
+        instance_options.fault_plan.WithDerivedSeed(instance.seed);
+  }
   WEBTX_ASSIGN_OR_RETURN(
       auto sim,
-      Simulator::Create(generator.Generate(instance.seed), sim_options));
+      Simulator::Create(generator.Generate(instance.seed), instance_options));
   out.resize(factories.size());
   for (size_t p = 0; p < factories.size(); ++p) {
     const std::unique_ptr<SchedulerPolicy> policy = factories[p]();
@@ -147,6 +155,7 @@ Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
   }
 
   ParallelRunOptions options;
+  options.sim = config.sim;
   options.sim.record_outcomes = false;
   options.num_threads = config.num_threads;
   options.progress = config.progress;
@@ -175,6 +184,18 @@ Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
         row[p].max_weighted_tardiness += run[p].max_weighted_tardiness;
         row[p].miss_ratio += run[p].miss_ratio;
         row[p].avg_response += run[p].avg_response;
+        const auto total = static_cast<double>(
+            run[p].num_completed + run[p].num_shed +
+            run[p].num_dropped_retries + run[p].num_dropped_dependency);
+        if (total > 0.0) {
+          row[p].goodput += run[p].goodput;
+          row[p].shed_ratio += static_cast<double>(run[p].num_shed) / total;
+          row[p].drop_ratio += static_cast<double>(run[p].num_dropped_retries +
+                                                   run[p].num_dropped_dependency) /
+                               total;
+        } else {
+          row[p].goodput += 1.0;  // empty run: vacuously all completed
+        }
       }
     }
     const auto n = static_cast<double>(num_seeds);
@@ -188,6 +209,9 @@ Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
       cell.max_weighted_tardiness /= n;
       cell.miss_ratio /= n;
       cell.avg_response /= n;
+      cell.goodput /= n;
+      cell.shed_ratio /= n;
+      cell.drop_ratio /= n;
       cells.push_back(std::move(cell));
     }
   }

@@ -27,6 +27,12 @@ struct SweepCell {
   double max_weighted_tardiness = 0.0;
   double miss_ratio = 0.0;
   double avg_response = 0.0;
+  /// Robustness metrics (a failure-free sweep reports goodput 1 and
+  /// ratios 0): fraction of transactions completed, shed by admission
+  /// control, and dropped (retry budget spent or failed dependency).
+  double goodput = 0.0;
+  double shed_ratio = 0.0;
+  double drop_ratio = 0.0;
   /// Sample standard deviations across seeds, for error bars.
   double avg_tardiness_stddev = 0.0;
   double avg_weighted_tardiness_stddev = 0.0;
@@ -57,6 +63,13 @@ struct SweepConfig {
   /// concurrency, 1 = run inline on the calling thread. Results are
   /// bit-identical for every value (see RunSweep).
   size_t num_threads = 0;
+  /// Simulator knobs applied to every run: fault plan, retry policy,
+  /// admission control, servers. record_outcomes is forced off (cells
+  /// only need aggregates). An enabled fault plan is re-keyed per
+  /// workload instance via FaultPlan::WithDerivedSeed(instance seed), so
+  /// every instance sees an independent fault timeline while the sweep
+  /// stays byte-identical for any thread count.
+  SimOptions sim;
   /// Optional progress reporting; see SweepProgressFn.
   SweepProgressFn progress;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -46,13 +47,24 @@ double Executor::NowSeconds() const {
 }
 
 Result<TxnId> Executor::Submit(TaskSpec task) {
-  if (task.fn == nullptr) {
-    return Status::InvalidArgument("task has no work function");
+  const bool has_fn = task.fn != nullptr;
+  const bool has_cancellable = task.cancellable_fn != nullptr;
+  if (has_fn == has_cancellable) {
+    return Status::InvalidArgument(
+        "exactly one of fn and cancellable_fn must be set");
   }
   if (task.estimated_cost <= 0.0 || task.weight <= 0.0 ||
       task.relative_deadline <= 0.0) {
     return Status::InvalidArgument(
         "estimated_cost, weight and relative_deadline must be positive");
+  }
+  if (task.timeout_seconds < 0.0 || task.retry_backoff_seconds < 0.0 ||
+      task.backoff_multiplier < 0.0) {
+    return Status::InvalidArgument(
+        "timeout and retry backoff must be non-negative");
+  }
+  if (task.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -77,8 +89,13 @@ Result<TxnId> Executor::Submit(TaskSpec task) {
   spec.dependencies = task.dependencies;
 
   uint32_t unmet = 0;
+  bool dead_dependency = false;
   for (const TxnId dep : task.dependencies) {
-    if (!outcomes_[dep].finished) {
+    const TaskOutcome& dep_outcome = outcomes_[dep];
+    if (dep_outcome.finished &&
+        dep_outcome.result != TaskResult::kCompleted) {
+      dead_dependency = true;  // can never run
+    } else if (!dep_outcome.finished) {
       successors_[dep].push_back(id);
       ++unmet;
     }
@@ -89,9 +106,20 @@ Result<TxnId> Executor::Submit(TaskSpec task) {
   unmet_deps_.push_back(unmet);
   successors_.emplace_back();
   functions_.push_back(std::move(task.fn));
+  cancellable_fns_.push_back(std::move(task.cancellable_fn));
+  timeouts_.push_back(task.timeout_seconds);
+  max_attempts_.push_back(task.max_attempts);
+  backoffs_.push_back(task.retry_backoff_seconds);
+  backoff_multipliers_.push_back(task.backoff_multiplier);
   TaskOutcome outcome;
   outcome.submit_seconds = now;
   outcomes_.push_back(outcome);
+
+  if (dead_dependency) {
+    // Accepted but dead on arrival; the policy never hears of it.
+    MarkTerminal(id, TaskResult::kDependencyFailed, now);
+    return id;
+  }
 
   policy_->OnArrival(id, now);
   if (unmet == 0) {
@@ -102,14 +130,98 @@ Result<TxnId> Executor::Submit(TaskSpec task) {
   return id;
 }
 
+void Executor::ReleaseDueRetries(double now) {
+  bool released = false;
+  for (size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].due_seconds <= now) {
+      const TxnId id = delayed_[i].id;
+      delayed_[i] = delayed_.back();
+      delayed_.pop_back();
+      if (!outcomes_[id].finished) {
+        ready_list_.push_back(id);
+        policy_->OnReady(id, now);
+        released = true;
+      }
+    } else {
+      ++i;
+    }
+  }
+  if (released) work_available_.notify_all();
+}
+
+double Executor::NextRetryDue() const {
+  double due = std::numeric_limits<double>::infinity();
+  for (const DelayedRetry& d : delayed_) {
+    due = std::min(due, d.due_seconds);
+  }
+  return due;
+}
+
+void Executor::MarkTerminal(TxnId id, TaskResult result, double now) {
+  TaskOutcome& outcome = outcomes_[id];
+  WEBTX_DCHECK(!outcome.finished);
+  outcome.finished = true;
+  outcome.result = result;
+  outcome.finish_seconds = now;
+  remaining_[id] = 0.0;
+  ++finished_;
+  if (finished_ == specs_.size()) {
+    all_done_.notify_all();
+    if (shutting_down_) work_available_.notify_all();
+  }
+}
+
+void Executor::RemoveFromReady(TxnId id, double now) {
+  const auto it = std::find(ready_list_.begin(), ready_list_.end(), id);
+  if (it == ready_list_.end()) return;
+  *it = ready_list_.back();
+  ready_list_.pop_back();
+  policy_->OnCompletion(id, now);  // dequeue signal
+}
+
+void Executor::FailDependents(TxnId root, double now) {
+  std::vector<TxnId> stack(successors_[root]);
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    if (outcomes_[cur].finished) continue;
+    // A dependent can only be waiting (never ready, delayed, or
+    // running): its failed predecessor never completed. Ready/delayed
+    // membership is still cleared defensively for safety under future
+    // callers.
+    RemoveFromReady(cur, now);
+    for (size_t i = 0; i < delayed_.size();) {
+      if (delayed_[i].id == cur) {
+        delayed_[i] = delayed_.back();
+        delayed_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    MarkTerminal(cur, TaskResult::kDependencyFailed, now);
+    for (const TxnId succ : successors_[cur]) stack.push_back(succ);
+  }
+}
+
 void Executor::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_available_.wait(lock, [this] {
-      return !ready_list_.empty() ||
-             (shutting_down_ && finished_ == specs_.size());
-    });
-    if (ready_list_.empty()) return;  // drained and shutting down
+    // Wait until a task is ready, a retry comes due, or the executor is
+    // shut down with everything terminal.
+    while (true) {
+      ReleaseDueRetries(NowSeconds());
+      if (!ready_list_.empty()) break;
+      if (shutting_down_ && finished_ == specs_.size()) return;
+      if (!delayed_.empty()) {
+        const double due = NextRetryDue();
+        work_available_.wait_until(
+            lock, epoch_ + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(due)));
+      } else {
+        work_available_.wait(lock);
+      }
+    }
 
     const double dispatch_now = NowSeconds();
     const TxnId id = policy_->PickNext(dispatch_now);
@@ -124,35 +236,104 @@ void Executor::WorkerLoop() {
     *it = ready_list_.back();
     ready_list_.pop_back();
     running_.push_back(id);
-    std::function<void()> fn = std::move(functions_[id]);
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    running_cancel_.push_back(cancel);
+    ++outcomes_[id].attempts;
+    // Copy (not move) the functions under the lock: the vectors may
+    // reallocate while we execute unlocked, and a retry needs the
+    // function again.
+    const std::function<void()> fn = functions_[id];
+    const std::function<void(const CancelToken&)> cancellable =
+        cancellable_fns_[id];
+    const double timeout = timeouts_[id];
+    CancelToken token;
+    token.flag_ = cancel;
+    if (timeout > 0.0) {
+      token.has_deadline_ = true;
+      token.deadline_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout));
+    }
 
     lock.unlock();
-    fn();
+    bool threw = false;
+    try {
+      if (cancellable != nullptr) {
+        cancellable(token);
+      } else {
+        fn();
+      }
+    } catch (...) {
+      // A throwing task marks the attempt failed; the worker survives.
+      threw = true;
+    }
     lock.lock();
 
     const double now = NowSeconds();
-    TaskOutcome& outcome = outcomes_[id];
-    outcome.finished = true;
-    outcome.finish_seconds = now;
-    outcome.tardiness_seconds = std::max(0.0, now - specs_[id].deadline);
-    remaining_[id] = 0.0;
-    ++finished_;
-    running_.erase(std::find(running_.begin(), running_.end(), id));
-
-    bool released = false;
-    for (const TxnId succ : successors_[id]) {
-      WEBTX_DCHECK(unmet_deps_[succ] > 0);
-      if (--unmet_deps_[succ] == 0 && !outcomes_[succ].finished) {
-        ready_list_.push_back(succ);
-        policy_->OnReady(succ, now);
-        released = true;
-      }
+    {
+      const auto rit = std::find(running_.begin(), running_.end(), id);
+      WEBTX_DCHECK(rit != running_.end());
+      const size_t idx = static_cast<size_t>(rit - running_.begin());
+      running_[idx] = running_.back();
+      running_.pop_back();
+      running_cancel_[idx] = running_cancel_.back();
+      running_cancel_.pop_back();
     }
-    if (released) work_available_.notify_all();
-    if (finished_ == specs_.size()) {
-      all_done_.notify_all();
-      // Wake peers so they can observe the drained+shutdown state.
-      if (shutting_down_) work_available_.notify_all();
+
+    TaskOutcome& outcome = outcomes_[id];
+    // Only a cancellation-aware attempt can be shed mid-flight: a plain
+    // fn ignores the token and its work is complete once it returns.
+    const bool shed = cancellable != nullptr &&
+                      cancel->load(std::memory_order_relaxed) &&
+                      shutting_down_;
+    const bool timed_out =
+        timeout > 0.0 && now - dispatch_now > timeout;
+    if (!threw && !shed && !timed_out) {
+      // Success.
+      outcome.tardiness_seconds = std::max(0.0, now - specs_[id].deadline);
+      MarkTerminal(id, TaskResult::kCompleted, now);
+      bool released = false;
+      for (const TxnId succ : successors_[id]) {
+        WEBTX_DCHECK(unmet_deps_[succ] > 0);
+        if (--unmet_deps_[succ] == 0 && !outcomes_[succ].finished) {
+          ready_list_.push_back(succ);
+          policy_->OnReady(succ, now);
+          released = true;
+        }
+      }
+      if (released) work_available_.notify_all();
+      continue;
+    }
+    if (shed) {
+      // ShutdownNow tripped the token mid-flight; no retry during
+      // shutdown.
+      MarkTerminal(id, TaskResult::kShed, now);
+      FailDependents(id, now);
+      continue;
+    }
+    const TaskResult failure =
+        threw ? TaskResult::kFailed : TaskResult::kTimedOut;
+    if (outcome.attempts >= max_attempts_[id]) {
+      // Retry budget spent.
+      MarkTerminal(id, failure, now);
+      FailDependents(id, now);
+      continue;
+    }
+    // Schedule the retry (a plain Shutdown honors remaining retries;
+    // only ShutdownNow sheds them).
+    double delay = backoffs_[id];
+    for (uint32_t i = 1; i < outcome.attempts; ++i) {
+      delay *= backoff_multipliers_[id];
+    }
+    if (delay <= 0.0) {
+      ready_list_.push_back(id);
+      policy_->OnReady(id, now);
+      work_available_.notify_all();
+    } else {
+      delayed_.push_back(DelayedRetry{now + delay, id});
+      // Wake a peer in case everyone is in an untimed wait.
+      work_available_.notify_all();
     }
   }
 }
@@ -162,12 +343,7 @@ void Executor::Drain() {
   all_done_.wait(lock, [this] { return finished_ == specs_.size(); });
 }
 
-void Executor::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && workers_.empty()) return;
-    shutting_down_ = true;
-  }
+void Executor::JoinWorkers() {
   work_available_.notify_all();
   Drain();
   work_available_.notify_all();
@@ -175,6 +351,44 @@ void Executor::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+}
+
+void Executor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  JoinWorkers();
+}
+
+void Executor::ShutdownNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+    const double now = NowSeconds();
+    // Shed every task that is not terminal and not currently executing:
+    // ready tasks (dequeue the policy first), delayed retries, and
+    // tasks still waiting on dependencies.
+    for (const TxnId id : std::vector<TxnId>(ready_list_)) {
+      RemoveFromReady(id, now);
+      MarkTerminal(id, TaskResult::kShed, now);
+    }
+    delayed_.clear();
+    for (TxnId id = 0; id < static_cast<TxnId>(specs_.size()); ++id) {
+      if (outcomes_[id].finished) continue;
+      if (std::find(running_.begin(), running_.end(), id) !=
+          running_.end()) {
+        continue;  // in flight: cancelled below, awaited by JoinWorkers
+      }
+      MarkTerminal(id, TaskResult::kShed, now);
+    }
+    for (const auto& cancel : running_cancel_) {
+      cancel->store(true, std::memory_order_relaxed);
+    }
+  }
+  JoinWorkers();
 }
 
 TaskOutcome Executor::OutcomeOf(TxnId id) const {

@@ -1,6 +1,8 @@
 #ifndef WEBTX_RT_EXECUTOR_H_
 #define WEBTX_RT_EXECUTOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -19,6 +21,27 @@
 
 namespace webtx::rt {
 
+/// Cooperative cancellation handle passed to TaskSpec::cancellable_fn.
+/// Reports true once the executor wants the attempt to stop: the
+/// attempt overran its timeout, or ShutdownNow was called. Long-running
+/// tasks should poll it at convenient boundaries and return early; the
+/// executor never interrupts a task forcibly.
+class CancelToken {
+ public:
+  bool cancelled() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  friend class Executor;
+  std::shared_ptr<std::atomic<bool>> flag_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
 /// A unit of real work scheduled by the executor.
 struct TaskSpec {
   /// Soft deadline relative to submission, in seconds.
@@ -31,16 +54,51 @@ struct TaskSpec {
   double estimated_cost = 0.01;
   /// Tasks (by id returned from Submit) that must finish first.
   std::vector<TxnId> dependencies;
-  /// The work itself; runs on an executor worker thread.
+  /// The work itself; runs on an executor worker thread. Exactly one of
+  /// `fn` and `cancellable_fn` must be set.
   std::function<void()> fn;
+  /// Cancellation-aware variant of `fn`: receives a CancelToken that
+  /// turns true when the attempt overruns `timeout_seconds` or the
+  /// executor is shut down with ShutdownNow.
+  std::function<void(const CancelToken&)> cancellable_fn;
+  /// Wall-clock budget for one execution attempt; 0 = unlimited. The
+  /// executor cannot preempt a native thread, so enforcement is
+  /// cooperative: the CancelToken trips at the budget, and an attempt
+  /// observed to have overrun it when the function returns counts as
+  /// timed out (failed) rather than completed.
+  double timeout_seconds = 0.0;
+  /// Maximum execution attempts (>= 1). Failed or timed-out attempts
+  /// are retried until the budget is spent; the last failure is
+  /// terminal (kFailed / kTimedOut).
+  uint32_t max_attempts = 1;
+  /// Delay before retry i (1-based): retry_backoff_seconds *
+  /// backoff_multiplier^(i-1). 0 = retry immediately.
+  double retry_backoff_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+};
+
+/// Terminal state of a task. Every submitted task ends in exactly one
+/// non-kPending state, even under ShutdownNow.
+enum class TaskResult : uint8_t {
+  kPending = 0,        // not terminal yet (queued, delayed, or running)
+  kCompleted,          // an attempt returned within its budget
+  kFailed,             // last attempt threw an exception
+  kTimedOut,           // last attempt overran timeout_seconds
+  kShed,               // never finished: shed by ShutdownNow
+  kDependencyFailed,   // a (transitive) dependency never completed
 };
 
 /// Completion record for one task.
 struct TaskOutcome {
+  /// True once the task is terminal (any result but kPending); covers
+  /// failures and sheds, not just completions — check `result`.
   bool finished = false;
   double submit_seconds = 0.0;    // submission instant (executor clock)
-  double finish_seconds = 0.0;    // completion instant
-  double tardiness_seconds = 0.0; // max(0, finish - absolute deadline)
+  double finish_seconds = 0.0;    // instant the terminal state was set
+  double tardiness_seconds = 0.0; // max(0, finish - absolute deadline),
+                                  // completed tasks only
+  TaskResult result = TaskResult::kPending;
+  uint32_t attempts = 0;          // execution attempts dispatched
 };
 
 struct ExecutorOptions {
@@ -56,7 +114,8 @@ struct ExecutorOptions {
 /// Differences from the simulator, inherent to executing real code:
 ///   - Non-preemptive: a running task cannot be interrupted, so
 ///     scheduling points are task submissions and completions only
-///     (remaining times of running tasks are not re-estimated).
+///     (remaining times of running tasks are not re-estimated), and
+///     timeouts/cancellation are cooperative (CancelToken).
 ///   - The policy plans with *estimated* costs; actual durations may
 ///     differ, and tardiness is measured on the real clock.
 ///   - Transaction-level policies only (EDF/SRPT/HDF/ASETS/...):
@@ -64,6 +123,14 @@ struct ExecutorOptions {
 ///     which contradicts open-ended submission. Dependencies between
 ///     tasks are still enforced (a task only becomes schedulable once
 ///     its dependencies finished).
+///
+/// Failure semantics mirror the simulator's contract (sim/simulator.h):
+/// an attempt that throws marks the attempt failed and the worker
+/// survives; failed/timed-out attempts retry with bounded exponential
+/// backoff; a terminal failure cascades kDependencyFailed to every
+/// transitive dependent; Shutdown() drains ALL work (legacy behavior),
+/// while ShutdownNow() sheds everything not yet running (kShed), trips
+/// the cancel tokens of in-flight attempts, and still joins cleanly.
 ///
 /// Thread-safe: Submit may be called from any thread, including from
 /// inside running tasks (self-expanding workloads), as long as
@@ -80,20 +147,30 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   /// Enqueues a task; returns its id. Fails on bad parameters, unknown
-  /// dependency ids, or after Shutdown.
+  /// dependency ids, or after Shutdown. A task depending on an
+  /// already-failed task is accepted and immediately terminal with
+  /// kDependencyFailed.
   Result<TxnId> Submit(TaskSpec task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task is terminal.
   void Drain();
 
-  /// Stops accepting work, drains, joins workers. Idempotent.
+  /// Stops accepting work, runs EVERYTHING that was submitted to a
+  /// terminal state (including pending retries), joins workers.
+  /// Idempotent.
   void Shutdown();
+
+  /// Stops accepting work and sheds every task that is not currently
+  /// executing (result kShed); in-flight attempts get their CancelToken
+  /// tripped and are awaited, never abandoned. Joins workers.
+  /// Idempotent; safe to call after Shutdown.
+  void ShutdownNow();
 
   /// Outcome of a task (valid ids only; finished == false while the
   /// task is pending or running).
   TaskOutcome OutcomeOf(TxnId id) const;
 
-  /// Number of tasks that have finished so far.
+  /// Number of tasks that reached a terminal state so far.
   size_t finished_count() const;
 
   /// Seconds elapsed since the executor started (its SimTime clock).
@@ -128,7 +205,20 @@ class Executor {
     Executor* owner_;
   };
 
+  /// A retry waiting out its backoff.
+  struct DelayedRetry {
+    double due_seconds = 0.0;
+    TxnId id = kInvalidTxn;
+  };
+
   void WorkerLoop();
+  // The helpers below require mu_ to be held.
+  void ReleaseDueRetries(double now);
+  double NextRetryDue() const;
+  void MarkTerminal(TxnId id, TaskResult result, double now);
+  void FailDependents(TxnId root, double now);
+  void RemoveFromReady(TxnId id, double now);
+  void JoinWorkers();
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
@@ -145,9 +235,17 @@ class Executor {
   std::vector<uint32_t> unmet_deps_;
   std::vector<std::vector<TxnId>> successors_;
   std::vector<std::function<void()>> functions_;
+  std::vector<std::function<void(const CancelToken&)>> cancellable_fns_;
+  std::vector<double> timeouts_;
+  std::vector<uint32_t> max_attempts_;
+  std::vector<double> backoffs_;
+  std::vector<double> backoff_multipliers_;
   std::vector<TaskOutcome> outcomes_;
   std::vector<TxnId> ready_list_;
+  std::vector<DelayedRetry> delayed_;
   std::vector<TxnId> running_;
+  // Cancel flags of in-flight attempts, parallel to running_.
+  std::vector<std::shared_ptr<std::atomic<bool>>> running_cancel_;
   size_t finished_ = 0;
   bool shutting_down_ = false;
 

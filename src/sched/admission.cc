@@ -1,0 +1,78 @@
+#include "sched/admission.h"
+
+#include <sstream>
+
+namespace webtx {
+
+QueueDepthAdmission::QueueDepthAdmission(QueueDepthAdmissionOptions options)
+    : options_(options) {
+  WEBTX_CHECK_GE(options_.max_ready, 1u);
+  WEBTX_CHECK_GE(options_.defer_delay, 0.0);
+}
+
+std::string QueueDepthAdmission::name() const {
+  std::ostringstream os;
+  os << "queue-depth(" << options_.max_ready << ")";
+  return os.str();
+}
+
+void QueueDepthAdmission::Reset() { defers_.clear(); }
+
+AdmissionDecision QueueDepthAdmission::Decide(TxnId id, SimTime now) {
+  (void)now;
+  if (!view().specs()[id].dependencies.empty()) {
+    return AdmissionDecision::Admit();
+  }
+  if (view().ready_transactions().size() < options_.max_ready) {
+    return AdmissionDecision::Admit();
+  }
+  if (options_.defer_delay > 0.0) {
+    if (defers_.size() <= id) defers_.resize(id + 1, 0);
+    if (defers_[id] < options_.max_defers) {
+      ++defers_[id];
+      return AdmissionDecision::Defer(options_.defer_delay);
+    }
+  }
+  return AdmissionDecision::Reject();
+}
+
+FeasibilityAdmission::FeasibilityAdmission(
+    FeasibilityAdmissionOptions options)
+    : options_(options) {
+  WEBTX_CHECK_GE(options_.tardiness_bound, 0.0);
+}
+
+std::string FeasibilityAdmission::name() const {
+  std::ostringstream os;
+  os << "feasibility(" << options_.tardiness_bound << ")";
+  return os.str();
+}
+
+AdmissionDecision FeasibilityAdmission::Decide(TxnId id, SimTime now) {
+  const TransactionSpec& spec = view().specs()[id];
+  if (!spec.dependencies.empty()) return AdmissionDecision::Admit();
+  SimTime backlog = 0.0;
+  for (const TxnId ready : view().ready_transactions()) {
+    backlog += view().remaining(ready);
+  }
+  const auto servers = static_cast<double>(view().num_servers());
+  const SimTime predicted_finish =
+      now + (backlog + spec.EstimateOrLength()) / servers;
+  const SimTime predicted_tardiness = predicted_finish - spec.deadline;
+  if (predicted_tardiness > options_.tardiness_bound + kTimeEpsilon) {
+    return AdmissionDecision::Reject();
+  }
+  return AdmissionDecision::Admit();
+}
+
+AdmissionFactory MakeQueueDepthAdmission(QueueDepthAdmissionOptions options) {
+  return [options] { return std::make_unique<QueueDepthAdmission>(options); };
+}
+
+AdmissionFactory MakeFeasibilityAdmission(
+    FeasibilityAdmissionOptions options) {
+  return
+      [options] { return std::make_unique<FeasibilityAdmission>(options); };
+}
+
+}  // namespace webtx

@@ -1,0 +1,158 @@
+#ifndef WEBTX_SCHED_ADMISSION_H_
+#define WEBTX_SCHED_ADMISSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "sched/sim_view.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Verdict of an admission controller for one arriving transaction.
+struct AdmissionDecision {
+  enum class Action : uint8_t {
+    kAdmit,   // enter the system normally
+    kReject,  // shed: the transaction (and its dependents) never runs
+    kDefer,   // re-present the arrival to the controller after a delay
+  };
+
+  Action action = Action::kAdmit;
+  /// Delay until the deferred re-arrival; must be > 0 for kDefer.
+  SimTime defer_delay = 0.0;
+
+  static AdmissionDecision Admit() { return {}; }
+  static AdmissionDecision Reject() {
+    return {Action::kReject, 0.0};
+  }
+  static AdmissionDecision Defer(SimTime delay) {
+    WEBTX_DCHECK(delay > 0.0);
+    return {Action::kDefer, delay};
+  }
+};
+
+/// Overload-shedding hook consulted by the simulator (and conceptually
+/// by any executor front end) at every transaction arrival, BEFORE the
+/// scheduling policy learns of the transaction. Rejected transactions
+/// are shed with fate kShedAdmission and their dependents are dropped;
+/// deferred transactions re-arrive (and are re-decided) defer_delay
+/// later. Controllers observe system load through the same read-only
+/// SimView policies use, so "estimated system tardiness" and
+/// "ready-queue depth" bounds are expressible without new plumbing.
+///
+/// Controllers are stateful (e.g. per-transaction defer budgets) and
+/// NOT thread-safe; the simulator constructs a fresh instance per run
+/// from SimOptions::admission, mirroring the PolicyFactory contract.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Display name, e.g. "queue-depth(64)".
+  virtual std::string name() const = 0;
+
+  /// Attaches the controller to a run and clears internal state.
+  virtual void Bind(const SimView& view) {
+    view_ = &view;
+    Reset();
+  }
+
+  /// Decides the fate of arriving transaction `id` at time `now`. The
+  /// transaction is not yet arrived/ready in the view. Called again on
+  /// every deferred re-arrival; controllers must eventually answer
+  /// kAdmit or kReject for the run to terminate.
+  virtual AdmissionDecision Decide(TxnId id, SimTime now) = 0;
+
+ protected:
+  AdmissionController() = default;
+
+  /// Clears per-run state. Called by Bind.
+  virtual void Reset() {}
+
+  const SimView& view() const {
+    WEBTX_DCHECK(view_ != nullptr) << "controller used before Bind()";
+    return *view_;
+  }
+
+ private:
+  const SimView* view_ = nullptr;
+};
+
+/// Creates a fresh controller per simulation run. Factories are invoked
+/// from sweep worker threads (one controller per run, never shared), so
+/// they must be thread-safe and deterministic.
+using AdmissionFactory =
+    std::function<std::unique_ptr<AdmissionController>()>;
+
+// ---------------------------------------------------------------------------
+// Shipped strategies.
+
+struct QueueDepthAdmissionOptions {
+  /// Reject (or defer) dependency-free arrivals once the ready queue
+  /// holds at least this many transactions.
+  size_t max_ready = 64;
+  /// When > 0, an over-cap arrival is deferred by this delay instead of
+  /// rejected, up to max_defers times; afterwards it is rejected.
+  SimTime defer_delay = 0.0;
+  uint32_t max_defers = 4;
+};
+
+/// Queue-depth cap: the classic bounded-run-queue shed. Only
+/// dependency-free (workflow-root) transactions are ever shed —
+/// rejecting a mid-workflow transaction would waste its predecessors'
+/// finished work.
+class QueueDepthAdmission final : public AdmissionController {
+ public:
+  explicit QueueDepthAdmission(QueueDepthAdmissionOptions options = {});
+
+  std::string name() const override;
+  AdmissionDecision Decide(TxnId id, SimTime now) override;
+
+ protected:
+  void Reset() override;
+
+ private:
+  QueueDepthAdmissionOptions options_;
+  std::vector<uint32_t> defers_;  // per-txn defer count, sized lazily
+};
+
+struct FeasibilityAdmissionOptions {
+  /// Admit while the predicted tardiness of the arrival stays within
+  /// this bound (0 = admit only transactions predicted to meet their
+  /// deadline).
+  SimTime tardiness_bound = 0.0;
+};
+
+/// Feasibility-based rejection: predicts the arrival's completion time
+/// from the policy-visible remaining times of the current ready set
+/// (backlog / num_servers + own estimated length) and sheds
+/// dependency-free transactions whose predicted tardiness exceeds the
+/// bound — transactions that would finish hopelessly late are cheaper
+/// to reject at the door than to time out in the queue.
+class FeasibilityAdmission final : public AdmissionController {
+ public:
+  explicit FeasibilityAdmission(FeasibilityAdmissionOptions options = {});
+
+  std::string name() const override;
+  AdmissionDecision Decide(TxnId id, SimTime now) override;
+
+ private:
+  FeasibilityAdmissionOptions options_;
+};
+
+/// Convenience factories for SimOptions::admission.
+AdmissionFactory MakeQueueDepthAdmission(
+    QueueDepthAdmissionOptions options = {});
+AdmissionFactory MakeFeasibilityAdmission(
+    FeasibilityAdmissionOptions options = {});
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_ADMISSION_H_

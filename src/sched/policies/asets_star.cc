@@ -97,6 +97,12 @@ void AsetsStarPolicy::OnRemainingUpdated(TxnId id, SimTime now) {
   RefreshWorkflowsOf(id, now);
 }
 
+void AsetsStarPolicy::OnDropped(TxnId id, SimTime now) {
+  // The dropped member is IsFinished from the view's perspective; the
+  // refresh evicts it from its workflows' representatives and heads.
+  RefreshWorkflowsOf(id, now);
+}
+
 void AsetsStarPolicy::MigrateDue(SimTime now) {
   while (!critical_.empty() && critical_.TopKey() < now - kTimeEpsilon) {
     const WorkflowId wid = critical_.Pop();

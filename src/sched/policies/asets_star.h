@@ -62,6 +62,7 @@ class AsetsStarPolicy final : public SchedulerPolicy {
   void OnReady(TxnId id, SimTime now) override;
   void OnCompletion(TxnId id, SimTime now) override;
   void OnRemainingUpdated(TxnId id, SimTime now) override;
+  void OnDropped(TxnId id, SimTime now) override;
   TxnId PickNext(SimTime now) override;
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;

@@ -40,6 +40,9 @@ void BalanceAwarePolicy::OnCompletion(TxnId id, SimTime now) {
 void BalanceAwarePolicy::OnRemainingUpdated(TxnId id, SimTime now) {
   inner_->OnRemainingUpdated(id, now);
 }
+void BalanceAwarePolicy::OnDropped(TxnId id, SimTime now) {
+  inner_->OnDropped(id, now);
+}
 
 bool BalanceAwarePolicy::ActivationDue(SimTime now) const {
   switch (options_.mode) {

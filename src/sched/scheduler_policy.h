@@ -21,7 +21,10 @@ namespace webtx {
 ///      - `OnCompletion(id)` when it finishes;
 ///      - `OnRemainingUpdated(id)` after the simulator reduces the
 ///        remaining time of the transaction that was running, at every
-///        scheduling point where it did not finish.
+///        scheduling point where it did not finish;
+///      - `OnDropped(id)` when a transaction the policy has observed
+///        leaves the system without completing (load shedding, abort
+///        retry budget exhausted, or a failed dependency).
 ///   3. `PickNext(now)` at every scheduling point (arrival or completion,
 ///      per Sec. III-A2 of the paper); the returned transaction must be
 ///      ready, or kInvalidTxn to idle. The chosen transaction runs until
@@ -50,6 +53,20 @@ class SchedulerPolicy {
   virtual void OnReady(TxnId id, SimTime now) = 0;
   virtual void OnCompletion(TxnId id, SimTime now) = 0;
   virtual void OnRemainingUpdated(TxnId id, SimTime now) {
+    (void)id;
+    (void)now;
+  }
+
+  /// Failure semantics (see sim/simulator.h for the full contract): a
+  /// transaction that leaves the system unfinished is dequeued first —
+  /// if it was ready, `OnCompletion(id)` fires exactly as for a real
+  /// completion (it is the dequeue signal) — and then `OnDropped(id)`
+  /// follows so policies that track arrived-but-not-ready state (e.g.
+  /// workflow representatives) can refresh. An aborted transaction that
+  /// will retry is likewise dequeued via `OnCompletion` and re-announced
+  /// with `OnReady` when it re-enters the ready set (its remaining time
+  /// reset to the full estimate); no `OnDropped` fires for retries.
+  virtual void OnDropped(TxnId id, SimTime now) {
     (void)id;
     (void)now;
   }

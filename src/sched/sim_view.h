@@ -42,6 +42,11 @@ class SimView {
 
   size_t num_transactions() const { return specs().size(); }
 
+  /// Number of parallel servers executing transactions. Admission
+  /// controllers use this to translate ready-queue backlog into an
+  /// estimated completion delay; 1 matches the paper's testbed.
+  virtual size_t num_servers() const { return 1; }
+
   /// Slack of `id` at time `now` (Definition 2).
   SimTime SlackAt(TxnId id, SimTime now) const {
     return specs()[id].SlackAt(now, remaining(id));

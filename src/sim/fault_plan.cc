@@ -1,0 +1,75 @@
+#include "sim/fault_plan.h"
+
+#include <cmath>
+
+namespace webtx {
+
+namespace {
+
+// Stream tags chained into DeriveSeed so a server's outage and abort
+// processes are independent of each other and of every other server.
+constexpr uint64_t kOutageStream = 0;
+constexpr uint64_t kAbortStream = 1;
+
+// Inverse-CDF exponential draw; strictly positive (NextDouble < 1).
+double DrawExponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.NextDouble()) / rate;
+}
+
+}  // namespace
+
+FaultStream::FaultStream(const FaultPlanConfig& config, uint32_t server)
+    : outage_rate_(config.outage_rate),
+      mean_outage_duration_(config.mean_outage_duration),
+      abort_rate_(config.abort_rate),
+      outage_rng_(DeriveSeed(config.seed, server, kOutageStream)),
+      abort_rng_(DeriveSeed(config.seed, server, kAbortStream)) {
+  if (outage_rate_ > 0.0) {
+    DrawOutageWindow(0.0);
+  } else {
+    outage_start_ = kNeverTime;
+    outage_end_ = kNeverTime;
+  }
+  next_abort_ = abort_rate_ > 0.0 ? DrawExponential(abort_rng_, abort_rate_)
+                                  : kNeverTime;
+}
+
+void FaultStream::DrawOutageWindow(SimTime after) {
+  outage_start_ = after + DrawExponential(outage_rng_, outage_rate_);
+  outage_end_ =
+      outage_start_ +
+      DrawExponential(outage_rng_, 1.0 / mean_outage_duration_);
+}
+
+void FaultStream::AdvanceTransition() {
+  if (!down_) {
+    down_ = true;  // the window [outage_start_, outage_end_) begins
+  } else {
+    down_ = false;
+    DrawOutageWindow(outage_end_);
+  }
+}
+
+void FaultStream::AdvanceAbort() {
+  if (abort_rate_ <= 0.0) return;  // stays kNeverTime
+  next_abort_ += DrawExponential(abort_rng_, abort_rate_);
+}
+
+Result<FaultPlan> FaultPlan::Create(FaultPlanConfig config) {
+  if (config.outage_rate < 0.0 || config.abort_rate < 0.0) {
+    return Status::InvalidArgument("fault rates must be non-negative");
+  }
+  if (config.outage_rate > 0.0 && config.mean_outage_duration <= 0.0) {
+    return Status::InvalidArgument(
+        "mean_outage_duration must be positive when outages are enabled");
+  }
+  return FaultPlan(config);
+}
+
+FaultPlan FaultPlan::WithDerivedSeed(uint64_t stream) const {
+  FaultPlan derived(*this);
+  derived.config_.seed = DeriveSeed(config_.seed, stream, 0);
+  return derived;
+}
+
+}  // namespace webtx

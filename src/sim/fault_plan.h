@@ -1,0 +1,145 @@
+#ifndef WEBTX_SIM_FAULT_PLAN_H_
+#define WEBTX_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace webtx {
+
+/// Parameters of a deterministic fault-injection plan. Faults come in
+/// two flavors, both modeled as independent Poisson processes per
+/// server:
+///   - *outages*: the server goes down for an exponentially distributed
+///     window; its running transaction is preempted (work retained) and
+///     the server accepts no work until recovery;
+///   - *aborts*: the transaction running on the server at the abort
+///     instant loses ALL executed work and re-enters the ready set
+///     under the run's RetryOptions (abort instants on an idle server
+///     are consumed as no-ops, i.e. the process is thinned).
+struct FaultPlanConfig {
+  /// Expected outages per time unit per server (0 = no outages).
+  double outage_rate = 0.0;
+  /// Mean outage duration in time units (exponential); must be > 0
+  /// when outage_rate > 0.
+  SimTime mean_outage_duration = 0.0;
+  /// Expected abort instants per time unit per server (0 = no aborts).
+  double abort_rate = 0.0;
+  /// Base seed of the plan. Per-server event streams are derived via
+  /// the DeriveSeed SplitMix64 chain (common/rng.h), so every server
+  /// owns statistically independent outage and abort streams and the
+  /// timeline is identical across policies, runs, and thread counts.
+  uint64_t seed = 1;
+};
+
+/// How aborted transactions are retried (SimOptions::retry).
+struct RetryOptions {
+  /// Maximum execution attempts per transaction (>= 1). The abort of
+  /// attempt number max_attempts drops the transaction with fate
+  /// kDroppedRetries; max_attempts == 1 means abort-implies-drop.
+  uint32_t max_attempts = 3;
+  /// Delay before the i-th aborted transaction re-enters the ready set:
+  /// backoff * backoff_multiplier^(i-1). 0 = immediate re-enqueue at
+  /// the abort instant. Note the simulation cost scales with abort_rate
+  /// x horizon (idle abort instants are still consumed one event at a
+  /// time), so an aggressive multiplier under a dense abort stream can
+  /// stretch runs geometrically; keep backoff delays within a few mean
+  /// transaction lengths.
+  SimTime backoff = 0.0;
+  double backoff_multiplier = 2.0;
+};
+
+/// One contiguous down-window of a server, as injected during a run.
+struct OutageWindow {
+  uint32_t server = 0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+/// The deterministic per-server fault event stream of one run. The
+/// simulator owns one per server and consumes it as a discrete event
+/// source: next_transition() is the next outage boundary (start when
+/// up, end when down) and next_abort() the next abort instant. Streams
+/// are pure functions of (config.seed, server), so reconstructing them
+/// replays the identical timeline.
+class FaultStream {
+ public:
+  FaultStream(const FaultPlanConfig& config, uint32_t server);
+
+  bool down() const { return down_; }
+
+  /// Next outage start (when up) or the current outage's end (when
+  /// down); kNeverTime when outages are disabled.
+  SimTime next_transition() const { return down_ ? outage_end_ : outage_start_; }
+
+  /// End of the outage that next_transition() starts; only meaningful
+  /// while up (the window [next_transition, outage_end_of_next) is
+  /// already drawn) or down (the current window's end).
+  SimTime outage_end() const { return outage_end_; }
+
+  /// Crosses the next outage boundary: up -> down at outage start,
+  /// down -> up at outage end (drawing the next window).
+  void AdvanceTransition();
+
+  /// Next abort instant; kNeverTime when aborts are disabled.
+  SimTime next_abort() const { return next_abort_; }
+
+  /// Consumes the pending abort instant and draws the next one.
+  void AdvanceAbort();
+
+ private:
+  void DrawOutageWindow(SimTime after);
+
+  double outage_rate_;
+  SimTime mean_outage_duration_;
+  double abort_rate_;
+  Rng outage_rng_;
+  Rng abort_rng_;
+  bool down_ = false;
+  SimTime outage_start_ = 0.0;
+  SimTime outage_end_ = 0.0;
+  SimTime next_abort_ = 0.0;
+};
+
+/// Sentinel for "no further fault events".
+inline constexpr SimTime kNeverTime = 1e308;
+
+/// A validated, seeded fault-injection plan. Value-type and cheap to
+/// copy (it stores only the config); Simulator::Run materializes fresh
+/// FaultStreams from it on every run, so reusing one Simulator across
+/// policies replays the identical fault timeline under each policy.
+class FaultPlan {
+ public:
+  /// The default plan injects nothing (enabled() == false).
+  FaultPlan() = default;
+
+  /// Validates rates and durations.
+  static Result<FaultPlan> Create(FaultPlanConfig config);
+
+  bool enabled() const {
+    return config_.outage_rate > 0.0 || config_.abort_rate > 0.0;
+  }
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// Returns a copy of this plan whose per-server streams are re-keyed
+  /// by `stream`, via DeriveSeed(seed, stream, 0). The parallel sweep
+  /// engine uses this to give every workload instance an independent
+  /// fault timeline while staying byte-identical across thread counts.
+  FaultPlan WithDerivedSeed(uint64_t stream) const;
+
+  /// Deterministic event stream for one server of one run.
+  FaultStream StreamFor(uint32_t server) const {
+    return FaultStream(config_, server);
+  }
+
+ private:
+  explicit FaultPlan(FaultPlanConfig config) : config_(config) {}
+
+  FaultPlanConfig config_{};
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_FAULT_PLAN_H_

@@ -15,11 +15,18 @@ std::string Describe(const ScheduleSegment& s) {
          std::to_string(s.end) + ")";
 }
 
+std::string Describe(const OutageWindow& w) {
+  return "outage@server" + std::to_string(w.server) + " [" +
+         std::to_string(w.start) + ", " + std::to_string(w.end) + ")";
+}
+
 }  // namespace
 
 Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
-                        const RunResult& result, size_t num_servers) {
+                        const RunResult& result,
+                        const ValidationOptions& options) {
   constexpr double kEps = 1e-6;
+  const size_t num_servers = options.num_servers;
   if (result.outcomes.size() != specs.size()) {
     return Status::FailedPrecondition(
         "outcomes were not recorded; enable record_outcomes");
@@ -44,6 +51,14 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
       return Status::FailedPrecondition("runs before arrival: " +
                                         Describe(s));
     }
+    // 7. A down server executes nothing.
+    for (const OutageWindow& w : options.outages) {
+      if (w.server != s.server) continue;
+      if (s.start < w.end - kEps && s.end > w.start + kEps) {
+        return Status::FailedPrecondition("executes during " + Describe(w) +
+                                          ": " + Describe(s));
+      }
+    }
     by_server[s.server].push_back(&s);
     by_txn[s.txn].push_back(&s);
   }
@@ -63,51 +78,145 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
     }
   }
 
-  // 3-5. Per-transaction checks.
+  // 3-6, 8. Per-transaction checks.
+  size_t completed = 0;
+  size_t shed = 0;
+  size_t dropped_retries = 0;
+  size_t dropped_dependency = 0;
   for (size_t i = 0; i < specs.size(); ++i) {
     const auto id = static_cast<TxnId>(i);
+    const TxnOutcome& o = result.outcomes[i];
+    switch (o.fate) {
+      case TxnFate::kCompleted:
+        ++completed;
+        break;
+      case TxnFate::kShedAdmission:
+        ++shed;
+        break;
+      case TxnFate::kDroppedRetries:
+        ++dropped_retries;
+        break;
+      case TxnFate::kDroppedDependency:
+        ++dropped_dependency;
+        break;
+    }
+    const bool is_completed = o.fate == TxnFate::kCompleted;
+    if (!is_completed && !o.missed_deadline) {
+      return Status::FailedPrecondition(
+          "T" + std::to_string(i) + " was " + TxnFateName(o.fate) +
+          " but not counted as a deadline miss");
+    }
+    // 6a. Fate consistency along dependency edges: a transaction whose
+    // dependency never completed must itself be dropped as a dependent.
+    for (const TxnId dep : specs[i].dependencies) {
+      if (result.outcomes[dep].fate != TxnFate::kCompleted &&
+          o.fate != TxnFate::kDroppedDependency) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " has fate " + TxnFateName(o.fate) +
+            " although dependency T" + std::to_string(dep) + " was " +
+            TxnFateName(result.outcomes[dep].fate));
+      }
+    }
     auto it = by_txn.find(id);
     if (it == by_txn.end()) {
-      return Status::FailedPrecondition("T" + std::to_string(i) +
-                                        " never executed");
+      if (is_completed) {
+        return Status::FailedPrecondition("T" + std::to_string(i) +
+                                          " never executed");
+      }
+      continue;  // shed/dropped before ever being dispatched
     }
     auto& segments = it->second;
     std::sort(segments.begin(), segments.end(),
               [](const ScheduleSegment* a, const ScheduleSegment* b) {
                 return a->start < b->start;
               });
-    double executed = 0.0;
+    double final_attempt_work = 0.0;
     for (size_t s = 0; s < segments.size(); ++s) {
-      executed += segments[s]->end - segments[s]->start;
       if (s > 0 && segments[s]->start < segments[s - 1]->end - kEps) {
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " runs on two servers at once: " +
             Describe(*segments[s - 1]) + " and " + Describe(*segments[s]));
       }
+      if (s > 0 && segments[s]->attempt < segments[s - 1]->attempt) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " attempt numbers go backwards: " +
+            Describe(*segments[s - 1]) + " then " + Describe(*segments[s]));
+      }
+      if (segments[s]->attempt > o.aborts) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " segment of attempt " +
+            std::to_string(segments[s]->attempt) + " but only " +
+            std::to_string(o.aborts) + " aborts recorded");
+      }
+      // 5. Only the final attempt's work counts toward completion;
+      // earlier attempts were discarded by an abort.
+      if (segments[s]->attempt == o.aborts) {
+        final_attempt_work += segments[s]->end - segments[s]->start;
+      }
     }
-    if (std::fabs(executed - specs[i].length) > kEps) {
-      return Status::FailedPrecondition(
-          "T" + std::to_string(i) + " executed " + std::to_string(executed) +
-          " != length " + std::to_string(specs[i].length));
+    if (is_completed) {
+      if (std::fabs(final_attempt_work - specs[i].length) > kEps) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " final attempt executed " +
+            std::to_string(final_attempt_work) + " != length " +
+            std::to_string(specs[i].length));
+      }
+      if (std::fabs(segments.back()->end - o.finish) > kEps) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " last segment ends at " +
+            std::to_string(segments.back()->end) + " but finish is " +
+            std::to_string(o.finish));
+      }
+    } else {
+      // A non-completed transaction must not have absorbed a full
+      // attempt's worth of counted work.
+      if (final_attempt_work > specs[i].length + kEps) {
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " was " + TxnFateName(o.fate) +
+            " yet executed " + std::to_string(final_attempt_work) +
+            " > length " + std::to_string(specs[i].length));
+      }
     }
-    if (std::fabs(segments.back()->end - result.outcomes[i].finish) > kEps) {
-      return Status::FailedPrecondition(
-          "T" + std::to_string(i) + " last segment ends at " +
-          std::to_string(segments.back()->end) + " but finish is " +
-          std::to_string(result.outcomes[i].finish));
-    }
-    // 6. Precedence.
+    // 6b. Precedence: starts only after every dependency's finish.
     for (const TxnId dep : specs[i].dependencies) {
-      if (segments.front()->start < result.outcomes[dep].finish - kEps) {
+      const TxnOutcome& od = result.outcomes[dep];
+      if (od.fate != TxnFate::kCompleted) {
+        // A dependent only becomes ready once the dependency completes,
+        // so it can never have executed at all.
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " executed although dependency T" +
+            std::to_string(dep) + " never completed");
+      }
+      if (segments.front()->start < od.finish - kEps) {
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " starts at " +
             std::to_string(segments.front()->start) + " before T" +
             std::to_string(dep) + " finishes at " +
-            std::to_string(result.outcomes[dep].finish));
+            std::to_string(od.finish));
       }
     }
   }
+
+  // 8. Per-fate counters partition the workload and match the outcomes.
+  if (result.num_completed != completed || result.num_shed != shed ||
+      result.num_dropped_retries != dropped_retries ||
+      result.num_dropped_dependency != dropped_dependency) {
+    return Status::FailedPrecondition(
+        "RunResult fate counters disagree with recorded outcomes");
+  }
+  if (completed + shed + dropped_retries + dropped_dependency !=
+      specs.size()) {
+    return Status::FailedPrecondition(
+        "fate counts do not partition the workload");
+  }
   return Status::OK();
+}
+
+Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
+                        const RunResult& result, size_t num_servers) {
+  ValidationOptions options;
+  options.num_servers = num_servers;
+  return ValidateSchedule(specs, result, options);
 }
 
 }  // namespace webtx

@@ -5,10 +5,21 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "txn/transaction.h"
 
 namespace webtx {
+
+/// Inputs for auditing a recorded timeline. Pass `result.outages`
+/// through so the validator can audit the injected fault plan.
+struct ValidationOptions {
+  size_t num_servers = 1;
+  /// Server outage windows that held during the run (usually
+  /// RunResult::outages); no segment may intersect a window of its
+  /// server.
+  std::vector<OutageWindow> outages;
+};
 
 /// Independently audits a recorded execution timeline against the
 /// workload — a second implementation of the simulation rules used to
@@ -19,12 +30,24 @@ namespace webtx {
 ///   2. segments on one server never overlap;
 ///   3. a transaction never runs on two servers at once;
 ///   4. no transaction runs before its arrival;
-///   5. per-transaction executed time sums to its length, ending exactly
-///      at its recorded finish;
+///   5. a COMPLETED transaction's final attempt executes exactly its
+///      length, ending at its recorded finish — work from earlier,
+///      aborted attempts is discarded and never counts;
 ///   6. precedence: a transaction starts only after every dependency's
-///      recorded finish.
+///      recorded finish, and a dependent of a shed/dropped transaction
+///      is itself dropped (fate kDroppedDependency) and never runs
+///      after the drop;
+///   7. no segment intersects an outage window of its server;
+///   8. every non-completed transaction carries a non-kCompleted fate
+///      (a recorded cause) and completed ones carry kCompleted, with
+///      the RunResult per-fate counters matching the outcomes.
 ///
 /// Returns OK or a FailedPrecondition describing the first violation.
+Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
+                        const RunResult& result,
+                        const ValidationOptions& options);
+
+/// Failure-free convenience overload (no outage windows).
 Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
                         const RunResult& result, size_t num_servers);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <queue>
 #include <string>
 #include <utility>
 
@@ -13,6 +15,25 @@ constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
 // Floor for the policy-visible remaining time of a transaction that
 // overran its estimate; keeps priority keys (r, r/w, d - r) sane.
 constexpr SimTime kMinEstimatedRemaining = 1e-6;
+
+// A time-ordered event the simulator schedules for later: the release of
+// an aborted transaction after its retry backoff, or the re-presentation
+// of a deferred arrival to the admission controller. Kind breaks time
+// ties (retries before deferred arrivals), then the id — a fixed order
+// that keeps runs deterministic.
+struct PendingEvent {
+  SimTime time = 0.0;
+  uint8_t kind = 0;  // 0 = retry release, 1 = deferred arrival
+  TxnId id = kInvalidTxn;
+};
+
+struct PendingAfter {
+  bool operator()(const PendingEvent& a, const PendingEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.id > b.id;
+  }
+};
 }  // namespace
 
 Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
@@ -36,10 +57,16 @@ Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
                                      " has negative length estimate");
     }
   }
+  if (options.retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (options.retry.backoff < 0.0 || options.retry.backoff_multiplier < 0.0) {
+    return Status::InvalidArgument("retry backoff must be non-negative");
+  }
   WEBTX_ASSIGN_OR_RETURN(DependencyGraph graph, DependencyGraph::Build(txns));
   WorkflowRegistry registry = WorkflowRegistry::Build(graph);
   return Simulator(std::move(txns), std::move(graph), std::move(registry),
-                   options);
+                   std::move(options));
 }
 
 Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
@@ -47,7 +74,7 @@ Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
     : specs_(std::move(txns)),
       graph_(std::move(graph)),
       registry_(std::move(registry)),
-      options_(options) {
+      options_(std::move(options)) {
   arrival_order_.resize(specs_.size());
   for (size_t i = 0; i < specs_.size(); ++i) {
     arrival_order_[i] = static_cast<TxnId>(i);
@@ -67,6 +94,7 @@ void Simulator::ResetRuntimeState() {
   estimated_remaining_.resize(n);
   arrived_.assign(n, 0);
   finished_.assign(n, 0);
+  suspended_.assign(n, 0);
   unmet_deps_.resize(n);
   ready_list_.clear();
   ready_pos_.assign(n, kNoReadyPos);
@@ -103,27 +131,53 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   policy.Bind(*this);
   WEBTX_CHECK_GE(options_.num_servers, 1u);
 
+  std::unique_ptr<AdmissionController> admission;
+  if (options_.admission) {
+    admission = options_.admission();
+    admission->Bind(*this);
+  }
+
   const size_t n = specs_.size();
   const size_t k = options_.num_servers;
   std::vector<TxnOutcome> outcomes(n);
 
+  const bool faults = options_.fault_plan.enabled();
+  std::vector<FaultStream> fault_streams;
+  if (faults) {
+    fault_streams.reserve(k);
+    for (size_t s = 0; s < k; ++s) {
+      fault_streams.push_back(
+          options_.fault_plan.StreamFor(static_cast<uint32_t>(s)));
+    }
+  }
+
   size_t next_arrival = 0;
-  size_t finished_count = 0;
+  size_t resolved_count = 0;  // completed + shed + dropped
   std::vector<TxnId> running(k, kInvalidTxn);
   std::vector<SimTime> dispatch_time(k, 0.0);
   std::vector<SimTime> segment_start(k, 0.0);
   std::vector<ScheduleSegment> schedule;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, PendingAfter>
+      pending;
   SimTime now = 0.0;
   size_t scheduling_points = 0;
   size_t preemptions = 0;
   size_t idle_decisions = 0;
+  size_t retries = 0;
+  size_t deferrals = 0;
+  size_t outage_preemptions = 0;
+  double total_outage_time = 0.0;
+  std::vector<OutageWindow> outages;
 
-  // Closes the execution stretch of server `s` at time `t`.
+  // Closes the execution stretch of server `s` at time `t`, tagged with
+  // the transaction's current attempt (its abort count so far) — call
+  // BEFORE bumping the abort count when an abort is what closes it.
   const auto close_segment = [&](size_t s, SimTime t) {
     if (!options_.record_schedule) return;
     if (t - segment_start[s] <= kTimeEpsilon) return;
     schedule.push_back(ScheduleSegment{running[s], static_cast<uint32_t>(s),
-                                       segment_start[s], t});
+                                       segment_start[s], t,
+                                       outcomes[running[s]].aborts});
   };
 
   // Charges elapsed work to every busy server up to `t`.
@@ -140,7 +194,60 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     }
   };
 
-  while (finished_count < n) {
+  // Removes `root` from the system with `fate` and drops every
+  // transitive dependent with fate kDroppedDependency (their
+  // predecessors can never finish). See the failure-semantics contract
+  // in simulator.h for the policy callback order.
+  const auto resolve = [&](TxnId root, TxnFate fate, SimTime t) {
+    std::vector<std::pair<TxnId, TxnFate>> stack;
+    stack.emplace_back(root, fate);
+    while (!stack.empty()) {
+      const auto [cur, cur_fate] = stack.back();
+      stack.pop_back();
+      if (finished_[cur]) continue;
+      if (ready_pos_[cur] != kNoReadyPos) {
+        ReadyListRemove(cur);
+        policy.OnCompletion(cur, t);  // dequeue signal
+      }
+      finished_[cur] = 1;
+      suspended_[cur] = 0;
+      ++resolved_count;
+      TxnOutcome& o = outcomes[cur];
+      o.fate = cur_fate;
+      o.finish = t;
+      o.missed_deadline = true;  // never finishing misses the deadline
+      if (arrived_[cur]) policy.OnDropped(cur, t);
+      for (const TxnId succ : graph_.successors(cur)) {
+        if (!finished_[succ]) {
+          stack.emplace_back(succ, TxnFate::kDroppedDependency);
+        }
+      }
+    }
+  };
+
+  // Routes one (fresh or deferred) arrival through admission control.
+  const auto admit_arrival = [&](TxnId id, SimTime t) {
+    if (admission) {
+      const AdmissionDecision d = admission->Decide(id, t);
+      if (d.action == AdmissionDecision::Action::kReject) {
+        resolve(id, TxnFate::kShedAdmission, t);
+        return;
+      }
+      if (d.action == AdmissionDecision::Action::kDefer) {
+        WEBTX_CHECK(d.defer_delay > 0.0)
+            << admission->name() << " deferred T" << id
+            << " with non-positive delay";
+        ++deferrals;
+        pending.push(PendingEvent{t + d.defer_delay, 1, id});
+        return;
+      }
+    }
+    arrived_[id] = 1;
+    policy.OnArrival(id, t);
+    if (unmet_deps_[id] == 0) MakeReady(id, t, policy);
+  };
+
+  while (resolved_count < n) {
     const SimTime t_arrival = next_arrival < n
                                   ? specs_[arrival_order_[next_arrival]].arrival
                                   : kNever;
@@ -154,51 +261,168 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         completing_server = s;
       }
     }
-
-    WEBTX_CHECK(t_arrival != kNever || t_completion != kNever)
-        << "simulation stalled: " << (n - finished_count)
-        << " transactions unfinished, nothing running, no arrivals left "
-           "(policy idled while work was pending?)";
-
-    if (t_completion <= t_arrival) {
-      // Completion event (wins ties against simultaneous arrivals;
-      // simultaneous completions are processed one per scheduling point,
-      // lowest server index first).
-      now = t_completion;
-      charge_progress(now);
-      close_segment(completing_server, now);
-      const TxnId done = running[completing_server];
-      running[completing_server] = kInvalidTxn;
-      true_remaining_[done] = 0.0;
-      estimated_remaining_[done] = 0.0;
-      finished_[done] = 1;
-      ++finished_count;
-      ReadyListRemove(done);
-
-      TxnOutcome& o = outcomes[done];
-      o.finish = now;
-      o.tardiness = TardinessOf(now, specs_[done].deadline);
-      o.weighted_tardiness = o.tardiness * specs_[done].weight;
-      o.response = now - specs_[done].arrival;
-      o.missed_deadline = o.tardiness > 0.0;
-
-      policy.OnCompletion(done, now);
-      for (const TxnId succ : graph_.successors(done)) {
-        WEBTX_DCHECK(unmet_deps_[succ] > 0);
-        if (--unmet_deps_[succ] == 0 && arrived_[succ]) {
-          MakeReady(succ, now, policy);
+    SimTime t_outage = kNever;
+    size_t outage_server = k;
+    SimTime t_abort = kNever;
+    size_t abort_server = k;
+    if (faults) {
+      for (size_t s = 0; s < k; ++s) {
+        const SimTime tt = fault_streams[s].next_transition();
+        if (tt < t_outage) {
+          t_outage = tt;
+          outage_server = s;
+        }
+        const SimTime ta = fault_streams[s].next_abort();
+        if (ta < t_abort) {
+          t_abort = ta;
+          abort_server = s;
         }
       }
-    } else {
-      // Arrival event; charge progress to the running transactions first.
-      now = t_arrival;
-      charge_progress(now);
-      while (next_arrival < n &&
-             specs_[arrival_order_[next_arrival]].arrival == now) {
-        const TxnId id = arrival_order_[next_arrival++];
-        arrived_[id] = 1;
-        policy.OnArrival(id, now);
-        if (unmet_deps_[id] == 0) MakeReady(id, now, policy);
+    }
+    const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
+
+    // Progress is guaranteed by a completion, an arrival, a pending
+    // retry/deferral, or — when every server is down — the finite end of
+    // an outage holding back a non-empty ready set.
+    WEBTX_CHECK(t_completion != kNever || t_arrival != kNever ||
+                t_pending != kNever || !ready_list_.empty())
+        << "simulation stalled: " << (n - resolved_count)
+        << " transactions unresolved, nothing running, no arrivals left "
+           "(policy idled while work was pending?)";
+
+    // Pick the earliest event; at equal times the order is completion,
+    // outage transition, abort, pending, arrival (see simulator.h).
+    enum class Ev { kCompletion, kOutage, kAbort, kPending, kArrival };
+    Ev ev = Ev::kCompletion;
+    SimTime t_ev = t_completion;
+    if (t_outage < t_ev) {
+      ev = Ev::kOutage;
+      t_ev = t_outage;
+    }
+    if (t_abort < t_ev) {
+      ev = Ev::kAbort;
+      t_ev = t_abort;
+    }
+    if (t_pending < t_ev) {
+      ev = Ev::kPending;
+      t_ev = t_pending;
+    }
+    if (t_arrival < t_ev) {
+      ev = Ev::kArrival;
+      t_ev = t_arrival;
+    }
+    now = t_ev;
+    charge_progress(now);
+
+    switch (ev) {
+      case Ev::kCompletion: {
+        // Simultaneous completions are processed one per scheduling
+        // point, lowest server index first.
+        close_segment(completing_server, now);
+        const TxnId done = running[completing_server];
+        running[completing_server] = kInvalidTxn;
+        true_remaining_[done] = 0.0;
+        estimated_remaining_[done] = 0.0;
+        finished_[done] = 1;
+        ++resolved_count;
+        ReadyListRemove(done);
+
+        TxnOutcome& o = outcomes[done];
+        o.fate = TxnFate::kCompleted;
+        o.finish = now;
+        o.tardiness = TardinessOf(now, specs_[done].deadline);
+        o.weighted_tardiness = o.tardiness * specs_[done].weight;
+        o.response = now - specs_[done].arrival;
+        o.missed_deadline = o.tardiness > 0.0;
+
+        policy.OnCompletion(done, now);
+        for (const TxnId succ : graph_.successors(done)) {
+          WEBTX_DCHECK(unmet_deps_[succ] > 0);
+          if (--unmet_deps_[succ] == 0 && arrived_[succ] &&
+              !finished_[succ]) {
+            MakeReady(succ, now, policy);
+          }
+        }
+        break;
+      }
+      case Ev::kOutage: {
+        FaultStream& stream = fault_streams[outage_server];
+        if (!stream.down()) {
+          // Outage begins: preempt the victim (work retained — it stays
+          // ready and may be re-placed on another server immediately).
+          outages.push_back(
+              OutageWindow{static_cast<uint32_t>(outage_server),
+                           stream.next_transition(), stream.outage_end()});
+          total_outage_time += stream.outage_end() - stream.next_transition();
+          if (running[outage_server] != kInvalidTxn) {
+            close_segment(outage_server, now);
+            running[outage_server] = kInvalidTxn;
+            ++outage_preemptions;
+          }
+        }
+        // Either the outage starts (down until outage_end) or the server
+        // recovers; both are scheduling points.
+        stream.AdvanceTransition();
+        break;
+      }
+      case Ev::kAbort: {
+        FaultStream& stream = fault_streams[abort_server];
+        stream.AdvanceAbort();  // always consume: timeline stays
+                                // policy-independent
+        const TxnId victim = running[abort_server];
+        if (victim == kInvalidTxn) break;  // idle/down server: no-op
+        close_segment(abort_server, now);  // belongs to the old attempt
+        running[abort_server] = kInvalidTxn;
+        TxnOutcome& o = outcomes[victim];
+        ++o.aborts;
+        // Suspend BEFORE the dequeue callback: policies that rebuild
+        // cached state inside OnCompletion (ASETS*'s workflow heads)
+        // must already see the victim as non-ready.
+        suspended_[victim] = 1;
+        ReadyListRemove(victim);
+        policy.OnCompletion(victim, now);  // dequeue signal
+        // All executed work is lost.
+        true_remaining_[victim] = specs_[victim].length;
+        estimated_remaining_[victim] = specs_[victim].EstimateOrLength();
+        if (o.aborts >= options_.retry.max_attempts) {
+          resolve(victim, TxnFate::kDroppedRetries, now);  // clears suspended_
+          break;
+        }
+        ++retries;
+        SimTime delay = options_.retry.backoff;
+        for (uint32_t i = 1; i < o.aborts; ++i) {
+          delay *= options_.retry.backoff_multiplier;
+        }
+        if (delay <= 0.0) {
+          suspended_[victim] = 0;
+          MakeReady(victim, now, policy);
+        } else {
+          pending.push(PendingEvent{now + delay, 0, victim});
+        }
+        break;
+      }
+      case Ev::kPending: {
+        while (!pending.empty() && pending.top().time == now) {
+          const PendingEvent pe = pending.top();
+          pending.pop();
+          if (finished_[pe.id]) continue;  // resolved meanwhile
+          if (pe.kind == 0) {
+            suspended_[pe.id] = 0;
+            MakeReady(pe.id, now, policy);
+          } else {
+            admit_arrival(pe.id, now);
+          }
+        }
+        break;
+      }
+      case Ev::kArrival: {
+        while (next_arrival < n &&
+               specs_[arrival_order_[next_arrival]].arrival == now) {
+          const TxnId id = arrival_order_[next_arrival++];
+          if (finished_[id]) continue;  // dropped before it arrived
+          admit_arrival(id, now);
+        }
+        break;
       }
     }
     for (size_t s = 0; s < k; ++s) {
@@ -208,12 +432,20 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     }
 
     // Scheduling point (Sec. III-A2: consult the policy on every arrival
-    // and completion). Servers are (re)filled greedily; the policy sees
-    // the transactions already placed this round as excluded.
+    // and completion; fault boundaries and retries are events too). Up
+    // servers are (re)filled greedily; the policy sees the transactions
+    // already placed this round as excluded. Down servers take no work.
     ++scheduling_points;
+    size_t k_up = k;
+    if (faults) {
+      k_up = 0;
+      for (size_t s = 0; s < k; ++s) {
+        if (!fault_streams[s].down()) ++k_up;
+      }
+    }
     std::vector<TxnId> picks;
-    picks.reserve(k);
-    for (size_t slot = 0; slot < k; ++slot) {
+    picks.reserve(k_up);
+    for (size_t slot = 0; slot < k_up; ++slot) {
       const TxnId pick = policy.PickNextExcluding(now, picks);
       if (pick == kInvalidTxn) break;
       WEBTX_CHECK(IsReady(pick))
@@ -224,13 +456,13 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
           << "policy " << policy.name() << " picked T" << pick << " twice";
       picks.push_back(pick);
     }
-    if (picks.size() < k) {
+    if (picks.size() < k_up) {
       WEBTX_CHECK_EQ(picks.size(),
-                     std::min<size_t>(k, ready_list_.size()))
+                     std::min<size_t>(k_up, ready_list_.size()))
           << "policy " << policy.name() << " idled a server with "
           << ready_list_.size() << " ready transactions at t=" << now;
     }
-    if (picks.empty()) ++idle_decisions;
+    if (picks.empty() && k_up > 0) ++idle_decisions;
 
     // Assign picks to servers, keeping continuing transactions in place.
     std::vector<TxnId> next_running(k, kInvalidTxn);
@@ -249,6 +481,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       size_t p = 0;
       for (size_t s = 0; s < k; ++s) {
         if (next_running[s] != kInvalidTxn) continue;
+        if (faults && fault_streams[s].down()) continue;
         while (p < picks.size() && pick_taken[p]) ++p;
         if (p >= picks.size()) break;
         next_running[s] = picks[p];
@@ -277,6 +510,12 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   result.num_scheduling_points = scheduling_points;
   result.num_preemptions = preemptions;
   result.num_idle_decisions = idle_decisions;
+  result.num_retries = retries;
+  result.num_deferrals = deferrals;
+  result.num_outages = outages.size();
+  result.num_outage_preemptions = outage_preemptions;
+  result.total_outage_time = total_outage_time;
+  result.outages = std::move(outages);
   if (!options_.record_outcomes) result.outcomes.clear();
   if (options_.record_schedule) {
     std::sort(schedule.begin(), schedule.end(),

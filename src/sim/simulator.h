@@ -6,8 +6,10 @@
 
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "sched/admission.h"
 #include "sched/scheduler_policy.h"
 #include "sched/sim_view.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
@@ -17,7 +19,8 @@ namespace webtx {
 
 /// Simulator knobs. The defaults model the paper's testbed: a single
 /// back-end database server, preemption at scheduling points (transaction
-/// arrival and completion, Sec. III-A2), zero dispatch overhead.
+/// arrival and completion, Sec. III-A2), zero dispatch overhead, no
+/// faults, no admission control.
 struct SimOptions {
   /// Per-dispatch overhead charged when a server switches to a different
   /// transaction than the one it previously ran. 0 in the paper.
@@ -33,6 +36,17 @@ struct SimOptions {
   /// only policies overriding that hook support k > 1 (all shipped
   /// policies do).
   size_t num_servers = 1;
+  /// Deterministic fault injection (server outages, transaction aborts).
+  /// The default plan is disabled; see the failure-semantics contract on
+  /// Simulator below.
+  FaultPlan fault_plan;
+  /// Retry behavior for aborted transactions; only consulted when the
+  /// fault plan injects aborts.
+  RetryOptions retry;
+  /// Admission controller factory consulted at every arrival, before the
+  /// scheduling policy learns of the transaction; null admits everything.
+  /// A fresh controller is constructed per Run.
+  AdmissionFactory admission;
 };
 
 /// Discrete-event RTDBMS simulator (paper Sec. IV-A): one or more servers
@@ -46,15 +60,67 @@ struct SimOptions {
 ///   EdfPolicy policy;
 ///   RunResult r = sim.ValueOrDie().Run(policy);
 ///
+/// ## Failure-semantics contract
+///
+/// With a fault plan and/or admission controller configured, a run obeys
+/// the following rules; every transaction ends in exactly one TxnFate and
+/// the per-fate counts partition the workload (audited by
+/// ValidateSchedule):
+///
+/// - *Event ordering.* Faults are first-class discrete events. When
+///   events coincide in time they are processed in a fixed priority
+///   order — completion, then outage transition, then abort, then
+///   retry release / deferred arrival, then fresh arrival — with the
+///   lowest server index (or transaction id) breaking remaining ties,
+///   so a run is a pure function of (workload, policy, options).
+///
+/// - *Outages.* A server going down preempts its running transaction;
+///   the executed work is RETAINED (only aborts lose work) and the
+///   transaction stays in the ready set, so the policy may immediately
+///   re-place it on another up server. A down server is never filled at
+///   scheduling points; recovery is itself a scheduling point. Both
+///   boundaries of every window are scheduling points and the injected
+///   windows are reported in RunResult::outages.
+///
+/// - *Aborts.* An abort instant on a busy server discards ALL executed
+///   work of the running transaction (true and estimated remaining reset
+///   to full). The transaction is dequeued — the policy sees
+///   OnCompletion, its usual dequeue signal — and then either retries or
+///   is dropped per RetryOptions: attempt i < max_attempts re-enters the
+///   ready set (OnReady) after backoff * multiplier^(i-1), during which
+///   it is suspended (IsReady false, so policies cannot pick it); the
+///   abort of attempt max_attempts drops it with fate kDroppedRetries.
+///   Abort instants on an idle (or down) server are consumed as no-ops,
+///   keeping the fault timeline policy-independent.
+///
+/// - *Admission.* The controller decides each arrival BEFORE the policy
+///   observes it: kAdmit proceeds normally, kReject sheds the
+///   transaction with fate kShedAdmission (the policy never hears of
+///   it), kDefer re-presents the arrival defer_delay later.
+///
+/// - *Drop cascades.* When a transaction is shed or dropped, every
+///   transitive dependent is dropped with fate kDroppedDependency at the
+///   same instant — its predecessors can never finish, so it could never
+///   become ready. For each dropped transaction the policy receives
+///   OnCompletion iff it was in the ready set (dequeue signal), then
+///   OnDropped iff it had arrived; dependents that never arrived are
+///   resolved silently and their later arrival events are skipped.
+///
+/// - *Accounting.* Non-completed transactions count as deadline misses,
+///   are excluded from the tardiness/response aggregates, and record
+///   their shed/drop instant in TxnOutcome::finish. goodput =
+///   num_completed / N.
+///
 /// Thread safety: a Simulator is NOT thread-safe and must never be
 /// shared across threads — Run() mutates per-transaction runtime state
 /// in place (it resets that state on entry, so sequential reuse across
-/// policies on ONE thread is fine). The parallel sweep engine
-/// (exp/sweep.h) gets its parallelism by constructing an independent
-/// Simulator + SchedulerPolicy per workload instance per worker, never
-/// by sharing one. The same rule applies to SchedulerPolicy objects:
-/// Bind() resets policy state, but concurrent Run() calls against one
-/// policy object race on its queues.
+/// policies on ONE thread is fine; fault timelines replay identically
+/// because FaultStreams are rebuilt from the plan's seed each run). The
+/// parallel sweep engine (exp/sweep.h) gets its parallelism by
+/// constructing an independent Simulator + SchedulerPolicy per workload
+/// instance per worker, never by sharing one. The same rule applies to
+/// SchedulerPolicy objects: Bind() resets policy state, but concurrent
+/// Run() calls against one policy object race on its queues.
 class Simulator final : public SimView {
  public:
   /// Validates the workload (dense ids, acyclic dependencies, positive
@@ -76,17 +142,24 @@ class Simulator final : public SimView {
   }
   const DependencyGraph& graph() const override { return graph_; }
   const WorkflowRegistry& workflows() const override { return registry_; }
+  size_t num_servers() const override { return options_.num_servers; }
   /// The scheduler's view of remaining processing time: derived from the
   /// transaction's length *estimate* minus executed time (clamped to a
   /// small positive floor when the estimate was too low). Equals the true
-  /// remaining time when length_estimate is unset.
+  /// remaining time when length_estimate is unset. Reset to the full
+  /// estimate when an abort discards the executed work.
   SimTime remaining(TxnId id) const override {
     return estimated_remaining_[id];
   }
   bool IsArrived(TxnId id) const override { return arrived_[id] != 0; }
+  /// True once the transaction left the system — completed OR shed or
+  /// dropped; the cause lives in TxnOutcome::fate.
   bool IsFinished(TxnId id) const override { return finished_[id] != 0; }
+  /// Runnable now: arrived, not finished, all dependencies met, and not
+  /// suspended awaiting a retry backoff.
   bool IsReady(TxnId id) const override {
-    return arrived_[id] && !finished_[id] && unmet_deps_[id] == 0;
+    return arrived_[id] && !finished_[id] && !suspended_[id] &&
+           unmet_deps_[id] == 0;
   }
   const std::vector<TxnId>& ready_transactions() const override {
     return ready_list_;
@@ -113,6 +186,7 @@ class Simulator final : public SimView {
   std::vector<SimTime> estimated_remaining_;
   std::vector<char> arrived_;
   std::vector<char> finished_;
+  std::vector<char> suspended_;  // aborted, awaiting retry backoff
   std::vector<uint32_t> unmet_deps_;
   std::vector<TxnId> ready_list_;
   std::vector<size_t> ready_pos_;  // TxnId -> index in ready_list_

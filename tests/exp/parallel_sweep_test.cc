@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/sweep.h"
+#include "sched/admission.h"
 
 namespace webtx {
 namespace {
@@ -40,7 +41,29 @@ void ExpectBitIdentical(const std::vector<SweepCell>& a,
     EXPECT_EQ(a[i].avg_tardiness_stddev, b[i].avg_tardiness_stddev);
     EXPECT_EQ(a[i].avg_weighted_tardiness_stddev,
               b[i].avg_weighted_tardiness_stddev);
+    EXPECT_EQ(a[i].goodput, b[i].goodput);
+    EXPECT_EQ(a[i].shed_ratio, b[i].shed_ratio);
+    EXPECT_EQ(a[i].drop_ratio, b[i].drop_ratio);
   }
+}
+
+SweepConfig FaultyConfig() {
+  SweepConfig config = BaseConfig();
+  FaultPlanConfig faults;
+  faults.outage_rate = 0.02;
+  faults.mean_outage_duration = 6.0;
+  faults.abort_rate = 0.05;
+  faults.seed = 13;
+  auto plan = FaultPlan::Create(faults);
+  EXPECT_TRUE(plan.ok());
+  config.sim.fault_plan = plan.ValueOrDie();
+  config.sim.retry.max_attempts = 3;
+  config.sim.retry.backoff = 1.0;
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 25;
+  depth.defer_delay = 5.0;
+  config.sim.admission = MakeQueueDepthAdmission(depth);
+  return config;
 }
 
 TEST(ParallelSweepTest, ThreadCountDoesNotChangeCells) {
@@ -51,6 +74,33 @@ TEST(ParallelSweepTest, ThreadCountDoesNotChangeCells) {
 
   for (const size_t num_threads : {2u, 8u}) {
     SweepConfig parallel = BaseConfig();
+    parallel.num_threads = num_threads;
+    auto cells = RunSweep(parallel);
+    ASSERT_TRUE(cells.ok()) << cells.status();
+    SCOPED_TRACE("num_threads = " + std::to_string(num_threads));
+    ExpectBitIdentical(reference.ValueOrDie(), cells.ValueOrDie());
+  }
+}
+
+TEST(ParallelSweepTest, FaultInjectedSweepIsByteIdenticalAcrossThreads) {
+  // Fault plans and admission control must not break the determinism
+  // contract: the per-instance fault timeline is re-keyed by the
+  // instance seed (a pure function), never by worker assignment.
+  SweepConfig serial = FaultyConfig();
+  serial.num_threads = 1;
+  auto reference = RunSweep(serial);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // The faults actually bite (otherwise this test proves nothing).
+  double total_failures = 0.0;
+  for (const SweepCell& cell : reference.ValueOrDie()) {
+    total_failures += cell.shed_ratio + cell.drop_ratio;
+    EXPECT_GE(cell.goodput + cell.shed_ratio + cell.drop_ratio, 1.0 - 1e-9);
+  }
+  EXPECT_GT(total_failures, 0.0);
+
+  for (const size_t num_threads : {2u, 8u}) {
+    SweepConfig parallel = FaultyConfig();
     parallel.num_threads = num_threads;
     auto cells = RunSweep(parallel);
     ASSERT_TRUE(cells.ok()) << cells.status();

@@ -1,0 +1,165 @@
+// Property-based checks of the failure-semantics contract
+// (sim/simulator.h): over random workloads with faults and admission
+// control, every transaction ends in exactly one fate, the per-fate
+// counters partition the workload, and the accounting invariants hold
+// for every policy.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/admission.h"
+#include "sched/policy_factory.h"
+#include "sim/schedule_validator.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+SimOptions FaultyOptions() {
+  SimOptions options;
+  FaultPlanConfig config;
+  config.outage_rate = 0.01;
+  config.mean_outage_duration = 8.0;
+  config.abort_rate = 0.02;
+  config.seed = 11;
+  auto plan = FaultPlan::Create(config);
+  EXPECT_TRUE(plan.ok());
+  options.fault_plan = plan.ValueOrDie();
+  options.retry.max_attempts = 3;
+  options.retry.backoff = 2.0;
+  return options;
+}
+
+class FaultFatePartitionTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(FaultFatePartitionTest, FatesPartitionTheWorkloadUnderFaults) {
+  WorkloadSpec spec;
+  spec.num_transactions = 150;
+  spec.max_weight = 5;
+  spec.max_workflow_length = 3;
+  spec.utilization = 0.9;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    SimOptions options = FaultyOptions();
+    QueueDepthAdmissionOptions depth;
+    depth.max_ready = 30;
+    depth.defer_delay = 10.0;
+    options.admission = MakeQueueDepthAdmission(depth);
+    auto sim = Simulator::Create(
+        generator.ValueOrDie().Generate(seed), options);
+    ASSERT_TRUE(sim.ok());
+    auto policy = CreatePolicy(GetParam());
+    ASSERT_TRUE(policy.ok());
+    const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+    SCOPED_TRACE(GetParam() + " seed " + std::to_string(seed));
+
+    // goodput + shed + dropped sums to the whole workload.
+    EXPECT_EQ(r.num_completed + r.num_shed + r.num_dropped_retries +
+                  r.num_dropped_dependency,
+              spec.num_transactions);
+    EXPECT_DOUBLE_EQ(r.goodput, static_cast<double>(r.num_completed) /
+                                    static_cast<double>(
+                                        spec.num_transactions));
+
+    size_t completed = 0;
+    size_t aborts = 0;
+    for (const TxnOutcome& o : r.outcomes) {
+      aborts += o.aborts;
+      if (o.fate == TxnFate::kCompleted) {
+        ++completed;
+        EXPECT_LE(o.aborts + 1, options.retry.max_attempts);
+      } else {
+        // Every non-completed transaction records its cause and counts
+        // as a deadline miss at a definite instant.
+        EXPECT_TRUE(o.missed_deadline);
+        EXPECT_GE(o.finish, 0.0);
+        if (o.fate == TxnFate::kDroppedRetries) {
+          EXPECT_EQ(o.aborts, options.retry.max_attempts);
+        }
+      }
+    }
+    EXPECT_EQ(completed, r.num_completed);
+    EXPECT_EQ(aborts, r.num_aborts);
+    // Every abort either led to a retry or was the terminal attempt.
+    EXPECT_EQ(r.num_retries + r.num_dropped_retries, r.num_aborts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FaultFatePartitionTest,
+                         ::testing::Values("FCFS", "EDF", "SRPT", "HDF",
+                                           "ASETS", "ASETS*"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(FaultPropertiesTest, FaultyRunsPassTheIndependentValidator) {
+  WorkloadSpec spec;
+  spec.num_transactions = 80;
+  spec.max_workflow_length = 3;
+  spec.utilization = 0.8;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  for (const uint64_t seed : {4u, 5u}) {
+    SimOptions options = FaultyOptions();
+    options.record_schedule = true;
+    options.num_servers = 2;
+    auto sim = Simulator::Create(
+        generator.ValueOrDie().Generate(seed), options);
+    ASSERT_TRUE(sim.ok());
+    auto policy = CreatePolicy("ASETS*");
+    ASSERT_TRUE(policy.ok());
+    const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+    ValidationOptions v;
+    v.num_servers = 2;
+    v.outages = r.outages;
+    const Status status =
+        ValidateSchedule(sim.ValueOrDie().specs(), r, v);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status;
+  }
+}
+
+TEST(FaultPropertiesTest, DisabledFaultsReproduceTheFailureFreeRun) {
+  // A default-constructed fault plan plus default retry/admission must
+  // leave the simulation byte-identical to a run without SimOptions at
+  // all — the robustness layer is strictly opt-in.
+  WorkloadSpec spec;
+  spec.num_transactions = 100;
+  spec.utilization = 0.7;
+  auto generator = WorkloadGenerator::Create(spec);
+  ASSERT_TRUE(generator.ok());
+  const auto txns = generator.ValueOrDie().Generate(9);
+  auto plain = Simulator::Create(txns);
+  auto opted = Simulator::Create(txns, SimOptions{});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(opted.ok());
+  auto policy = CreatePolicy("ASETS");
+  ASSERT_TRUE(policy.ok());
+  const RunResult a = plain.ValueOrDie().Run(*policy.ValueOrDie());
+  const RunResult b = opted.ValueOrDie().Run(*policy.ValueOrDie());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish);
+    EXPECT_EQ(a.outcomes[i].tardiness, b.outcomes[i].tardiness);
+    EXPECT_EQ(a.outcomes[i].fate, TxnFate::kCompleted);
+  }
+  EXPECT_EQ(a.goodput, 1.0);
+  EXPECT_EQ(b.goodput, 1.0);
+  EXPECT_EQ(a.num_aborts, 0u);
+  EXPECT_EQ(b.num_outages, 0u);
+}
+
+}  // namespace
+}  // namespace webtx

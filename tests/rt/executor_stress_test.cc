@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -196,6 +197,132 @@ TEST(ExecutorStressTest, FinishedCountIsMonotoneWhileRunning) {
   spectator.join();
   EXPECT_FALSE(regression.load());
   EXPECT_EQ(executor->finished_count(), 200u);
+}
+
+TEST(ExecutorStressTest, ShutdownNowUnderInFlightTimeoutsNeverDeadlocks) {
+  // The tentpole robustness scenario: workers are saturated with
+  // cancellation-aware tasks that only return when cancelled, more work
+  // (including retrying throwers) is queued behind them, and ShutdownNow
+  // lands mid-flight. Every task must reach a terminal state and the
+  // join must not hang (the test itself is the liveness assertion; tsan
+  // audits the synchronization).
+  for (int round = 0; round < 5; ++round) {
+    auto executor = MakeExecutor("EDF", 4);
+    std::atomic<size_t> started{0};
+    std::vector<TxnId> ids;
+
+    for (int i = 0; i < 4; ++i) {
+      TaskSpec blocker;
+      blocker.estimated_cost = 0.001;
+      blocker.relative_deadline = 5.0;
+      blocker.timeout_seconds = 30.0;  // deadline never fires; flag does
+      blocker.cancellable_fn = [&started](const CancelToken& token) {
+        started.fetch_add(1);
+        while (!token.cancelled()) {
+          std::this_thread::yield();
+        }
+      };
+      auto id = executor->Submit(std::move(blocker));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.ValueOrDie());
+    }
+    for (int i = 0; i < 40; ++i) {
+      TaskSpec task;
+      task.estimated_cost = 0.001;
+      task.relative_deadline = 5.0;
+      task.max_attempts = 3;
+      task.retry_backoff_seconds = 0.001;
+      task.fn = [] { throw std::runtime_error("flaky"); };
+      auto id = executor->Submit(std::move(task));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.ValueOrDie());
+    }
+    while (started.load() < 4) {
+      std::this_thread::yield();
+    }
+    executor->ShutdownNow();
+
+    EXPECT_EQ(executor->finished_count(), ids.size());
+    for (const TxnId id : ids) {
+      const TaskOutcome outcome = executor->OutcomeOf(id);
+      EXPECT_TRUE(outcome.finished) << "T" << id;
+      EXPECT_NE(outcome.result, TaskResult::kPending) << "T" << id;
+      EXPECT_NE(outcome.result, TaskResult::kCompleted) << "T" << id;
+    }
+    executor.reset();  // destructor after ShutdownNow is a no-op
+  }
+}
+
+TEST(ExecutorStressTest, ConcurrentTimeoutsAndRetriesDrainCleanly) {
+  // A mixed workload where every robustness feature is active at once:
+  // timeouts, retries with backoff, throwers, and plain tasks, across
+  // 4 workers, fully drained (no shutdown shortcut).
+  auto executor = MakeExecutor("SRPT", 4);
+  std::atomic<size_t> completed_fns{0};
+  std::vector<TxnId> ids;
+  for (int i = 0; i < 80; ++i) {
+    TaskSpec task;
+    task.estimated_cost = 0.001;
+    task.relative_deadline = 5.0;
+    switch (i % 4) {
+      case 0:  // well-behaved
+        task.fn = [&completed_fns] { completed_fns.fetch_add(1); };
+        break;
+      case 1:  // times out once, then completes
+        task.timeout_seconds = 0.02;
+        task.max_attempts = 2;
+        task.cancellable_fn = [&completed_fns, attempt = std::make_shared<
+                                                   std::atomic<int>>(0)](
+                                  const CancelToken& token) {
+          if (attempt->fetch_add(1) == 0) {
+            while (!token.cancelled()) {
+              std::this_thread::yield();
+            }
+          } else {
+            completed_fns.fetch_add(1);
+          }
+        };
+        break;
+      case 2:  // throws until the budget is spent
+        task.max_attempts = 2;
+        task.retry_backoff_seconds = 0.001;
+        task.fn = [] { throw std::runtime_error("always"); };
+        break;
+      case 3:  // transient thrower that recovers
+        task.max_attempts = 3;
+        task.fn = [&completed_fns, attempt = std::make_shared<
+                                       std::atomic<int>>(0)] {
+          if (attempt->fetch_add(1) == 0) {
+            throw std::runtime_error("transient");
+          }
+          completed_fns.fetch_add(1);
+        };
+        break;
+    }
+    auto id = executor->Submit(std::move(task));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.ValueOrDie());
+  }
+  executor->Drain();
+  EXPECT_EQ(executor->finished_count(), ids.size());
+  EXPECT_EQ(completed_fns.load(), 60u);  // cases 0, 1, 3 all complete
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const TaskOutcome outcome = executor->OutcomeOf(ids[i]);
+    switch (i % 4) {
+      case 0:
+      case 3:
+        EXPECT_EQ(outcome.result, TaskResult::kCompleted) << "T" << ids[i];
+        break;
+      case 1:
+        EXPECT_EQ(outcome.result, TaskResult::kCompleted) << "T" << ids[i];
+        EXPECT_EQ(outcome.attempts, 2u) << "T" << ids[i];
+        break;
+      case 2:
+        EXPECT_EQ(outcome.result, TaskResult::kFailed) << "T" << ids[i];
+        EXPECT_EQ(outcome.attempts, 2u) << "T" << ids[i];
+        break;
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -207,6 +208,175 @@ TEST(ExecutorTest, DependencyOnAlreadyFinishedTaskIsImmediatelyReady) {
   ASSERT_TRUE(second.ok()) << second.status();
   executor.Drain();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ExecutorTest, ThrowingTaskFailsButTheWorkerSurvives) {
+  std::atomic<int> counter{0};
+  Executor executor(Policy("EDF"), {});
+  auto bad = executor.Submit(Quick([] { throw std::runtime_error("boom"); }));
+  ASSERT_TRUE(bad.ok());
+  executor.Drain();
+  const TaskOutcome outcome = executor.OutcomeOf(bad.ValueOrDie());
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_EQ(outcome.result, TaskResult::kFailed);
+  EXPECT_EQ(outcome.attempts, 1u);
+  // The worker thread must have survived the exception.
+  auto good = executor.Submit(Quick([&] { ++counter; }));
+  ASSERT_TRUE(good.ok());
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(executor.OutcomeOf(good.ValueOrDie()).result,
+            TaskResult::kCompleted);
+}
+
+TEST(ExecutorTest, FailedAttemptsAreRetriedUpToTheBudget) {
+  std::atomic<int> calls{0};
+  Executor executor(Policy("EDF"), {});
+  TaskSpec task = Quick([&] {
+    if (calls.fetch_add(1) < 2) throw std::runtime_error("transient");
+  });
+  task.max_attempts = 5;
+  auto id = executor.Submit(std::move(task));
+  ASSERT_TRUE(id.ok());
+  executor.Drain();
+  EXPECT_EQ(calls.load(), 3);
+  const TaskOutcome outcome = executor.OutcomeOf(id.ValueOrDie());
+  EXPECT_EQ(outcome.result, TaskResult::kCompleted);
+  EXPECT_EQ(outcome.attempts, 3u);
+}
+
+TEST(ExecutorTest, RetryBudgetExhaustionIsTerminalFailure) {
+  std::atomic<int> calls{0};
+  Executor executor(Policy("EDF"), {});
+  TaskSpec task = Quick([&] {
+    calls.fetch_add(1);
+    throw std::runtime_error("permanent");
+  });
+  task.max_attempts = 3;
+  task.retry_backoff_seconds = 0.002;
+  auto id = executor.Submit(std::move(task));
+  ASSERT_TRUE(id.ok());
+  executor.Drain();
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(executor.OutcomeOf(id.ValueOrDie()).result, TaskResult::kFailed);
+}
+
+TEST(ExecutorTest, OverrunningTaskTimesOut) {
+  Executor executor(Policy("EDF"), {});
+  TaskSpec task;
+  task.relative_deadline = 5.0;
+  task.estimated_cost = 0.001;
+  task.timeout_seconds = 0.005;
+  task.cancellable_fn = [](const CancelToken& token) {
+    // Cooperative: spin until the executor trips the token at the
+    // timeout, then return (overrun observed post-return).
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  auto id = executor.Submit(std::move(task));
+  ASSERT_TRUE(id.ok());
+  executor.Drain();
+  const TaskOutcome outcome = executor.OutcomeOf(id.ValueOrDie());
+  EXPECT_EQ(outcome.result, TaskResult::kTimedOut);
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(ExecutorTest, SubmitRejectsConflictingFunctions) {
+  Executor executor(Policy("EDF"), {});
+  TaskSpec both = Quick([] {});
+  both.cancellable_fn = [](const CancelToken&) {};
+  EXPECT_FALSE(executor.Submit(both).ok());
+
+  TaskSpec bad_attempts = Quick([] {});
+  bad_attempts.max_attempts = 0;
+  EXPECT_FALSE(executor.Submit(bad_attempts).ok());
+
+  TaskSpec bad_timeout = Quick([] {});
+  bad_timeout.timeout_seconds = -1.0;
+  EXPECT_FALSE(executor.Submit(bad_timeout).ok());
+}
+
+TEST(ExecutorTest, FailureCascadesToDependents) {
+  Executor executor(Policy("EDF"), {});
+  std::atomic<int> counter{0};
+  auto root = executor.Submit(Quick([] { throw std::runtime_error("x"); }));
+  ASSERT_TRUE(root.ok());
+  auto child =
+      executor.Submit(Quick([&] { ++counter; }, 5.0, 1.0,
+                            {root.ValueOrDie()}));
+  ASSERT_TRUE(child.ok());
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 0);
+  EXPECT_EQ(executor.OutcomeOf(child.ValueOrDie()).result,
+            TaskResult::kDependencyFailed);
+
+  // Submitting against an already-failed dependency is accepted and
+  // immediately terminal.
+  auto late = executor.Submit(Quick([&] { ++counter; }, 5.0, 1.0,
+                                    {root.ValueOrDie()}));
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_EQ(executor.OutcomeOf(late.ValueOrDie()).result,
+            TaskResult::kDependencyFailed);
+  executor.Drain();
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ExecutorTest, ShutdownNowShedsQueuedWorkAndCancelsInFlight) {
+  ExecutorOptions options;
+  options.num_workers = 1;
+  Executor executor(Policy("EDF"), options);
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+
+  TaskSpec blocker;
+  blocker.relative_deadline = 5.0;
+  blocker.estimated_cost = 0.001;
+  blocker.cancellable_fn = [&](const CancelToken& token) {
+    started.store(true);
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto in_flight = executor.Submit(std::move(blocker));
+  ASSERT_TRUE(in_flight.ok());
+  std::vector<TxnId> queued;
+  for (int i = 0; i < 10; ++i) {
+    auto id = executor.Submit(Quick([&] { ++ran; }));
+    ASSERT_TRUE(id.ok());
+    queued.push_back(id.ValueOrDie());
+  }
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  executor.ShutdownNow();
+
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(executor.finished_count(), 11u);
+  EXPECT_EQ(executor.OutcomeOf(in_flight.ValueOrDie()).result,
+            TaskResult::kShed);
+  for (const TxnId id : queued) {
+    EXPECT_EQ(executor.OutcomeOf(id).result, TaskResult::kShed);
+  }
+}
+
+TEST(ExecutorTest, ShutdownStillDrainsPendingRetries) {
+  // Plain Shutdown honors the retry budget: a transiently failing task
+  // with a pending backoff still completes during shutdown.
+  std::atomic<int> calls{0};
+  auto executor = std::make_unique<Executor>(Policy("EDF"), ExecutorOptions{});
+  TaskSpec task = Quick([&] {
+    if (calls.fetch_add(1) == 0) throw std::runtime_error("transient");
+  });
+  task.max_attempts = 2;
+  task.retry_backoff_seconds = 0.02;
+  auto id = executor->Submit(std::move(task));
+  ASSERT_TRUE(id.ok());
+  executor->Shutdown();
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(executor->OutcomeOf(id.ValueOrDie()).result,
+            TaskResult::kCompleted);
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+#include "sched/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/single_queue_policies.h"
+#include "sim/simulator.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+RunResult RunAdmitted(std::vector<TransactionSpec> txns,
+                      AdmissionFactory admission) {
+  SimOptions options;
+  options.admission = std::move(admission);
+  auto sim = Simulator::Create(std::move(txns), options);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  FcfsPolicy policy;
+  return sim.ValueOrDie().Run(policy);
+}
+
+TEST(QueueDepthAdmissionTest, RejectsArrivalsOverTheCap) {
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 2;
+  // Five simultaneous arrivals: the first two fill the queue, the rest
+  // are shed at the door.
+  const RunResult r = RunAdmitted(
+      {Txn(0, 0, 3, 100), Txn(1, 0, 3, 100), Txn(2, 0, 3, 100),
+       Txn(3, 0, 3, 100), Txn(4, 0, 3, 100)},
+      MakeQueueDepthAdmission(depth));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[2].fate, TxnFate::kShedAdmission);
+  EXPECT_EQ(r.outcomes[3].fate, TxnFate::kShedAdmission);
+  EXPECT_EQ(r.outcomes[4].fate, TxnFate::kShedAdmission);
+  EXPECT_EQ(r.num_shed, 3u);
+  EXPECT_DOUBLE_EQ(r.goodput, 0.4);
+  // Shed transactions count as misses but never as tardiness samples.
+  EXPECT_DOUBLE_EQ(r.miss_ratio, 0.6);
+  EXPECT_EQ(r.outcomes[2].tardiness, 0.0);
+}
+
+TEST(QueueDepthAdmissionTest, DeferredArrivalIsAdmittedOnceLoadClears) {
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 1;
+  depth.defer_delay = 10.0;
+  depth.max_defers = 2;
+  const RunResult r = RunAdmitted({Txn(0, 0, 5, 100), Txn(1, 0, 5, 100)},
+                                  MakeQueueDepthAdmission(depth));
+  // T1 is deferred at t=0; at t=10 T0 has finished (t=5) and the queue
+  // is empty, so T1 is admitted and runs 10..15.
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[0].finish, 5.0);
+  EXPECT_EQ(r.outcomes[1].finish, 15.0);
+  EXPECT_EQ(r.num_deferrals, 1u);
+  EXPECT_EQ(r.num_shed, 0u);
+}
+
+TEST(QueueDepthAdmissionTest, RejectsAfterTheDeferBudget) {
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 1;
+  depth.defer_delay = 3.0;
+  depth.max_defers = 1;
+  // T0 occupies the queue past both decision points for T1.
+  const RunResult r = RunAdmitted({Txn(0, 0, 100, 200), Txn(1, 0, 5, 50)},
+                                  MakeQueueDepthAdmission(depth));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kShedAdmission);
+  EXPECT_EQ(r.outcomes[1].finish, 3.0);  // rejected at the re-arrival
+  EXPECT_EQ(r.num_deferrals, 1u);
+  EXPECT_EQ(r.num_shed, 1u);
+}
+
+TEST(QueueDepthAdmissionTest, MidWorkflowTransactionsAreNeverShed) {
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 1;
+  // T1 arrives over-cap but depends on T0: rejecting it would waste
+  // T0's work, so it is always admitted.
+  const RunResult r =
+      RunAdmitted({Txn(0, 0, 5, 100), Txn(1, 1, 2, 100, 1.0, {0})},
+                  MakeQueueDepthAdmission(depth));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].finish, 7.0);
+}
+
+TEST(QueueDepthAdmissionTest, ShedRootDropsItsDependents) {
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 1;
+  const RunResult r =
+      RunAdmitted({Txn(0, 0, 5, 100), Txn(1, 0, 5, 100),
+                   Txn(2, 3, 2, 100, 1.0, {1})},
+                  MakeQueueDepthAdmission(depth));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kShedAdmission);
+  EXPECT_EQ(r.outcomes[2].fate, TxnFate::kDroppedDependency);
+  // The dependent is resolved at the shed instant, before it arrives.
+  EXPECT_EQ(r.outcomes[2].finish, 0.0);
+  EXPECT_EQ(r.num_shed, 1u);
+  EXPECT_EQ(r.num_dropped_dependency, 1u);
+}
+
+TEST(FeasibilityAdmissionTest, RejectsHopelesslyLateArrivals) {
+  FeasibilityAdmissionOptions feasibility;  // bound 0: must be on time
+  // T0 (length 10) is ready when T1 arrives; T1's predicted finish is
+  // 15, far past its deadline of 8.
+  const RunResult r =
+      RunAdmitted({Txn(0, 0, 10, 100), Txn(1, 0, 5, 8)},
+                  MakeFeasibilityAdmission(feasibility));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kShedAdmission);
+}
+
+TEST(FeasibilityAdmissionTest, AdmitsWithinTheTardinessBound) {
+  FeasibilityAdmissionOptions feasibility;
+  feasibility.tardiness_bound = 10.0;  // predicted tardiness 7 is fine
+  const RunResult r =
+      RunAdmitted({Txn(0, 0, 10, 100), Txn(1, 0, 5, 8)},
+                  MakeFeasibilityAdmission(feasibility));
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[1].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.num_shed, 0u);
+}
+
+TEST(AdmissionControllerTest, NamesDescribeTheConfiguration) {
+  EXPECT_EQ(QueueDepthAdmission().name(), "queue-depth(64)");
+  QueueDepthAdmissionOptions depth;
+  depth.max_ready = 7;
+  EXPECT_EQ(QueueDepthAdmission(depth).name(), "queue-depth(7)");
+  EXPECT_EQ(FeasibilityAdmission().name(), "feasibility(0)");
+}
+
+TEST(AdmissionControllerTest, NullFactoryAdmitsEverything) {
+  const RunResult r = RunAdmitted(
+      {Txn(0, 0, 3, 100), Txn(1, 0, 3, 100)}, nullptr);
+  EXPECT_EQ(r.num_shed, 0u);
+  EXPECT_EQ(r.goodput, 1.0);
+}
+
+}  // namespace
+}  // namespace webtx

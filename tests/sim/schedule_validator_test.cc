@@ -131,6 +131,60 @@ TEST_F(CorruptionTest, DetectsPrecedenceViolation) {
   EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
 }
 
+TEST_F(CorruptionTest, DetectsExecutionDuringAnOutage) {
+  // The recorded schedule is fault-free; claiming server 0 was down
+  // while its first segment ran must be flagged.
+  ValidationOptions options;
+  options.outages.push_back(OutageWindow{
+      0, result_.schedule[0].start, result_.schedule[0].end});
+  EXPECT_FALSE(ValidateSchedule(txns_, result_, options).ok());
+  // A window on another (hypothetical) server is harmless.
+  options.num_servers = 2;
+  options.outages[0].server = 1;
+  EXPECT_TRUE(ValidateSchedule(txns_, result_, options).ok());
+}
+
+TEST_F(CorruptionTest, DetectsAbortedWorkCountedTowardCompletion) {
+  RunResult r = result_;
+  // Claim T0 aborted once: its recorded segments now belong to the
+  // discarded attempt 0, so the "final attempt" executed nothing.
+  r.outcomes[0].aborts = 1;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsAttemptNumbersBeyondRecordedAborts) {
+  RunResult r = result_;
+  for (auto& s : r.schedule) {
+    if (s.txn == 0) s.attempt = 2;  // outcomes[0].aborts is still 0
+  }
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsDropWithoutRecordedCause) {
+  RunResult r = result_;
+  // Rewriting a completed fate breaks the counter partition: every
+  // drop must carry its cause and be counted exactly once.
+  r.outcomes[1].fate = TxnFate::kDroppedRetries;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsCounterMismatch) {
+  RunResult r = result_;
+  r.num_completed -= 1;
+  r.num_shed += 1;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
+TEST_F(CorruptionTest, DetectsDropNotCountedAsMiss) {
+  RunResult r = result_;
+  // A shed transaction that still claims to have met its deadline.
+  r.outcomes[1].fate = TxnFate::kShedAdmission;
+  r.outcomes[1].missed_deadline = false;
+  r.num_completed -= 1;
+  r.num_shed += 1;
+  EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
+}
+
 TEST(ScheduleValidatorTest, MultiServerSchedulesValidate) {
   const std::vector<TransactionSpec> txns = {
       Txn(0, 0, 5, 10),  Txn(1, 0, 7, 12), Txn(2, 1, 2, 6),
