@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
+#include "bench/bench_util.h"
 #include "sched/indexed_priority_queue.h"
 #include "sched/policy_factory.h"
 #include "sim/simulator.h"
@@ -101,7 +104,93 @@ void BM_IndexedPqUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexedPqUpdate)->RangeMultiplier(8)->Range(64, 262144);
 
+// Re-keying an entry with its current key: UpdateKeyIfChanged detects the
+// no-op and skips the sift entirely — the case ASETS* hits on every
+// OnRemainingUpdated storm where only one workflow's key really moved.
+void BM_IndexedPqUpdateUnchanged(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> keys(n);
+  for (auto& k : keys) k = rng.NextDouble();
+  IndexedPriorityQueue q(n);
+  for (uint32_t id = 0; id < n; ++id) q.Push(id, keys[id]);
+  uint32_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.UpdateKeyIfChanged(id, keys[id]));
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedPqUpdateUnchanged)->RangeMultiplier(8)->Range(64, 262144);
+
+// Rebuilding a queue from scratch: Floyd heapify (O(n)) vs. the n Push
+// calls (O(n log n)) that BM_IndexedPqPushPop's fill phase performs.
+void BM_IndexedPqBulkLoad(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::pair<uint32_t, double>> items(n);
+  for (uint32_t id = 0; id < n; ++id) items[id] = {id, rng.NextDouble()};
+  IndexedPriorityQueue q;
+  for (auto _ : state) {
+    q.ReserveAndBulkLoad(items);
+    benchmark::DoNotOptimize(q.Top());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndexedPqBulkLoad)->RangeMultiplier(8)->Range(64, 262144);
+
+// Console output plus machine-readable rows for BENCH_hotpath.json: every
+// per-iteration run contributes its adjusted real time and, when set, its
+// items/sec throughput (scheduling events/sec for BM_PolicyEventCost).
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      rows_.push_back(bench::BenchRow{"micro_scheduler_overhead", name,
+                                      "real_time_per_iter",
+                                      run.GetAdjustedRealTime(),
+                                      TimeUnitLabel(run.time_unit)});
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        rows_.push_back(bench::BenchRow{"micro_scheduler_overhead", name,
+                                        "items_per_second",
+                                        items->second.value, "1/s"});
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<bench::BenchRow>& rows() const { return rows_; }
+
+ private:
+  static std::string TimeUnitLabel(benchmark::TimeUnit unit) {
+    switch (unit) {
+      case benchmark::kNanosecond:
+        return "ns";
+      case benchmark::kMicrosecond:
+        return "us";
+      case benchmark::kMillisecond:
+        return "ms";
+      case benchmark::kSecond:
+        return "s";
+    }
+    return "?";
+  }
+
+  std::vector<bench::BenchRow> rows_;
+};
+
 }  // namespace
 }  // namespace webtx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  webtx::JsonRowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  webtx::bench::WriteBenchRows(reporter.rows());
+  return 0;
+}

@@ -4,8 +4,14 @@
 # suites), and Address+LeakSanitizer (everything). This is what CI (and a
 # release) should run; each stage stops the script on the first failure.
 #
+# After the test matrix, a bench-smoke stage builds the Release preset
+# (-O3 -DNDEBUG) and runs each perf benchmark binary on a minimal
+# workload, writing to a scratch JSON — this catches bit-rot in the
+# bench harnesses without touching the committed BENCH_hotpath.json
+# baseline (full-run numbers; see README "Benchmarking").
+#
 # Usage: scripts/check.sh [--fast]
-#   --fast  plain preset only (skips the sanitizer builds)
+#   --fast  plain preset only (skips the sanitizer builds and bench smoke)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,10 +30,27 @@ run_preset() {
   ctest --preset "$preset" -j "$(nproc)"
 }
 
+bench_smoke() {
+  echo "==> configure+build [release]"
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)"
+  # Smoke rows go to a scratch file: the committed BENCH_hotpath.json at
+  # the repo root holds full-run numbers (see README "Benchmarking") and
+  # must not be overwritten by the one-iteration smoke subset.
+  echo "==> bench smoke [release]"
+  WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
+    ./build-release/bench/sweep_throughput --smoke
+  WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
+    ./build-release/bench/micro_scheduler_overhead \
+    --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_PolicyEventCost.*/256$|BM_IndexedPq.*/64$'
+}
+
 run_preset default
 if [[ "$FAST" == "0" ]]; then
   run_preset tsan
   run_preset asan
+  bench_smoke
 fi
 
 echo "All checks passed."

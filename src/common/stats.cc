@@ -39,6 +39,20 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+StreamingStats PairwiseStats(const double* samples, size_t n) {
+  // Sequential Welford below this size; recursion overhead would dominate.
+  constexpr size_t kLeafSize = 8;
+  StreamingStats stats;
+  if (n <= kLeafSize) {
+    for (size_t i = 0; i < n; ++i) stats.Add(samples[i]);
+    return stats;
+  }
+  const size_t half = n / 2;
+  stats = PairwiseStats(samples, half);
+  stats.Merge(PairwiseStats(samples + half, n - half));
+  return stats;
+}
+
 double QuantileSketch::Quantile(double q) const {
   WEBTX_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range: " << q;
   if (samples_.empty()) return 0.0;

@@ -37,6 +37,14 @@ class StreamingStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Folds `n` contiguous samples into a StreamingStats by pairwise
+/// (tree-ordered) Welford combines: halves are reduced recursively and
+/// joined with Merge. The reduction tree is a pure function of `n`, so
+/// the result is bit-identical no matter how the samples were produced
+/// (worker threads, batching), and the O(log n) combine depth keeps
+/// rounding error lower than a sequential fold as batches grow.
+StreamingStats PairwiseStats(const double* samples, size_t n);
+
 /// Stores all samples to answer arbitrary quantile queries. Intended for
 /// per-run metric post-processing (a few thousand samples), not hot paths.
 class QuantileSketch {

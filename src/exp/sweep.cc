@@ -1,5 +1,6 @@
 #include "exp/sweep.h"
 
+#include <chrono>
 #include <mutex>
 #include <utility>
 
@@ -159,62 +160,88 @@ Result<std::vector<SweepCell>> RunSweep(const SweepConfig& config) {
   options.sim.record_outcomes = false;
   options.num_threads = config.num_threads;
   options.progress = config.progress;
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  const auto run_start = Clock::now();
   WEBTX_ASSIGN_OR_RETURN(auto runs, RunInstances(instances, factories,
                                                  options));
+  if (config.timing) config.timing->run_ms = ms_since(run_start);
 
-  // Serial merge in (utilization, replication, policy) order: the
-  // accumulation order is fixed, so means and stddevs are bit-identical
-  // no matter which worker produced each RunResult.
+  // Batched merge in (utilization, policy) order. Per cell, the per-seed
+  // summaries are first gathered into contiguous SoA sample buffers and
+  // then reduced — tardiness means/stddevs via pairwise Welford combines
+  // (PairwiseStats), the plain averages via a sequential fold in
+  // replication order. Every reduction consumes samples in a fixed order
+  // that depends only on the instance index, so the cells stay
+  // bit-identical no matter which worker produced each RunResult.
+  const auto merge_start = Clock::now();
+  const size_t num_policies = config.policies.size();
   std::vector<SweepCell> cells;
-  cells.reserve(config.utilizations.size() * config.policies.size());
+  cells.reserve(config.utilizations.size() * num_policies);
+  std::vector<double> tardiness(num_seeds);
+  std::vector<double> weighted(num_seeds);
+  std::vector<double> max_tardiness(num_seeds);
+  std::vector<double> max_weighted(num_seeds);
+  std::vector<double> miss(num_seeds);
+  std::vector<double> response(num_seeds);
+  std::vector<double> goodput(num_seeds);
+  std::vector<double> shed(num_seeds);
+  std::vector<double> drop(num_seeds);
+  const auto mean_of = [num_seeds](const std::vector<double>& samples) {
+    double sum = 0.0;
+    for (const double s : samples) sum += s;
+    return sum / static_cast<double>(num_seeds);
+  };
   for (size_t u = 0; u < config.utilizations.size(); ++u) {
-    std::vector<SweepCell> row(config.policies.size());
-    std::vector<StreamingStats> tardiness_stats(config.policies.size());
-    std::vector<StreamingStats> weighted_stats(config.policies.size());
-    for (size_t p = 0; p < config.policies.size(); ++p) {
-      row[p].utilization = config.utilizations[u];
-      row[p].policy = config.policies[p];
-    }
-    for (size_t r = 0; r < num_seeds; ++r) {
-      const std::vector<RunResult>& run = runs[u * num_seeds + r];
-      for (size_t p = 0; p < config.policies.size(); ++p) {
-        tardiness_stats[p].Add(run[p].avg_tardiness);
-        weighted_stats[p].Add(run[p].avg_weighted_tardiness);
-        row[p].max_tardiness += run[p].max_tardiness;
-        row[p].max_weighted_tardiness += run[p].max_weighted_tardiness;
-        row[p].miss_ratio += run[p].miss_ratio;
-        row[p].avg_response += run[p].avg_response;
+    for (size_t p = 0; p < num_policies; ++p) {
+      for (size_t r = 0; r < num_seeds; ++r) {
+        const RunResult& run = runs[u * num_seeds + r][p];
+        tardiness[r] = run.avg_tardiness;
+        weighted[r] = run.avg_weighted_tardiness;
+        max_tardiness[r] = run.max_tardiness;
+        max_weighted[r] = run.max_weighted_tardiness;
+        miss[r] = run.miss_ratio;
+        response[r] = run.avg_response;
         const auto total = static_cast<double>(
-            run[p].num_completed + run[p].num_shed +
-            run[p].num_dropped_retries + run[p].num_dropped_dependency);
+            run.num_completed + run.num_shed + run.num_dropped_retries +
+            run.num_dropped_dependency);
         if (total > 0.0) {
-          row[p].goodput += run[p].goodput;
-          row[p].shed_ratio += static_cast<double>(run[p].num_shed) / total;
-          row[p].drop_ratio += static_cast<double>(run[p].num_dropped_retries +
-                                                   run[p].num_dropped_dependency) /
-                               total;
+          goodput[r] = run.goodput;
+          shed[r] = static_cast<double>(run.num_shed) / total;
+          drop[r] = static_cast<double>(run.num_dropped_retries +
+                                        run.num_dropped_dependency) /
+                    total;
         } else {
-          row[p].goodput += 1.0;  // empty run: vacuously all completed
+          goodput[r] = 1.0;  // empty run: vacuously all completed
+          shed[r] = 0.0;
+          drop[r] = 0.0;
         }
       }
-    }
-    const auto n = static_cast<double>(num_seeds);
-    for (size_t p = 0; p < row.size(); ++p) {
-      SweepCell& cell = row[p];
-      cell.avg_tardiness = tardiness_stats[p].mean();
-      cell.avg_tardiness_stddev = tardiness_stats[p].stddev();
-      cell.avg_weighted_tardiness = weighted_stats[p].mean();
-      cell.avg_weighted_tardiness_stddev = weighted_stats[p].stddev();
-      cell.max_tardiness /= n;
-      cell.max_weighted_tardiness /= n;
-      cell.miss_ratio /= n;
-      cell.avg_response /= n;
-      cell.goodput /= n;
-      cell.shed_ratio /= n;
-      cell.drop_ratio /= n;
+      SweepCell cell;
+      cell.utilization = config.utilizations[u];
+      cell.policy = config.policies[p];
+      const StreamingStats tardiness_stats =
+          PairwiseStats(tardiness.data(), num_seeds);
+      const StreamingStats weighted_stats =
+          PairwiseStats(weighted.data(), num_seeds);
+      cell.avg_tardiness = tardiness_stats.mean();
+      cell.avg_tardiness_stddev = tardiness_stats.stddev();
+      cell.avg_weighted_tardiness = weighted_stats.mean();
+      cell.avg_weighted_tardiness_stddev = weighted_stats.stddev();
+      cell.max_tardiness = mean_of(max_tardiness);
+      cell.max_weighted_tardiness = mean_of(max_weighted);
+      cell.miss_ratio = mean_of(miss);
+      cell.avg_response = mean_of(response);
+      cell.goodput = mean_of(goodput);
+      cell.shed_ratio = mean_of(shed);
+      cell.drop_ratio = mean_of(drop);
       cells.push_back(std::move(cell));
     }
   }
+  if (config.timing) config.timing->merge_ms = ms_since(merge_start);
   return cells;
 }
 

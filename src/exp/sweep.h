@@ -72,6 +72,16 @@ struct SweepConfig {
   SimOptions sim;
   /// Optional progress reporting; see SweepProgressFn.
   SweepProgressFn progress;
+  /// Optional wall-clock breakdown of the sweep, filled when non-null.
+  /// Feeds bench/sweep_throughput; has no effect on the results.
+  struct SweepTiming* timing = nullptr;
+};
+
+/// Where a sweep's wall-clock went: the parallel simulation fan-out vs.
+/// the serial merge tail that folds RunResults into SweepCells.
+struct SweepTiming {
+  double run_ms = 0.0;
+  double merge_ms = 0.0;
 };
 
 /// Runs the full sweep. Every (utilization, replication) pair generates

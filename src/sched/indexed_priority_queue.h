@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -23,6 +24,13 @@ class IndexedPriorityQueue {
 
   /// Pre-sizes the position index for ids in [0, n).
   explicit IndexedPriorityQueue(size_t n) { pos_.resize(n, kNoPos); }
+
+  /// Pre-sizes the position index for ids in [0, n) and reserves heap
+  /// capacity for n entries, so subsequent Push calls never reallocate.
+  void Reserve(size_t n) {
+    if (pos_.size() < n) pos_.resize(n, kNoPos);
+    heap_.reserve(n);
+  }
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -90,12 +98,43 @@ class IndexedPriorityQueue {
     if (!SiftUp(i)) SiftDown(i);
   }
 
+  /// Changes the key of a contained id only when it actually differs,
+  /// skipping the sift cycle (and its cache traffic) on no-op re-keys.
+  /// Returns whether the key changed.
+  bool UpdateKeyIfChanged(uint32_t id, double key) {
+    WEBTX_DCHECK(Contains(id));
+    const size_t i = pos_[id];
+    if (heap_[i].key == key) return false;
+    heap_[i].key = key;
+    if (!SiftUp(i)) SiftDown(i);
+    return true;
+  }
+
   /// Push, or Update when already present.
   void PushOrUpdate(uint32_t id, double key) {
     if (Contains(id)) {
       Update(id, key);
     } else {
       Push(id, key);
+    }
+  }
+
+  /// Replaces the queue's contents with `items` in O(n) via Floyd's
+  /// bottom-up heapify (vs. n individual Pushes at O(n log n)), reserving
+  /// capacity for `capacity` ids (>= items.size()) so later Pushes stay
+  /// allocation-free. Ids must be unique.
+  void ReserveAndBulkLoad(const std::vector<std::pair<uint32_t, double>>& items,
+                          size_t capacity = 0) {
+    Clear();
+    Reserve(capacity > items.size() ? capacity : items.size());
+    for (const auto& [id, key] : items) {
+      if (id >= pos_.size()) pos_.resize(id + 1, kNoPos);
+      WEBTX_DCHECK(pos_[id] == kNoPos) << "duplicate id in bulk load";
+      heap_.push_back(Entry{key, id});
+      pos_[id] = heap_.size() - 1;
+    }
+    if (heap_.size() > 1) {
+      for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
     }
   }
 

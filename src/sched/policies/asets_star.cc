@@ -5,13 +5,32 @@
 
 namespace webtx {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 void AsetsStarPolicy::Bind(const SimView& v) {
   SchedulerPolicy::Bind(v);
-  states_.assign(v.workflows().num_workflows(), WorkflowState{});
+  const size_t num_wf = v.workflows().num_workflows();
+  states_.assign(num_wf, WorkflowState{});
+  // All live sets share one flat arena (a workflow's live set can never
+  // outgrow its member roster), so Bind costs two allocations instead of
+  // one per workflow.
+  size_t total_members = 0;
+  for (size_t wid = 0; wid < num_wf; ++wid) {
+    states_[wid].live_begin = total_members;
+    total_members +=
+        v.workflows().workflow(static_cast<WorkflowId>(wid)).members.size();
+  }
+  live_arena_.assign(total_members, kInvalidTxn);
+  edf_.Reserve(num_wf);
+  hdf_.Reserve(num_wf);
+  critical_.Reserve(num_wf);
 }
 
 void AsetsStarPolicy::Reset() {
   states_.clear();
+  live_arena_.clear();
   excluded_heads_.clear();
   edf_.Clear();
   hdf_.Clear();
@@ -44,63 +63,127 @@ bool AsetsStarPolicy::HeadBetter(TxnId a, TxnId b) const {
   return a < b;
 }
 
-void AsetsStarPolicy::Refresh(WorkflowId wid, SimTime now) {
-  const Workflow& wf = view().workflows().workflow(wid);
-  WorkflowState ws;
-  ws.rep_deadline = std::numeric_limits<double>::infinity();
-  ws.rep_remaining = std::numeric_limits<double>::infinity();
-  ws.rep_weight = 0.0;
-  for (const TxnId m : wf.members) {
-    if (view().IsFinished(m) || !view().IsArrived(m)) continue;
-    const TransactionSpec& spec = view().specs()[m];
-    ws.rep_deadline = std::min(ws.rep_deadline, spec.deadline);
-    ws.rep_remaining = std::min(ws.rep_remaining, view().remaining(m));
-    ws.rep_weight = std::max(ws.rep_weight, spec.weight);
-    if (view().IsReady(m) && !IsExcluded(m) && HeadBetter(m, ws.head)) {
-      ws.head = m;
-    }
+void AsetsStarPolicy::AddLiveMember(WorkflowId wid, TxnId id) {
+  WorkflowState& ws = states_[wid];
+  TxnId* live = live_arena_.data() + ws.live_begin;
+  WEBTX_DCHECK(std::find(live, live + ws.live_size, id) ==
+               live + ws.live_size);
+  if (ws.live_size == 0) {
+    ws.rep_deadline = kInf;
+    ws.rep_weight = 0.0;
   }
-  ws.active = ws.head != kInvalidTxn;
-  states_[wid] = ws;
+  live[ws.live_size++] = id;
+  const TransactionSpec& spec = view().specs()[id];
+  ws.rep_deadline = std::min(ws.rep_deadline, spec.deadline);
+  ws.rep_weight = std::max(ws.rep_weight, spec.weight);
+}
 
-  edf_.Erase(wid);
-  hdf_.Erase(wid);
-  critical_.Erase(wid);
-  if (!ws.active) return;
-  if (TimeLessEq(now + ws.rep_remaining, ws.rep_deadline)) {
-    edf_.Push(wid, ws.rep_deadline);
-    critical_.Push(wid, ws.rep_deadline - ws.rep_remaining);
-  } else {
-    hdf_.Push(wid, HdfKey(ws));
+void AsetsStarPolicy::RemoveLiveMember(WorkflowId wid, TxnId id) {
+  WorkflowState& ws = states_[wid];
+  TxnId* live = live_arena_.data() + ws.live_begin;
+  TxnId* const end = live + ws.live_size;
+  TxnId* const it = std::find(live, end, id);
+  if (it == end) return;  // shed before it ever arrived
+  *it = end[-1];
+  --ws.live_size;
+  // The departed member may have carried the min deadline or max weight;
+  // re-derive both from the survivors (live sets are small).
+  ws.rep_deadline = kInf;
+  ws.rep_weight = 0.0;
+  for (size_t i = 0; i < ws.live_size; ++i) {
+    const TransactionSpec& spec = view().specs()[live[i]];
+    ws.rep_deadline = std::min(ws.rep_deadline, spec.deadline);
+    ws.rep_weight = std::max(ws.rep_weight, spec.weight);
   }
 }
 
-void AsetsStarPolicy::RefreshWorkflowsOf(TxnId id, SimTime now) {
+void AsetsStarPolicy::Touch(WorkflowId wid, SimTime now) {
+  WorkflowState& ws = states_[wid];
+  // rep_remaining and the head must come from live values every time: the
+  // simulator charges progress to outage-preempted transactions and
+  // resets aborted ones without a policy callback, so a cached copy of
+  // either would diverge from what a full rescan sees.
+  SimTime rep_remaining = kInf;
+  TxnId head = kInvalidTxn;
+  const TxnId* live = live_arena_.data() + ws.live_begin;
+  for (size_t i = 0; i < ws.live_size; ++i) {
+    const TxnId m = live[i];
+    rep_remaining = std::min(rep_remaining, view().remaining(m));
+    if (view().IsReady(m) && !IsExcluded(m) && HeadBetter(m, head)) {
+      head = m;
+    }
+  }
+  ws.rep_remaining = rep_remaining;
+  ws.head = head;
+  ws.active = head != kInvalidTxn;
+
+  if (!ws.active) {
+    if (edf_.Erase(wid)) {
+      critical_.Erase(wid);
+    } else {
+      hdf_.Erase(wid);
+    }
+    return;
+  }
+  if (TimeLessEq(now + ws.rep_remaining, ws.rep_deadline)) {
+    if (edf_.Contains(wid)) {
+      edf_.UpdateKeyIfChanged(wid, ws.rep_deadline);
+      critical_.UpdateKeyIfChanged(wid, ws.rep_deadline - ws.rep_remaining);
+    } else {
+      hdf_.Erase(wid);
+      edf_.Push(wid, ws.rep_deadline);
+      critical_.Push(wid, ws.rep_deadline - ws.rep_remaining);
+    }
+  } else {
+    if (hdf_.Contains(wid)) {
+      hdf_.UpdateKeyIfChanged(wid, HdfKey(ws));
+    } else {
+      if (edf_.Erase(wid)) critical_.Erase(wid);
+      hdf_.Push(wid, HdfKey(ws));
+    }
+  }
+}
+
+void AsetsStarPolicy::TouchWorkflowsOf(TxnId id, SimTime now) {
   for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
-    Refresh(wid, now);
+    Touch(wid, now);
   }
 }
 
 void AsetsStarPolicy::OnArrival(TxnId id, SimTime now) {
-  RefreshWorkflowsOf(id, now);
+  for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+    AddLiveMember(wid, id);
+    Touch(wid, now);
+  }
 }
 
 void AsetsStarPolicy::OnReady(TxnId id, SimTime now) {
-  RefreshWorkflowsOf(id, now);
+  TouchWorkflowsOf(id, now);
 }
 
 void AsetsStarPolicy::OnCompletion(TxnId id, SimTime now) {
-  RefreshWorkflowsOf(id, now);
+  // Real completions depart the live set; abort-dequeues (IsFinished
+  // still false — the victim re-enters the ready set later) stay live so
+  // they keep contributing to the representative, exactly as a full
+  // rescan over arrived-and-unfinished members would see them.
+  const bool departed = view().IsFinished(id);
+  for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+    if (departed) RemoveLiveMember(wid, id);
+    Touch(wid, now);
+  }
 }
 
 void AsetsStarPolicy::OnRemainingUpdated(TxnId id, SimTime now) {
-  RefreshWorkflowsOf(id, now);
+  TouchWorkflowsOf(id, now);
 }
 
 void AsetsStarPolicy::OnDropped(TxnId id, SimTime now) {
-  // The dropped member is IsFinished from the view's perspective; the
-  // refresh evicts it from its workflows' representatives and heads.
-  RefreshWorkflowsOf(id, now);
+  // The dropped member is IsFinished from the view's perspective; evict
+  // it from its workflows' live sets, representatives and heads.
+  for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+    RemoveLiveMember(wid, id);
+    Touch(wid, now);
+  }
 }
 
 void AsetsStarPolicy::MigrateDue(SimTime now) {
@@ -145,11 +228,11 @@ TxnId AsetsStarPolicy::PickNextExcluding(SimTime now,
   // Re-derive heads of the affected workflows with the exclusion set
   // active, decide, then restore the unexcluded view.
   excluded_heads_ = exclude;
-  for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+  for (const TxnId id : exclude) TouchWorkflowsOf(id, now);
   const TxnId pick = PickNext(now);
   WEBTX_DCHECK(pick == kInvalidTxn || !IsExcluded(pick));
   excluded_heads_.clear();
-  for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+  for (const TxnId id : exclude) TouchWorkflowsOf(id, now);
   return pick;
 }
 

@@ -50,6 +50,20 @@ struct AsetsStarOptions {
 /// ASETS* reduces exactly to transaction-level ASETS; with equal weights
 /// HDF reduces to SRPT — the policy is parameter-free and adapts to load,
 /// dependencies and weights automatically.
+///
+/// Hot-path contract (Sec. III-A2): every scheduler event is
+/// O(live members + log #workflows) and allocation-free after Bind. Each
+/// workflow tracks its *live* member set (arrived, unfinished)
+/// incrementally — membership changes only at arrival / completion /
+/// drop — so per-event refreshes scan live members only, never the full
+/// `wf.members` roster, and re-file the workflow in the EDF-/HDF-lists
+/// only when its key or target list actually changed. rep_remaining and
+/// the head are recomputed from live values at every touch because the
+/// simulator charges progress to outage-preempted and aborted
+/// transactions without a policy callback; cached copies of either would
+/// go stale (see tests/sched/asets_star_incremental_test.cc, which
+/// asserts byte-identical schedules against the pre-optimization
+/// full-rescan reference).
 class AsetsStarPolicy final : public SchedulerPolicy {
  public:
   explicit AsetsStarPolicy(AsetsStarOptions options = {})
@@ -91,14 +105,30 @@ class AsetsStarPolicy final : public SchedulerPolicy {
     SimTime rep_deadline = 0.0;
     SimTime rep_remaining = 0.0;
     double rep_weight = 1.0;
+    /// In-system (arrived, unfinished) members, maintained incrementally
+    /// as the slice live_arena_[live_begin, live_begin + live_size). Scan
+    /// order differs from wf.members but every fold over it (min / max /
+    /// HeadBetter) is a total order, so results are order-invariant.
+    size_t live_begin = 0;
+    size_t live_size = 0;
   };
 
-  /// Recomputes head/representative of one workflow and re-files it in the
-  /// EDF-/HDF-List. O(workflow size + log #workflows).
-  void Refresh(WorkflowId wid, SimTime now);
+  /// Folds the arriving member into the workflow's live set and static
+  /// aggregates (min deadline, max weight), then touches the workflow.
+  void AddLiveMember(WorkflowId wid, TxnId id);
 
-  /// Refreshes every workflow the transaction belongs to.
-  void RefreshWorkflowsOf(TxnId id, SimTime now);
+  /// Drops a departed (finished or dropped) member from the live set and
+  /// re-derives the static aggregates from the survivors. Tolerates ids
+  /// that never arrived (admission-shed before OnArrival).
+  void RemoveLiveMember(WorkflowId wid, TxnId id);
+
+  /// Recomputes rep_remaining and the head from the live members' current
+  /// values and re-files the workflow in the EDF-/HDF-List iff its target
+  /// list or key changed. O(live members + log #workflows), no allocation.
+  void Touch(WorkflowId wid, SimTime now);
+
+  /// Touches every workflow the transaction belongs to.
+  void TouchWorkflowsOf(TxnId id, SimTime now);
 
   /// Moves EDF-List workflows whose representative deadline became
   /// unreachable to the HDF-List.
@@ -115,6 +145,10 @@ class AsetsStarPolicy final : public SchedulerPolicy {
 
   AsetsStarOptions options_;
   std::vector<WorkflowState> states_;
+  /// Backing store for every workflow's live slice: one allocation per
+  /// Bind instead of one vector per workflow (workflow wid owns the
+  /// members.size()-capacity slice starting at states_[wid].live_begin).
+  std::vector<TxnId> live_arena_;
   /// Transactions already placed on other servers during a multi-server
   /// scheduling round; Refresh skips them as head candidates. Empty
   /// outside PickNextExcluding.

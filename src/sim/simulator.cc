@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <string>
 #include <utility>
 
@@ -16,23 +15,25 @@ constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
 // overran its estimate; keeps priority keys (r, r/w, d - r) sane.
 constexpr SimTime kMinEstimatedRemaining = 1e-6;
 
-// A time-ordered event the simulator schedules for later: the release of
-// an aborted transaction after its retry backoff, or the re-presentation
-// of a deferred arrival to the admission controller. Kind breaks time
-// ties (retries before deferred arrivals), then the id — a fixed order
-// that keeps runs deterministic.
-struct PendingEvent {
-  SimTime time = 0.0;
-  uint8_t kind = 0;  // 0 = retry release, 1 = deferred arrival
-  TxnId id = kInvalidTxn;
-};
-
-struct PendingAfter {
-  bool operator()(const PendingEvent& a, const PendingEvent& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    return a.id > b.id;
+// Binary min-heap of pending retry releases / deferred arrivals over a
+// reserved vector (std::priority_queue hides its container, so it cannot
+// be pre-reserved). Ordering contract lives in internal::PendingAfter.
+class PendingQueue {
+ public:
+  void Reserve(size_t n) { heap_.reserve(n); }
+  bool empty() const { return heap_.empty(); }
+  const internal::PendingEvent& top() const { return heap_.front(); }
+  void push(const internal::PendingEvent& e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), internal::PendingAfter{});
   }
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), internal::PendingAfter{});
+    heap_.pop_back();
+  }
+
+ private:
+  std::vector<internal::PendingEvent> heap_;
 };
 }  // namespace
 
@@ -75,8 +76,9 @@ Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
       graph_(std::move(graph)),
       registry_(std::move(registry)),
       options_(std::move(options)) {
-  arrival_order_.resize(specs_.size());
-  for (size_t i = 0; i < specs_.size(); ++i) {
+  const size_t n = specs_.size();
+  arrival_order_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
     arrival_order_[i] = static_cast<TxnId>(i);
   }
   std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
@@ -86,16 +88,24 @@ Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
                      }
                      return a < b;
                    });
+  // Size all per-transaction runtime state once, here, so Run() and
+  // ResetRuntimeState() only ever rewrite in place — the warm-up
+  // allocation spike is paid at construction, not in the measured run.
+  true_remaining_.resize(n);
+  estimated_remaining_.resize(n);
+  arrived_.resize(n);
+  finished_.resize(n);
+  suspended_.resize(n);
+  unmet_deps_.resize(n);
+  ready_list_.reserve(n);
+  ready_pos_.resize(n);
 }
 
 void Simulator::ResetRuntimeState() {
   const size_t n = specs_.size();
-  true_remaining_.resize(n);
-  estimated_remaining_.resize(n);
   arrived_.assign(n, 0);
   finished_.assign(n, 0);
   suspended_.assign(n, 0);
-  unmet_deps_.resize(n);
   ready_list_.clear();
   ready_pos_.assign(n, kNoReadyPos);
   for (size_t i = 0; i < n; ++i) {
@@ -150,6 +160,40 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
           options_.fault_plan.StreamFor(static_cast<uint32_t>(s)));
     }
   }
+  // Earliest fault event across all streams, cached so the inner event
+  // loop does not rescan every stream per iteration; refreshed only when
+  // a stream actually advances (fault events are rare next to
+  // completions/arrivals).
+  SimTime t_outage = kNever;
+  size_t outage_server = k;
+  SimTime t_abort = kNever;
+  size_t abort_server = k;
+  const auto recompute_outage_horizon = [&] {
+    t_outage = kNever;
+    outage_server = k;
+    for (size_t s = 0; s < k; ++s) {
+      const SimTime tt = fault_streams[s].next_transition();
+      if (tt < t_outage) {
+        t_outage = tt;
+        outage_server = s;
+      }
+    }
+  };
+  const auto recompute_abort_horizon = [&] {
+    t_abort = kNever;
+    abort_server = k;
+    for (size_t s = 0; s < k; ++s) {
+      const SimTime ta = fault_streams[s].next_abort();
+      if (ta < t_abort) {
+        t_abort = ta;
+        abort_server = s;
+      }
+    }
+  };
+  if (faults) {
+    recompute_outage_horizon();
+    recompute_abort_horizon();
+  }
 
   size_t next_arrival = 0;
   size_t resolved_count = 0;  // completed + shed + dropped
@@ -157,8 +201,20 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   std::vector<SimTime> dispatch_time(k, 0.0);
   std::vector<SimTime> segment_start(k, 0.0);
   std::vector<ScheduleSegment> schedule;
-  std::priority_queue<PendingEvent, std::vector<PendingEvent>, PendingAfter>
-      pending;
+  if (options_.record_schedule) schedule.reserve(2 * n);
+  PendingQueue pending;
+  // At most one pending entry per unresolved transaction exists at any
+  // instant, and only abort retries or admission deferrals create them.
+  if (faults || admission) pending.Reserve(n);
+  // Scratch buffers for the per-event scheduling round, hoisted out of
+  // the loop so the steady-state iteration performs no allocation.
+  std::vector<TxnId> picks;
+  picks.reserve(k);
+  std::vector<TxnId> next_running(k, kInvalidTxn);
+  std::vector<char> pick_taken;
+  pick_taken.reserve(k);
+  std::vector<std::pair<TxnId, TxnFate>> resolve_stack;
+  resolve_stack.reserve(n);
   SimTime now = 0.0;
   size_t scheduling_points = 0;
   size_t preemptions = 0;
@@ -199,7 +255,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   // predecessors can never finish). See the failure-semantics contract
   // in simulator.h for the policy callback order.
   const auto resolve = [&](TxnId root, TxnFate fate, SimTime t) {
-    std::vector<std::pair<TxnId, TxnFate>> stack;
+    std::vector<std::pair<TxnId, TxnFate>>& stack = resolve_stack;
+    stack.clear();
     stack.emplace_back(root, fate);
     while (!stack.empty()) {
       const auto [cur, cur_fate] = stack.back();
@@ -238,7 +295,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
             << admission->name() << " deferred T" << id
             << " with non-positive delay";
         ++deferrals;
-        pending.push(PendingEvent{t + d.defer_delay, 1, id});
+        pending.push(internal::PendingEvent{t + d.defer_delay, 1, id});
         return;
       }
     }
@@ -259,24 +316,6 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       if (tc < t_completion) {
         t_completion = tc;
         completing_server = s;
-      }
-    }
-    SimTime t_outage = kNever;
-    size_t outage_server = k;
-    SimTime t_abort = kNever;
-    size_t abort_server = k;
-    if (faults) {
-      for (size_t s = 0; s < k; ++s) {
-        const SimTime tt = fault_streams[s].next_transition();
-        if (tt < t_outage) {
-          t_outage = tt;
-          outage_server = s;
-        }
-        const SimTime ta = fault_streams[s].next_abort();
-        if (ta < t_abort) {
-          t_abort = ta;
-          abort_server = s;
-        }
       }
     }
     const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
@@ -363,16 +402,19 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         // Either the outage starts (down until outage_end) or the server
         // recovers; both are scheduling points.
         stream.AdvanceTransition();
+        recompute_outage_horizon();
         break;
       }
       case Ev::kAbort: {
         FaultStream& stream = fault_streams[abort_server];
+        const size_t aborting_server = abort_server;
         stream.AdvanceAbort();  // always consume: timeline stays
                                 // policy-independent
-        const TxnId victim = running[abort_server];
+        recompute_abort_horizon();
+        const TxnId victim = running[aborting_server];
         if (victim == kInvalidTxn) break;  // idle/down server: no-op
-        close_segment(abort_server, now);  // belongs to the old attempt
-        running[abort_server] = kInvalidTxn;
+        close_segment(aborting_server, now);  // belongs to the old attempt
+        running[aborting_server] = kInvalidTxn;
         TxnOutcome& o = outcomes[victim];
         ++o.aborts;
         // Suspend BEFORE the dequeue callback: policies that rebuild
@@ -397,13 +439,13 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
           suspended_[victim] = 0;
           MakeReady(victim, now, policy);
         } else {
-          pending.push(PendingEvent{now + delay, 0, victim});
+          pending.push(internal::PendingEvent{now + delay, 0, victim});
         }
         break;
       }
       case Ev::kPending: {
         while (!pending.empty() && pending.top().time == now) {
-          const PendingEvent pe = pending.top();
+          const internal::PendingEvent pe = pending.top();
           pending.pop();
           if (finished_[pe.id]) continue;  // resolved meanwhile
           if (pe.kind == 0) {
@@ -436,6 +478,39 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     // servers are (re)filled greedily; the policy sees the transactions
     // already placed this round as excluded. Down servers take no work.
     ++scheduling_points;
+
+    // Single-server fast path: one pick, no assignment matching. The
+    // documented PickNextExcluding contract (empty exclude == PickNext)
+    // makes this decision-identical to the general path below.
+    if (k == 1) {
+      TxnId pick = kInvalidTxn;
+      if (!faults || !fault_streams[0].down()) {
+        pick = policy.PickNext(now);
+        if (pick != kInvalidTxn) {
+          WEBTX_CHECK(IsReady(pick))
+              << "policy " << policy.name() << " picked non-ready T" << pick
+              << " at t=" << now;
+        } else {
+          WEBTX_CHECK(ready_list_.empty())
+              << "policy " << policy.name() << " idled a server with "
+              << ready_list_.size() << " ready transactions at t=" << now;
+          ++idle_decisions;
+        }
+      }
+      if (pick != running[0]) {
+        if (running[0] != kInvalidTxn) {
+          if (!finished_[running[0]]) ++preemptions;
+          close_segment(0, now);
+        }
+        if (pick != kInvalidTxn) {
+          dispatch_time[0] = now + options_.context_switch_cost;
+          segment_start[0] = dispatch_time[0];
+        }
+        running[0] = pick;
+      }
+      continue;
+    }
+
     size_t k_up = k;
     if (faults) {
       k_up = 0;
@@ -443,8 +518,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         if (!fault_streams[s].down()) ++k_up;
       }
     }
-    std::vector<TxnId> picks;
-    picks.reserve(k_up);
+    picks.clear();
     for (size_t slot = 0; slot < k_up; ++slot) {
       const TxnId pick = policy.PickNextExcluding(now, picks);
       if (pick == kInvalidTxn) break;
@@ -465,8 +539,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     if (picks.empty() && k_up > 0) ++idle_decisions;
 
     // Assign picks to servers, keeping continuing transactions in place.
-    std::vector<TxnId> next_running(k, kInvalidTxn);
-    std::vector<char> pick_taken(picks.size(), 0);
+    next_running.assign(k, kInvalidTxn);
+    pick_taken.assign(picks.size(), 0);
     for (size_t s = 0; s < k; ++s) {
       if (running[s] == kInvalidTxn) continue;
       for (size_t p = 0; p < picks.size(); ++p) {

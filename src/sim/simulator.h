@@ -17,6 +17,33 @@
 
 namespace webtx {
 
+namespace internal {
+
+/// A time-ordered event the simulator schedules for later: the release of
+/// an aborted transaction after its retry backoff (kind 0), or the
+/// re-presentation of a deferred arrival to the admission controller
+/// (kind 1). Kind breaks time ties (retries before deferred arrivals),
+/// then the id — a fixed order that keeps runs deterministic. Exposed
+/// here (rather than hidden in simulator.cc) so the tie-break contract is
+/// directly unit-testable (tests/sim/event_order_test.cc).
+struct PendingEvent {
+  SimTime time = 0.0;
+  uint8_t kind = 0;  // 0 = retry release, 1 = deferred arrival
+  TxnId id = kInvalidTxn;
+};
+
+/// Max-heap comparator ordering PendingEvents latest-first, so the heap
+/// top is the earliest (time, kind, id) triple.
+struct PendingAfter {
+  bool operator()(const PendingEvent& a, const PendingEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace internal
+
 /// Simulator knobs. The defaults model the paper's testbed: a single
 /// back-end database server, preemption at scheduling points (transaction
 /// arrival and completion, Sec. III-A2), zero dispatch overhead, no
@@ -180,8 +207,9 @@ class Simulator final : public SimView {
   SimOptions options_;
   std::vector<TxnId> arrival_order_;  // ids sorted by (arrival, id)
 
-  // Runtime state, reset per run. `true_remaining_` drives completion
-  // events; `estimated_remaining_` is what policies observe.
+  // Runtime state, sized once in the constructor and re-initialized (never
+  // reallocated) per run. `true_remaining_` drives completion events;
+  // `estimated_remaining_` is what policies observe.
   std::vector<SimTime> true_remaining_;
   std::vector<SimTime> estimated_remaining_;
   std::vector<char> arrived_;

@@ -1,0 +1,217 @@
+// Differential proof that the incremental-head production ASETS*
+// (src/sched/policies/asets_star.cc) schedules BYTE-IDENTICALLY to the
+// pre-optimization full-rescan implementation it replaced
+// (testing/asets_star_reference.h): identical ScheduleSegment streams —
+// every (txn, server, start, end, attempt) tuple — across seeds,
+// workflow topologies, fault plans, head-selection rules, and server
+// counts. Any cached head or representative going stale (the outage /
+// abort paths charge work without a policy callback) shows up here as a
+// diverging segment.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets_star.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "testing/asets_star_reference.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+struct Topology {
+  const char* label;
+  uint64_t max_weight;
+  size_t max_workflow_length;
+  size_t max_workflows_per_txn;
+  double burstiness;
+};
+
+// Table I-style shapes: unconstrained transactions, weighted chains,
+// overlapping workflows, and bursty weighted dependencies.
+constexpr Topology kTopologies[] = {
+    {"independent", 1, 1, 1, 0.0},
+    {"workflows", 1, 6, 1, 0.0},
+    {"weighted_overlapping", 10, 5, 3, 0.0},
+    {"bursty_weighted", 10, 4, 2, 0.6},
+};
+
+FaultPlan StressFaultPlan() {
+  FaultPlanConfig config;
+  config.outage_rate = 0.03;
+  config.mean_outage_duration = 4.0;
+  config.abort_rate = 0.03;
+  config.seed = 9;
+  auto plan = FaultPlan::Create(config);
+  WEBTX_CHECK(plan.ok());
+  return plan.ValueOrDie();
+}
+
+std::vector<TransactionSpec> MakeWorkload(const Topology& topology,
+                                          uint64_t seed,
+                                          double utilization) {
+  WorkloadSpec spec;
+  spec.num_transactions = 250;
+  spec.utilization = utilization;
+  spec.max_weight = topology.max_weight;
+  spec.max_workflow_length = topology.max_workflow_length;
+  spec.max_workflows_per_txn = topology.max_workflows_per_txn;
+  spec.burstiness = topology.burstiness;
+  auto generator = WorkloadGenerator::Create(spec);
+  EXPECT_TRUE(generator.ok());
+  return generator.ValueOrDie().Generate(seed);
+}
+
+SimOptions MakeOptions(bool faulty, size_t num_servers) {
+  SimOptions options;
+  options.record_schedule = true;
+  options.num_servers = num_servers;
+  if (faulty) {
+    options.fault_plan = StressFaultPlan();
+    options.retry.max_attempts = 3;
+    options.retry.backoff = 1.0;
+  }
+  return options;
+}
+
+/// Runs the workload under both implementations and asserts identical
+/// schedule streams and outcomes.
+void ExpectIdenticalSchedules(const std::vector<TransactionSpec>& txns,
+                              const SimOptions& options,
+                              const AsetsStarOptions& policy_options) {
+  auto sim = Simulator::Create(txns, options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  AsetsStarPolicy incremental(policy_options);
+  testing::ReferenceAsetsStarPolicy reference(policy_options);
+  const RunResult a = sim.ValueOrDie().Run(incremental);
+  const RunResult b = sim.ValueOrDie().Run(reference);
+
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (size_t i = 0; i < a.schedule.size(); ++i) {
+    const ScheduleSegment& sa = a.schedule[i];
+    const ScheduleSegment& sb = b.schedule[i];
+    ASSERT_EQ(sa.txn, sb.txn) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.server, sb.server) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.start, sb.start) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.end, sb.end) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.attempt, sb.attempt) << "segment " << i << " diverged";
+  }
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i].finish, b.outcomes[i].finish)
+        << "T" << i << " diverged";
+    ASSERT_EQ(a.outcomes[i].fate, b.outcomes[i].fate) << "T" << i;
+  }
+  EXPECT_EQ(a.num_preemptions, b.num_preemptions);
+  EXPECT_EQ(a.num_scheduling_points, b.num_scheduling_points);
+}
+
+// ---------------------------------------------------------------------------
+// Main matrix: 20 seeds x {failure-free, faulty} x topologies, default
+// head rule, single server, overload utilization.
+
+using MatrixParam = std::tuple<size_t, bool, uint64_t>;  // topology, faulty, seed
+
+class IncrementalMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(IncrementalMatrixTest, ScheduleByteIdenticalToReference) {
+  const auto& [topology_index, faulty, seed] = GetParam();
+  const auto txns =
+      MakeWorkload(kTopologies[topology_index], seed, /*utilization=*/0.9);
+  ExpectIdenticalSchedules(txns, MakeOptions(faulty, /*num_servers=*/1),
+                           AsetsStarOptions{});
+}
+
+std::string MatrixName(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto& [topology_index, faulty, seed] = info.param;
+  return std::string(kTopologies[topology_index].label) +
+         (faulty ? "_faulty_s" : "_clean_s") + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, IncrementalMatrixTest,
+    ::testing::Combine(::testing::Range<size_t>(0, 4), ::testing::Bool(),
+                       ::testing::Range<uint64_t>(1, 21)),
+    MatrixName);
+
+// ---------------------------------------------------------------------------
+// Head-selection rules: every rule must agree with the reference under
+// the same rule (the head cache is maintained differently per rule).
+
+using RuleParam = std::tuple<HeadSelectionRule, bool, uint64_t>;
+
+class IncrementalHeadRuleTest : public ::testing::TestWithParam<RuleParam> {};
+
+TEST_P(IncrementalHeadRuleTest, ScheduleByteIdenticalToReference) {
+  const auto& [rule, faulty, seed] = GetParam();
+  AsetsStarOptions policy_options;
+  policy_options.head_rule = rule;
+  const auto txns =
+      MakeWorkload(kTopologies[2], seed, /*utilization=*/0.8);
+  ExpectIdenticalSchedules(txns, MakeOptions(faulty, /*num_servers=*/1),
+                           policy_options);
+}
+
+std::string RuleName(const ::testing::TestParamInfo<RuleParam>& info) {
+  const auto& [rule, faulty, seed] = info.param;
+  const char* rule_name =
+      rule == HeadSelectionRule::kEarliestDeadline   ? "edf"
+      : rule == HeadSelectionRule::kShortestRemaining ? "srpt"
+                                                      : "fifo";
+  return std::string(rule_name) + (faulty ? "_faulty_s" : "_clean_s") +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, IncrementalHeadRuleTest,
+    ::testing::Combine(
+        ::testing::Values(HeadSelectionRule::kEarliestDeadline,
+                          HeadSelectionRule::kShortestRemaining,
+                          HeadSelectionRule::kFifoArrival),
+        ::testing::Bool(), ::testing::Range<uint64_t>(1, 6)),
+    RuleName);
+
+// ---------------------------------------------------------------------------
+// Multi-server: PickNextExcluding must re-derive heads under the
+// exclusion set exactly as the reference's rescan does.
+
+using ServerParam = std::tuple<bool, uint64_t>;
+
+class IncrementalMultiServerTest
+    : public ::testing::TestWithParam<ServerParam> {};
+
+TEST_P(IncrementalMultiServerTest, ScheduleByteIdenticalToReference) {
+  const auto& [faulty, seed] = GetParam();
+  const auto txns = MakeWorkload(kTopologies[2], seed, /*utilization=*/1.6);
+  ExpectIdenticalSchedules(txns, MakeOptions(faulty, /*num_servers=*/3),
+                           AsetsStarOptions{});
+}
+
+std::string ServerName(const ::testing::TestParamInfo<ServerParam>& info) {
+  const auto& [faulty, seed] = info.param;
+  return std::string(faulty ? "faulty_s" : "clean_s") + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, IncrementalMultiServerTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Range<uint64_t>(1, 6)),
+                         ServerName);
+
+// ---------------------------------------------------------------------------
+// Unclamped impact rule rides the same caches; spot-check it too.
+
+TEST(IncrementalOptionsTest, UnclampedImpactMatchesReference) {
+  AsetsStarOptions policy_options;
+  policy_options.impact.clamp_slack = false;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto txns = MakeWorkload(kTopologies[2], seed, 0.9);
+    ExpectIdenticalSchedules(txns, MakeOptions(true, 1), policy_options);
+  }
+}
+
+}  // namespace
+}  // namespace webtx

@@ -1,6 +1,7 @@
 #include "sched/indexed_priority_queue.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -153,6 +154,98 @@ TEST(IndexedPriorityQueueTest, RandomizedAgainstSortReference) {
     ASSERT_EQ(q.Pop(), id);
   }
   EXPECT_TRUE(q.empty());
+}
+
+TEST(IndexedPriorityQueueTest, BulkLoadMatchesIndividualPushes) {
+  Rng rng(21);
+  for (const size_t n : {0u, 1u, 2u, 7u, 64u, 500u}) {
+    std::vector<std::pair<uint32_t, double>> items;
+    items.reserve(n);
+    for (uint32_t id = 0; id < n; ++id) {
+      // Duplicate keys on purpose: ties must still pop lowest-id first.
+      items.emplace_back(id, std::floor(rng.NextDouble() * 10.0));
+    }
+    IndexedPriorityQueue bulk;
+    bulk.ReserveAndBulkLoad(items);
+    IndexedPriorityQueue pushed;
+    for (const auto& [id, key] : items) pushed.Push(id, key);
+    ASSERT_EQ(bulk.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bulk.TopKey(), pushed.TopKey()) << "n=" << n << " i=" << i;
+      ASSERT_EQ(bulk.Pop(), pushed.Pop()) << "n=" << n << " i=" << i;
+    }
+    EXPECT_TRUE(bulk.empty());
+  }
+}
+
+TEST(IndexedPriorityQueueTest, BulkLoadReplacesPriorContents) {
+  IndexedPriorityQueue q;
+  q.Push(11, 1.0);
+  q.Push(12, 2.0);
+  q.ReserveAndBulkLoad({{3, 5.0}, {4, 4.0}});
+  EXPECT_FALSE(q.Contains(11));
+  EXPECT_FALSE(q.Contains(12));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), 4u);
+  EXPECT_EQ(q.Pop(), 3u);
+}
+
+TEST(IndexedPriorityQueueTest, BulkLoadReservesRequestedCapacity) {
+  IndexedPriorityQueue q;
+  q.ReserveAndBulkLoad({{0, 1.0}}, /*capacity=*/16);
+  // Ids up to the reserved capacity are pushable without growing pos_.
+  q.Push(15, 0.5);
+  EXPECT_EQ(q.Pop(), 15u);
+  EXPECT_EQ(q.Pop(), 0u);
+}
+
+TEST(IndexedPriorityQueueTest, UpdateKeyIfChangedSkipsEqualKeys) {
+  IndexedPriorityQueue q;
+  q.Push(0, 3.0);
+  q.Push(1, 1.0);
+  EXPECT_FALSE(q.UpdateKeyIfChanged(0, 3.0));
+  EXPECT_EQ(q.KeyOf(0), 3.0);
+  EXPECT_TRUE(q.UpdateKeyIfChanged(0, 0.5));
+  EXPECT_EQ(q.Top(), 0u);
+  EXPECT_TRUE(q.UpdateKeyIfChanged(0, 2.0));
+  EXPECT_EQ(q.Top(), 1u);
+}
+
+TEST(IndexedPriorityQueueTest, UpdateKeyIfChangedMatchesUpdate) {
+  Rng rng(33);
+  IndexedPriorityQueue a;
+  IndexedPriorityQueue b;
+  constexpr uint32_t kIds = 100;
+  for (uint32_t id = 0; id < kIds; ++id) {
+    const double key = std::floor(rng.NextDouble() * 8.0);
+    a.Push(id, key);
+    b.Push(id, key);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = static_cast<uint32_t>(rng.NextInRange(0, kIds - 1));
+    // Quantized keys make repeats (the skip path) common.
+    const double key = std::floor(rng.NextDouble() * 8.0);
+    a.Update(id, key);
+    b.UpdateKeyIfChanged(id, key);
+  }
+  for (uint32_t id = 0; id < kIds; ++id) {
+    ASSERT_EQ(a.KeyOf(id), b.KeyOf(id));
+  }
+  while (!a.empty()) {
+    ASSERT_EQ(a.TopKey(), b.TopKey());
+    ASSERT_EQ(a.Pop(), b.Pop());
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(IndexedPriorityQueueTest, ReservePreservesContents) {
+  IndexedPriorityQueue q;
+  q.Push(2, 2.0);
+  q.Reserve(64);
+  EXPECT_TRUE(q.Contains(2));
+  q.Push(63, 1.0);
+  EXPECT_EQ(q.Pop(), 63u);
+  EXPECT_EQ(q.Pop(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,361 @@
+// Regression tests for the simulator's same-timestamp event ordering
+// contract (simulator.h "Event ordering"): at equal times, completion
+// beats outage transition beats abort beats pending (retry release
+// before deferred arrival) beats fresh arrival. The coincidences are
+// constructed with exact doubles — a transaction dispatched at 0 with
+// length t* completes at the double 0 + t* == t*, and fault instants are
+// read straight off the deterministic FaultStream the run will replay —
+// so every test exercises the tie-break, not an epsilon window.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/admission.h"
+#include "sched/scheduler_policy.h"
+#include "sim/simulator.h"
+#include "testing/fake_view.h"
+
+namespace webtx {
+namespace {
+
+using testing::Txn;
+
+// ---------------------------------------------------------------------------
+// The comparator itself (internal::PendingAfter).
+
+using internal::PendingAfter;
+using internal::PendingEvent;
+
+TEST(PendingAfterTest, EarlierTimeOrdersFirst) {
+  const PendingEvent early{1.0, 1, 7};
+  const PendingEvent late{2.0, 0, 0};
+  // Max-heap comparator: "after" means lower priority.
+  EXPECT_TRUE(PendingAfter{}(late, early));
+  EXPECT_FALSE(PendingAfter{}(early, late));
+}
+
+TEST(PendingAfterTest, RetryBeforeDeferredArrivalAtEqualTime) {
+  const PendingEvent retry{3.0, 0, 9};
+  const PendingEvent deferred{3.0, 1, 2};
+  EXPECT_TRUE(PendingAfter{}(deferred, retry));
+  EXPECT_FALSE(PendingAfter{}(retry, deferred));
+}
+
+TEST(PendingAfterTest, LowerIdBreaksRemainingTies) {
+  const PendingEvent a{3.0, 1, 2};
+  const PendingEvent b{3.0, 1, 5};
+  EXPECT_TRUE(PendingAfter{}(b, a));
+  EXPECT_FALSE(PendingAfter{}(a, b));
+}
+
+TEST(PendingAfterTest, HeapPopsEarliestTimeKindIdTriple) {
+  std::vector<PendingEvent> heap = {
+      {2.0, 1, 0}, {1.0, 1, 4}, {1.0, 0, 6}, {1.0, 1, 3}, {2.0, 0, 1},
+  };
+  std::make_heap(heap.begin(), heap.end(), PendingAfter{});
+  const std::vector<PendingEvent> expected = {
+      {1.0, 0, 6}, {1.0, 1, 3}, {1.0, 1, 4}, {2.0, 0, 1}, {2.0, 1, 0},
+  };
+  for (const PendingEvent& want : expected) {
+    const PendingEvent got = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), PendingAfter{});
+    heap.pop_back();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.id, want.id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-loop ordering, observed through the policy callback stream.
+
+/// One policy callback, as observed by RecordingPolicy.
+struct Event {
+  std::string kind;  // "arrival" | "ready" | "completion" | "dropped"
+  TxnId id = kInvalidTxn;
+  SimTime time = 0.0;
+};
+
+/// FIFO-by-id policy that logs every lifecycle callback in order. The
+/// pick rule is irrelevant to these tests; the log is the assertion
+/// surface.
+class RecordingPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "Recording"; }
+
+  void OnArrival(TxnId id, SimTime now) override {
+    log_.push_back({"arrival", id, now});
+  }
+  void OnReady(TxnId id, SimTime now) override {
+    log_.push_back({"ready", id, now});
+  }
+  void OnCompletion(TxnId id, SimTime now) override {
+    log_.push_back({"completion", id, now});
+  }
+  void OnDropped(TxnId id, SimTime now) override {
+    log_.push_back({"dropped", id, now});
+  }
+
+  TxnId PickNext(SimTime) override {
+    TxnId best = kInvalidTxn;
+    for (const TxnId id : view().ready_transactions()) {
+      if (best == kInvalidTxn || id < best) best = id;
+    }
+    return best;
+  }
+
+  const std::vector<Event>& log() const { return log_; }
+
+ protected:
+  void Reset() override { log_.clear(); }
+
+ private:
+  std::vector<Event> log_;
+};
+
+/// Index of the first (kind, id) entry, or npos.
+size_t IndexOf(const std::vector<Event>& log, const std::string& kind,
+               TxnId id) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].kind == kind && log[i].id == id) return i;
+  }
+  return std::string::npos;
+}
+
+/// Index of the first (kind, id) entry at exactly `time`, or npos —
+/// distinguishes, e.g., a retry re-entry OnReady from the initial one.
+size_t IndexOfAt(const std::vector<Event>& log, const std::string& kind,
+                 TxnId id, SimTime time) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].kind == kind && log[i].id == id && log[i].time == time) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+RunResult RunWith(std::vector<TransactionSpec> txns, SchedulerPolicy& policy,
+                  SimOptions options = {}) {
+  auto sim = Simulator::Create(std::move(txns), std::move(options));
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  return sim.ValueOrDie().Run(policy);
+}
+
+/// Admission controller that defers `target` exactly once by `delay`
+/// and admits everything else (and the re-presented target).
+class DeferOnceAdmission final : public AdmissionController {
+ public:
+  DeferOnceAdmission(TxnId target, SimTime delay)
+      : target_(target), delay_(delay) {}
+
+  std::string name() const override { return "defer-once"; }
+
+  AdmissionDecision Decide(TxnId id, SimTime) override {
+    if (id == target_ && !deferred_) {
+      deferred_ = true;
+      return AdmissionDecision::Defer(delay_);
+    }
+    return AdmissionDecision::Admit();
+  }
+
+ protected:
+  void Reset() override { deferred_ = false; }
+
+ private:
+  TxnId target_;
+  SimTime delay_;
+  bool deferred_ = false;
+};
+
+TEST(EventOrderTest, CompletionBeforeFreshArrivalAtEqualTime) {
+  // T0 dispatched at 0 with length 2 completes at the exact double 2.0,
+  // the instant T1 arrives. Completion must be the first event.
+  RecordingPolicy policy;
+  const RunResult r =
+      RunWith({Txn(0, 0.0, 2.0, 10.0), Txn(1, 2.0, 1.0, 10.0)}, policy);
+  const auto& log = policy.log();
+  const size_t done0 = IndexOf(log, "completion", 0);
+  const size_t arrive1 = IndexOf(log, "arrival", 1);
+  ASSERT_NE(done0, std::string::npos);
+  ASSERT_NE(arrive1, std::string::npos);
+  EXPECT_LT(done0, arrive1);
+  EXPECT_EQ(log[done0].time, 2.0);
+  EXPECT_EQ(log[arrive1].time, 2.0);
+  EXPECT_EQ(r.outcomes[0].finish, 2.0);
+}
+
+TEST(EventOrderTest, CompletionBeforeOutageStartAtEqualTime) {
+  // T0's length is exactly the first outage start: the completion wins
+  // the tie, so the transaction finishes untouched instead of being
+  // preempted by the outage that begins the same instant.
+  FaultPlanConfig config;
+  config.outage_rate = 0.1;
+  config.mean_outage_duration = 2.0;
+  config.seed = 4;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok());
+  const SimTime outage_start =
+      plan.ValueOrDie().StreamFor(0).next_transition();
+  ASSERT_LT(outage_start, kNeverTime);
+
+  SimOptions options;
+  options.fault_plan = plan.ValueOrDie();
+  RecordingPolicy policy;
+  const RunResult r =
+      RunWith({Txn(0, 0.0, outage_start, 2.0 * outage_start)}, policy,
+              options);
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[0].finish, outage_start);
+  EXPECT_EQ(r.num_outage_preemptions, 0u);
+}
+
+TEST(EventOrderTest, OutageStartBeforeFreshArrivalAtEqualTime) {
+  // T0 arrives at the exact instant the server's first outage begins.
+  // The outage is processed first, so the arrival finds the server down
+  // and T0's first execution segment starts at the recovery boundary.
+  FaultPlanConfig config;
+  config.outage_rate = 0.1;
+  config.mean_outage_duration = 2.0;
+  config.seed = 4;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok());
+  const FaultStream stream = plan.ValueOrDie().StreamFor(0);
+  const SimTime outage_start = stream.next_transition();
+  const SimTime outage_end = stream.outage_end();
+  ASSERT_LT(outage_start, outage_end);
+
+  SimOptions options;
+  options.fault_plan = plan.ValueOrDie();
+  options.record_schedule = true;
+  RecordingPolicy policy;
+  const RunResult r =
+      RunWith({Txn(0, outage_start, 0.5, outage_end + 10.0)}, policy,
+              options);
+  ASSERT_FALSE(r.schedule.empty());
+  EXPECT_EQ(r.schedule.front().start, outage_end);
+  EXPECT_EQ(r.num_outage_preemptions, 0u);  // nothing ran when it began
+}
+
+TEST(EventOrderTest, CompletionBeforeAbortAtEqualTime) {
+  // T0 completes at the exact first abort instant; the completion wins,
+  // so no work is discarded and no retry happens.
+  FaultPlanConfig config;
+  config.abort_rate = 0.2;
+  config.seed = 7;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok());
+  const SimTime abort_time = plan.ValueOrDie().StreamFor(0).next_abort();
+  ASSERT_LT(abort_time, kNeverTime);
+
+  SimOptions options;
+  options.fault_plan = plan.ValueOrDie();
+  RecordingPolicy policy;
+  const RunResult r =
+      RunWith({Txn(0, 0.0, abort_time, 2.0 * abort_time)}, policy, options);
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kCompleted);
+  EXPECT_EQ(r.outcomes[0].finish, abort_time);
+  EXPECT_EQ(r.num_retries, 0u);
+  EXPECT_EQ(r.num_aborts, 0u);  // the abort instant hit an idle server
+}
+
+TEST(EventOrderTest, AbortBeforeFreshArrivalAtEqualTime) {
+  // T1 arrives at the exact instant T0 (running, retry budget 1) is
+  // aborted: the abort — dequeue (OnCompletion) and drop (OnDropped) —
+  // must be fully processed before the arrival is announced.
+  FaultPlanConfig config;
+  config.abort_rate = 0.2;
+  config.seed = 7;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok());
+  const SimTime abort_time = plan.ValueOrDie().StreamFor(0).next_abort();
+
+  SimOptions options;
+  options.fault_plan = plan.ValueOrDie();
+  options.retry.max_attempts = 1;  // abort implies drop
+  RecordingPolicy policy;
+  const RunResult r = RunWith({Txn(0, 0.0, abort_time + 1.0, 100.0),
+                               Txn(1, abort_time, 0.25, 100.0)},
+                              policy, options);
+  const auto& log = policy.log();
+  const size_t dequeue0 = IndexOf(log, "completion", 0);
+  const size_t dropped0 = IndexOf(log, "dropped", 0);
+  const size_t arrive1 = IndexOf(log, "arrival", 1);
+  ASSERT_NE(dequeue0, std::string::npos);
+  ASSERT_NE(dropped0, std::string::npos);
+  ASSERT_NE(arrive1, std::string::npos);
+  EXPECT_LT(dequeue0, dropped0);
+  EXPECT_LT(dropped0, arrive1);
+  EXPECT_EQ(log[dequeue0].time, abort_time);
+  EXPECT_EQ(log[arrive1].time, abort_time);
+  EXPECT_EQ(r.outcomes[0].fate, TxnFate::kDroppedRetries);
+}
+
+TEST(EventOrderTest, RetryBeforeDeferredBeforeFreshArrivalAtEqualTime) {
+  // Three events collide at release = abort_time + backoff:
+  //   - T0's retry release (pending kind 0),
+  //   - T1's deferred arrival re-presentation (pending kind 1),
+  //   - T2's fresh arrival.
+  // The documented order is retry, then deferred arrival, then fresh
+  // arrival. backoff is a power of two so release is the exact double
+  // the simulator computes for the retry event.
+  FaultPlanConfig config;
+  config.abort_rate = 0.2;
+  config.seed = 7;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok());
+  const SimTime abort_time = plan.ValueOrDie().StreamFor(0).next_abort();
+  const SimTime backoff = 0.25;
+  const SimTime release = abort_time + backoff;
+
+  SimOptions options;
+  options.fault_plan = plan.ValueOrDie();
+  options.retry.max_attempts = 3;
+  options.retry.backoff = backoff;
+  options.admission = [release]() {
+    return std::make_unique<DeferOnceAdmission>(/*target=*/1, release);
+  };
+  RecordingPolicy policy;
+  RunWith({Txn(0, 0.0, abort_time + 1.0, 100.0), Txn(1, 0.0, 0.25, 100.0),
+           Txn(2, release, 0.25, 100.0)},
+          policy, options);
+  const auto& log = policy.log();
+  // T0's re-entry OnReady at release (its initial OnReady was at t=0).
+  const size_t retry0 = IndexOfAt(log, "ready", 0, release);
+  const size_t arrive1 = IndexOf(log, "arrival", 1);
+  const size_t arrive2 = IndexOf(log, "arrival", 2);
+  ASSERT_NE(retry0, std::string::npos);
+  ASSERT_NE(arrive1, std::string::npos);
+  ASSERT_NE(arrive2, std::string::npos);
+  EXPECT_LT(retry0, arrive1);
+  EXPECT_LT(arrive1, arrive2);
+  EXPECT_EQ(log[retry0].time, release);
+  EXPECT_EQ(log[arrive1].time, release);
+  EXPECT_EQ(log[arrive2].time, release);
+}
+
+TEST(EventOrderTest, DeferredArrivalBeforeFreshArrivalAtEqualTime) {
+  // T0 is deferred at t=0 by exactly 4.0; T1 arrives fresh at 4.0. The
+  // deferred re-presentation (pending event) precedes the fresh arrival.
+  SimOptions options;
+  options.admission = []() {
+    return std::make_unique<DeferOnceAdmission>(/*target=*/0, 4.0);
+  };
+  RecordingPolicy policy;
+  RunWith({Txn(0, 0.0, 1.0, 100.0), Txn(1, 4.0, 1.0, 100.0)}, policy,
+          options);
+  const auto& log = policy.log();
+  const size_t arrive0 = IndexOf(log, "arrival", 0);
+  const size_t arrive1 = IndexOf(log, "arrival", 1);
+  ASSERT_NE(arrive0, std::string::npos);
+  ASSERT_NE(arrive1, std::string::npos);
+  EXPECT_LT(arrive0, arrive1);
+  EXPECT_EQ(log[arrive0].time, 4.0);
+  EXPECT_EQ(log[arrive1].time, 4.0);
+}
+
+}  // namespace
+}  // namespace webtx

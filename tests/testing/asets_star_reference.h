@@ -1,0 +1,200 @@
+#ifndef WEBTX_TESTS_TESTING_ASETS_STAR_REFERENCE_H_
+#define WEBTX_TESTS_TESTING_ASETS_STAR_REFERENCE_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sched/indexed_priority_queue.h"
+#include "sched/policies/asets_star.h"
+#include "sched/scheduler_policy.h"
+#include "txn/workflow.h"
+
+namespace webtx::testing {
+
+/// The pre-optimization ASETS* implementation, kept verbatim as the
+/// differential baseline for the incremental-head production policy:
+/// every event rescans all members of every workflow the transaction
+/// belongs to (Refresh) and unconditionally re-files the workflow in the
+/// EDF-/HDF-lists. It is the exact refresh strategy AsetsStarPolicy
+/// shipped with before the hot-path overhaul; the production policy must
+/// schedule byte-identically to this class on every workload, fault plan
+/// and head-selection rule (tests/sched/asets_star_incremental_test.cc).
+///
+/// Unlike NaiveAsetsStarPolicy (reference_policies.h) this class keeps
+/// the O(log W) list structures, supports every AsetsStarOptions knob and
+/// implements PickNextExcluding, so it can stand in for the production
+/// policy in any simulation, including multi-server and faulty runs.
+class ReferenceAsetsStarPolicy final : public SchedulerPolicy {
+ public:
+  explicit ReferenceAsetsStarPolicy(AsetsStarOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "RefASETS*"; }
+
+  void Bind(const SimView& v) override {
+    SchedulerPolicy::Bind(v);
+    states_.assign(v.workflows().num_workflows(), WorkflowState{});
+  }
+
+  void OnArrival(TxnId id, SimTime now) override {
+    RefreshWorkflowsOf(id, now);
+  }
+  void OnReady(TxnId id, SimTime now) override { RefreshWorkflowsOf(id, now); }
+  void OnCompletion(TxnId id, SimTime now) override {
+    RefreshWorkflowsOf(id, now);
+  }
+  void OnRemainingUpdated(TxnId id, SimTime now) override {
+    RefreshWorkflowsOf(id, now);
+  }
+  void OnDropped(TxnId id, SimTime now) override {
+    RefreshWorkflowsOf(id, now);
+  }
+
+  TxnId PickNext(SimTime now) override {
+    MigrateDue(now);
+    if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
+    if (edf_.empty()) return states_[hdf_.Top()].head;
+    if (hdf_.empty()) return states_[edf_.Top()].head;
+
+    const WorkflowState& we = states_[edf_.Top()];
+    const WorkflowState& wh = states_[hdf_.Top()];
+    const double r_head_e = view().remaining(we.head);
+    const double r_head_h = view().remaining(wh.head);
+    const double s_rep_e = we.rep_deadline - (now + we.rep_remaining);
+    const double s_rep_h = wh.rep_deadline - (now + wh.rep_remaining);
+
+    double impact_e;
+    double impact_h;
+    if (options_.impact.clamp_slack) {
+      impact_e =
+          std::max(0.0, r_head_e - std::max(0.0, s_rep_h)) * wh.rep_weight;
+      impact_h =
+          std::max(0.0, r_head_h - std::max(0.0, s_rep_e)) * we.rep_weight;
+    } else {
+      impact_e = (r_head_e - s_rep_h) * wh.rep_weight;
+      impact_h = (r_head_h - s_rep_e) * we.rep_weight;
+    }
+    const bool run_edf = options_.impact.ties_to_edf ? impact_e <= impact_h
+                                                     : impact_e < impact_h;
+    return run_edf ? we.head : wh.head;
+  }
+
+  TxnId PickNextExcluding(SimTime now,
+                          const std::vector<TxnId>& exclude) override {
+    if (exclude.empty()) return PickNext(now);
+    excluded_heads_ = exclude;
+    for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+    const TxnId pick = PickNext(now);
+    WEBTX_DCHECK(pick == kInvalidTxn || !IsExcluded(pick));
+    excluded_heads_.clear();
+    for (const TxnId id : exclude) RefreshWorkflowsOf(id, now);
+    return pick;
+  }
+
+ protected:
+  void Reset() override {
+    states_.clear();
+    excluded_heads_.clear();
+    edf_.Clear();
+    hdf_.Clear();
+    critical_.Clear();
+  }
+
+ private:
+  struct WorkflowState {
+    bool active = false;
+    TxnId head = kInvalidTxn;
+    SimTime rep_deadline = 0.0;
+    SimTime rep_remaining = 0.0;
+    double rep_weight = 1.0;
+  };
+
+  bool IsExcluded(TxnId id) const {
+    return std::find(excluded_heads_.begin(), excluded_heads_.end(), id) !=
+           excluded_heads_.end();
+  }
+
+  bool HeadBetter(TxnId a, TxnId b) const {
+    if (b == kInvalidTxn) return true;
+    const TransactionSpec& sa = view().specs()[a];
+    const TransactionSpec& sb = view().specs()[b];
+    switch (options_.head_rule) {
+      case HeadSelectionRule::kEarliestDeadline:
+        if (sa.deadline != sb.deadline) return sa.deadline < sb.deadline;
+        break;
+      case HeadSelectionRule::kShortestRemaining: {
+        const SimTime ra = view().remaining(a);
+        const SimTime rb = view().remaining(b);
+        if (ra != rb) return ra < rb;
+        break;
+      }
+      case HeadSelectionRule::kFifoArrival:
+        if (sa.arrival != sb.arrival) return sa.arrival < sb.arrival;
+        break;
+    }
+    return a < b;
+  }
+
+  void Refresh(WorkflowId wid, SimTime now) {
+    const Workflow& wf = view().workflows().workflow(wid);
+    WorkflowState ws;
+    ws.rep_deadline = std::numeric_limits<double>::infinity();
+    ws.rep_remaining = std::numeric_limits<double>::infinity();
+    ws.rep_weight = 0.0;
+    for (const TxnId m : wf.members) {
+      if (view().IsFinished(m) || !view().IsArrived(m)) continue;
+      const TransactionSpec& spec = view().specs()[m];
+      ws.rep_deadline = std::min(ws.rep_deadline, spec.deadline);
+      ws.rep_remaining = std::min(ws.rep_remaining, view().remaining(m));
+      ws.rep_weight = std::max(ws.rep_weight, spec.weight);
+      if (view().IsReady(m) && !IsExcluded(m) && HeadBetter(m, ws.head)) {
+        ws.head = m;
+      }
+    }
+    ws.active = ws.head != kInvalidTxn;
+    states_[wid] = ws;
+
+    edf_.Erase(wid);
+    hdf_.Erase(wid);
+    critical_.Erase(wid);
+    if (!ws.active) return;
+    if (TimeLessEq(now + ws.rep_remaining, ws.rep_deadline)) {
+      edf_.Push(wid, ws.rep_deadline);
+      critical_.Push(wid, ws.rep_deadline - ws.rep_remaining);
+    } else {
+      hdf_.Push(wid, HdfKey(ws));
+    }
+  }
+
+  void RefreshWorkflowsOf(TxnId id, SimTime now) {
+    for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+      Refresh(wid, now);
+    }
+  }
+
+  void MigrateDue(SimTime now) {
+    while (!critical_.empty() && critical_.TopKey() < now - kTimeEpsilon) {
+      const WorkflowId wid = critical_.Pop();
+      const bool present = edf_.Erase(wid);
+      WEBTX_DCHECK(present) << "critical queue out of sync with EDF-List";
+      hdf_.Push(wid, HdfKey(states_[wid]));
+    }
+  }
+
+  double HdfKey(const WorkflowState& ws) const {
+    return ws.rep_remaining / ws.rep_weight;
+  }
+
+  AsetsStarOptions options_;
+  std::vector<WorkflowState> states_;
+  std::vector<TxnId> excluded_heads_;
+  IndexedPriorityQueue edf_;
+  IndexedPriorityQueue hdf_;
+  IndexedPriorityQueue critical_;
+};
+
+}  // namespace webtx::testing
+
+#endif  // WEBTX_TESTS_TESTING_ASETS_STAR_REFERENCE_H_
