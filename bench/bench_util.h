@@ -86,6 +86,10 @@ struct PolicyMetrics {
   /// hit a busy server).
   double outages = 0.0;
   double aborts = 0.0;
+  /// Mean crash windows injected and transactions migrated off crashed
+  /// servers per run (ext_failover).
+  double crashes = 0.0;
+  double migrations = 0.0;
 };
 
 /// Runs every factory's policy on identical workload instances for each
@@ -122,6 +126,8 @@ inline std::vector<PolicyMetrics> RunPoint(
       out[p].goodput += run[p].goodput;
       out[p].outages += static_cast<double>(run[p].num_outages);
       out[p].aborts += static_cast<double>(run[p].num_aborts);
+      out[p].crashes += static_cast<double>(run[p].num_crashes);
+      out[p].migrations += static_cast<double>(run[p].num_migrations);
     }
   }
   const auto n = static_cast<double>(seeds.size());
@@ -134,6 +140,8 @@ inline std::vector<PolicyMetrics> RunPoint(
     m.goodput /= n;
     m.outages /= n;
     m.aborts /= n;
+    m.crashes /= n;
+    m.migrations /= n;
   }
   return out;
 }

@@ -1,0 +1,150 @@
+// Extension: crash-failover. Outages (ext_fault_tolerance) pause a
+// server and resume its transaction in place; a CRASH loses the server
+// for an exponentially distributed repair window and the in-flight
+// transaction must be migrated to the survivors. This harness sweeps
+// crash severity x MigrationPolicy across the policy spectrum on a
+// four-server pool: warm failover (replicated execution state, work
+// survives the move) against cold failover (state lost, the migrant
+// restarts from scratch), reporting the tardiness of what completed and
+// the deadline-miss ratio. A second table turns on correlated failures
+// — one crash
+// instant felling several servers at once (rack/zone loss) — which
+// stresses the window where the pool is nearly empty.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace webtx {
+namespace {
+
+struct CrashLevel {
+  const char* name;
+  double crash_rate;  // per server per time unit
+};
+
+// Mean transaction length is ~14 units and the run horizon ~5k-10k.
+// Repair windows average 50 units (~3.5 mean transactions); at the
+// heavy rate each server is in repair ~23% of the time.
+constexpr double kMeanRepairDuration = 50.0;
+constexpr size_t kNumServers = 4;
+
+constexpr CrashLevel kLevels[] = {
+    {"none", 0.0},
+    {"light", 0.0005},
+    {"moderate", 0.002},
+    {"heavy", 0.006},
+};
+
+SimOptions CrashOptions(const CrashLevel& level, MigrationPolicy migration,
+                        double correlated_crash_prob) {
+  SimOptions options;
+  options.num_servers = kNumServers;
+  FaultPlanConfig config;
+  config.crash_rate = level.crash_rate;
+  if (level.crash_rate > 0.0) {
+    config.mean_repair_duration = kMeanRepairDuration;
+    config.correlated_crash_prob = correlated_crash_prob;
+  }
+  config.migration = migration;
+  config.seed = 11;
+  auto plan = FaultPlan::Create(config);
+  WEBTX_CHECK(plan.ok()) << plan.status().ToString();
+  options.fault_plan = plan.ValueOrDie();
+  return options;
+}
+
+WorkloadSpec BaseSpec() {
+  WorkloadSpec spec;
+  spec.max_weight = 10;
+  spec.max_workflow_length = 3;
+  // Arrival rate sized for ~3 busy workers out of 4: enough headroom
+  // that failover to a survivor is usually possible, tight enough that
+  // losing a server hurts.
+  spec.utilization = 3.0;
+  return spec;
+}
+
+const std::vector<std::string> kPolicies = {"FCFS", "EDF",   "SRPT",
+                                            "HDF",  "ASETS", "ASETS*"};
+
+void RunLevel(const CrashLevel& level, MigrationPolicy migration,
+              Table& tardiness, Table& miss) {
+  const auto factories = bench::SpecFactories(kPolicies);
+  const auto m = bench::RunPoint(BaseSpec(), factories, bench::PaperSeeds(),
+                                 CrashOptions(level, migration, 0.0));
+  const std::string label =
+      std::string(level.name) + " " + MigrationPolicyName(migration);
+  std::vector<double> t_row;
+  std::vector<double> m_row;
+  for (const bench::PolicyMetrics& metrics : m) {
+    t_row.push_back(metrics.avg_weighted_tardiness);
+    m_row.push_back(metrics.miss_ratio);
+  }
+  tardiness.AddNumericRow(label, t_row);
+  miss.AddNumericRow(label, m_row);
+}
+
+void RunCorrelated(double correlated_crash_prob, Table& table) {
+  const auto factories = bench::SpecFactories(kPolicies);
+  const auto m = bench::RunPoint(
+      BaseSpec(), factories, bench::PaperSeeds(),
+      CrashOptions(kLevels[3], MigrationPolicy::kCold,
+                   correlated_crash_prob));
+  std::vector<double> row;
+  for (const bench::PolicyMetrics& metrics : m) {
+    row.push_back(metrics.miss_ratio);
+  }
+  table.AddNumericRow("p=" + std::to_string(correlated_crash_prob).substr(0, 3),
+                      row);
+}
+
+}  // namespace
+}  // namespace webtx
+
+int main() {
+  std::cout << "Extension — crash-failover (4 servers, arrival rate sized "
+               "for ~3 busy\nworkers; repair windows ~50 units; warm = "
+               "migrated work survives, cold =\nmigrant restarts; weights "
+               "1-10, workflows <= 3, 5 seeds):\n\n";
+
+  std::vector<std::string> header = {"setting"};
+  for (const std::string& p : webtx::kPolicies) header.push_back(p);
+  webtx::Table tardiness(header);
+  webtx::Table miss(header);
+  for (const webtx::CrashLevel& level : webtx::kLevels) {
+    for (const webtx::MigrationPolicy migration :
+         {webtx::MigrationPolicy::kWarm, webtx::MigrationPolicy::kCold}) {
+      webtx::RunLevel(level, migration, tardiness, miss);
+      if (level.crash_rate == 0.0) break;  // warm == cold without crashes
+    }
+  }
+  std::cout << "Avg weighted tardiness of COMPLETED transactions:\n";
+  tardiness.Print(std::cout);
+  webtx::bench::SaveCsv(tardiness, "ext_failover_tardiness");
+  std::cout << "\nDeadline miss ratio (goodput stays 1.0 at every level: "
+               "crashes delay\ntransactions but never destroy them — only "
+               "aborts and admission shed\nwork):\n";
+  miss.Print(std::cout);
+  webtx::bench::SaveCsv(miss, "ext_failover_miss_ratio");
+
+  std::cout << "\nCorrelated failures at the heavy crash rate (cold "
+               "failover, miss\nratio; p = probability each crash instant "
+               "also fells each other server):\n";
+  webtx::Table correlated({"correlation", "FCFS", "EDF", "SRPT", "HDF",
+                           "ASETS", "ASETS*"});
+  for (const double p : {0.0, 0.3, 0.7}) {
+    webtx::RunCorrelated(p, correlated);
+  }
+  correlated.Print(std::cout);
+  webtx::bench::SaveCsv(correlated, "ext_failover_correlated");
+
+  std::cout << "\nWarm failover degrades gracefully — migration costs only "
+               "the queueing\ndelay on the survivors. Cold failover "
+               "re-executes everything the crashed\nserver had done, so "
+               "short-first policies (which keep less work in flight\nper "
+               "transaction) lose the least; correlated crashes compound "
+               "the gap by\nshrinking the pool exactly when the migrants "
+               "arrive.\n";
+  return 0;
+}

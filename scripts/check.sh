@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification gate: build and run the test suite under the three
+# Full verification gate: build and run the test suite under the four
 # CMake presets — plain (RelWithDebInfo), ThreadSanitizer (concurrency
-# suites), and Address+LeakSanitizer (everything). This is what CI (and a
+# suites), Address+LeakSanitizer (everything), and
+# UndefinedBehaviorSanitizer (everything). This is what CI (and a
 # release) should run; each stage stops the script on the first failure.
 #
 # After the test matrix, a bench-smoke stage builds the Release preset
@@ -10,16 +11,29 @@
 # bench harnesses without touching the committed BENCH_hotpath.json
 # baseline (full-run numbers; see README "Benchmarking").
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast  plain preset only (skips the sanitizer builds and bench smoke)
+# A chaos-smoke stage runs a short randomized fault-injection campaign
+# (tools/chaos) against the plain build: every case is audited by the
+# schedule validator, so crash/migration regressions that no fixed test
+# anticipates still fail the gate. A failing case is auto-shrunk and the
+# reproducer path is printed — commit it under
+# tests/integration/replays/ to pin the regression.
+#
+# Usage: scripts/check.sh [--fast] [--chaos-smoke]
+#   --fast         plain preset only (skips sanitizers and bench smoke)
+#   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST=1
-fi
+CHAOS_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --chaos-smoke) CHAOS_ONLY=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 run_preset() {
   local preset="$1"
@@ -46,10 +60,28 @@ bench_smoke() {
     --benchmark_filter='BM_PolicyEventCost.*/256$|BM_IndexedPq.*/64$'
 }
 
+chaos_smoke() {
+  # Seeded so the campaign is reproducible run to run; 100 randomized
+  # fault cases take well under a second. On a violation the tool exits
+  # nonzero (failing the script) after writing the shrunken reproducer.
+  echo "==> chaos smoke [default]"
+  ./build/tools/chaos --cases 100 --seed 2009 \
+    --out build/chaos_reproducer.chaos
+}
+
+if [[ "$CHAOS_ONLY" == "1" ]]; then
+  run_preset default
+  chaos_smoke
+  echo "All checks passed."
+  exit 0
+fi
+
 run_preset default
 if [[ "$FAST" == "0" ]]; then
+  chaos_smoke
   run_preset tsan
   run_preset asan
+  run_preset ubsan
   bench_smoke
 fi
 

@@ -55,7 +55,9 @@ AdmissionDecision FeasibilityAdmission::Decide(TxnId id, SimTime now) {
   for (const TxnId ready : view().ready_transactions()) {
     backlog += view().remaining(ready);
   }
-  const auto servers = static_cast<double>(view().num_servers());
+  // Translate backlog via the servers actually up: a half-crashed farm
+  // drains its queue at half rate, so feasibility must shrink with it.
+  const auto servers = static_cast<double>(view().num_servers_up());
   const SimTime predicted_finish =
       now + (backlog + spec.EstimateOrLength()) / servers;
   const SimTime predicted_tardiness = predicted_finish - spec.deadline;

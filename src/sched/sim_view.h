@@ -47,6 +47,12 @@ class SimView {
   /// estimated completion delay; 1 matches the paper's testbed.
   virtual size_t num_servers() const { return 1; }
 
+  /// Servers currently in the schedulable pool: num_servers() minus
+  /// those down in an outage window or crashed awaiting repair. Never
+  /// reported below 1 — even a fully-down farm comes back, so capacity
+  /// estimates stay finite. Equals num_servers() for fault-free runs.
+  virtual size_t num_servers_up() const { return num_servers(); }
+
   /// Slack of `id` at time `now` (Definition 2).
   SimTime SlackAt(TxnId id, SimTime now) const {
     return specs()[id].SlackAt(now, remaining(id));

@@ -9,8 +9,28 @@
 
 namespace webtx {
 
+/// What happens to the transaction running on a server when the server
+/// CRASHES (crash_rate below). Either way the transaction re-enters the
+/// ready set at the crash instant and may be re-placed on a surviving
+/// server immediately — the knob only decides whether its executed work
+/// survives the move.
+enum class MigrationPolicy : uint8_t {
+  /// Warm failover: execution state is replicated, the migrated
+  /// transaction resumes with its work retained (like an outage
+  /// preemption).
+  kWarm = 0,
+  /// Cold failover: the crashed server's state is lost; the migrated
+  /// transaction restarts from scratch (work zeroed, like an abort, but
+  /// without consuming retry budget — the server died, not the
+  /// transaction).
+  kCold,
+};
+
+/// Short stable label: "warm" / "cold".
+const char* MigrationPolicyName(MigrationPolicy policy);
+
 /// Parameters of a deterministic fault-injection plan. Faults come in
-/// two flavors, both modeled as independent Poisson processes per
+/// three flavors, all modeled as independent Poisson processes per
 /// server:
 ///   - *outages*: the server goes down for an exponentially distributed
 ///     window; its running transaction is preempted (work retained) and
@@ -18,7 +38,14 @@ namespace webtx {
 ///   - *aborts*: the transaction running on the server at the abort
 ///     instant loses ALL executed work and re-enters the ready set
 ///     under the run's RetryOptions (abort instants on an idle server
-///     are consumed as no-ops, i.e. the process is thinned).
+///     are consumed as no-ops, i.e. the process is thinned);
+///   - *crashes*: the server fails and leaves the schedulable pool for
+///     an exponentially distributed repair window; its running
+///     transaction is MIGRATED per `migration` (warm keeps the work,
+///     cold zeroes it) and the server rejoins the pick-assignment loop
+///     at repair end. With `correlated_crash_prob` > 0 each crash
+///     instant can fell a seeded subset of the other servers at the
+///     same instant (rack/zone loss).
 struct FaultPlanConfig {
   /// Expected outages per time unit per server (0 = no outages).
   double outage_rate = 0.0;
@@ -27,10 +54,25 @@ struct FaultPlanConfig {
   SimTime mean_outage_duration = 0.0;
   /// Expected abort instants per time unit per server (0 = no aborts).
   double abort_rate = 0.0;
+  /// Expected crashes per time unit per server (0 = no crashes). A
+  /// crash instant on an already-crashed server is consumed as a no-op
+  /// (the process is thinned), keeping the timeline policy-independent.
+  double crash_rate = 0.0;
+  /// Mean repair window in time units (exponential); must be > 0 when
+  /// crash_rate > 0.
+  SimTime mean_repair_duration = 0.0;
+  /// Fate of the in-flight transaction of a crashed server.
+  MigrationPolicy migration = MigrationPolicy::kWarm;
+  /// Correlated-failure mode: at each natural crash instant of server
+  /// i, every other server independently crashes too with this
+  /// probability (repair windows drawn from i's correlated stream), so
+  /// one instant can fell a whole seeded subset. Must be in [0, 1].
+  double correlated_crash_prob = 0.0;
   /// Base seed of the plan. Per-server event streams are derived via
   /// the DeriveSeed SplitMix64 chain (common/rng.h), so every server
-  /// owns statistically independent outage and abort streams and the
-  /// timeline is identical across policies, runs, and thread counts.
+  /// owns statistically independent outage, abort, and crash streams
+  /// and the timeline is identical across policies, runs, and thread
+  /// counts.
   uint64_t seed = 1;
 };
 
@@ -41,17 +83,21 @@ struct RetryOptions {
   /// kDroppedRetries; max_attempts == 1 means abort-implies-drop.
   uint32_t max_attempts = 3;
   /// Delay before the i-th aborted transaction re-enters the ready set:
-  /// backoff * backoff_multiplier^(i-1). 0 = immediate re-enqueue at
-  /// the abort instant. Note the simulation cost scales with abort_rate
-  /// x horizon (idle abort instants are still consumed one event at a
-  /// time), so an aggressive multiplier under a dense abort stream can
-  /// stretch runs geometrically; keep backoff delays within a few mean
-  /// transaction lengths.
+  /// backoff * backoff_multiplier^(i-1), clamped at max_backoff. 0 =
+  /// immediate re-enqueue at the abort instant.
   SimTime backoff = 0.0;
   double backoff_multiplier = 2.0;
+  /// Retry-storm guard: ceiling on any single retry delay (0 = no
+  /// clamp). The simulation cost scales with abort_rate x horizon (idle
+  /// abort instants are still consumed one event at a time), so an
+  /// unclamped aggressive multiplier under a dense abort stream
+  /// stretches runs geometrically; each clamped release is counted in
+  /// RunResult::retry_storm_suppressed.
+  SimTime max_backoff = 0.0;
 };
 
 /// One contiguous down-window of a server, as injected during a run.
+/// Used for both outage windows and crash repair windows.
 struct OutageWindow {
   uint32_t server = 0;
   SimTime start = 0.0;
@@ -61,18 +107,24 @@ struct OutageWindow {
 /// The deterministic per-server fault event stream of one run. The
 /// simulator owns one per server and consumes it as a discrete event
 /// source: next_transition() is the next outage boundary (start when
-/// up, end when down) and next_abort() the next abort instant. Streams
-/// are pure functions of (config.seed, server), so reconstructing them
-/// replays the identical timeline.
+/// up, end when down), next_crash_transition() the next crash boundary
+/// (crash when alive, rejoin when crashed), and next_abort() the next
+/// abort instant. Streams are pure functions of (config.seed, server) —
+/// plus, in correlated mode, the ForceCrash calls the simulator relays
+/// from other servers' streams, which are themselves policy-independent
+/// — so reconstructing them replays the identical timeline.
 class FaultStream {
  public:
   FaultStream(const FaultPlanConfig& config, uint32_t server);
 
-  bool down() const { return down_; }
+  /// Out of the schedulable pool: in an outage window OR crashed.
+  bool down() const { return outage_down_ || crashed_; }
 
   /// Next outage start (when up) or the current outage's end (when
   /// down); kNeverTime when outages are disabled.
-  SimTime next_transition() const { return down_ ? outage_end_ : outage_start_; }
+  SimTime next_transition() const {
+    return outage_down_ ? outage_end_ : outage_start_;
+  }
 
   /// End of the outage that next_transition() starts; only meaningful
   /// while up (the window [next_transition, outage_end_of_next) is
@@ -89,18 +141,65 @@ class FaultStream {
   /// Consumes the pending abort instant and draws the next one.
   void AdvanceAbort();
 
+  // --- Crash/rejoin process -----------------------------------------------
+
+  bool crashed() const { return crashed_; }
+
+  /// Next crash boundary: the pre-drawn natural crash instant while
+  /// alive, or the repair end while crashed; kNeverTime when crashes
+  /// are disabled and no forced crash is pending.
+  SimTime next_crash_transition() const {
+    return crashed_ ? repair_end_ : crash_start_;
+  }
+
+  /// Repair end of the pre-drawn natural crash window (alive) or of the
+  /// current crash (crashed). Forced crashes may extend it.
+  SimTime repair_end() const { return crashed_ ? repair_end_ : crash_end_; }
+
+  /// Crosses the next crash boundary. Alive -> crashed at the natural
+  /// crash instant (returns true); crashed -> alive at repair end
+  /// (returns false), thinning any natural crash windows the repair
+  /// subsumed before drawing the next one.
+  bool AdvanceCrashTransition();
+
+  /// Correlated-failure entry point: fells this server at `now` until
+  /// `now + repair_duration` (extending the repair window if already
+  /// crashed). Called by the simulator when another server's crash
+  /// instant fells this one.
+  void ForceCrash(SimTime now, SimTime repair_duration);
+
+  /// Draws, from this server's correlated stream, whether its crash
+  /// instant also fells one given other server, and the victim's repair
+  /// duration. Must be called exactly once per other server, in
+  /// ascending server order, at each natural crash instant of this
+  /// server (the fixed consumption pattern keeps the timeline
+  /// policy-independent). Returns true and sets *repair_duration on a
+  /// hit.
+  bool DrawCorrelatedVictim(SimTime* repair_duration);
+
  private:
   void DrawOutageWindow(SimTime after);
+  void DrawCrashWindow(SimTime after);
 
   double outage_rate_;
   SimTime mean_outage_duration_;
   double abort_rate_;
+  double crash_rate_;
+  SimTime mean_repair_duration_;
+  double correlated_crash_prob_;
   Rng outage_rng_;
   Rng abort_rng_;
-  bool down_ = false;
+  Rng crash_rng_;
+  Rng correlated_rng_;
+  bool outage_down_ = false;
+  bool crashed_ = false;
   SimTime outage_start_ = 0.0;
   SimTime outage_end_ = 0.0;
   SimTime next_abort_ = 0.0;
+  SimTime crash_start_ = 0.0;  // pre-drawn natural crash window
+  SimTime crash_end_ = 0.0;
+  SimTime repair_end_ = 0.0;  // down-until while crashed (forced crashes
+                              // may push it past crash_end_)
 };
 
 /// Sentinel for "no further fault events".
@@ -115,11 +214,12 @@ class FaultPlan {
   /// The default plan injects nothing (enabled() == false).
   FaultPlan() = default;
 
-  /// Validates rates and durations.
+  /// Validates rates, durations, and the correlation probability.
   static Result<FaultPlan> Create(FaultPlanConfig config);
 
   bool enabled() const {
-    return config_.outage_rate > 0.0 || config_.abort_rate > 0.0;
+    return config_.outage_rate > 0.0 || config_.abort_rate > 0.0 ||
+           config_.crash_rate > 0.0;
   }
   const FaultPlanConfig& config() const { return config_; }
 

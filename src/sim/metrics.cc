@@ -57,6 +57,7 @@ RunResult RunResult::FromOutcomes(std::string policy_name,
         break;
     }
     r.num_aborts += o.aborts;
+    r.num_migrations += o.migrations;
     if (o.fate != TxnFate::kCompleted) {
       ++missed;
       continue;

@@ -40,12 +40,19 @@ struct TxnOutcome {
   /// Times this transaction was aborted mid-execution (each abort
   /// discards all executed work).
   uint32_t aborts = 0;
+  /// Times this transaction was migrated off a crashed server. Whether
+  /// the executed work survived each migration is the run-level
+  /// MigrationPolicy: warm retains it, cold discards it (cold
+  /// migrations bump the segment attempt counter exactly like aborts,
+  /// but never consume retry budget).
+  uint32_t migrations = 0;
 };
 
 /// One contiguous stretch of a transaction executing on a server.
 /// `attempt` is the execution attempt the work belonged to (0 before
-/// the first abort); work from attempts before the last one was
-/// discarded by an abort and does not count toward completion.
+/// the first work-discarding event); work from attempts before the last
+/// one was discarded — by an abort, or by a cold migration off a
+/// crashed server — and does not count toward completion.
 struct ScheduleSegment {
   TxnId txn = kInvalidTxn;
   uint32_t server = 0;
@@ -90,15 +97,28 @@ struct RunResult {
   size_t num_dropped_dependency = 0;    // fate kDroppedDependency
   size_t num_aborts = 0;                // mid-execution aborts injected
   size_t num_retries = 0;               // aborts that re-entered the ready set
+  size_t retry_storm_suppressed = 0;    // retry releases clamped at max_backoff
   size_t num_deferrals = 0;             // admission deferrals granted
   size_t num_outages = 0;               // outage windows that began
   size_t num_outage_preemptions = 0;    // running txns preempted by outages
   double total_outage_time = 0.0;       // summed injected window durations
+  size_t num_crashes = 0;               // crash windows that began (incl.
+                                        // correlated hits)
+  size_t num_migrations = 0;            // running txns migrated off crashed
+                                        // servers
+  double total_repair_time = 0.0;       // summed injected repair durations
 
   /// Outage windows injected during the run (in begin order; a window
   /// may extend past the makespan). Feed to ValidateSchedule to audit
   /// that nothing executed on a down server.
   std::vector<OutageWindow> outages;
+
+  /// Crash repair windows injected during the run (in begin order;
+  /// correlated hits on an already-crashed server append the extension
+  /// as its own window, so the union is the exact downtime). Feed to
+  /// ValidateSchedule to audit that nothing executed on a crashed
+  /// server.
+  std::vector<OutageWindow> crashes;
 
   // Scheduler accounting.
   size_t num_scheduling_points = 0;

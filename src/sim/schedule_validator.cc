@@ -12,12 +12,23 @@ namespace {
 std::string Describe(const ScheduleSegment& s) {
   return "T" + std::to_string(s.txn) + "@server" +
          std::to_string(s.server) + " [" + std::to_string(s.start) + ", " +
-         std::to_string(s.end) + ")";
+         std::to_string(s.end) + ") attempt " + std::to_string(s.attempt);
 }
 
-std::string Describe(const OutageWindow& w) {
-  return "outage@server" + std::to_string(w.server) + " [" +
+std::string Describe(const char* kind, const OutageWindow& w) {
+  return std::string(kind) + "@server" + std::to_string(w.server) + " [" +
          std::to_string(w.start) + ", " + std::to_string(w.end) + ")";
+}
+
+std::string At(SimTime t) { return " at t=" + std::to_string(t); }
+
+// Shared counter-mismatch diagnostic: names the counter and both values.
+Status CounterMismatch(const char* counter, size_t in_result,
+                       size_t from_outcomes) {
+  return Status::FailedPrecondition(
+      "RunResult." + std::string(counter) + " is " +
+      std::to_string(in_result) + " but the recorded outcomes sum to " +
+      std::to_string(from_outcomes));
 }
 
 }  // namespace
@@ -27,6 +38,7 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
                         const ValidationOptions& options) {
   constexpr double kEps = 1e-6;
   const size_t num_servers = options.num_servers;
+  const bool cold = options.migration == MigrationPolicy::kCold;
   if (result.outcomes.size() != specs.size()) {
     return Status::FailedPrecondition(
         "outcomes were not recorded; enable record_outcomes");
@@ -48,15 +60,25 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
                                         Describe(s));
     }
     if (s.start < specs[s.txn].arrival - kEps) {
-      return Status::FailedPrecondition("runs before arrival: " +
-                                        Describe(s));
+      return Status::FailedPrecondition(
+          "runs before its arrival" + At(specs[s.txn].arrival) + ": " +
+          Describe(s));
     }
-    // 7. A down server executes nothing.
+    // 7. A down (outage) or crashed (awaiting repair) server executes
+    // nothing.
     for (const OutageWindow& w : options.outages) {
       if (w.server != s.server) continue;
       if (s.start < w.end - kEps && s.end > w.start + kEps) {
-        return Status::FailedPrecondition("executes during " + Describe(w) +
-                                          ": " + Describe(s));
+        return Status::FailedPrecondition(
+            "executes during " + Describe("outage", w) + ": " + Describe(s));
+      }
+    }
+    for (const OutageWindow& w : options.crashes) {
+      if (w.server != s.server) continue;
+      if (s.start < w.end - kEps && s.end > w.start + kEps) {
+        return Status::FailedPrecondition(
+            "executes on crashed server during " + Describe("repair", w) +
+            ": " + Describe(s));
       }
     }
     by_server[s.server].push_back(&s);
@@ -83,6 +105,7 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
   size_t shed = 0;
   size_t dropped_retries = 0;
   size_t dropped_dependency = 0;
+  size_t migrations = 0;
   for (size_t i = 0; i < specs.size(); ++i) {
     const auto id = static_cast<TxnId>(i);
     const TxnOutcome& o = result.outcomes[i];
@@ -100,12 +123,18 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
         ++dropped_dependency;
         break;
     }
+    migrations += o.migrations;
     const bool is_completed = o.fate == TxnFate::kCompleted;
     if (!is_completed && !o.missed_deadline) {
       return Status::FailedPrecondition(
           "T" + std::to_string(i) + " was " + TxnFateName(o.fate) +
-          " but not counted as a deadline miss");
+          At(o.finish) + " but not counted as a deadline miss");
     }
+    // Work-discarding events start new attempts: aborts always, and
+    // migrations exactly when the run used cold failover — warm
+    // failover conserves the work, so a warm migration bumping the
+    // attempt would silently discard it.
+    const uint32_t max_attempt = o.aborts + (cold ? o.migrations : 0);
     // 6a. Fate consistency along dependency edges: a transaction whose
     // dependency never completed must itself be dropped as a dependent.
     for (const TxnId dep : specs[i].dependencies) {
@@ -113,15 +142,17 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
           o.fate != TxnFate::kDroppedDependency) {
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " has fate " + TxnFateName(o.fate) +
-            " although dependency T" + std::to_string(dep) + " was " +
-            TxnFateName(result.outcomes[dep].fate));
+            At(o.finish) + " although dependency T" + std::to_string(dep) +
+            " was " + TxnFateName(result.outcomes[dep].fate) +
+            At(result.outcomes[dep].finish));
       }
     }
     auto it = by_txn.find(id);
     if (it == by_txn.end()) {
       if (is_completed) {
-        return Status::FailedPrecondition("T" + std::to_string(i) +
-                                          " never executed");
+        return Status::FailedPrecondition(
+            "T" + std::to_string(i) + " completed" + At(o.finish) +
+            " but never executed");
       }
       continue;  // shed/dropped before ever being dispatched
     }
@@ -142,15 +173,18 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
             "T" + std::to_string(i) + " attempt numbers go backwards: " +
             Describe(*segments[s - 1]) + " then " + Describe(*segments[s]));
       }
-      if (segments[s]->attempt > o.aborts) {
+      if (segments[s]->attempt > max_attempt) {
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " segment of attempt " +
-            std::to_string(segments[s]->attempt) + " but only " +
-            std::to_string(o.aborts) + " aborts recorded");
+            std::to_string(segments[s]->attempt) + " (" +
+            Describe(*segments[s]) + ") but only " +
+            std::to_string(o.aborts) + " aborts and " +
+            std::to_string(o.migrations) + " migrations (" +
+            (cold ? "cold" : "warm") + " failover) recorded");
       }
       // 5. Only the final attempt's work counts toward completion;
-      // earlier attempts were discarded by an abort.
-      if (segments[s]->attempt == o.aborts) {
+      // earlier attempts were discarded by an abort or cold migration.
+      if (segments[s]->attempt == max_attempt) {
         final_attempt_work += segments[s]->end - segments[s]->start;
       }
     }
@@ -159,13 +193,16 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " final attempt executed " +
             std::to_string(final_attempt_work) + " != length " +
-            std::to_string(specs[i].length));
+            std::to_string(specs[i].length) + " (finish" + At(o.finish) +
+            ", " + std::to_string(o.aborts) + " aborts, " +
+            std::to_string(o.migrations) + " migrations, " +
+            (cold ? "cold" : "warm") + " failover)");
       }
       if (std::fabs(segments.back()->end - o.finish) > kEps) {
         return Status::FailedPrecondition(
-            "T" + std::to_string(i) + " last segment ends at " +
-            std::to_string(segments.back()->end) + " but finish is " +
-            std::to_string(o.finish));
+            "T" + std::to_string(i) + " last segment ends" +
+            At(segments.back()->end) + " (" + Describe(*segments.back()) +
+            ") but finish is" + At(o.finish));
       }
     } else {
       // A non-completed transaction must not have absorbed a full
@@ -173,8 +210,9 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
       if (final_attempt_work > specs[i].length + kEps) {
         return Status::FailedPrecondition(
             "T" + std::to_string(i) + " was " + TxnFateName(o.fate) +
-            " yet executed " + std::to_string(final_attempt_work) +
-            " > length " + std::to_string(specs[i].length));
+            At(o.finish) + " yet executed " +
+            std::to_string(final_attempt_work) + " > length " +
+            std::to_string(specs[i].length));
       }
     }
     // 6b. Precedence: starts only after every dependency's finish.
@@ -184,30 +222,53 @@ Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
         // A dependent only becomes ready once the dependency completes,
         // so it can never have executed at all.
         return Status::FailedPrecondition(
-            "T" + std::to_string(i) + " executed although dependency T" +
-            std::to_string(dep) + " never completed");
+            "T" + std::to_string(i) + " executed (" +
+            Describe(*segments.front()) + ") although dependency T" +
+            std::to_string(dep) + " never completed (" +
+            TxnFateName(od.fate) + At(od.finish) + ")");
       }
       if (segments.front()->start < od.finish - kEps) {
         return Status::FailedPrecondition(
-            "T" + std::to_string(i) + " starts at " +
-            std::to_string(segments.front()->start) + " before T" +
-            std::to_string(dep) + " finishes at " +
-            std::to_string(od.finish));
+            "T" + std::to_string(i) + " starts" +
+            At(segments.front()->start) + " (" +
+            Describe(*segments.front()) + ") before T" +
+            std::to_string(dep) + " finishes" + At(od.finish));
       }
     }
   }
 
-  // 8. Per-fate counters partition the workload and match the outcomes.
-  if (result.num_completed != completed || result.num_shed != shed ||
-      result.num_dropped_retries != dropped_retries ||
-      result.num_dropped_dependency != dropped_dependency) {
-    return Status::FailedPrecondition(
-        "RunResult fate counters disagree with recorded outcomes");
+  // 8. Per-fate and per-event counters partition the workload and match
+  // the outcomes.
+  if (result.num_completed != completed) {
+    return CounterMismatch("num_completed", result.num_completed, completed);
+  }
+  if (result.num_shed != shed) {
+    return CounterMismatch("num_shed", result.num_shed, shed);
+  }
+  if (result.num_dropped_retries != dropped_retries) {
+    return CounterMismatch("num_dropped_retries", result.num_dropped_retries,
+                           dropped_retries);
+  }
+  if (result.num_dropped_dependency != dropped_dependency) {
+    return CounterMismatch("num_dropped_dependency",
+                           result.num_dropped_dependency, dropped_dependency);
+  }
+  if (result.num_migrations != migrations) {
+    return CounterMismatch("num_migrations", result.num_migrations,
+                           migrations);
+  }
+  if (result.num_crashes != options.crashes.size()) {
+    return CounterMismatch("num_crashes", result.num_crashes,
+                           options.crashes.size());
   }
   if (completed + shed + dropped_retries + dropped_dependency !=
       specs.size()) {
     return Status::FailedPrecondition(
-        "fate counts do not partition the workload");
+        "fate counts do not partition the workload: " +
+        std::to_string(completed) + " completed + " + std::to_string(shed) +
+        " shed + " + std::to_string(dropped_retries) + " dropped-retries + " +
+        std::to_string(dropped_dependency) + " dropped-dependency != " +
+        std::to_string(specs.size()));
   }
   return Status::OK();
 }

@@ -11,14 +11,24 @@
 
 namespace webtx {
 
-/// Inputs for auditing a recorded timeline. Pass `result.outages`
-/// through so the validator can audit the injected fault plan.
+/// Inputs for auditing a recorded timeline. Pass `result.outages` and
+/// `result.crashes` through so the validator can audit the injected
+/// fault plan.
 struct ValidationOptions {
   size_t num_servers = 1;
   /// Server outage windows that held during the run (usually
   /// RunResult::outages); no segment may intersect a window of its
   /// server.
   std::vector<OutageWindow> outages;
+  /// Crash repair windows that held during the run (usually
+  /// RunResult::crashes); no segment may intersect a window of its
+  /// server.
+  std::vector<OutageWindow> crashes;
+  /// Migration policy the run executed under: decides whether a
+  /// migration starts a new execution attempt (cold zeroes the work)
+  /// or not (warm conserves it) — check 5 audits the recorded segments
+  /// against exactly that accounting.
+  MigrationPolicy migration = MigrationPolicy::kWarm;
 };
 
 /// Independently audits a recorded execution timeline against the
@@ -31,23 +41,30 @@ struct ValidationOptions {
 ///   3. a transaction never runs on two servers at once;
 ///   4. no transaction runs before its arrival;
 ///   5. a COMPLETED transaction's final attempt executes exactly its
-///      length, ending at its recorded finish — work from earlier,
-///      aborted attempts is discarded and never counts;
+///      length, ending at its recorded finish — work from earlier
+///      attempts, discarded by an abort or (under cold failover) a
+///      migration, never counts; under warm failover migrations
+///      conserve work, so they must NOT start a new attempt;
 ///   6. precedence: a transaction starts only after every dependency's
 ///      recorded finish, and a dependent of a shed/dropped transaction
 ///      is itself dropped (fate kDroppedDependency) and never runs
 ///      after the drop;
-///   7. no segment intersects an outage window of its server;
+///   7. no segment intersects an outage or crash repair window of its
+///      server;
 ///   8. every non-completed transaction carries a non-kCompleted fate
 ///      (a recorded cause) and completed ones carry kCompleted, with
-///      the RunResult per-fate counters matching the outcomes.
+///      the RunResult per-fate and per-event counters matching the
+///      outcomes — the goodput/shed/drop partition accounts for every
+///      transaction.
 ///
-/// Returns OK or a FailedPrecondition describing the first violation.
+/// Returns OK or a FailedPrecondition describing the first violation;
+/// the message always carries the timestamps, server, and transaction
+/// ids involved, so a failing case is locatable without a debugger.
 Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
                         const RunResult& result,
                         const ValidationOptions& options);
 
-/// Failure-free convenience overload (no outage windows).
+/// Failure-free convenience overload (no outage/crash windows).
 Status ValidateSchedule(const std::vector<TransactionSpec>& specs,
                         const RunResult& result, size_t num_servers);
 

@@ -61,7 +61,8 @@ Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
   if (options.retry.max_attempts < 1) {
     return Status::InvalidArgument("retry.max_attempts must be >= 1");
   }
-  if (options.retry.backoff < 0.0 || options.retry.backoff_multiplier < 0.0) {
+  if (options.retry.backoff < 0.0 || options.retry.backoff_multiplier < 0.0 ||
+      options.retry.max_backoff < 0.0) {
     return Status::InvalidArgument("retry backoff must be non-negative");
   }
   WEBTX_ASSIGN_OR_RETURN(DependencyGraph graph, DependencyGraph::Build(txns));
@@ -168,6 +169,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   size_t outage_server = k;
   SimTime t_abort = kNever;
   size_t abort_server = k;
+  SimTime t_crash = kNever;
+  size_t crash_server = k;
   const auto recompute_outage_horizon = [&] {
     t_outage = kNever;
     outage_server = k;
@@ -190,9 +193,32 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       }
     }
   };
+  const auto recompute_crash_horizon = [&] {
+    t_crash = kNever;
+    crash_server = k;
+    for (size_t s = 0; s < k; ++s) {
+      const SimTime tc = fault_streams[s].next_crash_transition();
+      if (tc < t_crash) {
+        t_crash = tc;
+        crash_server = s;
+      }
+    }
+  };
+  // Schedulable pool size exposed to admission controllers via
+  // num_servers_up(); recounted at every fault transition (rare events,
+  // O(k) each).
+  num_up_ = k;
+  const auto recount_up_servers = [&] {
+    size_t up = 0;
+    for (size_t s = 0; s < k; ++s) {
+      if (!fault_streams[s].down()) ++up;
+    }
+    num_up_ = up;
+  };
   if (faults) {
     recompute_outage_horizon();
     recompute_abort_horizon();
+    recompute_crash_horizon();
   }
 
   size_t next_arrival = 0;
@@ -220,20 +246,33 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   size_t preemptions = 0;
   size_t idle_decisions = 0;
   size_t retries = 0;
+  size_t retry_storm_suppressed = 0;
   size_t deferrals = 0;
   size_t outage_preemptions = 0;
   double total_outage_time = 0.0;
   std::vector<OutageWindow> outages;
+  size_t num_migrations = 0;
+  double total_repair_time = 0.0;
+  std::vector<OutageWindow> crashes;
+  const bool cold_migration =
+      options_.fault_plan.config().migration == MigrationPolicy::kCold;
+
+  // Execution attempt a transaction's work currently belongs to: every
+  // work-discarding event (abort; cold migration) starts a new attempt.
+  const auto attempt_of = [&](TxnId id) -> uint32_t {
+    const TxnOutcome& o = outcomes[id];
+    return cold_migration ? o.aborts + o.migrations : o.aborts;
+  };
 
   // Closes the execution stretch of server `s` at time `t`, tagged with
-  // the transaction's current attempt (its abort count so far) — call
-  // BEFORE bumping the abort count when an abort is what closes it.
+  // the transaction's current attempt — call BEFORE bumping the abort /
+  // migration count when a work-discarding event is what closes it.
   const auto close_segment = [&](size_t s, SimTime t) {
     if (!options_.record_schedule) return;
     if (t - segment_start[s] <= kTimeEpsilon) return;
     schedule.push_back(ScheduleSegment{running[s], static_cast<uint32_t>(s),
                                        segment_start[s], t,
-                                       outcomes[running[s]].aborts});
+                                       attempt_of(running[s])});
   };
 
   // Charges elapsed work to every busy server up to `t`.
@@ -304,6 +343,31 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     if (unmet_deps_[id] == 0) MakeReady(id, t, policy);
   };
 
+  // Migrates the transaction running on crashing server `s` (see the
+  // Crashes contract in simulator.h): warm failover retains the work —
+  // the victim stays ready, exactly like an outage preemption — while
+  // cold failover zeroes it, mirroring the abort path's callback order
+  // (suspend before the OnCompletion dequeue signal so policies that
+  // rebuild cached state see the victim as non-ready) but with an
+  // immediate re-enqueue and no retry-budget charge.
+  const auto migrate = [&](size_t s, SimTime t) {
+    const TxnId victim = running[s];
+    if (victim == kInvalidTxn) return;
+    close_segment(s, t);  // belongs to the pre-migration attempt
+    running[s] = kInvalidTxn;
+    ++num_migrations;
+    ++outcomes[victim].migrations;
+    if (cold_migration) {
+      suspended_[victim] = 1;
+      ReadyListRemove(victim);
+      policy.OnCompletion(victim, t);  // dequeue signal
+      true_remaining_[victim] = specs_[victim].length;
+      estimated_remaining_[victim] = specs_[victim].EstimateOrLength();
+      suspended_[victim] = 0;
+      MakeReady(victim, t, policy);
+    }
+  };
+
   while (resolved_count < n) {
     const SimTime t_arrival = next_arrival < n
                                   ? specs_[arrival_order_[next_arrival]].arrival
@@ -322,7 +386,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
 
     // Progress is guaranteed by a completion, an arrival, a pending
     // retry/deferral, or — when every server is down — the finite end of
-    // an outage holding back a non-empty ready set.
+    // an outage or crash repair window holding back a non-empty ready
+    // set.
     WEBTX_CHECK(t_completion != kNever || t_arrival != kNever ||
                 t_pending != kNever || !ready_list_.empty())
         << "simulation stalled: " << (n - resolved_count)
@@ -330,13 +395,18 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
            "(policy idled while work was pending?)";
 
     // Pick the earliest event; at equal times the order is completion,
-    // outage transition, abort, pending, arrival (see simulator.h).
-    enum class Ev { kCompletion, kOutage, kAbort, kPending, kArrival };
+    // outage transition, crash transition, abort, pending, arrival (see
+    // simulator.h).
+    enum class Ev { kCompletion, kOutage, kCrash, kAbort, kPending, kArrival };
     Ev ev = Ev::kCompletion;
     SimTime t_ev = t_completion;
     if (t_outage < t_ev) {
       ev = Ev::kOutage;
       t_ev = t_outage;
+    }
+    if (t_crash < t_ev) {
+      ev = Ev::kCrash;
+      t_ev = t_crash;
     }
     if (t_abort < t_ev) {
       ev = Ev::kAbort;
@@ -403,6 +473,44 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         // recovers; both are scheduling points.
         stream.AdvanceTransition();
         recompute_outage_horizon();
+        recount_up_servers();
+        break;
+      }
+      case Ev::kCrash: {
+        FaultStream& stream = fault_streams[crash_server];
+        if (!stream.crashed()) {
+          // Natural crash instant: fell the server for its pre-drawn
+          // repair window and migrate its in-flight transaction.
+          const SimTime repaired = stream.repair_end();
+          stream.AdvanceCrashTransition();
+          crashes.push_back(OutageWindow{static_cast<uint32_t>(crash_server),
+                                         now, repaired});
+          total_repair_time += repaired - now;
+          migrate(crash_server, now);
+          // Correlated mode: this instant may fell a seeded subset of
+          // the other servers, lowest index first. A hit on an
+          // already-crashed server extends its repair window; the
+          // extension is recorded as its own window so the union stays
+          // the exact downtime.
+          if (options_.fault_plan.config().correlated_crash_prob > 0.0) {
+            for (size_t s = 0; s < k; ++s) {
+              if (s == crash_server) continue;
+              SimTime repair_duration = 0.0;
+              if (!stream.DrawCorrelatedVictim(&repair_duration)) continue;
+              crashes.push_back(OutageWindow{static_cast<uint32_t>(s), now,
+                                             now + repair_duration});
+              total_repair_time += repair_duration;
+              migrate(s, now);
+              fault_streams[s].ForceCrash(now, repair_duration);
+            }
+          }
+        } else {
+          // Repair complete: the server rejoins the pick-assignment
+          // loop at this scheduling point.
+          stream.AdvanceCrashTransition();
+        }
+        recompute_crash_horizon();
+        recount_up_servers();
         break;
       }
       case Ev::kAbort: {
@@ -432,8 +540,16 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
         ++retries;
         SimTime delay = options_.retry.backoff;
+        const SimTime max_backoff = options_.retry.max_backoff;
         for (uint32_t i = 1; i < o.aborts; ++i) {
           delay *= options_.retry.backoff_multiplier;
+          // Early exit keeps a dense abort stream from pushing the
+          // product to infinity before the clamp below lands.
+          if (max_backoff > 0.0 && delay > max_backoff) break;
+        }
+        if (max_backoff > 0.0 && delay > max_backoff) {
+          delay = max_backoff;
+          ++retry_storm_suppressed;
         }
         if (delay <= 0.0) {
           suspended_[victim] = 0;
@@ -585,11 +701,17 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   result.num_preemptions = preemptions;
   result.num_idle_decisions = idle_decisions;
   result.num_retries = retries;
+  result.retry_storm_suppressed = retry_storm_suppressed;
   result.num_deferrals = deferrals;
   result.num_outages = outages.size();
   result.num_outage_preemptions = outage_preemptions;
   result.total_outage_time = total_outage_time;
   result.outages = std::move(outages);
+  result.num_crashes = crashes.size();
+  WEBTX_DCHECK(result.num_migrations == num_migrations)
+      << "FromOutcomes migration sum disagrees with the event loop";
+  result.total_repair_time = total_repair_time;
+  result.crashes = std::move(crashes);
   if (!options_.record_outcomes) result.outcomes.clear();
   if (options_.record_schedule) {
     std::sort(schedule.begin(), schedule.end(),

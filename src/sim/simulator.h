@@ -96,18 +96,35 @@ struct SimOptions {
 ///
 /// - *Event ordering.* Faults are first-class discrete events. When
 ///   events coincide in time they are processed in a fixed priority
-///   order — completion, then outage transition, then abort, then
-///   retry release / deferred arrival, then fresh arrival — with the
-///   lowest server index (or transaction id) breaking remaining ties,
-///   so a run is a pure function of (workload, policy, options).
+///   order — completion, then outage transition, then crash transition,
+///   then abort, then retry release / deferred arrival, then fresh
+///   arrival — with the lowest server index (or transaction id)
+///   breaking remaining ties, so a run is a pure function of (workload,
+///   policy, options).
 ///
 /// - *Outages.* A server going down preempts its running transaction;
-///   the executed work is RETAINED (only aborts lose work) and the
-///   transaction stays in the ready set, so the policy may immediately
-///   re-place it on another up server. A down server is never filled at
-///   scheduling points; recovery is itself a scheduling point. Both
-///   boundaries of every window are scheduling points and the injected
-///   windows are reported in RunResult::outages.
+///   the executed work is RETAINED (only aborts and cold migrations
+///   lose work) and the transaction stays in the ready set, so the
+///   policy may immediately re-place it on another up server. A down
+///   server is never filled at scheduling points; recovery is itself a
+///   scheduling point. Both boundaries of every window are scheduling
+///   points and the injected windows are reported in
+///   RunResult::outages.
+///
+/// - *Crashes.* A crash removes the server from the schedulable pool
+///   until the end of its repair window; its running transaction is
+///   MIGRATED — it re-enters the ready set at the crash instant with
+///   its work retained (MigrationPolicy::kWarm: behaves like an outage
+///   preemption, no policy callbacks) or zeroed
+///   (MigrationPolicy::kCold: the policy sees OnCompletion as the
+///   dequeue signal, then OnReady with the remaining time reset to the
+///   full estimate — like an abort, but migrations never consume retry
+///   budget). In correlated mode one crash instant can fell a seeded
+///   subset of the other servers the same way, lowest server index
+///   first. Crash and rejoin are both scheduling points; the injected
+///   repair windows are reported in RunResult::crashes and the pool
+///   size visible to admission controllers shrinks and grows with them
+///   (SimView::num_servers_up).
 ///
 /// - *Aborts.* An abort instant on a busy server discards ALL executed
 ///   work of the running transaction (true and estimated remaining reset
@@ -170,6 +187,12 @@ class Simulator final : public SimView {
   const DependencyGraph& graph() const override { return graph_; }
   const WorkflowRegistry& workflows() const override { return registry_; }
   size_t num_servers() const override { return options_.num_servers; }
+  /// Servers not currently held down by an outage or crash window;
+  /// updated at every fault transition during Run (floored at 1, see
+  /// SimView).
+  size_t num_servers_up() const override {
+    return num_up_ > 0 ? num_up_ : 1;
+  }
   /// The scheduler's view of remaining processing time: derived from the
   /// transaction's length *estimate* minus executed time (clamped to a
   /// small positive floor when the estimate was too low). Equals the true
@@ -218,6 +241,7 @@ class Simulator final : public SimView {
   std::vector<uint32_t> unmet_deps_;
   std::vector<TxnId> ready_list_;
   std::vector<size_t> ready_pos_;  // TxnId -> index in ready_list_
+  size_t num_up_ = 1;  // servers outside outage/crash windows (this run)
 };
 
 }  // namespace webtx

@@ -1,0 +1,75 @@
+// Re-runs the committed chaos reproducer byte-identically. The replay
+// file was minted by the chaos tool (`tools/chaos --mint`): a randomized
+// cold-failover case shrunk to a local minimum against the predicate
+// "still migrates work off a crashed server". The pinned digest is the
+// cross-platform determinism contract — if it drifts, crash/migration
+// semantics changed observably and the golden value (plus the fault
+// model documentation) must be revisited deliberately.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/chaos.h"
+
+namespace webtx {
+namespace {
+
+// Observable behavior of the committed replay, pinned at mint time.
+constexpr uint64_t kGoldenDigest = 0x05c6252ae9c8b68fULL;
+constexpr size_t kGoldenMigrations = 4;
+
+std::string ReplayPath() {
+  return std::string(WEBTX_REPLAY_DIR) + "/cold_migration_minimal.chaos";
+}
+
+std::string ReadReplayFile() {
+  std::ifstream file(ReplayPath());
+  EXPECT_TRUE(file.is_open()) << "missing replay file: " << ReplayPath();
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+TEST(ChaosReplayIntegrationTest, CommittedReproducerParses) {
+  auto parsed = ParseChaosReplay(ReadReplayFile());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ChaosCase& c = parsed.ValueOrDie();
+  // The minted case is a cold-failover crash scenario by construction.
+  EXPECT_GT(c.fault.crash_rate, 0.0);
+  EXPECT_EQ(c.fault.migration, MigrationPolicy::kCold);
+}
+
+TEST(ChaosReplayIntegrationTest, ReplaysByteIdentically) {
+  auto parsed = ParseChaosReplay(ReadReplayFile());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ChaosCase c = std::move(parsed).ValueOrDie();
+
+  auto first = RunChaosCase(c);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const RunResult& r = first.ValueOrDie();
+
+  // The run still exhibits the behavior it was shrunk for, passes the
+  // full invariant audit, and reproduces the pinned digest bit for bit.
+  EXPECT_EQ(r.num_migrations, kGoldenMigrations);
+  const Status verdict = CheckChaosInvariants(c, r);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_EQ(ScheduleDigest(r), kGoldenDigest);
+
+  // And a second run of the same parsed case is indistinguishable.
+  auto second = RunChaosCase(c);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(ScheduleDigest(second.ValueOrDie()), kGoldenDigest);
+}
+
+TEST(ChaosReplayIntegrationTest, ReserializingTheFileIsLossless) {
+  const std::string text = ReadReplayFile();
+  auto parsed = ParseChaosReplay(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeChaosCase(parsed.ValueOrDie()), text);
+}
+
+}  // namespace
+}  // namespace webtx

@@ -103,6 +103,62 @@ TEST(QueueDepthAdmissionTest, ShedRootDropsItsDependents) {
   EXPECT_EQ(r.num_dropped_dependency, 1u);
 }
 
+// Property: the defer budget is an exact boundary. A transaction
+// deferred `max_defers` times MUST be decided — admitted or rejected —
+// at its next presentation; a (max_defers+1)-th deferral is a bug that
+// would let an arrival ping-pong forever.
+TEST(QueueDepthAdmissionTest, DeferBudgetBoundaryIsExact) {
+  for (const uint32_t budget : {0u, 1u, 2u, 3u, 4u, 7u}) {
+    QueueDepthAdmissionOptions depth;
+    depth.max_ready = 1;
+    depth.defer_delay = 2.0;
+    depth.max_defers = budget;
+    // A full ready queue that never clears: every presentation of T2 is
+    // over-cap, so the controller's only degrees of freedom are defer
+    // and reject.
+    testing::FakeView view(
+        {Txn(0, 0, 5, 100), Txn(1, 0, 5, 100), Txn(2, 0, 5, 100)});
+    view.Arrive(0);
+    view.Arrive(1);
+    view.RebuildReadyList();
+    QueueDepthAdmission controller(depth);
+    controller.Bind(view);
+    for (uint32_t presentation = 0; presentation < budget; ++presentation) {
+      const AdmissionDecision d =
+          controller.Decide(2, 2.0 * presentation);
+      EXPECT_EQ(d.action, AdmissionDecision::Action::kDefer)
+          << "budget " << budget << ", presentation " << presentation;
+    }
+    // Presentation number `budget` exhausts the budget: decided now and
+    // on every later presentation, never deferred again.
+    for (uint32_t beyond = 0; beyond < 3; ++beyond) {
+      const AdmissionDecision d =
+          controller.Decide(2, 2.0 * (budget + beyond));
+      EXPECT_NE(d.action, AdmissionDecision::Action::kDefer)
+          << "budget " << budget << ", presentation " << (budget + beyond);
+    }
+  }
+}
+
+// The same boundary observed end-to-end: under a never-clearing queue
+// the simulator grants exactly max_defers deferrals and resolves the
+// victim at the final re-arrival.
+TEST(QueueDepthAdmissionTest, SimulatorGrantsExactlyTheDeferBudget) {
+  for (const uint32_t budget : {0u, 1u, 3u, 5u}) {
+    QueueDepthAdmissionOptions depth;
+    depth.max_ready = 1;
+    depth.defer_delay = 2.0;
+    depth.max_defers = budget;
+    const RunResult r =
+        RunAdmitted({Txn(0, 0, 1000, 2000), Txn(1, 0, 5, 50)},
+                    MakeQueueDepthAdmission(depth));
+    EXPECT_EQ(r.outcomes[1].fate, TxnFate::kShedAdmission) << budget;
+    EXPECT_EQ(r.num_deferrals, static_cast<size_t>(budget)) << budget;
+    // Shed at the re-arrival that exhausted the budget.
+    EXPECT_EQ(r.outcomes[1].finish, 2.0 * budget) << budget;
+  }
+}
+
 TEST(FeasibilityAdmissionTest, RejectsHopelesslyLateArrivals) {
   FeasibilityAdmissionOptions feasibility;  // bound 0: must be on time
   // T0 (length 10) is ready when T1 arrives; T1's predicted finish is

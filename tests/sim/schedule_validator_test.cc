@@ -185,6 +185,90 @@ TEST_F(CorruptionTest, DetectsDropNotCountedAsMiss) {
   EXPECT_FALSE(ValidateSchedule(txns_, r, 1).ok());
 }
 
+// The validator is a debugging tool first: every rejection must name
+// the offending event precisely enough to find it in a schedule dump —
+// transaction id, server, and timestamp, not just the rule that fired.
+
+TEST_F(CorruptionTest, DiagnosticsNameTheOffendingSegment) {
+  RunResult r = result_;
+  r.schedule[0].server = 7;
+  const Status s = ValidateSchedule(txns_, r, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown server"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("T" + std::to_string(r.schedule[0].txn)),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("server7"), std::string::npos) << s.message();
+}
+
+TEST_F(CorruptionTest, DiagnosticsCarryTheViolationTimestamp) {
+  RunResult r = result_;
+  for (auto& seg : r.schedule) {
+    if (seg.txn == 1) {
+      seg.start -= 1.0;  // T1 arrives at 1
+      break;
+    }
+  }
+  const Status s = ValidateSchedule(txns_, r, 1);
+  ASSERT_FALSE(s.ok());
+  // Names the arrival it ran ahead of, and the transaction + server.
+  EXPECT_NE(s.message().find("t=1.0"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("T1@server0"), std::string::npos)
+      << s.message();
+}
+
+TEST_F(CorruptionTest, OverlapDiagnosticsNameBothSegments) {
+  RunResult r = result_;
+  ASSERT_GE(r.schedule.size(), 2u);
+  // Stretch segment 0 into segment 1 (moving segment 1's start back
+  // would trip the runs-before-arrival check first, not the overlap).
+  r.schedule[0].end = r.schedule[1].start + 0.5;
+  const Status s = ValidateSchedule(txns_, r, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("overlap"), std::string::npos) << s.message();
+  // Both colliding segments appear, each with txn, server, and window.
+  EXPECT_NE(s.message().find("T" + std::to_string(r.schedule[0].txn)),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("T" + std::to_string(r.schedule[1].txn)),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("@server0"), std::string::npos) << s.message();
+}
+
+TEST_F(CorruptionTest, CrashWindowDiagnosticsNameServerAndWindow) {
+  ValidationOptions options;
+  options.crashes.push_back(OutageWindow{
+      0, result_.schedule[0].start, result_.schedule[0].end});
+  const Status s = ValidateSchedule(txns_, result_, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("crashed server"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("repair@server0"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("T" + std::to_string(result_.schedule[0].txn)),
+            std::string::npos)
+      << s.message();
+}
+
+TEST_F(CorruptionTest, CounterDiagnosticsNameCounterAndBothValues) {
+  RunResult r = result_;
+  r.num_completed -= 1;
+  r.num_shed += 1;
+  const Status s = ValidateSchedule(txns_, r, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("RunResult.num_"), std::string::npos)
+      << s.message();
+  // Both the claimed and the recomputed value are in the message.
+  EXPECT_NE(s.message().find(std::to_string(r.num_completed)),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find(std::to_string(r.num_completed + 1)),
+            std::string::npos)
+      << s.message();
+}
+
 TEST(ScheduleValidatorTest, MultiServerSchedulesValidate) {
   const std::vector<TransactionSpec> txns = {
       Txn(0, 0, 5, 10),  Txn(1, 0, 7, 12), Txn(2, 1, 2, 6),

@@ -1,0 +1,197 @@
+// chaos — randomized crash-failover campaign runner and replay tool.
+//
+// Campaign mode (default): runs N randomized (policy, fault plan, seed)
+// cases through the simulator and the independent schedule validator;
+// on the first invariant violation the failing case is shrunk to a
+// local minimum and serialized as a replay file.
+//
+//   chaos [--cases N] [--seed S] [--out reproducer.chaos] [--verbose]
+//
+// Replay mode: re-runs a serialized case and reports the schedule
+// digest plus the validator verdict. Byte-identical replays print the
+// same digest on every machine.
+//
+//   chaos --replay reproducer.chaos
+//
+// Mint mode: when a campaign finds no violations (the healthy state),
+// this produces a regression reproducer anyway — it takes the first
+// randomized case exhibiting cold-failover migrations and shrinks it
+// against the behavioral predicate "still migrates work off a crashed
+// server", then writes the minimal case as a replay file. The replay
+// integration test pins such a file plus its schedule digest.
+//
+//   chaos --mint FILE [--seed S]
+//
+// Exit status: 0 when every case passed (or the replay validates),
+// 1 on invariant violations, 2 on usage/IO errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/chaos.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cases N] [--seed S] [--out FILE] [--verbose]\n"
+               "       %s --replay FILE\n"
+               "       %s --mint FILE [--seed S]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+int RunReplay(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "chaos: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  auto parsed = webtx::ParseChaosReplay(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::ChaosCase c = std::move(parsed).ValueOrDie();
+  auto run = webtx::RunChaosCase(c);
+  if (!run.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", run.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::RunResult result = std::move(run).ValueOrDie();
+  std::printf("policy            %s\n", c.policy.c_str());
+  std::printf("transactions      %zu\n", c.num_transactions);
+  std::printf("servers           %zu\n", c.num_servers);
+  std::printf("crashes           %zu\n", result.num_crashes);
+  std::printf("migrations        %zu\n", result.num_migrations);
+  std::printf("aborts            %zu\n", result.num_aborts);
+  std::printf("goodput           %.4f\n", result.goodput);
+  std::printf("schedule_digest   %016llx\n",
+              static_cast<unsigned long long>(webtx::ScheduleDigest(result)));
+  const webtx::Status verdict = webtx::CheckChaosInvariants(c, result);
+  std::printf("validator         %s\n", verdict.ToString().c_str());
+  return verdict.ok() ? 0 : 1;
+}
+
+int RunMint(const std::string& path, uint64_t master_seed) {
+  // Behavioral predicate: the case runs, validates, and still migrates
+  // at least one transaction off a crashed server under cold failover —
+  // the deepest code path (attempt bump, work zeroed, no retry charge).
+  const webtx::ChaosPredicate cold_migrates = [](const webtx::ChaosCase& c) {
+    if (c.fault.migration != webtx::MigrationPolicy::kCold) return false;
+    auto run = webtx::RunChaosCase(c);
+    if (!run.ok()) return false;
+    const webtx::RunResult& result = run.ValueOrDie();
+    return result.num_migrations >= 1 &&
+           webtx::CheckChaosInvariants(c, result).ok();
+  };
+  for (uint64_t i = 0; i < 10000; ++i) {
+    webtx::ChaosCase c = webtx::RandomChaosCase(master_seed, i);
+    if (!cold_migrates(c)) continue;
+    c = webtx::ShrinkChaosCase(c, cold_migrates);
+    std::ofstream file(path);
+    file << webtx::SerializeChaosCase(c);
+    if (!file.good()) {
+      std::fprintf(stderr, "chaos: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    const webtx::RunResult result =
+        webtx::RunChaosCase(c).ValueOrDie();
+    std::printf("minted %s (case %llu of seed %llu)\n", path.c_str(),
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(master_seed));
+    std::printf("transactions      %zu\n", c.num_transactions);
+    std::printf("migrations        %zu\n", result.num_migrations);
+    std::printf("schedule_digest   %016llx\n",
+                static_cast<unsigned long long>(
+                    webtx::ScheduleDigest(result)));
+    return 0;
+  }
+  std::fprintf(stderr, "chaos: no cold-migration case found\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  webtx::ChaosCampaignOptions options;
+  bool verbose = false;
+  std::string replay_path;
+  std::string mint_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--cases") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.num_cases = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.master_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.reproducer_path = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      replay_path = v;
+    } else if (arg == "--mint") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mint_path = v;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) return RunReplay(replay_path);
+  if (!mint_path.empty()) return RunMint(mint_path, options.master_seed);
+
+  if (verbose) {
+    options.progress = [](size_t index, const std::string& violation) {
+      if (violation.empty()) {
+        std::fprintf(stderr, "case %zu ok\n", index);
+      } else {
+        std::fprintf(stderr, "case %zu VIOLATION: %s\n", index,
+                     violation.c_str());
+      }
+    };
+  }
+  auto campaign = webtx::RunChaosCampaign(options);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 campaign.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::ChaosCampaignResult r = std::move(campaign).ValueOrDie();
+  std::printf("cases             %zu\n", r.cases_run);
+  std::printf("violations        %zu\n", r.violations);
+  std::printf("total_crashes     %zu\n", r.total_crashes);
+  std::printf("total_migrations  %zu\n", r.total_migrations);
+  std::printf("total_aborts      %zu\n", r.total_aborts);
+  std::printf("total_outages     %zu\n", r.total_outages);
+  if (r.violations > 0) {
+    std::printf("first violation: %s\n", r.first_violation.c_str());
+    if (!options.reproducer_path.empty()) {
+      std::printf("shrunken reproducer written to %s\n",
+                  options.reproducer_path.c_str());
+    } else {
+      std::printf("shrunken reproducer:\n%s",
+                  webtx::SerializeChaosCase(r.first_reproducer).c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
