@@ -18,19 +18,30 @@
 # reproducer path is printed — commit it under
 # tests/integration/replays/ to pin the regression.
 #
-# Usage: scripts/check.sh [--fast] [--chaos-smoke]
+# A bench-gate stage (opt-in: perf numbers are machine-relative, so it
+# only makes sense on the machine that produced the committed baseline)
+# runs the full bench/sweep_throughput grid against the Release build and
+# FAILS if any fig08 end-to-end instances_per_sec row regresses more than
+# 10% below the committed BENCH_hotpath.json. After an intentional perf
+# change, refresh the baseline by re-running the bench binaries with
+# WEBTX_BENCH_JSON unset and committing the updated JSON.
+#
+# Usage: scripts/check.sh [--fast] [--chaos-smoke] [--bench-gate]
 #   --fast         plain preset only (skips sanitizers and bench smoke)
 #   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
+#   --bench-gate   release build + fig08 perf-regression gate only
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 CHAOS_ONLY=0
+BENCH_GATE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --chaos-smoke) CHAOS_ONLY=1 ;;
+    --bench-gate) BENCH_GATE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -60,6 +71,46 @@ bench_smoke() {
     --benchmark_filter='BM_PolicyEventCost.*/256$|BM_IndexedPq.*/64$'
 }
 
+# instances_per_sec of one sweep_throughput config row in a bench JSON.
+bench_rate() {
+  awk -F'"' -v cfg="$2" '
+    $4 == "sweep_throughput" && $8 == cfg && $12 == "instances_per_sec" {
+      v = $15; gsub(/[:, ]/, "", v); print v; exit
+    }' "$1"
+}
+
+bench_gate() {
+  echo "==> configure+build [release]"
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)"
+  echo "==> bench gate [release]: fig08 end-to-end vs BENCH_hotpath.json"
+  local gate_json=build-release/BENCH_gate.json
+  # Fresh rows go to a scratch file seeded from the committed baseline,
+  # so the bench still sees its seed_baseline reference rows and the
+  # committed JSON itself is never overwritten by a gate run.
+  cp BENCH_hotpath.json "$gate_json"
+  WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/sweep_throughput
+  local failed=0 threads config old new
+  for threads in 1 2 8; do
+    config="fig08 threads=${threads}"
+    old=$(bench_rate BENCH_hotpath.json "$config")
+    new=$(bench_rate "$gate_json" "$config")
+    if [[ -z "$old" || -z "$new" ]]; then
+      echo "bench gate: missing instances_per_sec row for '$config'" >&2
+      failed=1
+      continue
+    fi
+    if awk -v new="$new" -v old="$old" 'BEGIN { exit !(new < 0.9 * old) }'
+    then
+      echo "bench gate: FAIL '$config': $new < 90% of baseline $old" >&2
+      failed=1
+    else
+      echo "bench gate: ok '$config': $new vs baseline $old instances/sec"
+    fi
+  done
+  return "$failed"
+}
+
 chaos_smoke() {
   # Seeded so the campaign is reproducible run to run; 100 randomized
   # fault cases take well under a second. On a violation the tool exits
@@ -68,6 +119,12 @@ chaos_smoke() {
   ./build/tools/chaos --cases 100 --seed 2009 \
     --out build/chaos_reproducer.chaos
 }
+
+if [[ "$BENCH_GATE" == "1" ]]; then
+  bench_gate
+  echo "All checks passed."
+  exit 0
+fi
 
 if [[ "$CHAOS_ONLY" == "1" ]]; then
   run_preset default

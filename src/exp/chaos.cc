@@ -1,5 +1,6 @@
 #include "exp/chaos.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -88,6 +89,28 @@ bool TryMutation(ChaosCase& c, Mutation mutate,
   if (!still_fails(candidate)) return false;
   c = std::move(candidate);
   return true;
+}
+
+// The draw ordinal (per-server draw order) of the `index`-th *surviving*
+// window on `server`, given the suppression keys already committed.
+// Suppressed ordinals are drawn-and-discarded (sim/fault_plan.h), so
+// they still occupy their slot in draw order but never show up in the
+// observed window stream.
+uint32_t SurvivorOrdinal(const std::vector<uint64_t>& suppressed,
+                         uint32_t server, size_t index) {
+  std::vector<uint32_t> dropped;
+  for (const uint64_t key : suppressed) {
+    if (FaultOrdinalServer(key) == server) {
+      dropped.push_back(FaultOrdinalIndex(key));
+    }
+  }
+  std::sort(dropped.begin(), dropped.end());
+  size_t survivors = 0;
+  for (uint32_t ordinal = 0;; ++ordinal) {
+    if (std::binary_search(dropped.begin(), dropped.end(), ordinal)) continue;
+    if (survivors == index) return ordinal;
+    ++survivors;
+  }
 }
 
 }  // namespace
@@ -180,6 +203,14 @@ std::string SerializeChaosCase(const ChaosCase& c) {
      << FormatDouble(c.retry.backoff_multiplier) << "\n";
   os << "retry_max_backoff " << FormatDouble(c.retry.max_backoff) << "\n";
   os << "admission_max_ready " << c.admission_max_ready << "\n";
+  for (const uint64_t key : c.fault.suppressed_crashes) {
+    os << "suppress_crash " << FaultOrdinalServer(key) << " "
+       << FaultOrdinalIndex(key) << "\n";
+  }
+  for (const uint64_t key : c.fault.suppressed_outages) {
+    os << "suppress_outage " << FaultOrdinalServer(key) << " "
+       << FaultOrdinalIndex(key) << "\n";
+  }
   return os.str();
 }
 
@@ -275,6 +306,21 @@ Result<ChaosCase> ParseChaosReplay(const std::string& text) {
     } else if (key == "admission_max_ready") {
       if (!ParseU64(value, &u)) return bad();
       c.admission_max_ready = u;
+    } else if (key == "suppress_crash" || key == "suppress_outage") {
+      // "<server> <draw ordinal>": one suppressed natural fault window.
+      const size_t sep = value.find(' ');
+      uint64_t server = 0;
+      uint64_t ordinal = 0;
+      if (sep == std::string::npos ||
+          !ParseU64(value.substr(0, sep), &server) ||
+          !ParseU64(value.substr(sep + 1), &ordinal) ||
+          server > 0xffffffffULL || ordinal > 0xffffffffULL) {
+        return bad();
+      }
+      auto& list = key == "suppress_crash" ? c.fault.suppressed_crashes
+                                           : c.fault.suppressed_outages;
+      list.push_back(EncodeFaultOrdinal(static_cast<uint32_t>(server),
+                                        static_cast<uint32_t>(ordinal)));
     } else {
       // A replay must not silently lose a knob it doesn't understand.
       return Status::InvalidArgument("line " + std::to_string(line_no) +
@@ -340,8 +386,55 @@ ChaosCase ShrinkChaosCase(ChaosCase c, const ChaosPredicate& still_fails) {
          TryMutation(
              c, [](ChaosCase& x) { --x.num_servers; }, still_fails)) {
   }
-  // The dropped streams and servers may have freed slack for another
-  // round of horizon halving.
+  // Bisect the fault timeline itself: drop individual natural crash /
+  // outage instants that survived the whole-stream passes. Suppression
+  // is draw-and-discard, so removing one window leaves every other
+  // window's RNG draws — and the rest of the timeline — byte-identical;
+  // every window still standing afterwards is load-bearing. Each
+  // accepted drop restarts the pass from a fresh run: suppressing a
+  // window can change the horizon (and so which later windows begin).
+  const auto bisect_windows =
+      [&](std::vector<uint64_t> FaultPlanConfig::*list,
+          std::vector<OutageWindow> RunResult::*windows, bool enabled) {
+        if (!enabled) return;
+        constexpr size_t kMaxProbes = 64;  // rerun budget on huge timelines
+        size_t probes = 0;
+        bool progress = true;
+        while (progress && probes < kMaxProbes) {
+          progress = false;
+          const auto run = RunChaosCase(c);
+          if (!run.ok()) return;
+          const std::vector<OutageWindow>& observed = run.ValueOrDie().*windows;
+          std::vector<size_t> seen(c.num_servers, 0);
+          for (const OutageWindow& w : observed) {
+            const size_t index = seen[w.server]++;
+            if (probes >= kMaxProbes) break;
+            ++probes;
+            const uint32_t ordinal =
+                SurvivorOrdinal(c.fault.*list, w.server, index);
+            if (TryMutation(
+                    c,
+                    [&](ChaosCase& x) {
+                      (x.fault.*list)
+                          .push_back(EncodeFaultOrdinal(w.server, ordinal));
+                    },
+                    still_fails)) {
+              progress = true;
+              break;  // survivor indices shifted; remap from a fresh run
+            }
+          }
+        }
+      };
+  // Natural crash windows can only be told apart from correlated
+  // (forced) ones when correlated mode is off: RunResult::crashes mixes
+  // both, and a forced crash owns no draw ordinal to suppress.
+  bisect_windows(
+      &FaultPlanConfig::suppressed_crashes, &RunResult::crashes,
+      c.fault.crash_rate > 0.0 && c.fault.correlated_crash_prob == 0.0);
+  bisect_windows(&FaultPlanConfig::suppressed_outages, &RunResult::outages,
+                 c.fault.outage_rate > 0.0);
+  // The dropped streams, servers, and fault instants may have freed
+  // slack for another round of horizon halving.
   while (c.num_transactions > 1 &&
          TryMutation(
              c, [](ChaosCase& x) { x.num_transactions /= 2; }, still_fails)) {

@@ -76,10 +76,13 @@ using ChaosPredicate = std::function<bool(const ChaosCase&)>;
 /// the transaction count, drops whole fault streams (aborts, outages,
 /// correlated mode, crashes), disables admission and retries, levels
 /// the workload shape (weights, workflows, burstiness, estimate
-/// error), and removes servers — keeping each simplification only if
-/// the predicate still fails. The result is a local minimum: every
-/// single remaining knob is load-bearing. Requires still_fails(c) on
-/// entry.
+/// error), removes servers, and finally bisects the fault timeline
+/// itself — suppressing individual natural crash / outage windows
+/// (FaultPlanConfig::suppressed_*, draw-and-discard so the rest of the
+/// timeline is untouched) — keeping each simplification only if the
+/// predicate still fails. The result is a local minimum: every
+/// remaining knob and every remaining fault instant is load-bearing.
+/// Requires still_fails(c) on entry.
 ChaosCase ShrinkChaosCase(ChaosCase c, const ChaosPredicate& still_fails);
 
 /// Derives case `index` of a campaign from `master_seed` via the

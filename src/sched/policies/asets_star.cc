@@ -14,8 +14,10 @@ void AsetsStarPolicy::Bind(const SimView& v) {
   const size_t num_wf = v.workflows().num_workflows();
   states_.assign(num_wf, WorkflowState{});
   // All live sets share one flat arena (a workflow's live set can never
-  // outgrow its member roster), so Bind costs two allocations instead of
-  // one per workflow.
+  // outgrow its member roster), so a cold Bind costs two allocations
+  // instead of one per workflow — and a re-Bind to a same-shape view
+  // costs none at all: assign() reuses capacity, as does every Reserve
+  // below (pinned by tests/sim/allocation_test.cc).
   size_t total_members = 0;
   for (size_t wid = 0; wid < num_wf; ++wid) {
     states_[wid].live_begin = total_members;
@@ -23,6 +25,10 @@ void AsetsStarPolicy::Bind(const SimView& v) {
         v.workflows().workflow(static_cast<WorkflowId>(wid)).members.size();
   }
   live_arena_.assign(total_members, kInvalidTxn);
+  dirty_.assign(num_wf, 0);
+  dirty_list_.clear();
+  dirty_list_.reserve(num_wf);
+  dirty_now_ = 0.0;
   edf_.Reserve(num_wf);
   hdf_.Reserve(num_wf);
   critical_.Reserve(num_wf);
@@ -32,6 +38,9 @@ void AsetsStarPolicy::Reset() {
   states_.clear();
   live_arena_.clear();
   excluded_heads_.clear();
+  dirty_.clear();
+  dirty_list_.clear();
+  dirty_now_ = 0.0;
   edf_.Clear();
   hdf_.Clear();
   critical_.Clear();
@@ -144,37 +153,54 @@ void AsetsStarPolicy::Touch(WorkflowId wid, SimTime now) {
   }
 }
 
-void AsetsStarPolicy::TouchWorkflowsOf(TxnId id, SimTime now) {
+void AsetsStarPolicy::MarkDirty(WorkflowId wid, SimTime now) {
+  dirty_now_ = now;
+  if (dirty_[wid]) return;
+  dirty_[wid] = 1;
+  dirty_list_.push_back(wid);
+}
+
+void AsetsStarPolicy::MarkWorkflowsOf(TxnId id, SimTime now) {
   for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
+    MarkDirty(wid, now);
+  }
+}
+
+void AsetsStarPolicy::FlushDirty(SimTime now) {
+  for (const WorkflowId wid : dirty_list_) {
+    dirty_[wid] = 0;
     Touch(wid, now);
   }
+  dirty_list_.clear();
 }
 
 void AsetsStarPolicy::OnArrival(TxnId id, SimTime now) {
   for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
     AddLiveMember(wid, id);
-    Touch(wid, now);
+    MarkDirty(wid, now);
   }
 }
 
 void AsetsStarPolicy::OnReady(TxnId id, SimTime now) {
-  TouchWorkflowsOf(id, now);
+  MarkWorkflowsOf(id, now);
 }
 
 void AsetsStarPolicy::OnCompletion(TxnId id, SimTime now) {
   // Real completions depart the live set; abort-dequeues (IsFinished
   // still false — the victim re-enters the ready set later) stay live so
   // they keep contributing to the representative, exactly as a full
-  // rescan over arrived-and-unfinished members would see them.
+  // rescan over arrived-and-unfinished members would see them. The
+  // departure test runs NOW — the view's finished bit is only guaranteed
+  // at callback time — but the refile itself is deferred to the flush.
   const bool departed = view().IsFinished(id);
   for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
     if (departed) RemoveLiveMember(wid, id);
-    Touch(wid, now);
+    MarkDirty(wid, now);
   }
 }
 
 void AsetsStarPolicy::OnRemainingUpdated(TxnId id, SimTime now) {
-  TouchWorkflowsOf(id, now);
+  MarkWorkflowsOf(id, now);
 }
 
 void AsetsStarPolicy::OnDropped(TxnId id, SimTime now) {
@@ -182,7 +208,7 @@ void AsetsStarPolicy::OnDropped(TxnId id, SimTime now) {
   // it from its workflows' live sets, representatives and heads.
   for (const WorkflowId wid : view().workflows().WorkflowsOf(id)) {
     RemoveLiveMember(wid, id);
-    Touch(wid, now);
+    MarkDirty(wid, now);
   }
 }
 
@@ -196,6 +222,7 @@ void AsetsStarPolicy::MigrateDue(SimTime now) {
 }
 
 TxnId AsetsStarPolicy::PickNext(SimTime now) {
+  FlushDirty(now);
   MigrateDue(now);
   if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
   if (edf_.empty()) return states_[hdf_.Top()].head;
@@ -225,19 +252,26 @@ TxnId AsetsStarPolicy::PickNext(SimTime now) {
 TxnId AsetsStarPolicy::PickNextExcluding(SimTime now,
                                          const std::vector<TxnId>& exclude) {
   if (exclude.empty()) return PickNext(now);
-  // Re-derive heads of the affected workflows with the exclusion set
-  // active, decide, then restore the unexcluded view.
+  // Settle any pending callback marks with the exclusion set still empty
+  // (matching the immediate-touch semantics those callbacks had), then
+  // re-derive heads of the affected workflows with the exclusion set
+  // active, decide, and restore the unexcluded view. The restore MUST
+  // flush before returning: leaving it batched would refile those
+  // workflows at a later event, after the simulator has charged progress
+  // to their running members, with keys a rescan at `now` never sees.
+  FlushDirty(now);
   excluded_heads_ = exclude;
-  for (const TxnId id : exclude) TouchWorkflowsOf(id, now);
+  for (const TxnId id : exclude) MarkWorkflowsOf(id, now);
   const TxnId pick = PickNext(now);
   WEBTX_DCHECK(pick == kInvalidTxn || !IsExcluded(pick));
   excluded_heads_.clear();
-  for (const TxnId id : exclude) TouchWorkflowsOf(id, now);
+  for (const TxnId id : exclude) MarkWorkflowsOf(id, now);
+  FlushDirty(now);
   return pick;
 }
 
-AsetsStarPolicy::WorkflowSnapshot AsetsStarPolicy::SnapshotOf(
-    WorkflowId id) const {
+AsetsStarPolicy::WorkflowSnapshot AsetsStarPolicy::SnapshotOf(WorkflowId id) {
+  FlushDirty(dirty_now_);
   const WorkflowState& ws = states_[id];
   return WorkflowSnapshot{ws.active, ws.head, ws.rep_deadline,
                           ws.rep_remaining, ws.rep_weight};

@@ -64,6 +64,18 @@ struct AsetsStarOptions {
 /// go stale (see tests/sched/asets_star_incremental_test.cc, which
 /// asserts byte-identical schedules against the pre-optimization
 /// full-rescan reference).
+///
+/// Callback bursts are additionally BATCHED: a lifecycle callback only
+/// marks the affected workflows dirty (live-set membership and the
+/// static aggregates stay immediate), and the recompute-and-refile
+/// happens once per dirty workflow at the next flush point — the top of
+/// PickNext / PickNextExcluding, i.e. the simulator's next scheduling
+/// round at the same instant. A multi-completion or crash instant that
+/// touches one workflow through several members therefore pays one
+/// refile instead of one per callback. Byte-identity is preserved
+/// because the flush runs at the same simulation time as the marks and
+/// a workflow's filing depends only on its own final state
+/// (IndexedPriorityQueue order is content-deterministic).
 class AsetsStarPolicy final : public SchedulerPolicy {
  public:
   explicit AsetsStarPolicy(AsetsStarOptions options = {})
@@ -81,9 +93,16 @@ class AsetsStarPolicy final : public SchedulerPolicy {
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;
 
-  /// Introspection for tests.
-  size_t edf_list_size() const { return edf_.size(); }
-  size_t hdf_list_size() const { return hdf_.size(); }
+  /// Introspection for tests. Non-const: flushes pending dirty refiles
+  /// so the lists reflect every callback delivered so far.
+  size_t edf_list_size() {
+    FlushDirty(dirty_now_);
+    return edf_.size();
+  }
+  size_t hdf_list_size() {
+    FlushDirty(dirty_now_);
+    return hdf_.size();
+  }
 
   /// Representative / head of a workflow as currently cached (tests only).
   struct WorkflowSnapshot {
@@ -93,7 +112,7 @@ class AsetsStarPolicy final : public SchedulerPolicy {
     SimTime rep_remaining = 0.0;
     double rep_weight = 0.0;
   };
-  WorkflowSnapshot SnapshotOf(WorkflowId id) const;
+  WorkflowSnapshot SnapshotOf(WorkflowId id);
 
  protected:
   void Reset() override;
@@ -127,8 +146,15 @@ class AsetsStarPolicy final : public SchedulerPolicy {
   /// list or key changed. O(live members + log #workflows), no allocation.
   void Touch(WorkflowId wid, SimTime now);
 
-  /// Touches every workflow the transaction belongs to.
-  void TouchWorkflowsOf(TxnId id, SimTime now);
+  /// Queues the workflow for a Touch at the next flush point. Idempotent
+  /// within a burst: the second mark of the same workflow is free.
+  void MarkDirty(WorkflowId wid, SimTime now);
+
+  /// Marks every workflow the transaction belongs to dirty.
+  void MarkWorkflowsOf(TxnId id, SimTime now);
+
+  /// Applies one Touch per dirty workflow and clears the dirty set.
+  void FlushDirty(SimTime now);
 
   /// Moves EDF-List workflows whose representative deadline became
   /// unreachable to the HDF-List.
@@ -153,6 +179,13 @@ class AsetsStarPolicy final : public SchedulerPolicy {
   /// scheduling round; Refresh skips them as head candidates. Empty
   /// outside PickNextExcluding.
   std::vector<TxnId> excluded_heads_;
+  /// Dirty-set batching state: dirty_[wid] != 0 iff wid is queued in
+  /// dirty_list_ awaiting a Touch. dirty_now_ remembers the timestamp of
+  /// the latest mark so const-free introspection can flush at the right
+  /// instant (callback bursts and the following flush share one `now`).
+  std::vector<char> dirty_;
+  std::vector<WorkflowId> dirty_list_;
+  SimTime dirty_now_ = 0.0;
   IndexedPriorityQueue edf_;       // key: d_rep
   IndexedPriorityQueue hdf_;       // key: r_rep / w_rep
   IndexedPriorityQueue critical_;  // EDF-List members, key: d_rep - r_rep

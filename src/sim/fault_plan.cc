@@ -1,6 +1,8 @@
 #include "sim/fault_plan.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 
@@ -21,6 +23,25 @@ double DrawExponential(Rng& rng, double rate) {
   return -std::log(1.0 - rng.NextDouble()) / rate;
 }
 
+// Extracts `server`'s window ordinals from a plan-wide suppression list
+// (EncodeFaultOrdinal keys), sorted for the binary search in the draw
+// helpers.
+std::vector<uint32_t> OrdinalsFor(const std::vector<uint64_t>& keys,
+                                  uint32_t server) {
+  std::vector<uint32_t> ordinals;
+  for (const uint64_t key : keys) {
+    if (FaultOrdinalServer(key) == server) {
+      ordinals.push_back(FaultOrdinalIndex(key));
+    }
+  }
+  std::sort(ordinals.begin(), ordinals.end());
+  return ordinals;
+}
+
+bool IsSuppressed(const std::vector<uint32_t>& ordinals, uint32_t ordinal) {
+  return std::binary_search(ordinals.begin(), ordinals.end(), ordinal);
+}
+
 }  // namespace
 
 const char* MigrationPolicyName(MigrationPolicy policy) {
@@ -36,7 +57,11 @@ const char* MigrationPolicyName(MigrationPolicy policy) {
 }
 
 FaultStream::FaultStream(const FaultPlanConfig& config, uint32_t server)
-    : outage_rate_(config.outage_rate),
+    : suppressed_outage_ordinals_(
+          OrdinalsFor(config.suppressed_outages, server)),
+      suppressed_crash_ordinals_(
+          OrdinalsFor(config.suppressed_crashes, server)),
+      outage_rate_(config.outage_rate),
       mean_outage_duration_(config.mean_outage_duration),
       abort_rate_(config.abort_rate),
       crash_rate_(config.crash_rate),
@@ -63,16 +88,28 @@ FaultStream::FaultStream(const FaultPlanConfig& config, uint32_t server)
 }
 
 void FaultStream::DrawOutageWindow(SimTime after) {
-  outage_start_ = after + DrawExponential(outage_rng_, outage_rate_);
-  outage_end_ =
-      outage_start_ +
-      DrawExponential(outage_rng_, 1.0 / mean_outage_duration_);
+  for (;;) {
+    outage_start_ = after + DrawExponential(outage_rng_, outage_rate_);
+    outage_end_ =
+        outage_start_ +
+        DrawExponential(outage_rng_, 1.0 / mean_outage_duration_);
+    if (!IsSuppressed(suppressed_outage_ordinals_, outage_ordinal_++)) break;
+    // Suppressed window: drawn and discarded so the RNG consumption —
+    // and with it every surviving window's time — is unchanged. The
+    // next window is drawn past the phantom window's end, exactly
+    // where it would have started anyway.
+    after = outage_end_;
+  }
 }
 
 void FaultStream::DrawCrashWindow(SimTime after) {
-  crash_start_ = after + DrawExponential(crash_rng_, crash_rate_);
-  crash_end_ =
-      crash_start_ + DrawExponential(crash_rng_, 1.0 / mean_repair_duration_);
+  for (;;) {
+    crash_start_ = after + DrawExponential(crash_rng_, crash_rate_);
+    crash_end_ = crash_start_ +
+                 DrawExponential(crash_rng_, 1.0 / mean_repair_duration_);
+    if (!IsSuppressed(suppressed_crash_ordinals_, crash_ordinal_++)) break;
+    after = crash_end_;  // see DrawOutageWindow
+  }
 }
 
 void FaultStream::AdvanceTransition() {

@@ -2,12 +2,27 @@
 #define WEBTX_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 
 namespace webtx {
+
+/// Key of one natural fault window in a plan's suppression lists
+/// (FaultPlanConfig below): the drawing server and the window's ordinal
+/// in that server's draw sequence (0 = first window drawn).
+inline constexpr uint64_t EncodeFaultOrdinal(uint32_t server,
+                                             uint32_t ordinal) {
+  return (static_cast<uint64_t>(server) << 32) | ordinal;
+}
+inline constexpr uint32_t FaultOrdinalServer(uint64_t key) {
+  return static_cast<uint32_t>(key >> 32);
+}
+inline constexpr uint32_t FaultOrdinalIndex(uint64_t key) {
+  return static_cast<uint32_t>(key);
+}
 
 /// What happens to the transaction running on a server when the server
 /// CRASHES (crash_rate below). Either way the transaction re-enters the
@@ -74,6 +89,17 @@ struct FaultPlanConfig {
   /// and the timeline is identical across policies, runs, and thread
   /// counts.
   uint64_t seed = 1;
+  /// Natural fault windows to suppress, keyed by EncodeFaultOrdinal
+  /// (server, ordinal-in-draw-order). A suppressed window is still
+  /// DRAWN — its RNG consumption is unchanged, so every surviving
+  /// window keeps its exact time — but never presented to the
+  /// simulator: the crash (or outage) simply does not happen. This is
+  /// what lets the chaos shrinker (exp/chaos.h) bisect the fault
+  /// timeline itself: dropping instant j leaves instants i != j
+  /// byte-identical, so a surviving reproducer names exactly the
+  /// load-bearing windows. Empty in normal runs.
+  std::vector<uint64_t> suppressed_crashes;
+  std::vector<uint64_t> suppressed_outages;
 };
 
 /// How aborted transactions are retried (SimOptions::retry).
@@ -181,6 +207,13 @@ class FaultStream {
   void DrawOutageWindow(SimTime after);
   void DrawCrashWindow(SimTime after);
 
+  /// This server's suppressed window ordinals (from the plan's
+  /// suppression lists), sorted; consulted by the draw helpers.
+  std::vector<uint32_t> suppressed_outage_ordinals_;
+  std::vector<uint32_t> suppressed_crash_ordinals_;
+  uint32_t outage_ordinal_ = 0;  // windows drawn so far, per process
+  uint32_t crash_ordinal_ = 0;
+
   double outage_rate_;
   SimTime mean_outage_duration_;
   double abort_rate_;
@@ -206,7 +239,8 @@ class FaultStream {
 inline constexpr SimTime kNeverTime = 1e308;
 
 /// A validated, seeded fault-injection plan. Value-type and cheap to
-/// copy (it stores only the config); Simulator::Run materializes fresh
+/// copy (it stores only the config, whose suppression lists are empty
+/// outside chaos-shrinking); Simulator::Run materializes fresh
 /// FaultStreams from it on every run, so reusing one Simulator across
 /// policies replays the identical fault timeline under each policy.
 class FaultPlan {

@@ -1,0 +1,216 @@
+#include "sim/fault_timeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+void FaultTimeline::FillOutages(std::vector<Window>& out) {
+  out.clear();
+  for (size_t i = 0; i < kChunkEvents; ++i) {
+    // The generator is always "up" here: each window is read off the
+    // pre-drawn state, then its begin and end boundaries are crossed so
+    // the next one is drawn — the exact consumption pattern of the
+    // simulator's outage handling.
+    out.push_back(Window{gen_->next_transition(), gen_->outage_end()});
+    gen_->AdvanceTransition();
+    gen_->AdvanceTransition();
+  }
+}
+
+void FaultTimeline::FillCrashes(std::vector<Window>& out) {
+  out.clear();
+  for (size_t i = 0; i < kChunkEvents; ++i) {
+    out.push_back(Window{gen_->next_crash_transition(), gen_->repair_end()});
+    gen_->AdvanceCrashTransition();
+    gen_->AdvanceCrashTransition();
+  }
+}
+
+void FaultTimeline::FillAborts(std::vector<SimTime>& out) {
+  out.clear();
+  for (size_t i = 0; i < kChunkEvents; ++i) {
+    out.push_back(gen_->next_abort());
+    gen_->AdvanceAbort();
+  }
+}
+
+template <typename Event, typename Fill>
+Event FaultTimeline::PopEvent(Buffers<Event>& b, Fill fill) {
+  if (b.idx == b.cur.size()) {
+    if (pool_ != nullptr) {
+      const auto t0 = Clock::now();
+      b.prefetch.get();
+      barrier_wait_ms_ += MsSince(t0);
+      pregen_ms_ += b.worker_gen_ms;
+      std::swap(b.cur, b.next);
+      b.prefetch = pool_->Submit([this, &b, fill] {
+        const auto g0 = Clock::now();
+        fill(b.next);
+        b.worker_gen_ms = MsSince(g0);
+      });
+    } else {
+      const auto t0 = Clock::now();
+      fill(b.cur);
+      pregen_ms_ += MsSince(t0);
+    }
+    b.idx = 0;
+    ++chunks_;
+  }
+  return b.cur[b.idx++];
+}
+
+void FaultTimeline::Begin(const FaultPlanConfig& config, uint32_t server,
+                          ThreadPool* pool) {
+  Finish(nullptr);  // settle any leftover prefetch before rebuilding
+  WEBTX_CHECK(config.correlated_crash_prob == 0.0)
+      << "FaultTimeline cannot pregenerate a correlated crash process";
+  gen_ = std::make_unique<FaultStream>(config, server);
+  pool_ = pool;
+  pregen_ms_ = 0.0;
+  barrier_wait_ms_ = 0.0;
+  chunks_ = 0;
+
+  outages_.enabled = config.outage_rate > 0.0;
+  crashes_.enabled = config.crash_rate > 0.0;
+  aborts_.enabled = config.abort_rate > 0.0;
+  outages_.idx = outages_.cur.size();  // force a fill on first pop
+  crashes_.idx = crashes_.cur.size();
+  aborts_.idx = aborts_.cur.size();
+
+  const auto fill_outages = [this](std::vector<Window>& v) {
+    FillOutages(v);
+  };
+  const auto fill_crashes = [this](std::vector<Window>& v) {
+    FillCrashes(v);
+  };
+  const auto fill_aborts = [this](std::vector<SimTime>& v) {
+    FillAborts(v);
+  };
+
+  // First chunks are always produced inline (the run needs them now);
+  // with a pool, the second chunk of each process starts immediately so
+  // steady-state barriers find it already landed.
+  const auto t0 = Clock::now();
+  if (outages_.enabled) {
+    FillOutages(outages_.cur);
+    outages_.idx = 0;
+    ++chunks_;
+  }
+  if (crashes_.enabled) {
+    FillCrashes(crashes_.cur);
+    crashes_.idx = 0;
+    ++chunks_;
+  }
+  if (aborts_.enabled) {
+    FillAborts(aborts_.cur);
+    aborts_.idx = 0;
+    ++chunks_;
+  }
+  pregen_ms_ += MsSince(t0);
+  if (pool_ != nullptr) {
+    if (outages_.enabled) {
+      outages_.prefetch = pool_->Submit([this, fill_outages] {
+        const auto g0 = Clock::now();
+        fill_outages(outages_.next);
+        outages_.worker_gen_ms = MsSince(g0);
+      });
+    }
+    if (crashes_.enabled) {
+      crashes_.prefetch = pool_->Submit([this, fill_crashes] {
+        const auto g0 = Clock::now();
+        fill_crashes(crashes_.next);
+        crashes_.worker_gen_ms = MsSince(g0);
+      });
+    }
+    if (aborts_.enabled) {
+      aborts_.prefetch = pool_->Submit([this, fill_aborts] {
+        const auto g0 = Clock::now();
+        fill_aborts(aborts_.next);
+        aborts_.worker_gen_ms = MsSince(g0);
+      });
+    }
+  }
+
+  outage_down_ = false;
+  crashed_ = false;
+  repair_end_ = 0.0;
+  cur_outage_ = outages_.enabled ? PopEvent(outages_, fill_outages) : Window{};
+  cur_crash_ = crashes_.enabled ? PopEvent(crashes_, fill_crashes) : Window{};
+  next_abort_ = aborts_.enabled ? PopEvent(aborts_, fill_aborts) : kNeverTime;
+}
+
+void FaultTimeline::Finish(ShardTiming* timing) {
+  const auto settle = [this](auto& b) {
+    if (b.prefetch.valid()) {
+      b.prefetch.get();
+      pregen_ms_ += b.worker_gen_ms;  // real work, even if never consumed
+    }
+  };
+  settle(outages_);
+  settle(crashes_);
+  settle(aborts_);
+  if (timing != nullptr) {
+    timing->pregen_ms += pregen_ms_;
+    timing->barrier_wait_ms += barrier_wait_ms_;
+    timing->chunks += chunks_;
+  }
+  pregen_ms_ = 0.0;
+  barrier_wait_ms_ = 0.0;
+  chunks_ = 0;
+}
+
+void FaultTimeline::AdvanceTransition() {
+  if (!outage_down_) {
+    outage_down_ = true;  // the window [cur_outage_.start, .end) begins
+    return;
+  }
+  outage_down_ = false;
+  cur_outage_ = outages_.enabled
+                    ? PopEvent(outages_,
+                               [this](std::vector<Window>& v) {
+                                 FillOutages(v);
+                               })
+                    : Window{};
+}
+
+void FaultTimeline::AdvanceAbort() {
+  next_abort_ = aborts_.enabled
+                    ? PopEvent(aborts_,
+                               [this](std::vector<SimTime>& v) {
+                                 FillAborts(v);
+                               })
+                    : kNeverTime;
+}
+
+void FaultTimeline::AdvanceCrashTransition() {
+  if (!crashed_) {
+    crashed_ = true;  // the pre-drawn repair window begins
+    repair_end_ = cur_crash_.end;
+    return;
+  }
+  // Rejoin. Uncorrelated plans never extend the repair window, so no
+  // window thinning can be needed here (the generator would replay it
+  // identically if it were — see FaultStream::AdvanceCrashTransition).
+  crashed_ = false;
+  cur_crash_ = crashes_.enabled
+                   ? PopEvent(crashes_,
+                              [this](std::vector<Window>& v) {
+                                FillCrashes(v);
+                              })
+                   : Window{};
+}
+
+}  // namespace webtx

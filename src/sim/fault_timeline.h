@@ -1,0 +1,127 @@
+#ifndef WEBTX_SIM_FAULT_TIMELINE_H_
+#define WEBTX_SIM_FAULT_TIMELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/fault_plan.h"
+#include "sim/metrics.h"
+
+namespace webtx {
+
+/// A chunked materialization of one server's fault timeline, consumed by
+/// the sharded simulator through the same accessor protocol as a live
+/// FaultStream (down / next_transition / AdvanceTransition / next_abort /
+/// next_crash_transition / ...).
+///
+/// Chunks are produced by replaying a private FaultStream generator, so
+/// every value — including suppression-list redraws — is identical to
+/// what the lazy stream would have produced, by construction rather than
+/// by a re-implementation of the draw logic. With a ThreadPool, the next
+/// chunk of each process is generated on a worker while the event loop
+/// consumes the current one (double buffering), which is how a shard's
+/// fault stream gets off the critical path; without one, chunks are
+/// refilled inline at the barrier.
+///
+/// Only valid for UNCORRELATED plans (correlated_crash_prob == 0): a
+/// correlated plan's crash process is mutated mid-run by ForceCrash
+/// fan-in from other servers, which cannot be pregenerated — the
+/// simulator keeps lazy FaultStreams for that mode.
+///
+/// Thread-safety: the three generator processes (outage, abort, crash)
+/// draw from disjoint RNG chains and disjoint FaultStream fields, so one
+/// in-flight prefetch per process is safe; within a process, prefetches
+/// are serialized by the consume-wait-swap-submit cycle. All consumer
+/// methods are main-thread only.
+class FaultTimeline {
+ public:
+  FaultTimeline() = default;
+  FaultTimeline(FaultTimeline&&) = default;
+  FaultTimeline& operator=(FaultTimeline&&) = default;
+
+  /// Prepares the timeline for one run: builds a fresh generator for
+  /// `server` from `config`, fills the first chunk of every enabled
+  /// process, and (with `pool`) schedules the second. Reuses buffer
+  /// capacity across runs.
+  void Begin(const FaultPlanConfig& config, uint32_t server,
+             ThreadPool* pool);
+
+  /// Settles any in-flight prefetch and adds this run's wall-clock
+  /// accounting to *timing (when non-null). Must be called before the
+  /// owning simulator's Run returns — a worker still filling a buffer
+  /// must not outlive the run that owns it.
+  void Finish(ShardTiming* timing);
+
+  // FaultStream-compatible consumption API (see sim/fault_plan.h for
+  // the semantics; correlated-mode entry points are deliberately
+  // absent).
+  bool down() const { return outage_down_ || crashed_; }
+  SimTime next_transition() const {
+    return outage_down_ ? cur_outage_.end : cur_outage_.start;
+  }
+  SimTime outage_end() const { return cur_outage_.end; }
+  void AdvanceTransition();
+  SimTime next_abort() const { return next_abort_; }
+  void AdvanceAbort();
+  bool crashed() const { return crashed_; }
+  SimTime next_crash_transition() const {
+    return crashed_ ? repair_end_ : cur_crash_.start;
+  }
+  SimTime repair_end() const { return crashed_ ? repair_end_ : cur_crash_.end; }
+  void AdvanceCrashTransition();
+
+  /// Fault events per chunk per process. Exposed for tests that want to
+  /// force chunk barriers with small workloads.
+  static constexpr size_t kChunkEvents = 256;
+
+ private:
+  struct Window {
+    SimTime start = kNeverTime;
+    SimTime end = kNeverTime;
+  };
+  // One double-buffered process: the event loop consumes `cur` while a
+  // worker (or the next inline refill) produces `next`.
+  template <typename Event>
+  struct Buffers {
+    std::vector<Event> cur, next;
+    size_t idx = 0;
+    bool enabled = false;
+    std::future<void> prefetch;  // fills `next` when valid
+    double worker_gen_ms = 0.0;  // written by the worker, read post-get()
+  };
+
+  void FillOutages(std::vector<Window>& out);
+  void FillCrashes(std::vector<Window>& out);
+  void FillAborts(std::vector<SimTime>& out);
+
+  template <typename Event, typename Fill>
+  Event PopEvent(Buffers<Event>& b, Fill fill);
+
+  std::unique_ptr<FaultStream> gen_;
+  ThreadPool* pool_ = nullptr;
+
+  Buffers<Window> outages_;
+  Buffers<Window> crashes_;
+  Buffers<SimTime> aborts_;
+
+  // Consumer state, mirroring FaultStream's.
+  bool outage_down_ = false;
+  bool crashed_ = false;
+  Window cur_outage_;
+  Window cur_crash_;
+  SimTime repair_end_ = 0.0;
+  SimTime next_abort_ = kNeverTime;
+
+  // This run's accounting, flushed by Finish().
+  double pregen_ms_ = 0.0;
+  double barrier_wait_ms_ = 0.0;
+  uint64_t chunks_ = 0;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_FAULT_TIMELINE_H_

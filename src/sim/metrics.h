@@ -61,6 +61,19 @@ struct ScheduleSegment {
   uint32_t attempt = 0;
 };
 
+/// Wall-clock accounting of the sharded simulator's background work,
+/// accumulated across all shards of one Run when SimOptions::timing
+/// points here (results are never affected — this is bench plumbing for
+/// bench/ext_multi_server). `pregen_ms` is time spent materializing
+/// fault-timeline chunks (on pool workers when shard_threads > 1),
+/// `barrier_wait_ms` is time the event loop stalled at a chunk barrier
+/// waiting for a prefetch to land.
+struct ShardTiming {
+  double pregen_ms = 0.0;
+  double barrier_wait_ms = 0.0;
+  uint64_t chunks = 0;  // fault-timeline chunks consumed
+};
+
 /// Aggregated result of one simulated run under one policy.
 ///
 /// Failure-aware accounting: tardiness / response aggregates are taken

@@ -35,6 +35,57 @@ class PendingQueue {
  private:
   std::vector<internal::PendingEvent> heap_;
 };
+
+// One shard's view of its fault processes: either the lazy FaultStream
+// (correlated mode, or serial runs) or the buffered FaultTimeline
+// (uncorrelated runs with shard workers) — byte-identical event sources
+// by FaultTimeline's replay construction.
+struct FaultSource {
+  FaultStream* stream = nullptr;
+  FaultTimeline* timeline = nullptr;
+
+  bool down() const { return stream ? stream->down() : timeline->down(); }
+  SimTime next_transition() const {
+    return stream ? stream->next_transition() : timeline->next_transition();
+  }
+  SimTime outage_end() const {
+    return stream ? stream->outage_end() : timeline->outage_end();
+  }
+  void AdvanceTransition() {
+    if (stream) {
+      stream->AdvanceTransition();
+    } else {
+      timeline->AdvanceTransition();
+    }
+  }
+  SimTime next_abort() const {
+    return stream ? stream->next_abort() : timeline->next_abort();
+  }
+  void AdvanceAbort() {
+    if (stream) {
+      stream->AdvanceAbort();
+    } else {
+      timeline->AdvanceAbort();
+    }
+  }
+  bool crashed() const {
+    return stream ? stream->crashed() : timeline->crashed();
+  }
+  SimTime next_crash_transition() const {
+    return stream ? stream->next_crash_transition()
+                  : timeline->next_crash_transition();
+  }
+  SimTime repair_end() const {
+    return stream ? stream->repair_end() : timeline->repair_end();
+  }
+  void AdvanceCrashTransition() {
+    if (stream) {
+      stream->AdvanceCrashTransition();
+    } else {
+      timeline->AdvanceCrashTransition();
+    }
+  }
+};
 }  // namespace
 
 Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
@@ -153,72 +204,98 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   std::vector<TxnOutcome> outcomes(n);
 
   const bool faults = options_.fault_plan.enabled();
+  const bool correlated =
+      options_.fault_plan.config().correlated_crash_prob > 0.0;
+  // Resolve the shard-worker count. Buffered (pregenerated) fault
+  // timelines engage only on uncorrelated faulty runs with workers to
+  // hide the generation behind: a correlated crash process is mutated
+  // mid-run by ForceCrash fan-in and must stay a lazy stream. Results
+  // are byte-identical either way.
+  const size_t shard_threads = options_.shard_threads == 0
+                                   ? ThreadPool::DefaultConcurrency()
+                                   : options_.shard_threads;
+  const bool buffered = faults && !correlated && shard_threads > 1;
+  ThreadPool* pool = nullptr;
+  if (buffered) {
+    // One in-flight prefetch per fault process per shard is the most
+    // the timelines can keep busy.
+    const size_t pool_size = std::min(shard_threads, 3 * k);
+    if (!shard_pool_ || shard_pool_->size() != pool_size) {
+      shard_pool_ = std::make_unique<ThreadPool>(pool_size);
+    }
+    pool = shard_pool_.get();
+  }
+
+  // Each server shard consumes its fault processes through a FaultSource
+  // backed by either a lazy stream or a buffered timeline.
   std::vector<FaultStream> fault_streams;
+  std::vector<FaultSource> sources(k);
   if (faults) {
-    fault_streams.reserve(k);
-    for (size_t s = 0; s < k; ++s) {
-      fault_streams.push_back(
-          options_.fault_plan.StreamFor(static_cast<uint32_t>(s)));
+    if (buffered) {
+      if (timelines_.size() < k) timelines_.resize(k);
+      for (size_t s = 0; s < k; ++s) {
+        timelines_[s].Begin(options_.fault_plan.config(),
+                            static_cast<uint32_t>(s), pool);
+        sources[s].timeline = &timelines_[s];
+      }
+    } else {
+      fault_streams.reserve(k);
+      for (size_t s = 0; s < k; ++s) {
+        fault_streams.push_back(
+            options_.fault_plan.StreamFor(static_cast<uint32_t>(s)));
+      }
+      for (size_t s = 0; s < k; ++s) {
+        sources[s].stream = &fault_streams[s];
+      }
     }
   }
-  // Earliest fault event across all streams, cached so the inner event
-  // loop does not rescan every stream per iteration; refreshed only when
-  // a stream actually advances (fault events are rare next to
-  // completions/arrivals).
-  SimTime t_outage = kNever;
-  size_t outage_server = k;
-  SimTime t_abort = kNever;
-  size_t abort_server = k;
-  SimTime t_crash = kNever;
-  size_t crash_server = k;
-  const auto recompute_outage_horizon = [&] {
-    t_outage = kNever;
-    outage_server = k;
-    for (size_t s = 0; s < k; ++s) {
-      const SimTime tt = fault_streams[s].next_transition();
-      if (tt < t_outage) {
-        t_outage = tt;
-        outage_server = s;
-      }
+
+  // The head fault event of each shard: the EventBefore-least of its
+  // outage, crash, and abort processes. O(1) to refresh when one of the
+  // shard's processes advances — the pre-shard simulator instead
+  // rescanned every stream per fault type on every fault event
+  // (tests/testing/reference_simulator.h).
+  std::vector<SimTime> fault_time(k, kNever);
+  std::vector<internal::ShardEventClass> fault_cls(
+      k, internal::ShardEventClass::kOutage);
+  const auto refresh_fault_head = [&](size_t s) {
+    const FaultSource& src = sources[s];
+    SimTime t = src.next_transition();
+    internal::ShardEventClass cls = internal::ShardEventClass::kOutage;
+    const SimTime tc = src.next_crash_transition();
+    if (tc < t) {
+      t = tc;
+      cls = internal::ShardEventClass::kCrash;
     }
-  };
-  const auto recompute_abort_horizon = [&] {
-    t_abort = kNever;
-    abort_server = k;
-    for (size_t s = 0; s < k; ++s) {
-      const SimTime ta = fault_streams[s].next_abort();
-      if (ta < t_abort) {
-        t_abort = ta;
-        abort_server = s;
-      }
+    const SimTime ta = src.next_abort();
+    if (ta < t) {
+      t = ta;
+      cls = internal::ShardEventClass::kAbort;
     }
+    fault_time[s] = t;
+    fault_cls[s] = cls;
   };
-  const auto recompute_crash_horizon = [&] {
-    t_crash = kNever;
-    crash_server = k;
-    for (size_t s = 0; s < k; ++s) {
-      const SimTime tc = fault_streams[s].next_crash_transition();
-      if (tc < t_crash) {
-        t_crash = tc;
-        crash_server = s;
-      }
-    }
-  };
-  // Schedulable pool size exposed to admission controllers via
-  // num_servers_up(); recounted at every fault transition (rare events,
-  // O(k) each).
+  // Schedulable-pool size exposed to admission controllers via
+  // num_servers_up(), maintained incrementally from the shards' down
+  // bits (the pre-shard simulator recounted all k streams per fault
+  // event).
   num_up_ = k;
-  const auto recount_up_servers = [&] {
-    size_t up = 0;
-    for (size_t s = 0; s < k; ++s) {
-      if (!fault_streams[s].down()) ++up;
+  std::vector<char> down(k, 0);
+  const auto sync_down = [&](size_t s) {
+    const char d = sources[s].down() ? 1 : 0;
+    if (d != down[s]) {
+      down[s] = d;
+      if (d) {
+        --num_up_;
+      } else {
+        ++num_up_;
+      }
     }
-    num_up_ = up;
   };
   if (faults) {
-    recompute_outage_horizon();
-    recompute_abort_horizon();
-    recompute_crash_horizon();
+    for (size_t s = 0; s < k; ++s) {
+      refresh_fault_head(s);
+    }
   }
 
   size_t next_arrival = 0;
@@ -241,6 +318,19 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   pick_taken.reserve(k);
   std::vector<std::pair<TxnId, TxnFate>> resolve_stack;
   resolve_stack.reserve(n);
+  // Cross-shard mailbox: the handoffs of one crash instant (the
+  // crashing shard's own migration back into the global ready set, then
+  // correlated victims), drained in MessageBefore (time, origin, seq)
+  // order — by construction the enqueue order, DCHECKed at drain.
+  std::vector<internal::ShardMessage> mailbox;
+  mailbox.reserve(k);
+  // Epoch-stamped pick-assignment lookup: a stamp equal to the current
+  // scheduling round marks "picked this round" / "placed this round"
+  // without any clearing between rounds. Replaces the pre-shard O(k^2)
+  // std::find matching of picks to servers with O(k).
+  std::vector<uint64_t> pick_stamp(n, 0);
+  std::vector<uint64_t> placed_stamp(n, 0);
+  std::vector<uint32_t> pick_slot(n, 0);
   SimTime now = 0.0;
   size_t scheduling_points = 0;
   size_t preemptions = 0;
@@ -372,59 +462,58 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     const SimTime t_arrival = next_arrival < n
                                   ? specs_[arrival_order_[next_arrival]].arrival
                                   : kNever;
-    SimTime t_completion = kNever;
-    size_t completing_server = k;
+    const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
+
+    // Head scan: the next step is the EventBefore-least head over all
+    // shards — each shard's completion recomputed from the post-charge
+    // remaining (caching it at dispatch would diverge in ulps because
+    // charge_progress re-rounds the remaining at every event), its fault
+    // head cached — followed by the global pending and arrival events
+    // (shard = k). The (time, class, shard) key reproduces the pre-shard
+    // per-type scan chains exactly: the least class among the events at
+    // the minimum time wins, then the lowest shard.
+    internal::ShardEvent best{kNever, internal::ShardEventClass::kArrival,
+                              static_cast<uint32_t>(k)};
+    bool any_running = false;
     for (size_t s = 0; s < k; ++s) {
-      if (running[s] == kInvalidTxn) continue;
-      const SimTime tc = dispatch_time[s] + true_remaining_[running[s]];
-      if (tc < t_completion) {
-        t_completion = tc;
-        completing_server = s;
+      if (running[s] != kInvalidTxn) {
+        any_running = true;
+        const internal::ShardEvent completion{
+            dispatch_time[s] + true_remaining_[running[s]],
+            internal::ShardEventClass::kCompletion, static_cast<uint32_t>(s)};
+        if (internal::EventBefore(completion, best)) best = completion;
+      }
+      if (faults) {
+        const internal::ShardEvent fault{fault_time[s], fault_cls[s],
+                                         static_cast<uint32_t>(s)};
+        if (internal::EventBefore(fault, best)) best = fault;
       }
     }
-    const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
+    const internal::ShardEvent pend{t_pending,
+                                    internal::ShardEventClass::kPending,
+                                    static_cast<uint32_t>(k)};
+    if (internal::EventBefore(pend, best)) best = pend;
+    const internal::ShardEvent arrival{t_arrival,
+                                       internal::ShardEventClass::kArrival,
+                                       static_cast<uint32_t>(k)};
+    if (internal::EventBefore(arrival, best)) best = arrival;
 
     // Progress is guaranteed by a completion, an arrival, a pending
     // retry/deferral, or — when every server is down — the finite end of
     // an outage or crash repair window holding back a non-empty ready
     // set.
-    WEBTX_CHECK(t_completion != kNever || t_arrival != kNever ||
-                t_pending != kNever || !ready_list_.empty())
+    WEBTX_CHECK(any_running || t_arrival != kNever || t_pending != kNever ||
+                !ready_list_.empty())
         << "simulation stalled: " << (n - resolved_count)
         << " transactions unresolved, nothing running, no arrivals left "
            "(policy idled while work was pending?)";
 
-    // Pick the earliest event; at equal times the order is completion,
-    // outage transition, crash transition, abort, pending, arrival (see
-    // simulator.h).
-    enum class Ev { kCompletion, kOutage, kCrash, kAbort, kPending, kArrival };
-    Ev ev = Ev::kCompletion;
-    SimTime t_ev = t_completion;
-    if (t_outage < t_ev) {
-      ev = Ev::kOutage;
-      t_ev = t_outage;
-    }
-    if (t_crash < t_ev) {
-      ev = Ev::kCrash;
-      t_ev = t_crash;
-    }
-    if (t_abort < t_ev) {
-      ev = Ev::kAbort;
-      t_ev = t_abort;
-    }
-    if (t_pending < t_ev) {
-      ev = Ev::kPending;
-      t_ev = t_pending;
-    }
-    if (t_arrival < t_ev) {
-      ev = Ev::kArrival;
-      t_ev = t_arrival;
-    }
-    now = t_ev;
+    now = best.time;
     charge_progress(now);
 
-    switch (ev) {
-      case Ev::kCompletion: {
+    switch (best.cls) {
+      case internal::ShardEventClass::kCompletion: {
+        const size_t completing_server = best.shard;
         // Simultaneous completions are processed one per scheduling
         // point, lowest server index first.
         close_segment(completing_server, now);
@@ -454,71 +543,98 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
         break;
       }
-      case Ev::kOutage: {
-        FaultStream& stream = fault_streams[outage_server];
-        if (!stream.down()) {
+      case internal::ShardEventClass::kOutage: {
+        const size_t os = best.shard;
+        FaultSource& src = sources[os];
+        if (!src.down()) {
           // Outage begins: preempt the victim (work retained — it stays
           // ready and may be re-placed on another server immediately).
-          outages.push_back(
-              OutageWindow{static_cast<uint32_t>(outage_server),
-                           stream.next_transition(), stream.outage_end()});
-          total_outage_time += stream.outage_end() - stream.next_transition();
-          if (running[outage_server] != kInvalidTxn) {
-            close_segment(outage_server, now);
-            running[outage_server] = kInvalidTxn;
+          outages.push_back(OutageWindow{static_cast<uint32_t>(os),
+                                         src.next_transition(),
+                                         src.outage_end()});
+          total_outage_time += src.outage_end() - src.next_transition();
+          if (running[os] != kInvalidTxn) {
+            close_segment(os, now);
+            running[os] = kInvalidTxn;
             ++outage_preemptions;
           }
         }
         // Either the outage starts (down until outage_end) or the server
         // recovers; both are scheduling points.
-        stream.AdvanceTransition();
-        recompute_outage_horizon();
-        recount_up_servers();
+        src.AdvanceTransition();
+        refresh_fault_head(os);
+        sync_down(os);
         break;
       }
-      case Ev::kCrash: {
-        FaultStream& stream = fault_streams[crash_server];
-        if (!stream.crashed()) {
-          // Natural crash instant: fell the server for its pre-drawn
-          // repair window and migrate its in-flight transaction.
-          const SimTime repaired = stream.repair_end();
-          stream.AdvanceCrashTransition();
-          crashes.push_back(OutageWindow{static_cast<uint32_t>(crash_server),
-                                         now, repaired});
+      case internal::ShardEventClass::kCrash: {
+        const size_t cs = best.shard;
+        FaultSource& src = sources[cs];
+        if (!src.crashed()) {
+          // Natural crash instant: fell the shard for its pre-drawn
+          // repair window, then route this instant's handoffs through
+          // the mailbox — the shard's own migration back into the
+          // global ready set first, then (correlated mode) victims on
+          // other shards in ascending order; a hit on an
+          // already-crashed shard extends its repair window, recorded
+          // as its own window so the union stays the exact downtime.
+          // Enqueue then drain keeps the sequence identical to the
+          // pre-shard handling of a crash instant.
+          const SimTime repaired = src.repair_end();
+          src.AdvanceCrashTransition();
+          crashes.push_back(
+              OutageWindow{static_cast<uint32_t>(cs), now, repaired});
           total_repair_time += repaired - now;
-          migrate(crash_server, now);
-          // Correlated mode: this instant may fell a seeded subset of
-          // the other servers, lowest index first. A hit on an
-          // already-crashed server extends its repair window; the
-          // extension is recorded as its own window so the union stays
-          // the exact downtime.
-          if (options_.fault_plan.config().correlated_crash_prob > 0.0) {
+          mailbox.clear();
+          uint32_t seq = 0;
+          mailbox.push_back(internal::ShardMessage{
+              now, static_cast<uint32_t>(cs), seq++,
+              internal::ShardMessage::Kind::kMigrate,
+              static_cast<uint32_t>(cs), 0.0});
+          if (correlated) {
             for (size_t s = 0; s < k; ++s) {
-              if (s == crash_server) continue;
+              if (s == cs) continue;
               SimTime repair_duration = 0.0;
-              if (!stream.DrawCorrelatedVictim(&repair_duration)) continue;
-              crashes.push_back(OutageWindow{static_cast<uint32_t>(s), now,
-                                             now + repair_duration});
-              total_repair_time += repair_duration;
-              migrate(s, now);
-              fault_streams[s].ForceCrash(now, repair_duration);
+              if (!src.stream->DrawCorrelatedVictim(&repair_duration)) {
+                continue;
+              }
+              mailbox.push_back(internal::ShardMessage{
+                  now, static_cast<uint32_t>(cs), seq++,
+                  internal::ShardMessage::Kind::kForceCrash,
+                  static_cast<uint32_t>(s), repair_duration});
+            }
+          }
+          for (size_t m = 0; m < mailbox.size(); ++m) {
+            const internal::ShardMessage& msg = mailbox[m];
+            WEBTX_DCHECK(m == 0 ||
+                         internal::MessageBefore(mailbox[m - 1], msg));
+            if (msg.kind == internal::ShardMessage::Kind::kMigrate) {
+              migrate(msg.victim, msg.time);
+            } else {
+              crashes.push_back(OutageWindow{
+                  msg.victim, msg.time, msg.time + msg.repair_duration});
+              total_repair_time += msg.repair_duration;
+              migrate(msg.victim, msg.time);
+              sources[msg.victim].stream->ForceCrash(msg.time,
+                                                     msg.repair_duration);
+              refresh_fault_head(msg.victim);
+              sync_down(msg.victim);
             }
           }
         } else {
-          // Repair complete: the server rejoins the pick-assignment
+          // Repair complete: the shard rejoins the pick-assignment
           // loop at this scheduling point.
-          stream.AdvanceCrashTransition();
+          src.AdvanceCrashTransition();
         }
-        recompute_crash_horizon();
-        recount_up_servers();
+        refresh_fault_head(cs);
+        sync_down(cs);
         break;
       }
-      case Ev::kAbort: {
-        FaultStream& stream = fault_streams[abort_server];
-        const size_t aborting_server = abort_server;
-        stream.AdvanceAbort();  // always consume: timeline stays
-                                // policy-independent
-        recompute_abort_horizon();
+      case internal::ShardEventClass::kAbort: {
+        const size_t aborting_server = best.shard;
+        sources[aborting_server].AdvanceAbort();  // always consume: the
+                                                  // timeline stays
+                                                  // policy-independent
+        refresh_fault_head(aborting_server);
         const TxnId victim = running[aborting_server];
         if (victim == kInvalidTxn) break;  // idle/down server: no-op
         close_segment(aborting_server, now);  // belongs to the old attempt
@@ -559,7 +675,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
         break;
       }
-      case Ev::kPending: {
+      case internal::ShardEventClass::kPending: {
         while (!pending.empty() && pending.top().time == now) {
           const internal::PendingEvent pe = pending.top();
           pending.pop();
@@ -573,7 +689,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
         break;
       }
-      case Ev::kArrival: {
+      case internal::ShardEventClass::kArrival: {
         while (next_arrival < n &&
                specs_[arrival_order_[next_arrival]].arrival == now) {
           const TxnId id = arrival_order_[next_arrival++];
@@ -600,7 +716,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     // makes this decision-identical to the general path below.
     if (k == 1) {
       TxnId pick = kInvalidTxn;
-      if (!faults || !fault_streams[0].down()) {
+      if (!faults || !down[0]) {
         pick = policy.PickNext(now);
         if (pick != kInvalidTxn) {
           WEBTX_CHECK(IsReady(pick))
@@ -627,13 +743,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       continue;
     }
 
-    size_t k_up = k;
-    if (faults) {
-      k_up = 0;
-      for (size_t s = 0; s < k; ++s) {
-        if (!fault_streams[s].down()) ++k_up;
-      }
-    }
+    const size_t k_up = faults ? num_up_ : k;
     picks.clear();
     for (size_t slot = 0; slot < k_up; ++slot) {
       const TxnId pick = policy.PickNextExcluding(now, picks);
@@ -654,24 +764,32 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     }
     if (picks.empty() && k_up > 0) ++idle_decisions;
 
-    // Assign picks to servers, keeping continuing transactions in place.
+    // Assign picks to servers, keeping continuing transactions in
+    // place. The epoch-stamped lookup (stamp == this round means
+    // "picked this round") makes the barrier step over shard heads O(k)
+    // where the pre-shard simulator paid O(k^2) in std::find scans; the
+    // picks being distinct and the running transactions being distinct
+    // makes it decision-identical.
+    const uint64_t round = static_cast<uint64_t>(scheduling_points);
+    for (size_t p = 0; p < picks.size(); ++p) {
+      pick_stamp[picks[p]] = round;
+      pick_slot[picks[p]] = static_cast<uint32_t>(p);
+    }
     next_running.assign(k, kInvalidTxn);
     pick_taken.assign(picks.size(), 0);
     for (size_t s = 0; s < k; ++s) {
-      if (running[s] == kInvalidTxn) continue;
-      for (size_t p = 0; p < picks.size(); ++p) {
-        if (!pick_taken[p] && picks[p] == running[s]) {
-          next_running[s] = running[s];
-          pick_taken[p] = 1;
-          break;
-        }
+      const TxnId r = running[s];
+      if (r == kInvalidTxn) continue;
+      if (pick_stamp[r] == round && !pick_taken[pick_slot[r]]) {
+        next_running[s] = r;
+        pick_taken[pick_slot[r]] = 1;
       }
     }
     {
       size_t p = 0;
       for (size_t s = 0; s < k; ++s) {
         if (next_running[s] != kInvalidTxn) continue;
-        if (faults && fault_streams[s].down()) continue;
+        if (faults && down[s]) continue;
         while (p < picks.size() && pick_taken[p]) ++p;
         if (p >= picks.size()) break;
         next_running[s] = picks[p];
@@ -679,9 +797,13 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       }
     }
     for (size_t s = 0; s < k; ++s) {
+      if (next_running[s] != kInvalidTxn) {
+        placed_stamp[next_running[s]] = round;
+      }
+    }
+    for (size_t s = 0; s < k; ++s) {
       if (running[s] != kInvalidTxn && !finished_[running[s]] &&
-          std::find(next_running.begin(), next_running.end(), running[s]) ==
-              next_running.end()) {
+          placed_stamp[running[s]] != round) {
         ++preemptions;
       }
       if (next_running[s] != running[s]) {
@@ -692,6 +814,15 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
       }
       running[s] = next_running[s];
+    }
+  }
+
+  // Settle the buffered timelines before returning: no worker may
+  // outlive the run that owns its buffers. This also flushes the run's
+  // wall-clock accounting into options_.timing when set.
+  if (buffered) {
+    for (size_t s = 0; s < k; ++s) {
+      timelines_[s].Finish(options_.timing);
     }
   }
 

@@ -2,14 +2,17 @@
 #define WEBTX_SIM_SIMULATOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "common/thread_pool.h"
 #include "sched/admission.h"
 #include "sched/scheduler_policy.h"
 #include "sched/sim_view.h"
 #include "sim/fault_plan.h"
+#include "sim/fault_timeline.h"
 #include "sim/metrics.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
@@ -41,6 +44,67 @@ struct PendingAfter {
     return a.id > b.id;
   }
 };
+
+/// Same-instant priority classes of the sharded event loop, in the fixed
+/// order of the failure-semantics contract below: completion, outage
+/// transition, crash transition, abort, retry release / deferred arrival
+/// (kPending, ordered among themselves by PendingAfter), fresh arrival.
+/// Lower enumerator value wins a time tie.
+enum class ShardEventClass : uint8_t {
+  kCompletion = 0,
+  kOutage = 1,
+  kCrash = 2,
+  kAbort = 3,
+  kPending = 4,
+  kArrival = 5,
+};
+
+/// The head event of one server shard (or a global pending/arrival
+/// event, which carries shard = num_servers). The next simulation step
+/// is the EventBefore-least ShardEvent over all shards — a single
+/// lexicographic (time, class, shard) key that is provably equivalent to
+/// the per-type strict-less scan chains of the pre-shard simulator
+/// (tests/testing/reference_simulator.h). Exposed for direct unit
+/// testing of the tie-break contract (tests/sim/shard_event_order_test.cc).
+struct ShardEvent {
+  SimTime time = 0.0;
+  ShardEventClass cls = ShardEventClass::kCompletion;
+  uint32_t shard = 0;
+};
+
+/// Strict "fires earlier" order over shard head events.
+constexpr bool EventBefore(const ShardEvent& a, const ShardEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.cls != b.cls) {
+    return static_cast<uint8_t>(a.cls) < static_cast<uint8_t>(b.cls);
+  }
+  return a.shard < b.shard;
+}
+
+/// A message in the cross-shard mailbox: work a crashing shard hands to
+/// another shard at one instant — migrating its own running transaction
+/// back into the global ready set, or felling a correlated victim. The
+/// mailbox is drained in MessageBefore order, which (all messages of one
+/// crash instant sharing `time` and `origin`) is exactly the enqueue
+/// sequence: the origin's own migration first, then correlated victims
+/// in ascending server order — replicating the pre-shard handling of a
+/// crash instant byte for byte.
+struct ShardMessage {
+  SimTime time = 0.0;
+  uint32_t origin = 0;  // the crashing shard
+  uint32_t seq = 0;     // enqueue ordinal within the instant
+  enum class Kind : uint8_t { kMigrate = 0, kForceCrash = 1 } kind =
+      Kind::kMigrate;
+  uint32_t victim = 0;            // shard acted upon
+  SimTime repair_duration = 0.0;  // kForceCrash only
+};
+
+/// Strict drain order over mailbox messages.
+constexpr bool MessageBefore(const ShardMessage& a, const ShardMessage& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.origin != b.origin) return a.origin < b.origin;
+  return a.seq < b.seq;
+}
 
 }  // namespace internal
 
@@ -74,6 +138,21 @@ struct SimOptions {
   /// scheduling policy learns of the transaction; null admits everything.
   /// A fresh controller is constructed per Run.
   AdmissionFactory admission;
+  /// Worker threads for per-shard background work (today: double-buffered
+  /// fault-timeline pregeneration, sim/fault_timeline.h). 1 = fully
+  /// serial, 0 = hardware concurrency. Only engages when the fault plan
+  /// is enabled and uncorrelated (a correlated crash process is mutated
+  /// mid-run and cannot be pregenerated). MUST NOT affect results: every
+  /// run is byte-identical across shard_threads values — pinned by
+  /// tests/sim/sharded_differential_test.cc against the frozen pre-shard
+  /// simulator in tests/testing/reference_simulator.h.
+  size_t shard_threads = 1;
+  /// Optional wall-clock accounting sink for the sharded loop's
+  /// background work (accumulated across shards and runs; bench plumbing,
+  /// never affects results). The pointee must outlive every Run; leave
+  /// null in parallel sweeps — RunInstances nulls it in its per-worker
+  /// option copies.
+  ShardTiming* timing = nullptr;
 };
 
 /// Discrete-event RTDBMS simulator (paper Sec. IV-A): one or more servers
@@ -242,6 +321,14 @@ class Simulator final : public SimView {
   std::vector<TxnId> ready_list_;
   std::vector<size_t> ready_pos_;  // TxnId -> index in ready_list_
   size_t num_up_ = 1;  // servers outside outage/crash windows (this run)
+
+  // Sharded event-loop state: per-shard buffered fault timelines and the
+  // pool that prefetches their chunks (lazily built on the first Run
+  // that wants one, reused across runs). Engaged only when shard_threads
+  // resolves to > 1 on an uncorrelated faulty run; both are inert
+  // otherwise and never influence results.
+  std::vector<FaultTimeline> timelines_;
+  std::unique_ptr<ThreadPool> shard_pool_;
 };
 
 }  // namespace webtx

@@ -78,6 +78,29 @@ TEST(ChaosReplayTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseChaosReplay(good + "mystery_knob 3\n").ok());
   EXPECT_FALSE(ParseChaosReplay(good + "crash_rate banana\n").ok());
   EXPECT_FALSE(ParseChaosReplay(good + "migration lukewarm\n").ok());
+  EXPECT_FALSE(ParseChaosReplay(good + "suppress_crash banana\n").ok());
+  EXPECT_FALSE(ParseChaosReplay(good + "suppress_crash 1\n").ok());
+  EXPECT_FALSE(ParseChaosReplay(good + "suppress_outage 1 pear\n").ok());
+}
+
+TEST(ChaosReplayTest, SuppressionLinesRoundTrip) {
+  ChaosCase c = CrashyCase();
+  c.fault.outage_rate = 0.01;
+  c.fault.mean_outage_duration = 5.0;
+  c.fault.suppressed_crashes = {EncodeFaultOrdinal(1, 3),
+                                EncodeFaultOrdinal(0, 0)};
+  c.fault.suppressed_outages = {EncodeFaultOrdinal(0, 2)};
+  const std::string text = SerializeChaosCase(c);
+  auto parsed = ParseChaosReplay(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeChaosCase(parsed.ValueOrDie()), text);
+  EXPECT_EQ(parsed.ValueOrDie().fault.suppressed_crashes,
+            c.fault.suppressed_crashes);
+  EXPECT_EQ(parsed.ValueOrDie().fault.suppressed_outages,
+            c.fault.suppressed_outages);
+  // The parsed case must replay the suppressed timeline byte-identically.
+  EXPECT_EQ(ScheduleDigest(RunChaosCase(parsed.ValueOrDie()).ValueOrDie()),
+            ScheduleDigest(RunChaosCase(c).ValueOrDie()));
 }
 
 TEST(ChaosRandomTest, CasesAreDeterministic) {
@@ -144,6 +167,58 @@ TEST(ChaosShrinkTest, KeepsTheCrashStreamWhenItIsTheCause) {
   EXPECT_TRUE(predicate(shrunk));
   EXPECT_GT(shrunk.fault.crash_rate, 0.0);
   EXPECT_LE(shrunk.num_transactions, c.num_transactions);
+}
+
+TEST(ChaosShrinkTest, BisectsTheCrashTimelineToLoadBearingInstants) {
+  ChaosCase c = CrashyCase();
+  c.fault.crash_rate = 0.04;  // several crash windows within the horizon
+  auto initial = RunChaosCase(c);
+  ASSERT_TRUE(initial.ok()) << initial.status();
+  const size_t initial_crashes = initial.ValueOrDie().num_crashes;
+  ASSERT_GE(initial_crashes, 3u) << "nothing to bisect";
+  // The failure needs the full workload AND at least one crash. Pinning
+  // the horizon forces the shrinker to thin the timeline itself instead
+  // of halving the run until the crashes fall off the end.
+  const ChaosPredicate predicate = [](const ChaosCase& x) {
+    if (x.num_transactions < 40) return false;
+    auto run = RunChaosCase(x);
+    return run.ok() && run.ValueOrDie().num_crashes >= 1;
+  };
+  ASSERT_TRUE(predicate(c));
+  const ChaosCase shrunk = ShrinkChaosCase(c, predicate);
+  EXPECT_TRUE(predicate(shrunk));
+  // Shrink quality: individual windows were suppressed, and the
+  // surviving timeline is strictly thinner while still failing.
+  EXPECT_FALSE(shrunk.fault.suppressed_crashes.empty());
+  auto rerun = RunChaosCase(shrunk);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_LT(rerun.ValueOrDie().num_crashes, initial_crashes);
+  EXPECT_GE(rerun.ValueOrDie().num_crashes, 1u);
+}
+
+TEST(ChaosShrinkTest, BisectsTheOutageTimelineToLoadBearingInstants) {
+  ChaosCase c = CrashyCase();
+  c.fault.crash_rate = 0.0;
+  c.fault.mean_repair_duration = 0.0;
+  c.fault.outage_rate = 0.05;
+  c.fault.mean_outage_duration = 8.0;
+  auto initial = RunChaosCase(c);
+  ASSERT_TRUE(initial.ok()) << initial.status();
+  const size_t initial_outages = initial.ValueOrDie().num_outages;
+  ASSERT_GE(initial_outages, 3u) << "nothing to bisect";
+  const ChaosPredicate predicate = [](const ChaosCase& x) {
+    if (x.num_transactions < 40) return false;
+    auto run = RunChaosCase(x);
+    return run.ok() && run.ValueOrDie().num_outages >= 1;
+  };
+  ASSERT_TRUE(predicate(c));
+  const ChaosCase shrunk = ShrinkChaosCase(c, predicate);
+  EXPECT_TRUE(predicate(shrunk));
+  EXPECT_FALSE(shrunk.fault.suppressed_outages.empty());
+  auto rerun = RunChaosCase(shrunk);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_LT(rerun.ValueOrDie().num_outages, initial_outages);
+  EXPECT_GE(rerun.ValueOrDie().num_outages, 1u);
 }
 
 TEST(ChaosCampaignTest, HealthySimulatorPassesACampaign) {

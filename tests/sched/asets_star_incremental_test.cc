@@ -213,5 +213,39 @@ TEST(IncrementalOptionsTest, UnclampedImpactMatchesReference) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dirty-set batching: the deferred-flush path only differs from the
+// immediate-touch reference when a single instant delivers MANY
+// callbacks to one workflow before the next scheduling round — exactly
+// what correlated crash instants (migration re-enqueues a batch of
+// running members), abort victims plus retry re-arrivals, and admission
+// deferrals produce. This regime makes those bursts dense and asserts
+// the coalesced flush still reproduces the reference byte-for-byte.
+
+TEST(DirtyBatchingTest, CrashBurstsMatchReference) {
+  FaultPlanConfig config;
+  config.outage_rate = 0.02;
+  config.mean_outage_duration = 3.0;
+  config.abort_rate = 0.05;
+  config.crash_rate = 0.03;
+  config.mean_repair_duration = 5.0;
+  config.correlated_crash_prob = 0.5;  // multi-server crash instants
+  config.migration = MigrationPolicy::kWarm;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = 100 + seed;
+    auto plan = FaultPlan::Create(config);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    SimOptions options;
+    options.record_schedule = true;
+    options.num_servers = 4;
+    options.fault_plan = plan.ValueOrDie();
+    options.retry.max_attempts = 4;
+    options.retry.backoff = 0.5;
+    const auto txns =
+        MakeWorkload(kTopologies[3], seed, /*utilization=*/1.8);
+    ExpectIdenticalSchedules(txns, options, AsetsStarOptions{});
+  }
+}
+
 }  // namespace
 }  // namespace webtx
