@@ -26,10 +26,21 @@
 # change, refresh the baseline by re-running the bench binaries with
 # WEBTX_BENCH_JSON unset and committing the updated JSON.
 #
+# A huge-smoke stage (opt-in) runs a 10^5-transaction open-system case
+# under BOTH structure configurations — the historical binary-heap
+# pending queue / spec-vector store and the calendar-queue / arena-SoA
+# pair behind the SimOptions knobs — and fails unless the schedule
+# digests are byte-identical (bench/ext_huge_scale --smoke exits 1 on
+# divergence; tools/chaos --huge re-proves it under a randomized fault
+# cocktail).
+#
 # Usage: scripts/check.sh [--fast] [--chaos-smoke] [--bench-gate]
+#                         [--huge-smoke]
 #   --fast         plain preset only (skips sanitizers and bench smoke)
 #   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
 #   --bench-gate   release build + fig08 perf-regression gate only
+#   --huge-smoke   release build + 10^5-txn differential of the
+#                  huge-scale structures (digest byte-identity) only
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,11 +48,13 @@ cd "$(dirname "$0")/.."
 FAST=0
 CHAOS_ONLY=0
 BENCH_GATE=0
+HUGE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --chaos-smoke) CHAOS_ONLY=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
+    --huge-smoke) HUGE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -66,15 +79,17 @@ bench_smoke() {
   WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
     ./build-release/bench/sweep_throughput --smoke
   WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
+    ./build-release/bench/ext_huge_scale --smoke
+  WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
     ./build-release/bench/micro_scheduler_overhead \
     --benchmark_min_time=0.01 \
     --benchmark_filter='BM_PolicyEventCost.*/256$|BM_IndexedPq.*/64$'
 }
 
-# instances_per_sec of one sweep_throughput config row in a bench JSON.
+# Value of one (bench, config, metric) row in a bench JSON.
 bench_rate() {
-  awk -F'"' -v cfg="$2" '
-    $4 == "sweep_throughput" && $8 == cfg && $12 == "instances_per_sec" {
+  awk -F'"' -v bench="$2" -v cfg="$3" -v metric="$4" '
+    $4 == bench && $8 == cfg && $12 == metric {
       v = $15; gsub(/[:, ]/, "", v); print v; exit
     }' "$1"
 }
@@ -90,11 +105,14 @@ bench_gate() {
   # committed JSON itself is never overwritten by a gate run.
   cp BENCH_hotpath.json "$gate_json"
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/sweep_throughput
+  WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_huge_scale
   local failed=0 threads config old new
   for threads in 1 2 8; do
     config="fig08 threads=${threads}"
-    old=$(bench_rate BENCH_hotpath.json "$config")
-    new=$(bench_rate "$gate_json" "$config")
+    old=$(bench_rate BENCH_hotpath.json sweep_throughput "$config" \
+          instances_per_sec)
+    new=$(bench_rate "$gate_json" sweep_throughput "$config" \
+          instances_per_sec)
     if [[ -z "$old" || -z "$new" ]]; then
       echo "bench gate: missing instances_per_sec row for '$config'" >&2
       failed=1
@@ -108,7 +126,67 @@ bench_gate() {
       echo "bench gate: ok '$config': $new vs baseline $old instances/sec"
     fi
   done
+  # Huge-scale structure rows: the wheel's churn rate at the deepest
+  # micro population and the 10^6-txn end-to-end rate under the new
+  # structures must hold their baseline. The micro row is stable to
+  # <1% run to run and gets the usual 90% floor; the end-to-end row is
+  # a single-rep multi-second run with ~10% observed machine variance,
+  # so it gets a 75% floor — it guards feasibility-scale collapses,
+  # not single-digit drift.
+  local hs_config hs_metric hs_floor
+  for hs_config in "pending n=262144 wheel:ops_per_sec:0.90" \
+                   "e2e n=1000000 new:events_per_sec:0.75"; do
+    hs_floor="${hs_config##*:}"
+    hs_config="${hs_config%:*}"
+    hs_metric="${hs_config##*:}"
+    hs_config="${hs_config%:*}"
+    old=$(bench_rate BENCH_hotpath.json ext_huge_scale "$hs_config" \
+          "$hs_metric")
+    new=$(bench_rate "$gate_json" ext_huge_scale "$hs_config" "$hs_metric")
+    if [[ -z "$old" || -z "$new" ]]; then
+      echo "bench gate: missing $hs_metric row for '$hs_config'" >&2
+      failed=1
+      continue
+    fi
+    if awk -v new="$new" -v old="$old" -v floor="$hs_floor" \
+         'BEGIN { exit !(new < floor * old) }'
+    then
+      echo "bench gate: FAIL '$hs_config': $new < ${hs_floor} of" \
+           "baseline $old" >&2
+      failed=1
+    else
+      echo "bench gate: ok '$hs_config': $new vs baseline $old $hs_metric"
+    fi
+  done
+  # ...and the acceptance floor stays proven: calendar queue >= 2x the
+  # binary heap at 262k+ pending events.
+  new=$(bench_rate "$gate_json" ext_huge_scale "pending n=262144" \
+        wheel_speedup)
+  if [[ -z "$new" ]]; then
+    echo "bench gate: missing wheel_speedup row at n=262144" >&2
+    failed=1
+  elif awk -v s="$new" 'BEGIN { exit !(s < 2.0) }'; then
+    echo "bench gate: FAIL wheel_speedup at n=262144: ${new}x < 2x" >&2
+    failed=1
+  else
+    echo "bench gate: ok wheel_speedup at n=262144: ${new}x >= 2x"
+  fi
   return "$failed"
+}
+
+huge_smoke() {
+  echo "==> configure+build [release]"
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)"
+  # 10^5-txn open-system differential: heap+vector vs wheel+SoA (and the
+  # lazy-heap policy) must produce byte-identical schedule digests; the
+  # bench exits 1 on divergence. Then a one-case chaos campaign re-proves
+  # it under a randomized fault cocktail with the validator auditing.
+  echo "==> huge smoke [release]"
+  WEBTX_BENCH_JSON=build-release/BENCH_smoke.json \
+    ./build-release/bench/ext_huge_scale --smoke
+  ./build-release/tools/chaos --huge --cases 1 --seed 2009 --txns 100000 \
+    --out build-release/chaos_huge_reproducer.chaos
 }
 
 chaos_smoke() {
@@ -122,6 +200,12 @@ chaos_smoke() {
 
 if [[ "$BENCH_GATE" == "1" ]]; then
   bench_gate
+  echo "All checks passed."
+  exit 0
+fi
+
+if [[ "$HUGE_SMOKE" == "1" ]]; then
+  huge_smoke
   echo "All checks passed."
   exit 0
 fi

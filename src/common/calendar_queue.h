@@ -1,0 +1,277 @@
+#ifndef WEBTX_COMMON_CALENDAR_QUEUE_H_
+#define WEBTX_COMMON_CALENDAR_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace webtx {
+
+/// Calendar / ladder queue for time-ordered discrete-event simulation at
+/// large populations, replacing a binary heap whose sift paths thrash the
+/// cache beyond ~10^5 pending events (BM_IndexedPqPushPop: 26M ops/s at
+/// 64 items, 3.9M at 262k; BM_PendingQueue* in bench/ext_huge_scale
+/// tracks this structure against the heap it replaces).
+///
+/// `Traits` supplies the event ordering:
+///   static double TimeOf(const Event&);          // primary key
+///   static bool Before(const Event& a, const Event& b);  // strict total
+///     order, consistent with TimeOf: TimeOf(a) < TimeOf(b) implies
+///     Before(a, b). Ties (equal times) are broken by the caller's
+///     secondary fields — e.g. internal::PendingAfter's (time, kind, id).
+///
+/// ## Ordering contract (what makes it a drop-in for a heap)
+///
+/// pop() always removes the Before-least live event — the SAME sequence a
+/// binary heap over Before would produce, including exact-double time
+/// coincidences — provided pushes obey the DES monotonicity rule:
+///
+///   TimeOf(pushed event) >= TimeOf(most recently popped event)
+///
+/// (no scheduling in the past; the simulator only schedules at or after
+/// `now`). The equivalence is pinned by tests/common/calendar_queue_test.cc
+/// against std::priority_queue and by the huge-structures differential
+/// matrix at the simulator level.
+///
+/// ## Structure
+///
+/// Three tiers, coarsening with temporal distance:
+///   - `current_`: a sorted array with a consume cursor — the events that
+///     pop next. Pops are a pointer bump; near-term pushes are a binary
+///     search + insert into a short array.
+///   - rung buckets: the next "year" of events, bucketed by time into
+///     uniform-width slices; a bucket is sorted only when it is promoted
+///     to become `current_` (lazy sort, one contiguous std::sort).
+///   - `future_`: an unsorted spill array for everything beyond the rung.
+///     When the rung is exhausted, future_ is swept once into a fresh
+///     rung sized from its population and time span (the overflow-bucket
+///     cascade).
+///
+/// Tier routing compares against ACTUAL event times (`current_max_`,
+/// `rung_max_`), never against computed bucket edges, so an exact time tie
+/// can never straddle a tier boundary — the corner that would otherwise
+/// reorder coincident events. Within the rung, the slice index is a
+/// monotone function of time clamped to the next unpromoted bucket, which
+/// keeps cross-bucket order exact even for "gap" times that fall under
+/// the promotion cursor (see the property tests' GapTimes case).
+///
+/// Push and pop are amortized O(1) when event times are spread; the worst
+/// case (all events at one instant) degrades to one O(n log n) sort — the
+/// same total work a heap pays spread over its sifts.
+template <typename Event, typename Traits>
+class CalendarQueue {
+ public:
+  /// Capacity hint: pre-sizes the spill array so a burst of `n` far-future
+  /// pushes does not reallocate repeatedly.
+  void Reserve(size_t n) {
+    future_.reserve(n);
+    current_.reserve(std::min<size_t>(n, 2 * kTargetPerBucket));
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// The Before-least live event. Queue must be non-empty.
+  const Event& top() {
+    Normalize();
+    return current_[cur_at_];
+  }
+
+  void pop() {
+    Normalize();
+    WEBTX_DCHECK(size_ > 0);
+    last_pop_time_ = Traits::TimeOf(current_[cur_at_]);
+    ++cur_at_;
+    --size_;
+  }
+
+  void push(const Event& e) {
+    const double t = Traits::TimeOf(e);
+    WEBTX_DCHECK(size_ == 0 || t >= last_pop_time_ || cur_at_ == 0)
+        << "calendar queue: push into the past breaks the pop-order "
+           "contract";
+    ++size_;
+    if (size_ == 1) {
+      // Whole queue empty: restart with a one-event current tier. This is
+      // the hot path for the near-empty ping-pong pattern (a pending
+      // queue usually holds a handful of retries).
+      current_.clear();
+      cur_at_ = 0;
+      rung_count_ = 0;
+      future_.clear();
+      current_.push_back(e);
+      current_max_ = t;
+      return;
+    }
+    if (!current_.empty() && cur_at_ < current_.size() && t <= current_max_) {
+      // Near-term: sorted insert among the unconsumed prefix of current_.
+      // If that prefix has grown past the demote threshold (a bulk fill
+      // can poison current_max_ with an early far-future append, after
+      // which almost every push lands here — quadratic without a bound),
+      // first spill the strictly-later tail back to future_ and shrink
+      // the window. Safe only with no active rung: then every future_
+      // event has time > current_max_, the demoted tail keeps that
+      // invariant (strict-time split), and the next cascade re-sorts the
+      // spill globally. Pinned by the BulkFillThenChurnMatchesHeap
+      // property test.
+      if (rung_count_ == 0 &&
+          current_.size() - cur_at_ > kDemoteThreshold) {
+        size_t keep_end = cur_at_ + 2 * kTargetPerBucket;
+        const double cut = Traits::TimeOf(current_[keep_end - 1]);
+        while (keep_end < current_.size() &&
+               Traits::TimeOf(current_[keep_end]) == cut) {
+          ++keep_end;
+        }
+        if (keep_end < current_.size()) {
+          future_.insert(future_.end(),
+                         current_.begin() + static_cast<ptrdiff_t>(keep_end),
+                         current_.end());
+          current_.resize(keep_end);
+          current_max_ = cut;
+          if (t > current_max_) {
+            future_.push_back(e);
+            return;
+          }
+        }
+      }
+      const auto it =
+          std::upper_bound(current_.begin() + static_cast<ptrdiff_t>(cur_at_),
+                           current_.end(), e, [](const Event& a,
+                                                 const Event& b) {
+                             return Traits::Before(a, b);
+                           });
+      current_.insert(it, e);
+      return;
+    }
+    if (rung_count_ > 0 && rung_at_ < rung_count_ && t <= rung_max_) {
+      // An active rung with unpromoted buckets left. When instead the
+      // whole rung has been promoted (rung_at_ == rung_count_) but not
+      // yet retired by Normalize, fall through to future_: the only
+      // other live events are there, and the next cascade re-sorts them
+      // together — routing into a promoted bucket would strand the
+      // event.
+      buckets_[RungIndexOf(t)].push_back(e);
+      return;
+    }
+    if (current_.size() > cur_at_ && rung_count_ == 0 && future_.empty() &&
+        t >= current_max_) {
+      // No middle tier yet: grow current_ directly while it stays short —
+      // keeps small queues in one sorted array with zero cascade cost.
+      if (current_.size() - cur_at_ < 2 * kTargetPerBucket) {
+        current_.push_back(e);
+        current_max_ = t;
+        return;
+      }
+    }
+    future_.push_back(e);
+  }
+
+  void clear() {
+    current_.clear();
+    cur_at_ = 0;
+    rung_count_ = 0;
+    future_.clear();
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kTargetPerBucket = 8;
+  static constexpr size_t kMaxBuckets = size_t{1} << 16;
+  /// Unconsumed-current_ size beyond which push demotes the tail to
+  /// future_ instead of continuing to insert into a growing array.
+  static constexpr size_t kDemoteThreshold = 4 * kTargetPerBucket;
+
+  static bool BeforeCmp(const Event& a, const Event& b) {
+    return Traits::Before(a, b);
+  }
+
+  /// Rung slice of a live time: monotone in t, clamped to the next
+  /// unpromoted bucket so a time under the promotion cursor (possible
+  /// only through float rounding at a promoted edge) still lands ahead
+  /// of everything already consumed.
+  size_t RungIndexOf(double t) const {
+    const double offset = (t - rung_start_) / rung_width_;
+    size_t idx =
+        offset >= static_cast<double>(rung_count_ - 1)
+            ? rung_count_ - 1
+            : static_cast<size_t>(offset > 0.0 ? offset : 0.0);
+    if (idx < rung_at_) idx = rung_at_;
+    return idx;
+  }
+
+  /// Ensures current_[cur_at_] is the global minimum: promotes rung
+  /// buckets and cascades the future spill into a fresh rung as needed.
+  void Normalize() {
+    WEBTX_DCHECK(size_ > 0);
+    while (cur_at_ == current_.size()) {
+      if (rung_count_ > 0) {
+        while (rung_at_ < rung_count_ && buckets_[rung_at_].empty()) {
+          ++rung_at_;
+        }
+        if (rung_at_ == rung_count_) {
+          rung_count_ = 0;
+          continue;
+        }
+        std::vector<Event>& bucket = buckets_[rung_at_];
+        std::sort(bucket.begin(), bucket.end(), BeforeCmp);
+        current_.swap(bucket);
+        bucket.clear();
+        cur_at_ = 0;
+        current_max_ = Traits::TimeOf(current_.back());
+        ++rung_at_;
+        return;
+      }
+      // Cascade: sweep the spill array into a fresh rung sized from its
+      // population and span, then loop to promote its first bucket.
+      WEBTX_DCHECK(!future_.empty());
+      double tmin = Traits::TimeOf(future_.front());
+      double tmax = tmin;
+      for (const Event& e : future_) {
+        const double t = Traits::TimeOf(e);
+        if (t < tmin) tmin = t;
+        if (t > tmax) tmax = t;
+      }
+      size_t nb = 1;
+      while (nb < future_.size() / kTargetPerBucket && nb < kMaxBuckets) {
+        nb *= 2;
+      }
+      rung_count_ = nb;
+      rung_at_ = 0;
+      rung_start_ = tmin;
+      rung_max_ = tmax;
+      rung_width_ = tmax > tmin ? (tmax - tmin) / static_cast<double>(nb)
+                                : 1.0;
+      if (buckets_.size() < nb) buckets_.resize(nb);
+      for (size_t b = 0; b < nb; ++b) buckets_[b].clear();
+      for (const Event& e : future_) {
+        buckets_[RungIndexOf(Traits::TimeOf(e))].push_back(e);
+      }
+      future_.clear();
+    }
+  }
+
+  // Tier 1: sorted, consumed front to back.
+  std::vector<Event> current_;
+  size_t cur_at_ = 0;
+  double current_max_ = 0.0;  // max TimeOf ever inserted this incarnation
+
+  // Tier 2: the rung — uniform time slices, lazily sorted at promotion.
+  std::vector<std::vector<Event>> buckets_;
+  size_t rung_count_ = 0;  // 0 = no active rung
+  size_t rung_at_ = 0;     // next bucket to promote
+  double rung_start_ = 0.0;
+  double rung_width_ = 1.0;
+  double rung_max_ = 0.0;  // max actual event time routed to this rung
+
+  // Tier 3: unsorted far-future spill.
+  std::vector<Event> future_;
+
+  size_t size_ = 0;
+  double last_pop_time_ = 0.0;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_COMMON_CALENDAR_QUEUE_H_

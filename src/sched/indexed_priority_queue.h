@@ -22,8 +22,12 @@ class IndexedPriorityQueue {
  public:
   IndexedPriorityQueue() = default;
 
-  /// Pre-sizes the position index for ids in [0, n).
-  explicit IndexedPriorityQueue(size_t n) { pos_.resize(n, kNoPos); }
+  /// Pre-sizes the position index AND the heap storage for ids in
+  /// [0, n), so subsequent Push calls never reallocate (previously only
+  /// the index map was sized, and the first pushes after construction
+  /// still grew the heap vector — pinned by the 262k storm case in
+  /// tests/sim/allocation_test.cc).
+  explicit IndexedPriorityQueue(size_t n) { Reserve(n); }
 
   /// Pre-sizes the position index for ids in [0, n) and reserves heap
   /// capacity for n entries, so subsequent Push calls never reallocate.

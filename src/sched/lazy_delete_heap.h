@@ -1,0 +1,258 @@
+#ifndef WEBTX_SCHED_LAZY_DELETE_HEAP_H_
+#define WEBTX_SCHED_LAZY_DELETE_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace webtx {
+
+/// Drop-in replacement for IndexedPriorityQueue (same API, same
+/// (key, id) pop order) that trades the id -> heap-position index for
+/// version-stamped tombstones: Erase and Update are O(1) stamp bumps
+/// instead of O(log n) sift cycles, and Push never maintains a position
+/// map. Stale entries are pruned when they surface at the root and
+/// swept wholesale once they outnumber live ones.
+///
+/// This wins in the ASETS* hot path, where most key changes are
+/// representative-update storms on workflow heads (Update >> Pop): the
+/// classic indexed heap pays two cache-hostile sift walks per update,
+/// the lazy heap pays one append. The flip side is memory: the heap
+/// array can transiently hold up to 2x live entries plus a slack
+/// constant before compaction triggers.
+///
+/// Ordering contract: among LIVE entries, pop order is exactly the
+/// (key, id) lexicographic order of IndexedPriorityQueue — lower id
+/// wins ties — so swapping the two structures is byte-identical at the
+/// simulator level (pinned by tests/sched/lazy_delete_heap_test.cc and
+/// the huge-structures differential matrix).
+///
+/// The heap is 4-ary ("bucketed"): each node's children share a cache
+/// line of entries, so sift-down touches ~half the lines of a binary
+/// heap at 262k+ items.
+class LazyDeleteHeap {
+ public:
+  LazyDeleteHeap() = default;
+
+  /// Pre-sizes the slot table and heap storage for ids in [0, n).
+  explicit LazyDeleteHeap(size_t n) { Reserve(n); }
+
+  void Reserve(size_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+    heap_.reserve(n);
+  }
+
+  bool empty() const { return live_ == 0; }
+
+  /// Number of LIVE ids (not heap entries).
+  size_t size() const { return live_; }
+
+  bool Contains(uint32_t id) const {
+    return id < slots_.size() && slots_[id].in;
+  }
+
+  /// Current key of a contained id. O(1) via the slot table.
+  double KeyOf(uint32_t id) const {
+    WEBTX_DCHECK(Contains(id));
+    return slots_[id].key;
+  }
+
+  /// Inserts `id` with `key`. The id must not be present.
+  void Push(uint32_t id, double key) {
+    if (id >= slots_.size()) slots_.resize(id + 1);
+    WEBTX_DCHECK(!slots_[id].in);
+    Slot& slot = slots_[id];
+    slot.in = true;
+    slot.key = key;
+    heap_.push_back(Entry{key, id, slot.version});
+    SiftUp(heap_.size() - 1);
+    ++live_;
+  }
+
+  /// The id with the smallest live (key, id). Queue must be non-empty.
+  /// Non-const: surfacing the live minimum prunes tombstones.
+  uint32_t Top() {
+    PruneTop();
+    return heap_.front().id;
+  }
+
+  double TopKey() {
+    PruneTop();
+    return heap_.front().key;
+  }
+
+  /// Removes and returns the minimum live id.
+  uint32_t Pop() {
+    PruneTop();
+    const uint32_t id = heap_.front().id;
+    slots_[id].in = false;
+    ++slots_[id].version;
+    --live_;
+    PopRoot();
+    return id;
+  }
+
+  /// Removes `id` if present; returns whether it was present. O(1):
+  /// the heap entry becomes a tombstone.
+  bool Erase(uint32_t id) {
+    if (!Contains(id)) return false;
+    slots_[id].in = false;
+    ++slots_[id].version;
+    --live_;
+    MaybeCompact();
+    return true;
+  }
+
+  /// Changes the key of a contained id: tombstone the old entry, append
+  /// a fresh one.
+  void Update(uint32_t id, double key) {
+    WEBTX_DCHECK(Contains(id));
+    Slot& slot = slots_[id];
+    ++slot.version;
+    slot.key = key;
+    heap_.push_back(Entry{key, id, slot.version});
+    SiftUp(heap_.size() - 1);
+    MaybeCompact();
+  }
+
+  /// Changes the key of a contained id only when it actually differs.
+  /// Returns whether the key changed.
+  bool UpdateKeyIfChanged(uint32_t id, double key) {
+    WEBTX_DCHECK(Contains(id));
+    if (slots_[id].key == key) return false;
+    Update(id, key);
+    return true;
+  }
+
+  /// Push, or Update when already present.
+  void PushOrUpdate(uint32_t id, double key) {
+    if (Contains(id)) {
+      Update(id, key);
+    } else {
+      Push(id, key);
+    }
+  }
+
+  /// Replaces the queue's contents with `items` in O(n) via Floyd's
+  /// bottom-up heapify, reserving capacity for `capacity` ids
+  /// (>= items.size()). Ids must be unique.
+  void ReserveAndBulkLoad(const std::vector<std::pair<uint32_t, double>>& items,
+                          size_t capacity = 0) {
+    Clear();
+    Reserve(capacity > items.size() ? capacity : items.size());
+    for (const auto& [id, key] : items) {
+      if (id >= slots_.size()) slots_.resize(id + 1);
+      WEBTX_DCHECK(!slots_[id].in) << "duplicate id in bulk load";
+      Slot& slot = slots_[id];
+      slot.in = true;
+      slot.key = key;
+      heap_.push_back(Entry{key, id, slot.version});
+    }
+    live_ = heap_.size();
+    Heapify();
+  }
+
+  void Clear() {
+    for (const Entry& e : heap_) {
+      slots_[e.id].in = false;
+      ++slots_[e.id].version;  // re-stamping a stale twin is harmless
+    }
+    heap_.clear();
+    live_ = 0;
+  }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t id;
+    uint32_t version;
+  };
+  struct Slot {
+    double key = 0.0;
+    uint32_t version = 0;
+    bool in = false;
+  };
+  static constexpr size_t kArity = 4;
+  static constexpr size_t kCompactSlack = 64;
+
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  bool IsLive(const Entry& e) const {
+    const Slot& slot = slots_[e.id];
+    return slot.in && slot.version == e.version;
+  }
+
+  void SiftUp(size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!Less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    const Entry e = heap_[i];
+    while (true) {
+      const size_t first = kArity * i + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = first + kArity < n ? first + kArity : n;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (Less(heap_[c], heap_[best])) best = c;
+      }
+      if (!Less(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  /// Removes the root entry (live or stale).
+  void PopRoot() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+
+  /// Discards tombstones until the root is live.
+  void PruneTop() {
+    WEBTX_DCHECK(live_ > 0);
+    while (!IsLive(heap_.front())) PopRoot();
+  }
+
+  /// Sweeps all tombstones once they dominate: filter in place, then
+  /// one O(n) Floyd heapify — amortized O(1) per erase/update.
+  void MaybeCompact() {
+    if (heap_.size() <= 2 * live_ + kCompactSlack) return;
+    size_t w = 0;
+    for (const Entry& e : heap_) {
+      if (IsLive(e)) heap_[w++] = e;
+    }
+    heap_.resize(w);
+    WEBTX_DCHECK(w == live_);
+    Heapify();
+  }
+
+  void Heapify() {
+    if (heap_.size() < 2) return;
+    for (size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) SiftDown(i);
+  }
+
+  std::vector<Entry> heap_;   // live entries + tombstones
+  std::vector<Slot> slots_;   // id -> {current key, version, membership}
+  size_t live_ = 0;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SCHED_LAZY_DELETE_HEAP_H_

@@ -23,6 +23,11 @@ std::unique_ptr<SchedulerPolicy> CreatePlain(const std::string& name) {
   if (name == "ASETS") return std::make_unique<AsetsPolicy>();
   if (name == "Ready") return std::make_unique<ReadyPolicy>();
   if (name == "ASETS*") return std::make_unique<AsetsStarPolicy>();
+  // Same decision procedure over the lazy-delete heap; byte-identical
+  // schedules to "ASETS*" (pinned by the huge-structures differential
+  // matrix). Deliberately NOT in KnownPolicyNames(): it is an
+  // implementation variant for huge-scale runs, not a distinct policy.
+  if (name == "ASETS*-lazy") return std::make_unique<AsetsStarLazyPolicy>();
   return nullptr;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "common/calendar_queue.h"
+
 namespace webtx {
 
 namespace {
@@ -34,6 +36,60 @@ class PendingQueue {
 
  private:
   std::vector<internal::PendingEvent> heap_;
+};
+
+// CalendarQueue ordering traits for pending events: Before is the
+// strict (time, kind, id) ascending order — the exact complement view
+// of the PendingAfter max-heap comparator, so both structures pop the
+// same sequence (pinned by tests/sim/shard_event_order_test.cc and the
+// huge-structures differential matrix).
+struct PendingTraits {
+  static double TimeOf(const internal::PendingEvent& e) { return e.time; }
+  static bool Before(const internal::PendingEvent& a,
+                     const internal::PendingEvent& b) {
+    return internal::PendingAfter{}(b, a);
+  }
+};
+
+// The pending queue behind SimOptions::pending_queue: the historical
+// binary heap or the calendar queue, one interface. The branch is a
+// predictable single bool — noise next to the heap/bucket work behind
+// it.
+class PendingEvents {
+ public:
+  explicit PendingEvents(PendingQueueImpl impl)
+      : calendar_(impl == PendingQueueImpl::kCalendarQueue) {}
+
+  void Reserve(size_t n) {
+    if (calendar_) {
+      wheel_.Reserve(n);
+    } else {
+      heap_.Reserve(n);
+    }
+  }
+  bool empty() const { return calendar_ ? wheel_.empty() : heap_.empty(); }
+  internal::PendingEvent top() {
+    return calendar_ ? wheel_.top() : heap_.top();
+  }
+  void push(const internal::PendingEvent& e) {
+    if (calendar_) {
+      wheel_.push(e);
+    } else {
+      heap_.push(e);
+    }
+  }
+  void pop() {
+    if (calendar_) {
+      wheel_.pop();
+    } else {
+      heap_.pop();
+    }
+  }
+
+ private:
+  bool calendar_;
+  PendingQueue heap_;
+  CalendarQueue<internal::PendingEvent, PendingTraits> wheel_;
 };
 
 // One shard's view of its fault processes: either the lazy FaultStream
@@ -151,6 +207,9 @@ Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
   unmet_deps_.resize(n);
   ready_list_.reserve(n);
   ready_pos_.resize(n);
+  if (options_.txn_store == TxnStoreLayout::kArenaSoA) {
+    store_.Build(specs_, graph_);
+  }
 }
 
 void Simulator::ResetRuntimeState() {
@@ -160,10 +219,20 @@ void Simulator::ResetRuntimeState() {
   suspended_.assign(n, 0);
   ready_list_.clear();
   ready_pos_.assign(n, kNoReadyPos);
-  for (size_t i = 0; i < n; ++i) {
-    true_remaining_[i] = specs_[i].length;
-    estimated_remaining_[i] = specs_[i].EstimateOrLength();
-    unmet_deps_[i] = static_cast<uint32_t>(specs_[i].dependencies.size());
+  if (store_.enabled()) {
+    // Dense-array pass: 3 contiguous reads per transaction instead of a
+    // full AoS cache line — the values are bit-identical copies.
+    for (size_t i = 0; i < n; ++i) {
+      true_remaining_[i] = store_.length(i);
+      estimated_remaining_[i] = store_.estimate_or_length(i);
+      unmet_deps_[i] = store_.num_deps(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      true_remaining_[i] = specs_[i].length;
+      estimated_remaining_[i] = specs_[i].EstimateOrLength();
+      unmet_deps_[i] = static_cast<uint32_t>(specs_[i].dependencies.size());
+    }
   }
 }
 
@@ -305,10 +374,36 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   std::vector<SimTime> segment_start(k, 0.0);
   std::vector<ScheduleSegment> schedule;
   if (options_.record_schedule) schedule.reserve(2 * n);
-  PendingQueue pending;
+  PendingEvents pending(options_.pending_queue);
   // At most one pending entry per unresolved transaction exists at any
   // instant, and only abort retries or admission deferrals create them.
   if (faults || admission) pending.Reserve(n);
+  // Static per-transaction reads, routed through the SoA store when
+  // enabled. The store mirrors the spec values bit-for-bit, so the two
+  // branches are indistinguishable in results.
+  const TxnStore* const store = store_.enabled() ? &store_ : nullptr;
+  const auto spec_arrival = [&](TxnId id) {
+    return store ? store->arrival(id) : specs_[id].arrival;
+  };
+  const auto spec_deadline = [&](TxnId id) {
+    return store ? store->deadline(id) : specs_[id].deadline;
+  };
+  const auto spec_weight = [&](TxnId id) {
+    return store ? store->weight(id) : specs_[id].weight;
+  };
+  const auto spec_length = [&](TxnId id) {
+    return store ? store->length(id) : specs_[id].length;
+  };
+  const auto spec_estimate = [&](TxnId id) {
+    return store ? store->estimate_or_length(id)
+                 : specs_[id].EstimateOrLength();
+  };
+  const auto successors_of =
+      [&](TxnId id) -> std::pair<const TxnId*, const TxnId*> {
+    if (store) return store->successors(id);
+    const std::vector<TxnId>& succ = graph_.successors(id);
+    return {succ.data(), succ.data() + succ.size()};
+  };
   // Scratch buffers for the per-event scheduling round, hoisted out of
   // the loop so the steady-state iteration performs no allocation.
   std::vector<TxnId> picks;
@@ -403,9 +498,10 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       o.finish = t;
       o.missed_deadline = true;  // never finishing misses the deadline
       if (arrived_[cur]) policy.OnDropped(cur, t);
-      for (const TxnId succ : graph_.successors(cur)) {
-        if (!finished_[succ]) {
-          stack.emplace_back(succ, TxnFate::kDroppedDependency);
+      const auto [succ_it, succ_end] = successors_of(cur);
+      for (const TxnId* it = succ_it; it != succ_end; ++it) {
+        if (!finished_[*it]) {
+          stack.emplace_back(*it, TxnFate::kDroppedDependency);
         }
       }
     }
@@ -451,17 +547,16 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       suspended_[victim] = 1;
       ReadyListRemove(victim);
       policy.OnCompletion(victim, t);  // dequeue signal
-      true_remaining_[victim] = specs_[victim].length;
-      estimated_remaining_[victim] = specs_[victim].EstimateOrLength();
+      true_remaining_[victim] = spec_length(victim);
+      estimated_remaining_[victim] = spec_estimate(victim);
       suspended_[victim] = 0;
       MakeReady(victim, t, policy);
     }
   };
 
   while (resolved_count < n) {
-    const SimTime t_arrival = next_arrival < n
-                                  ? specs_[arrival_order_[next_arrival]].arrival
-                                  : kNever;
+    const SimTime t_arrival =
+        next_arrival < n ? spec_arrival(arrival_order_[next_arrival]) : kNever;
     const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
 
     // Head scan: the next step is the EventBefore-least head over all
@@ -528,13 +623,15 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         TxnOutcome& o = outcomes[done];
         o.fate = TxnFate::kCompleted;
         o.finish = now;
-        o.tardiness = TardinessOf(now, specs_[done].deadline);
-        o.weighted_tardiness = o.tardiness * specs_[done].weight;
-        o.response = now - specs_[done].arrival;
+        o.tardiness = TardinessOf(now, spec_deadline(done));
+        o.weighted_tardiness = o.tardiness * spec_weight(done);
+        o.response = now - spec_arrival(done);
         o.missed_deadline = o.tardiness > 0.0;
 
         policy.OnCompletion(done, now);
-        for (const TxnId succ : graph_.successors(done)) {
+        const auto [succ_it, succ_end] = successors_of(done);
+        for (const TxnId* it = succ_it; it != succ_end; ++it) {
+          const TxnId succ = *it;
           WEBTX_DCHECK(unmet_deps_[succ] > 0);
           if (--unmet_deps_[succ] == 0 && arrived_[succ] &&
               !finished_[succ]) {
@@ -648,8 +745,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         ReadyListRemove(victim);
         policy.OnCompletion(victim, now);  // dequeue signal
         // All executed work is lost.
-        true_remaining_[victim] = specs_[victim].length;
-        estimated_remaining_[victim] = specs_[victim].EstimateOrLength();
+        true_remaining_[victim] = spec_length(victim);
+        estimated_remaining_[victim] = spec_estimate(victim);
         if (o.aborts >= options_.retry.max_attempts) {
           resolve(victim, TxnFate::kDroppedRetries, now);  // clears suspended_
           break;
@@ -691,7 +788,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       }
       case internal::ShardEventClass::kArrival: {
         while (next_arrival < n &&
-               specs_[arrival_order_[next_arrival]].arrival == now) {
+               spec_arrival(arrival_order_[next_arrival]) == now) {
           const TxnId id = arrival_order_[next_arrival++];
           if (finished_[id]) continue;  // dropped before it arrived
           admit_arrival(id, now);

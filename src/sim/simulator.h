@@ -14,6 +14,7 @@
 #include "sim/fault_plan.h"
 #include "sim/fault_timeline.h"
 #include "sim/metrics.h"
+#include "sim/txn_store.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
 #include "txn/workflow.h"
@@ -108,6 +109,32 @@ constexpr bool MessageBefore(const ShardMessage& a, const ShardMessage& b) {
 
 }  // namespace internal
 
+/// Backing structure for the simulator's pending-event queue (retry
+/// releases and deferred arrivals). Both pop in exactly the
+/// internal::PendingAfter (time, kind, id) order, so the knob can never
+/// change results — only how fast a huge backlog drains. Pinned by
+/// tests/sim/huge_structures_differential_test.cc and the calendar-queue
+/// property tests.
+enum class PendingQueueImpl : uint8_t {
+  /// Binary heap over a reserved vector (the historical structure).
+  kBinaryHeap = 0,
+  /// Calendar/ladder queue (common/calendar_queue.h): amortized O(1)
+  /// push/pop, cache-friendly at 10^5+ pending events.
+  kCalendarQueue = 1,
+};
+
+/// Memory layout for the per-transaction static data the event loop
+/// reads (arrival/length/estimate/deadline/weight, dependency edges).
+/// Accessors return identical values either way, so the knob can never
+/// change results (same differential pins as PendingQueueImpl).
+enum class TxnStoreLayout : uint8_t {
+  /// Read the TransactionSpec vector directly (the historical layout).
+  kSpecVector = 0,
+  /// Arena-backed structure-of-arrays mirror (sim/txn_store.h): dense
+  /// field arrays + CSR successor edges, built once at Create.
+  kArenaSoA = 1,
+};
+
 /// Simulator knobs. The defaults model the paper's testbed: a single
 /// back-end database server, preemption at scheduling points (transaction
 /// arrival and completion, Sec. III-A2), zero dispatch overhead, no
@@ -153,6 +180,12 @@ struct SimOptions {
   /// null in parallel sweeps — RunInstances nulls it in its per-worker
   /// option copies.
   ShardTiming* timing = nullptr;
+  /// Pending-event queue structure; results are byte-identical across
+  /// values (huge-scale perf knob, see scripts/check.sh --huge-smoke).
+  PendingQueueImpl pending_queue = PendingQueueImpl::kBinaryHeap;
+  /// Per-transaction static data layout; results are byte-identical
+  /// across values (huge-scale perf knob).
+  TxnStoreLayout txn_store = TxnStoreLayout::kSpecVector;
 };
 
 /// Discrete-event RTDBMS simulator (paper Sec. IV-A): one or more servers
@@ -307,6 +340,9 @@ class Simulator final : public SimView {
   DependencyGraph graph_;
   WorkflowRegistry registry_;
   SimOptions options_;
+  /// SoA mirror of specs_ + graph_, built iff options_.txn_store is
+  /// kArenaSoA; inert (enabled() false) otherwise.
+  TxnStore store_;
   std::vector<TxnId> arrival_order_;  // ids sorted by (arrival, id)
 
   // Runtime state, sized once in the constructor and re-initialized (never

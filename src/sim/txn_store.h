@@ -1,0 +1,114 @@
+#ifndef WEBTX_SIM_TXN_STORE_H_
+#define WEBTX_SIM_TXN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// Arena-backed structure-of-arrays mirror of the per-transaction
+/// static data the simulator's event loop touches: the five scalar spec
+/// fields each as a dense double array, the dependency out-edges in CSR
+/// form, and the per-transaction dependency counts. Selected by
+/// SimOptions::txn_store (TxnStoreLayout::kArenaSoA); the default keeps
+/// reading the TransactionSpec vector.
+///
+/// Why: at 10^6+ transactions the AoS spec vector puts ~100 bytes
+/// (including a std::vector header for dependencies) between
+/// consecutive `arrival` values, so the arrival head scan and
+/// ResetRuntimeState each drag a full cache line per transaction for
+/// one double of payload, and graph successors chase a per-node heap
+/// vector. The SoA mirror streams those loops through contiguous
+/// arrays: two allocations total (one double arena, one uint32 arena),
+/// zero pointers to chase.
+///
+/// Byte-identity: every accessor returns the exact value the
+/// corresponding TransactionSpec / DependencyGraph accessor returns
+/// (the build is a plain copy, successor order preserved), so enabling
+/// the store cannot change any RunResult bit — pinned by the
+/// huge-structures differential matrix.
+class TxnStore {
+ public:
+  TxnStore() = default;
+
+  /// Mirrors `specs` and the out-edges of `graph`. Called once at
+  /// Simulator construction when the knob is on.
+  void Build(const std::vector<TransactionSpec>& specs,
+             const DependencyGraph& graph) {
+    n_ = specs.size();
+    doubles_.resize(kNumFields * n_);
+    for (size_t i = 0; i < n_; ++i) {
+      const TransactionSpec& t = specs[i];
+      doubles_[kArrival * n_ + i] = t.arrival;
+      doubles_[kLength * n_ + i] = t.length;
+      doubles_[kEstimateOrLength * n_ + i] = t.EstimateOrLength();
+      doubles_[kDeadline * n_ + i] = t.deadline;
+      doubles_[kWeight * n_ + i] = t.weight;
+    }
+    num_edges_ = 0;
+    for (size_t i = 0; i < n_; ++i) num_edges_ += graph.successors(i).size();
+    // uint32 arena layout: [succ offsets n+1][succ targets E][dep counts n]
+    ints_.resize(n_ + 1 + num_edges_ + n_);
+    size_t at = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      ints_[i] = static_cast<uint32_t>(at);
+      at += graph.successors(i).size();
+    }
+    ints_[n_] = static_cast<uint32_t>(at);
+    for (size_t i = 0; i < n_; ++i) {
+      const std::vector<TxnId>& succ = graph.successors(i);
+      uint32_t* out = ints_.data() + n_ + 1 + ints_[i];
+      for (size_t j = 0; j < succ.size(); ++j) out[j] = succ[j];
+      ints_[n_ + 1 + num_edges_ + i] =
+          static_cast<uint32_t>(specs[i].dependencies.size());
+    }
+    enabled_ = true;
+  }
+
+  bool enabled() const { return enabled_; }
+  size_t size() const { return n_; }
+
+  double arrival(TxnId id) const { return doubles_[kArrival * n_ + id]; }
+  double length(TxnId id) const { return doubles_[kLength * n_ + id]; }
+  double estimate_or_length(TxnId id) const {
+    return doubles_[kEstimateOrLength * n_ + id];
+  }
+  double deadline(TxnId id) const { return doubles_[kDeadline * n_ + id]; }
+  double weight(TxnId id) const { return doubles_[kWeight * n_ + id]; }
+  uint32_t num_deps(TxnId id) const {
+    return ints_[n_ + 1 + num_edges_ + id];
+  }
+
+  /// Dependent transactions of `id` (CSR slice), in the exact order
+  /// DependencyGraph::successors reports them.
+  std::pair<const TxnId*, const TxnId*> successors(TxnId id) const {
+    const uint32_t* base = ints_.data() + n_ + 1;
+    return {base + ints_[id], base + ints_[id + 1]};
+  }
+
+ private:
+  enum Field : size_t {
+    kArrival = 0,
+    kLength,
+    kEstimateOrLength,
+    kDeadline,
+    kWeight,
+    kNumFields,
+  };
+
+  bool enabled_ = false;
+  size_t n_ = 0;
+  size_t num_edges_ = 0;
+  std::vector<double> doubles_;  // kNumFields slices of n_ each
+  std::vector<uint32_t> ints_;   // CSR offsets + targets + dep counts
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_TXN_STORE_H_

@@ -1,0 +1,396 @@
+// Property / fuzz tests for the calendar queue: its pop sequence must be
+// BYTE-IDENTICAL to a binary heap over the same Before order whenever
+// pushes obey the DES monotonicity contract (push time >= last pop
+// time). The randomized differentials below hammer exactly the corners
+// where calendar structures classically diverge from heaps: exact-double
+// time ties (quantized time grids), overflow-bucket cascades (far-future
+// spills swept into fresh rungs mid-drain), empty/refill ping-pong, and
+// "gap" times that land at promoted bucket edges.
+
+#include "common/calendar_queue.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace webtx {
+namespace {
+
+/// Test event mirroring the simulator's pending event shape: time with a
+/// two-level tie-break, so equal-time pops have one deterministic order.
+struct Ev {
+  double time = 0.0;
+  uint8_t kind = 0;
+  uint32_t id = 0;
+
+  bool operator==(const Ev& o) const {
+    return time == o.time && kind == o.kind && id == o.id;
+  }
+};
+
+struct EvTraits {
+  static double TimeOf(const Ev& e) { return e.time; }
+  static bool Before(const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+/// Max-heap comparator making std::priority_queue pop Before-least first —
+/// the reference structure (same shape as the simulator's PendingQueue).
+struct EvAfter {
+  bool operator()(const Ev& a, const Ev& b) const {
+    return EvTraits::Before(b, a);
+  }
+};
+
+using RefQueue = std::priority_queue<Ev, std::vector<Ev>, EvAfter>;
+using Wheel = CalendarQueue<Ev, EvTraits>;
+
+/// Pops everything from both structures, asserting identical sequences.
+void DrainAndCompare(Wheel& wheel, RefQueue& ref) {
+  while (!ref.empty()) {
+    ASSERT_FALSE(wheel.empty());
+    ASSERT_EQ(wheel.size(), ref.size());
+    const Ev expect = ref.top();
+    const Ev got = wheel.top();
+    ASSERT_EQ(got.time, expect.time);
+    ASSERT_EQ(got.kind, expect.kind);
+    ASSERT_EQ(got.id, expect.id);
+    ref.pop();
+    wheel.pop();
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(CalendarQueueTest, EmptyAfterConstruction) {
+  Wheel wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(CalendarQueueTest, SingleEventRoundTrip) {
+  Wheel wheel;
+  wheel.push(Ev{3.5, 1, 42});
+  EXPECT_FALSE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.top(), (Ev{3.5, 1, 42}));
+  wheel.pop();
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(CalendarQueueTest, SortsOutOfOrderPushes) {
+  Wheel wheel;
+  RefQueue ref;
+  const std::vector<Ev> events = {
+      {5.0, 0, 1}, {1.0, 0, 2}, {3.0, 0, 3}, {2.0, 0, 4}, {4.0, 0, 5},
+  };
+  for (const Ev& e : events) {
+    wheel.push(e);
+    ref.push(e);
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueTest, ExactTimeTiesPopInKindThenIdOrder) {
+  // Every event at the same double: order must be (kind, id) exactly,
+  // regardless of push order. This is the degenerate "all in one bucket"
+  // case — one sort, zero width span.
+  Wheel wheel;
+  RefQueue ref;
+  const double t = 0.1 + 0.2;  // a non-representable double, deliberately
+  Rng rng(7);
+  std::vector<Ev> events;
+  for (uint32_t id = 0; id < 64; ++id) {
+    events.push_back(Ev{t, static_cast<uint8_t>(id % 2), id});
+  }
+  // Shuffle.
+  for (size_t i = events.size(); i-- > 1;) {
+    std::swap(events[i], events[rng.NextInRange(0, i)]);
+  }
+  for (const Ev& e : events) {
+    wheel.push(e);
+    ref.push(e);
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueTest, TiesStraddlingAPopBoundary) {
+  // The adversarial coincidence: pop up to time T, then push ANOTHER
+  // event at exactly T (allowed — push time == last pop time). The new
+  // twin must surface immediately if its (kind, id) is next, not get
+  // routed behind a tier boundary.
+  Wheel wheel;
+  RefQueue ref;
+  const double t = 1.0 / 3.0;
+  for (uint32_t id = 0; id < 8; ++id) {
+    wheel.push(Ev{t, 0, 2 * id});  // even ids present from the start
+    ref.push(Ev{t, 0, 2 * id});
+  }
+  // Pop two, then inject odd-id twins at the same double.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(wheel.top(), ref.top());
+    wheel.pop();
+    ref.pop();
+  }
+  for (uint32_t id = 0; id < 8; ++id) {
+    wheel.push(Ev{t, 0, 2 * id + 5});
+    ref.push(Ev{t, 0, 2 * id + 5});
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueTest, CascadeSweepsFarFutureSpill) {
+  // Force the overflow-bucket cascade: a big burst of far-future events
+  // pushed while the current tier drains, then verify the swept rung
+  // pops in exact order. Large enough to build a multi-bucket rung
+  // (4096 / kTargetPerBucket(8) = 512 buckets).
+  Wheel wheel;
+  RefQueue ref;
+  Rng rng(2009);
+  wheel.push(Ev{0.0, 0, 0});
+  ref.push(Ev{0.0, 0, 0});
+  for (uint32_t id = 1; id <= 4096; ++id) {
+    const double t = 100.0 + 900.0 * rng.NextDouble();
+    wheel.push(Ev{t, 0, id});
+    ref.push(Ev{t, 0, id});
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueTest, RepeatedCascadesWithQuantizedTies) {
+  // Multiple cascade generations with a coarse time grid so every rung
+  // is riddled with exact-double ties, including ties at bucket edges.
+  Wheel wheel;
+  RefQueue ref;
+  Rng rng(13);
+  double now = 0.0;
+  uint32_t id = 0;
+  for (int generation = 0; generation < 6; ++generation) {
+    // Burst of events quantized to 1/8 steps over a window ahead of now.
+    for (int i = 0; i < 1500; ++i) {
+      const double t =
+          now + static_cast<double>(rng.NextInRange(0, 400)) * 0.125;
+      const Ev e{t, static_cast<uint8_t>(rng.NextInRange(0, 1)), id++};
+      wheel.push(e);
+      ref.push(e);
+    }
+    // Drain roughly half before the next burst.
+    const size_t drain = ref.size() / 2;
+    for (size_t i = 0; i < drain; ++i) {
+      ASSERT_FALSE(wheel.empty());
+      const Ev expect = ref.top();
+      const Ev got = wheel.top();
+      ASSERT_EQ(got.time, expect.time);
+      ASSERT_EQ(got.kind, expect.kind);
+      ASSERT_EQ(got.id, expect.id) << "generation " << generation;
+      ref.pop();
+      wheel.pop();
+      now = expect.time;
+    }
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueTest, EmptyRefillPingPong) {
+  // The pending queue's real-life pattern: mostly empty, occasionally
+  // holding a handful of retries. Exercises the empty-restart fast path
+  // hundreds of times.
+  Wheel wheel;
+  RefQueue ref;
+  Rng rng(99);
+  double now = 0.0;
+  uint32_t id = 0;
+  for (int round = 0; round < 500; ++round) {
+    const size_t burst = rng.NextInRange(1, 4);
+    for (size_t i = 0; i < burst; ++i) {
+      const double t = now + rng.NextDouble() * 10.0;
+      const Ev e{t, 0, id++};
+      wheel.push(e);
+      ref.push(e);
+    }
+    while (!ref.empty()) {
+      ASSERT_EQ(wheel.top(), ref.top());
+      now = ref.top().time;
+      ref.pop();
+      wheel.pop();
+    }
+    ASSERT_TRUE(wheel.empty());
+  }
+}
+
+TEST(CalendarQueueTest, ClearResetsToEmpty) {
+  Wheel wheel;
+  for (uint32_t id = 0; id < 100; ++id) {
+    wheel.push(Ev{static_cast<double>(id) * 0.5, 0, id});
+  }
+  wheel.clear();
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  // And it is fully usable afterwards.
+  wheel.push(Ev{1.0, 0, 7});
+  EXPECT_EQ(wheel.top(), (Ev{1.0, 0, 7}));
+}
+
+TEST(CalendarQueueTest, ReserveDoesNotDisturbContents) {
+  Wheel wheel;
+  RefQueue ref;
+  for (uint32_t id = 0; id < 32; ++id) {
+    const Ev e{static_cast<double>(32 - id), 0, id};
+    wheel.push(e);
+    ref.push(e);
+  }
+  wheel.Reserve(1 << 16);
+  DrainAndCompare(wheel, ref);
+}
+
+/// The main randomized differential: interleaved pushes and pops under
+/// the DES monotone contract, with a mix of time distributions — smooth,
+/// quantized (tie-heavy), bursty far-future — across many seeds.
+void RandomizedDifferential(uint64_t seed, bool quantized) {
+  Rng rng(seed);
+  Wheel wheel;
+  RefQueue ref;
+  double now = 0.0;
+  uint32_t id = 0;
+  const int kOps = 20000;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t dice = rng.NextInRange(0, 99);
+    if (dice < 55 || ref.empty()) {
+      // Push: at or after `now`, occasionally exactly AT now (the
+      // same-instant reschedule corner), occasionally far future.
+      double t;
+      const uint64_t mode = rng.NextInRange(0, 9);
+      if (mode == 0) {
+        t = now;  // exact coincidence with the last pop
+      } else if (mode < 8) {
+        t = quantized
+                ? now + static_cast<double>(rng.NextInRange(0, 64)) * 0.25
+                : now + rng.NextDouble() * 16.0;
+      } else {
+        t = quantized
+                ? now + static_cast<double>(rng.NextInRange(256, 4096)) * 0.25
+                : now + 64.0 + rng.NextDouble() * 1000.0;
+      }
+      const Ev e{t, static_cast<uint8_t>(rng.NextInRange(0, 1)), id++};
+      wheel.push(e);
+      ref.push(e);
+    } else {
+      const Ev expect = ref.top();
+      const Ev got = wheel.top();
+      ASSERT_EQ(got.time, expect.time) << "seed " << seed << " op " << op;
+      ASSERT_EQ(got.kind, expect.kind) << "seed " << seed << " op " << op;
+      ASSERT_EQ(got.id, expect.id) << "seed " << seed << " op " << op;
+      ref.pop();
+      wheel.pop();
+      now = expect.time;
+    }
+    ASSERT_EQ(wheel.size(), ref.size());
+  }
+  DrainAndCompare(wheel, ref);
+}
+
+TEST(CalendarQueueFuzzTest, MatchesHeapSmoothTimes) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomizedDifferential(seed, /*quantized=*/false);
+  }
+}
+
+TEST(CalendarQueueFuzzTest, MatchesHeapQuantizedTieHeavyTimes) {
+  // Quantized grid: ~1/65 of pushes collide exactly with another event's
+  // double AND bucket edges coincide with event times — the adversarial
+  // regime for bucket routing.
+  for (uint64_t seed = 100; seed <= 107; ++seed) {
+    RandomizedDifferential(seed, /*quantized=*/true);
+  }
+}
+
+TEST(CalendarQueueFuzzTest, GapTimesAtPromotedBucketEdges) {
+  // Targets RungIndexOf's clamp-to-rung_at_ path: build a rung whose
+  // bucket edges are non-representable thirds, drain into mid-rung, then
+  // push events exactly AT the last popped double (legal; lands at or
+  // under the promotion cursor's edge) and verify order still matches.
+  Rng rng(31337);
+  Wheel wheel;
+  RefQueue ref;
+  uint32_t id = 0;
+  wheel.push(Ev{0.0, 0, id});
+  ref.push(Ev{0.0, 0, id});
+  ++id;
+  // 2048 events over an awkward irrational-ish span forces a rung whose
+  // computed width has rounding slop at every edge.
+  for (int i = 0; i < 2048; ++i) {
+    const double t = 1.0 + (static_cast<double>(rng.NextInRange(0, 3000)) / 3.0);
+    wheel.push(Ev{t, 0, id});
+    ref.push(Ev{t, 0, id});
+    ++id;
+  }
+  double now = 0.0;
+  // Drain with periodic same-instant injections.
+  while (!ref.empty()) {
+    const Ev expect = ref.top();
+    const Ev got = wheel.top();
+    ASSERT_EQ(got.time, expect.time);
+    ASSERT_EQ(got.id, expect.id);
+    ref.pop();
+    wheel.pop();
+    now = expect.time;
+    if (rng.NextInRange(0, 4) == 0 && !ref.empty()) {
+      // Push exactly at the just-popped instant — the gap-time corner.
+      const Ev e{now, 1, id++};
+      wheel.push(e);
+      ref.push(e);
+    }
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Bulk fill then hold-N churn: 50k pushes with NO intervening pop (the
+// pattern that poisons current_max_ early and used to grow current_
+// quadratically before the demote bound), then a pop+push churn whose
+// every head must still match the heap. Tie-heavy: times snap to a
+// 0.5 grid so the demote's strict-time split sees equal-time runs at
+// the cut position.
+TEST(CalendarQueueFuzzTest, BulkFillThenChurnMatchesHeap) {
+  for (const bool quantized : {false, true}) {
+    Wheel wheel;
+    RefQueue ref;
+    Rng rng(quantized ? 77u : 7u);
+    uint32_t id = 0;
+    const auto draw = [&](double lo, double span) {
+      double t = lo + rng.NextDouble() * span;
+      if (quantized) t = lo + static_cast<double>(static_cast<int>(
+                               (t - lo) * 2.0)) * 0.5;
+      return t;
+    };
+    for (int i = 0; i < 50000; ++i) {
+      const Ev e{draw(0.0, 64.0), static_cast<uint8_t>(i & 1), id++};
+      wheel.push(e);
+      ref.push(e);
+    }
+    for (int i = 0; i < 100000; ++i) {
+      ASSERT_EQ(wheel.size(), ref.size());
+      const Ev expect = ref.top();
+      const Ev got = wheel.top();
+      ASSERT_EQ(got.time, expect.time);
+      ASSERT_EQ(got.kind, expect.kind);
+      ASSERT_EQ(got.id, expect.id);
+      ref.pop();
+      wheel.pop();
+      const Ev e{draw(expect.time, 64.0), static_cast<uint8_t>(i & 1), id++};
+      wheel.push(e);
+      ref.push(e);
+    }
+    DrainAndCompare(wheel, ref);
+  }
+}
+
+}  // namespace
+}  // namespace webtx

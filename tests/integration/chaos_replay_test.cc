@@ -21,17 +21,31 @@ namespace {
 constexpr uint64_t kGoldenDigest = 0x05c6252ae9c8b68fULL;
 constexpr size_t kGoldenMigrations = 4;
 
+// The huge-structures replay: same determinism contract, but running
+// the calendar-queue pending tier, the arena-SoA store, and the
+// lazy-delete-heap ASETS* ("ASETS*-lazy") — every structure the
+// huge-scale knobs can flip, pinned in one file.
+constexpr uint64_t kHugeGoldenDigest = 0x4cc0232e8f78aba3ULL;
+constexpr size_t kHugeGoldenMigrations = 1202;
+
 std::string ReplayPath() {
   return std::string(WEBTX_REPLAY_DIR) + "/cold_migration_minimal.chaos";
 }
 
-std::string ReadReplayFile() {
-  std::ifstream file(ReplayPath());
-  EXPECT_TRUE(file.is_open()) << "missing replay file: " << ReplayPath();
+std::string HugeReplayPath() {
+  return std::string(WEBTX_REPLAY_DIR) +
+         "/huge_structures_cold_migration.chaos";
+}
+
+std::string ReadFileAt(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing replay file: " << path;
   std::ostringstream text;
   text << file.rdbuf();
   return text.str();
 }
+
+std::string ReadReplayFile() { return ReadFileAt(ReplayPath()); }
 
 TEST(ChaosReplayIntegrationTest, CommittedReproducerParses) {
   auto parsed = ParseChaosReplay(ReadReplayFile());
@@ -66,6 +80,47 @@ TEST(ChaosReplayIntegrationTest, ReplaysByteIdentically) {
 
 TEST(ChaosReplayIntegrationTest, ReserializingTheFileIsLossless) {
   const std::string text = ReadReplayFile();
+  auto parsed = ParseChaosReplay(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeChaosCase(parsed.ValueOrDie()), text);
+}
+
+TEST(ChaosReplayIntegrationTest, HugeStructuresReproducerParses) {
+  auto parsed = ParseChaosReplay(ReadFileAt(HugeReplayPath()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ChaosCase& c = parsed.ValueOrDie();
+  EXPECT_EQ(c.pending_queue, PendingQueueImpl::kCalendarQueue);
+  EXPECT_EQ(c.txn_store, TxnStoreLayout::kArenaSoA);
+  EXPECT_EQ(c.policy, "ASETS*-lazy");
+  EXPECT_EQ(c.fault.migration, MigrationPolicy::kCold);
+}
+
+TEST(ChaosReplayIntegrationTest, HugeStructuresReplayByteIdentical) {
+  auto parsed = ParseChaosReplay(ReadFileAt(HugeReplayPath()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ChaosCase c = std::move(parsed).ValueOrDie();
+
+  auto run = RunChaosCase(c);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const RunResult& r = run.ValueOrDie();
+  EXPECT_EQ(r.num_migrations, kHugeGoldenMigrations);
+  const Status verdict = CheckChaosInvariants(c, r);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_EQ(ScheduleDigest(r), kHugeGoldenDigest);
+
+  // The structure knobs must be invisible: the historical binary-heap /
+  // spec-vector run (with the indexed-heap ASETS*) digests identically.
+  ChaosCase reference = c;
+  reference.pending_queue = PendingQueueImpl::kBinaryHeap;
+  reference.txn_store = TxnStoreLayout::kSpecVector;
+  reference.policy = "ASETS*";
+  auto ref_run = RunChaosCase(reference);
+  ASSERT_TRUE(ref_run.ok()) << ref_run.status();
+  EXPECT_EQ(ScheduleDigest(ref_run.ValueOrDie()), kHugeGoldenDigest);
+}
+
+TEST(ChaosReplayIntegrationTest, HugeStructuresFileIsLossless) {
+  const std::string text = ReadFileAt(HugeReplayPath());
   auto parsed = ParseChaosReplay(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_EQ(SerializeChaosCase(parsed.ValueOrDie()), text);

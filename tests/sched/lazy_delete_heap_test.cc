@@ -1,0 +1,283 @@
+// LazyDeleteHeap must be a drop-in for IndexedPriorityQueue: identical
+// API, identical (key, id) pop order among live entries, identical
+// observable state after any legal operation sequence. The randomized
+// differential below drives both structures through the same op stream —
+// push / pop / erase / update / conditional update / bulk load / clear —
+// with duplicate keys (exact-double ties) and update storms (the ASETS*
+// hot-path pattern the lazy heap exists for), asserting equivalence
+// after every step. Also pins the tombstone-compaction sweep: erase-heavy
+// streams must keep the internal array bounded and never surface a stale
+// entry.
+
+#include "sched/lazy_delete_heap.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/indexed_priority_queue.h"
+
+namespace webtx {
+namespace {
+
+TEST(LazyDeleteHeapTest, EmptyAfterConstruction) {
+  LazyDeleteHeap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.Contains(0));
+}
+
+TEST(LazyDeleteHeapTest, PushTopPop) {
+  LazyDeleteHeap h;
+  h.Push(3, 2.0);
+  h.Push(1, 1.0);
+  h.Push(2, 3.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.Top(), 1u);
+  EXPECT_EQ(h.TopKey(), 1.0);
+  EXPECT_EQ(h.Pop(), 1u);
+  EXPECT_EQ(h.Pop(), 3u);
+  EXPECT_EQ(h.Pop(), 2u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(LazyDeleteHeapTest, EqualKeysPopInIdOrder) {
+  LazyDeleteHeap h;
+  h.Push(5, 1.5);
+  h.Push(2, 1.5);
+  h.Push(9, 1.5);
+  h.Push(0, 1.5);
+  EXPECT_EQ(h.Pop(), 0u);
+  EXPECT_EQ(h.Pop(), 2u);
+  EXPECT_EQ(h.Pop(), 5u);
+  EXPECT_EQ(h.Pop(), 9u);
+}
+
+TEST(LazyDeleteHeapTest, EraseIsObservableImmediately) {
+  LazyDeleteHeap h;
+  h.Push(1, 1.0);
+  h.Push(2, 2.0);
+  EXPECT_TRUE(h.Erase(1));
+  EXPECT_FALSE(h.Erase(1));  // already gone
+  EXPECT_FALSE(h.Contains(1));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.Top(), 2u);  // the tombstoned former minimum never surfaces
+}
+
+TEST(LazyDeleteHeapTest, UpdateRekeysAndReorders) {
+  LazyDeleteHeap h;
+  h.Push(1, 1.0);
+  h.Push(2, 2.0);
+  h.Update(2, 0.5);
+  EXPECT_EQ(h.KeyOf(2), 0.5);
+  EXPECT_EQ(h.Top(), 2u);
+  h.Update(2, 5.0);
+  EXPECT_EQ(h.Top(), 1u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(LazyDeleteHeapTest, ReinsertAfterPopDoesNotResurrectOldEntry) {
+  // The version-stamp contract: a popped id re-pushed with a HIGHER key
+  // must not be shadowed by its stale (lower-key) heap entry.
+  LazyDeleteHeap h;
+  h.Push(1, 1.0);
+  h.Push(2, 2.0);
+  EXPECT_EQ(h.Pop(), 1u);
+  h.Push(1, 10.0);  // same id, new incarnation, worse key
+  EXPECT_EQ(h.Top(), 2u);
+  EXPECT_EQ(h.Pop(), 2u);
+  EXPECT_EQ(h.Pop(), 1u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(LazyDeleteHeapTest, UpdateKeyIfChangedSkipsNoOps) {
+  LazyDeleteHeap h;
+  h.Push(1, 1.0);
+  EXPECT_FALSE(h.UpdateKeyIfChanged(1, 1.0));
+  EXPECT_TRUE(h.UpdateKeyIfChanged(1, 2.0));
+  EXPECT_EQ(h.KeyOf(1), 2.0);
+}
+
+TEST(LazyDeleteHeapTest, BulkLoadMatchesIndividualPushes) {
+  std::vector<std::pair<uint32_t, double>> items;
+  Rng rng(5);
+  for (uint32_t id = 0; id < 300; ++id) {
+    items.emplace_back(id, static_cast<double>(rng.NextInRange(0, 40)));
+  }
+  LazyDeleteHeap bulk;
+  bulk.ReserveAndBulkLoad(items, 512);
+  IndexedPriorityQueue ref;
+  for (const auto& [id, key] : items) ref.Push(id, key);
+  while (!ref.empty()) {
+    ASSERT_EQ(bulk.size(), ref.size());
+    ASSERT_EQ(bulk.TopKey(), ref.TopKey());
+    ASSERT_EQ(bulk.Pop(), ref.Pop());
+  }
+  EXPECT_TRUE(bulk.empty());
+}
+
+TEST(LazyDeleteHeapTest, ClearThenReuse) {
+  LazyDeleteHeap h;
+  h.Push(1, 1.0);
+  h.Push(2, 2.0);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(1));
+  // Fresh incarnations after Clear behave normally.
+  h.Push(1, 9.0);
+  h.Push(3, 4.0);
+  EXPECT_EQ(h.Pop(), 3u);
+  EXPECT_EQ(h.Pop(), 1u);
+}
+
+TEST(LazyDeleteHeapTest, EraseStormCompactsTombstones) {
+  // Update each of 64 live ids hundreds of times: without the compaction
+  // sweep the internal array would hold ~64 * 400 entries. We can't see
+  // the array size directly, but the structure must stay correct AND the
+  // final drain must pop each id exactly once with its LAST key.
+  LazyDeleteHeap h;
+  IndexedPriorityQueue ref;
+  Rng rng(17);
+  for (uint32_t id = 0; id < 64; ++id) {
+    h.Push(id, 1e9);
+    ref.Push(id, 1e9);
+  }
+  for (int storm = 0; storm < 400; ++storm) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextInRange(0, 63));
+    const double key = static_cast<double>(rng.NextInRange(0, 1000)) * 0.5;
+    h.Update(id, key);
+    ref.Update(id, key);
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(h.TopKey(), ref.TopKey());
+    ASSERT_EQ(h.Pop(), ref.Pop());
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+/// Op-stream differential: every mutation applied to both structures,
+/// full observable state compared continuously.
+void RandomizedDifferential(uint64_t seed) {
+  Rng rng(seed);
+  LazyDeleteHeap lazy;
+  IndexedPriorityQueue ref;
+  const uint32_t kIdSpace = 128;
+  lazy.Reserve(kIdSpace);
+  ref.Reserve(kIdSpace);
+  const int kOps = 30000;
+  for (int op = 0; op < kOps; ++op) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextInRange(0, kIdSpace - 1));
+    // Coarse key grid → frequent exact-double ties.
+    const double key = static_cast<double>(rng.NextInRange(0, 30)) * 0.25;
+    switch (rng.NextInRange(0, 6)) {
+      case 0:  // Push a fresh id
+        if (!ref.Contains(id)) {
+          lazy.Push(id, key);
+          ref.Push(id, key);
+        }
+        break;
+      case 1:  // Pop
+        if (!ref.empty()) {
+          ASSERT_EQ(lazy.TopKey(), ref.TopKey()) << "seed " << seed;
+          ASSERT_EQ(lazy.Pop(), ref.Pop()) << "seed " << seed;
+        }
+        break;
+      case 2:  // Erase (possibly absent)
+        ASSERT_EQ(lazy.Erase(id), ref.Erase(id)) << "seed " << seed;
+        break;
+      case 3:  // Update
+        if (ref.Contains(id)) {
+          lazy.Update(id, key);
+          ref.Update(id, key);
+        }
+        break;
+      case 4:  // Conditional update
+        if (ref.Contains(id)) {
+          ASSERT_EQ(lazy.UpdateKeyIfChanged(id, key),
+                    ref.UpdateKeyIfChanged(id, key))
+              << "seed " << seed;
+        }
+        break;
+      case 5:  // PushOrUpdate
+        lazy.PushOrUpdate(id, key);
+        ref.PushOrUpdate(id, key);
+        break;
+      case 6:  // Top probe (no mutation)
+        if (!ref.empty()) {
+          ASSERT_EQ(lazy.Top(), ref.Top()) << "seed " << seed;
+          ASSERT_EQ(lazy.TopKey(), ref.TopKey()) << "seed " << seed;
+        }
+        break;
+    }
+    ASSERT_EQ(lazy.size(), ref.size()) << "seed " << seed << " op " << op;
+    ASSERT_EQ(lazy.empty(), ref.empty());
+    ASSERT_EQ(lazy.Contains(id), ref.Contains(id));
+    if (ref.Contains(id)) {
+      ASSERT_EQ(lazy.KeyOf(id), ref.KeyOf(id)) << "seed " << seed;
+    }
+  }
+  // Full drain: the ultimate pop-order check.
+  while (!ref.empty()) {
+    ASSERT_EQ(lazy.TopKey(), ref.TopKey()) << "seed " << seed;
+    ASSERT_EQ(lazy.Pop(), ref.Pop()) << "seed " << seed;
+  }
+  EXPECT_TRUE(lazy.empty());
+}
+
+TEST(LazyDeleteHeapFuzzTest, MatchesIndexedPriorityQueue) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomizedDifferential(seed);
+  }
+}
+
+TEST(LazyDeleteHeapFuzzTest, BulkLoadThenOpStream) {
+  // Start from a bulk-loaded population instead of empty — exercises
+  // Floyd heapify interacting with later tombstoning.
+  for (uint64_t seed = 50; seed <= 54; ++seed) {
+    Rng rng(seed);
+    std::vector<std::pair<uint32_t, double>> items;
+    for (uint32_t id = 0; id < 200; ++id) {
+      if (rng.NextInRange(0, 2) > 0) {
+        items.emplace_back(id, static_cast<double>(rng.NextInRange(0, 25)));
+      }
+    }
+    LazyDeleteHeap lazy;
+    lazy.ReserveAndBulkLoad(items, 256);
+    IndexedPriorityQueue ref;
+    ref.ReserveAndBulkLoad(items, 256);
+    for (int op = 0; op < 5000; ++op) {
+      const uint32_t id = static_cast<uint32_t>(rng.NextInRange(0, 255));
+      const double key = static_cast<double>(rng.NextInRange(0, 25));
+      switch (rng.NextInRange(0, 3)) {
+        case 0:
+          ASSERT_EQ(lazy.Erase(id), ref.Erase(id));
+          break;
+        case 1:
+          lazy.PushOrUpdate(id, key);
+          ref.PushOrUpdate(id, key);
+          break;
+        case 2:
+          if (!ref.empty()) {
+            ASSERT_EQ(lazy.Pop(), ref.Pop());
+          }
+          break;
+        case 3:
+          if (ref.Contains(id)) {
+            ASSERT_EQ(lazy.UpdateKeyIfChanged(id, key),
+                      ref.UpdateKeyIfChanged(id, key));
+          }
+          break;
+      }
+      ASSERT_EQ(lazy.size(), ref.size());
+    }
+    while (!ref.empty()) {
+      ASSERT_EQ(lazy.Pop(), ref.Pop()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webtx

@@ -20,6 +20,9 @@
 #include <new>
 #include <vector>
 
+#include "common/rng.h"
+#include "sched/indexed_priority_queue.h"
+#include "sched/lazy_delete_heap.h"
 #include "sched/policies/asets_star.h"
 #include "sim/fault_plan.h"
 #include "sim/simulator.h"
@@ -186,6 +189,54 @@ TEST(AllocationTest, EventLoopIsAllocationFree) {
       << sparse_run.num_scheduling_points
       << " scheduling points, dense run: "
       << dense_run.num_scheduling_points << ")";
+}
+
+// A pre-reserved priority structure must absorb a 262k push/pop storm
+// with ZERO heap allocations — the huge-scale contract: at 10^6+
+// transactions, any per-push growth shows up as allocator traffic in
+// the hottest loop. Regression for the sizing constructor, which
+// historically sized only the position index and let the first pushes
+// after construction grow the heap vector.
+TEST(AllocationTest, PreReservedIndexedQueueStormAllocatesNothing) {
+  if (!WEBTX_ALLOC_COUNTING) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  constexpr uint32_t kN = 262144;
+  IndexedPriorityQueue q(kN);
+  Rng rng(77);
+  const uint64_t before = AllocationCount();
+  // Interleaved storm: fill half, drain a quarter, fill the rest, drain
+  // everything — never exceeding the reserved population.
+  for (uint32_t id = 0; id < kN / 2; ++id) {
+    q.Push(id, static_cast<double>(rng.NextInRange(0, 1u << 20)));
+  }
+  for (uint32_t i = 0; i < kN / 4; ++i) (void)q.Pop();
+  for (uint32_t id = kN / 2; id < kN; ++id) {
+    q.Push(id, static_cast<double>(rng.NextInRange(0, 1u << 20)));
+  }
+  while (!q.empty()) (void)q.Pop();
+  EXPECT_EQ(AllocationCount() - before, 0u)
+      << "a pre-reserved 262k storm must not touch the allocator";
+}
+
+TEST(AllocationTest, PreReservedLazyHeapStormAllocatesNothing) {
+  if (!WEBTX_ALLOC_COUNTING) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  constexpr uint32_t kN = 262144;
+  LazyDeleteHeap q(kN);
+  Rng rng(78);
+  const uint64_t before = AllocationCount();
+  for (uint32_t id = 0; id < kN / 2; ++id) {
+    q.Push(id, static_cast<double>(rng.NextInRange(0, 1u << 20)));
+  }
+  for (uint32_t i = 0; i < kN / 4; ++i) (void)q.Pop();
+  for (uint32_t id = kN / 2; id < kN; ++id) {
+    q.Push(id, static_cast<double>(rng.NextInRange(0, 1u << 20)));
+  }
+  while (!q.empty()) (void)q.Pop();
+  EXPECT_EQ(AllocationCount() - before, 0u)
+      << "a pre-reserved 262k storm must not touch the allocator";
 }
 
 }  // namespace
