@@ -18,6 +18,13 @@
 # reproducer path is printed — commit it under
 # tests/integration/replays/ to pin the regression.
 #
+# A live-smoke stage runs the same idea against the REAL executor
+# (tools/chaos --live): randomized fault-injected cases on worker
+# threads under the deterministic virtual clock, each run twice (trace
+# digests must match) and audited by the live trace validator. It
+# catches attempt-lifecycle / failover / retry regressions that only
+# manifest with real thread interleavings.
+#
 # A bench-gate stage (opt-in: perf numbers are machine-relative, so it
 # only makes sense on the machine that produced the committed baseline)
 # runs the full bench/sweep_throughput grid against the Release build and
@@ -34,10 +41,12 @@
 # divergence; tools/chaos --huge re-proves it under a randomized fault
 # cocktail).
 #
-# Usage: scripts/check.sh [--fast] [--chaos-smoke] [--bench-gate]
-#                         [--huge-smoke]
+# Usage: scripts/check.sh [--fast] [--chaos-smoke] [--live-smoke]
+#                         [--bench-gate] [--huge-smoke]
 #   --fast         plain preset only (skips sanitizers and bench smoke)
 #   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
+#   --live-smoke   plain preset + live executor campaign only (50 cases
+#                  of tools/chaos --live, digest-checked + validated)
 #   --bench-gate   release build + fig08 perf-regression gate only
 #   --huge-smoke   release build + 10^5-txn differential of the
 #                  huge-scale structures (digest byte-identity) only
@@ -47,12 +56,14 @@ cd "$(dirname "$0")/.."
 
 FAST=0
 CHAOS_ONLY=0
+LIVE_ONLY=0
 BENCH_GATE=0
 HUGE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --chaos-smoke) CHAOS_ONLY=1 ;;
+    --live-smoke) LIVE_ONLY=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
     --huge-smoke) HUGE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -198,6 +209,16 @@ chaos_smoke() {
     --out build/chaos_reproducer.chaos
 }
 
+live_smoke() {
+  # 50 randomized cases against the real rt::Executor under the virtual
+  # clock: each case runs twice (trace digests must match) and the live
+  # validator audits every trace. Nonzero exit (violation or
+  # nondeterminism) fails the script after writing the reproducer.
+  echo "==> live chaos smoke [default]"
+  ./build/tools/chaos --live --cases 50 --seed 2009 \
+    --out build/live_chaos_reproducer.chaos
+}
+
 if [[ "$BENCH_GATE" == "1" ]]; then
   bench_gate
   echo "All checks passed."
@@ -217,9 +238,17 @@ if [[ "$CHAOS_ONLY" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$LIVE_ONLY" == "1" ]]; then
+  run_preset default
+  live_smoke
+  echo "All checks passed."
+  exit 0
+fi
+
 run_preset default
 if [[ "$FAST" == "0" ]]; then
   chaos_smoke
+  live_smoke
   run_preset tsan
   run_preset asan
   run_preset ubsan

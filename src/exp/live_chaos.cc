@@ -1,0 +1,598 @@
+#include "exp/live_chaos.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "rt/clock.h"
+#include "sched/admission.h"
+#include "sched/policy_factory.h"
+
+namespace webtx {
+
+namespace {
+
+constexpr char kReplayHeader[] = "webtx-live-chaos-replay v1";
+
+// DeriveSeed coordinates of the live harness's own seed streams
+// (arbitrary but fixed; reproducers depend on them). Distinct from the
+// sim chaos streams so the two campaigns never alias.
+constexpr uint64_t kLiveCaseStream = 0x11FECA5Eull;
+constexpr uint64_t kLiveFaultStream = 0x11FEFA17ull;
+
+constexpr double kMinTaskSeconds = 1e-4;
+
+double ExpDraw(Rng& rng, double mean) {
+  // -mean * ln(1 - U), U in [0, 1): the standard inverse-CDF draw.
+  return -mean * std::log1p(-rng.NextDouble());
+}
+
+std::string FormatDouble(double d) {
+  std::ostringstream os;
+  os << std::setprecision(17) << d;
+  return os.str();
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  std::istringstream is(text);
+  is >> *out;
+  return !is.fail() && is.eof();
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  std::istringstream is(text);
+  is >> *out;
+  return !is.fail() && is.eof();
+}
+
+/// One drawn task: the harness materializes the whole workload before
+/// submitting so arrival order (and so TxnId assignment) is fixed.
+struct DrawnTask {
+  double arrival = 0.0;
+  double duration = 0.0;
+  double relative_deadline = 0.0;
+  double weight = 1.0;
+  double timeout = 0.0;
+  int dep_index = -1;  // index of an earlier task, or -1
+};
+
+std::vector<DrawnTask> DrawWorkload(const LiveChaosCase& c) {
+  Rng rng(c.workload_seed);
+  std::vector<DrawnTask> tasks(c.num_tasks);
+  double at = 0.0;
+  for (size_t i = 0; i < c.num_tasks; ++i) {
+    DrawnTask& t = tasks[i];
+    at += ExpDraw(rng, c.mean_interarrival);
+    t.arrival = at;
+    t.duration = std::max(kMinTaskSeconds, ExpDraw(rng, c.mean_duration));
+    t.relative_deadline =
+        t.duration * (1.0 + c.deadline_slack * rng.NextDouble());
+    t.weight = static_cast<double>(rng.NextInRange(1, c.max_weight));
+    if (i > 0 && rng.NextDouble() < c.dep_prob) {
+      t.dep_index = static_cast<int>(rng.NextInRange(0, i - 1));
+    }
+    if (rng.NextDouble() < c.timeout_prob) {
+      // Half the range undercuts the duration, so some attempts time
+      // out and exercise the retry path.
+      t.timeout = t.duration * (0.5 + 1.5 * rng.NextDouble());
+    }
+  }
+  return tasks;
+}
+
+rt::ExecutorOptions ExecutorOptionsFor(const LiveChaosCase& c,
+                                       std::shared_ptr<rt::Clock> clock) {
+  rt::ExecutorOptions options;
+  options.num_workers = c.num_workers;
+  options.clock = std::move(clock);
+  options.faults.plan = c.fault;
+  options.faults.latency_spike_prob = c.latency_spike_prob;
+  options.faults.mean_latency_spike = c.mean_latency_spike;
+  options.migration = c.fault.migration;
+  switch (c.admission) {
+    case LiveChaosCase::Admission::kNone:
+      break;
+    case LiveChaosCase::Admission::kQueueDepth: {
+      QueueDepthAdmissionOptions depth;
+      depth.max_ready = c.admission_max_ready;
+      options.admission = MakeQueueDepthAdmission(depth);
+      break;
+    }
+    case LiveChaosCase::Admission::kBrownout:
+      options.admission = MakeBrownoutAdmission();
+      break;
+  }
+  options.watchdog = c.watchdog;
+  options.watchdog_stall_seconds = c.watchdog_stall_seconds;
+  options.retry_max_backoff = c.retry_max_backoff;
+  options.retry_budget = c.retry_budget;
+  options.record_trace = true;
+  return options;
+}
+
+// Applies `mutate` to a copy; commits it iff the failure still
+// reproduces. Returns whether the simplification was kept.
+template <typename Mutation>
+bool TryMutation(LiveChaosCase& c, Mutation mutate,
+                 const LiveChaosPredicate& still_fails) {
+  LiveChaosCase candidate = c;
+  mutate(candidate);
+  if (!still_fails(candidate)) return false;
+  c = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+Result<LiveChaosRun> RunLiveChaosCase(const LiveChaosCase& c) {
+  if (c.num_tasks == 0) {
+    return Status::InvalidArgument("live chaos case has no tasks");
+  }
+  if (c.num_workers == 0) {
+    return Status::InvalidArgument("live chaos case has no workers");
+  }
+  if (!(c.mean_interarrival > 0.0) || !(c.mean_duration > 0.0)) {
+    return Status::InvalidArgument(
+        "mean_interarrival and mean_duration must be > 0");
+  }
+  // Surface config errors here as a Status: the executor constructor
+  // CHECK-validates its fault plan, which would abort the campaign.
+  WEBTX_ASSIGN_OR_RETURN(FaultPlan plan_check, FaultPlan::Create(c.fault));
+  (void)plan_check;
+  WEBTX_ASSIGN_OR_RETURN(auto policy, CreatePolicy(c.policy));
+
+  const std::vector<DrawnTask> drawn = DrawWorkload(c);
+  auto clock = std::make_shared<rt::VirtualClock>();
+  rt::Executor exec(std::move(policy), ExecutorOptionsFor(c, clock));
+
+  LiveChaosRun run;
+  run.tasks.resize(c.num_tasks);
+  std::vector<TxnId> ids(c.num_tasks, kInvalidTxn);
+
+  // The driver is a clock participant: virtual time halts while it is
+  // between submits, so every arrival lands at its exact drawn instant.
+  clock->RegisterParticipant();
+  Status failure;  // deferred so the participant is always deregistered
+  for (size_t i = 0; i < c.num_tasks; ++i) {
+    const DrawnTask& t = drawn[i];
+    clock->SleepUntil(t.arrival, nullptr);
+    rt::TaskSpec spec;
+    spec.relative_deadline = t.relative_deadline;
+    spec.weight = t.weight;
+    spec.estimated_cost = t.duration;
+    spec.simulated_duration = t.duration;
+    spec.timeout_seconds = t.timeout;
+    spec.max_attempts = c.retry_max_attempts;
+    spec.retry_backoff_seconds = c.retry_backoff;
+    spec.backoff_multiplier = c.retry_backoff_multiplier;
+    if (t.dep_index >= 0) {
+      spec.dependencies.push_back(ids[static_cast<size_t>(t.dep_index)]);
+    }
+    Result<TxnId> id = exec.Submit(std::move(spec));
+    if (!id.ok()) {
+      failure = id.status();
+      break;
+    }
+    ids[i] = std::move(id).ValueOrDie();
+    rt::LiveTaskRecord& record = run.tasks[ids[i]];
+    record.submit_seconds = t.arrival;
+    record.deadline_seconds = t.arrival + t.relative_deadline;
+    record.max_attempts = c.retry_max_attempts;
+    record.retry_backoff = c.retry_backoff;
+    record.backoff_multiplier = c.retry_backoff_multiplier;
+    record.simulated = true;
+    if (t.dep_index >= 0) {
+      record.dependencies.push_back(ids[static_cast<size_t>(t.dep_index)]);
+    }
+  }
+  exec.Drain();
+  exec.Shutdown();
+  clock->DeregisterParticipant();
+  if (!failure.ok()) return failure;
+
+  run.trace = exec.TakeTrace();
+  run.outcomes.resize(c.num_tasks);
+  for (size_t i = 0; i < c.num_tasks; ++i) {
+    run.outcomes[ids[i]] = exec.OutcomeOf(ids[i]);
+  }
+  run.stats = exec.stats();
+  run.digest = rt::LiveTraceDigest(run.trace);
+  return run;
+}
+
+Status CheckLiveChaosInvariants(const LiveChaosCase& c,
+                                const LiveChaosRun& run) {
+  rt::LiveValidatorOptions options;
+  options.watchdog = c.watchdog;
+  options.watchdog_stall_seconds = c.watchdog_stall_seconds;
+  options.retry_max_backoff = c.retry_max_backoff;
+  const rt::LiveValidationResult verdict = rt::ValidateLiveTrace(
+      run.trace, run.tasks, run.outcomes, run.stats, options);
+  if (verdict.ok()) return Status();
+  std::ostringstream os;
+  os << verdict.violations.size() << " live invariant violation(s):";
+  const size_t show = std::min<size_t>(verdict.violations.size(), 3);
+  for (size_t i = 0; i < show; ++i) os << " [" << verdict.violations[i] << "]";
+  return Status::InvalidArgument(os.str());
+}
+
+std::string SerializeLiveChaosCase(const LiveChaosCase& c) {
+  std::ostringstream os;
+  os << kReplayHeader << "\n";
+  os << "workload_seed " << c.workload_seed << "\n";
+  os << "num_tasks " << c.num_tasks << "\n";
+  os << "mean_interarrival " << FormatDouble(c.mean_interarrival) << "\n";
+  os << "mean_duration " << FormatDouble(c.mean_duration) << "\n";
+  os << "deadline_slack " << FormatDouble(c.deadline_slack) << "\n";
+  os << "max_weight " << c.max_weight << "\n";
+  os << "dep_prob " << FormatDouble(c.dep_prob) << "\n";
+  os << "timeout_prob " << FormatDouble(c.timeout_prob) << "\n";
+  os << "num_workers " << c.num_workers << "\n";
+  os << "policy " << c.policy << "\n";
+  os << "outage_rate " << FormatDouble(c.fault.outage_rate) << "\n";
+  os << "mean_outage_duration " << FormatDouble(c.fault.mean_outage_duration)
+     << "\n";
+  os << "abort_rate " << FormatDouble(c.fault.abort_rate) << "\n";
+  os << "crash_rate " << FormatDouble(c.fault.crash_rate) << "\n";
+  os << "mean_repair_duration " << FormatDouble(c.fault.mean_repair_duration)
+     << "\n";
+  os << "migration " << MigrationPolicyName(c.fault.migration) << "\n";
+  os << "correlated_crash_prob " << FormatDouble(c.fault.correlated_crash_prob)
+     << "\n";
+  os << "fault_seed " << c.fault.seed << "\n";
+  os << "latency_spike_prob " << FormatDouble(c.latency_spike_prob) << "\n";
+  os << "mean_latency_spike " << FormatDouble(c.mean_latency_spike) << "\n";
+  os << "retry_max_attempts " << c.retry_max_attempts << "\n";
+  os << "retry_backoff " << FormatDouble(c.retry_backoff) << "\n";
+  os << "retry_backoff_multiplier "
+     << FormatDouble(c.retry_backoff_multiplier) << "\n";
+  os << "retry_max_backoff " << FormatDouble(c.retry_max_backoff) << "\n";
+  os << "retry_budget " << c.retry_budget << "\n";
+  switch (c.admission) {
+    case LiveChaosCase::Admission::kNone:
+      os << "admission none\n";
+      break;
+    case LiveChaosCase::Admission::kQueueDepth:
+      os << "admission depth\n";
+      break;
+    case LiveChaosCase::Admission::kBrownout:
+      os << "admission brownout\n";
+      break;
+  }
+  os << "admission_max_ready " << c.admission_max_ready << "\n";
+  os << "watchdog " << (c.watchdog ? 1 : 0) << "\n";
+  os << "watchdog_stall_seconds " << FormatDouble(c.watchdog_stall_seconds)
+     << "\n";
+  return os.str();
+}
+
+Result<LiveChaosCase> ParseLiveChaosReplay(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  LiveChaosCase c;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != kReplayHeader) {
+        return Status::InvalidArgument(
+            "not a live chaos replay file: expected '" +
+            std::string(kReplayHeader) + "', got '" + line + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'key value', got '" + line +
+                                     "'");
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    const auto bad = [&] {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad value for " + key + ": '" +
+                                     value + "'");
+    };
+    uint64_t u = 0;
+    if (key == "workload_seed") {
+      if (!ParseU64(value, &c.workload_seed)) return bad();
+    } else if (key == "num_tasks") {
+      if (!ParseU64(value, &u)) return bad();
+      c.num_tasks = u;
+    } else if (key == "mean_interarrival") {
+      if (!ParseDouble(value, &c.mean_interarrival)) return bad();
+    } else if (key == "mean_duration") {
+      if (!ParseDouble(value, &c.mean_duration)) return bad();
+    } else if (key == "deadline_slack") {
+      if (!ParseDouble(value, &c.deadline_slack)) return bad();
+    } else if (key == "max_weight") {
+      if (!ParseU64(value, &c.max_weight)) return bad();
+    } else if (key == "dep_prob") {
+      if (!ParseDouble(value, &c.dep_prob)) return bad();
+    } else if (key == "timeout_prob") {
+      if (!ParseDouble(value, &c.timeout_prob)) return bad();
+    } else if (key == "num_workers") {
+      if (!ParseU64(value, &u)) return bad();
+      c.num_workers = u;
+    } else if (key == "policy") {
+      c.policy = value;
+    } else if (key == "outage_rate") {
+      if (!ParseDouble(value, &c.fault.outage_rate)) return bad();
+    } else if (key == "mean_outage_duration") {
+      if (!ParseDouble(value, &c.fault.mean_outage_duration)) return bad();
+    } else if (key == "abort_rate") {
+      if (!ParseDouble(value, &c.fault.abort_rate)) return bad();
+    } else if (key == "crash_rate") {
+      if (!ParseDouble(value, &c.fault.crash_rate)) return bad();
+    } else if (key == "mean_repair_duration") {
+      if (!ParseDouble(value, &c.fault.mean_repair_duration)) return bad();
+    } else if (key == "migration") {
+      if (value == "warm") {
+        c.fault.migration = MigrationPolicy::kWarm;
+      } else if (value == "cold") {
+        c.fault.migration = MigrationPolicy::kCold;
+      } else {
+        return bad();
+      }
+    } else if (key == "correlated_crash_prob") {
+      if (!ParseDouble(value, &c.fault.correlated_crash_prob)) return bad();
+    } else if (key == "fault_seed") {
+      if (!ParseU64(value, &c.fault.seed)) return bad();
+    } else if (key == "latency_spike_prob") {
+      if (!ParseDouble(value, &c.latency_spike_prob)) return bad();
+    } else if (key == "mean_latency_spike") {
+      if (!ParseDouble(value, &c.mean_latency_spike)) return bad();
+    } else if (key == "retry_max_attempts") {
+      if (!ParseU64(value, &u)) return bad();
+      c.retry_max_attempts = static_cast<uint32_t>(u);
+    } else if (key == "retry_backoff") {
+      if (!ParseDouble(value, &c.retry_backoff)) return bad();
+    } else if (key == "retry_backoff_multiplier") {
+      if (!ParseDouble(value, &c.retry_backoff_multiplier)) return bad();
+    } else if (key == "retry_max_backoff") {
+      if (!ParseDouble(value, &c.retry_max_backoff)) return bad();
+    } else if (key == "retry_budget") {
+      if (!ParseU64(value, &u)) return bad();
+      c.retry_budget = u;
+    } else if (key == "admission") {
+      if (value == "none") {
+        c.admission = LiveChaosCase::Admission::kNone;
+      } else if (value == "depth") {
+        c.admission = LiveChaosCase::Admission::kQueueDepth;
+      } else if (value == "brownout") {
+        c.admission = LiveChaosCase::Admission::kBrownout;
+      } else {
+        return bad();
+      }
+    } else if (key == "admission_max_ready") {
+      if (!ParseU64(value, &u)) return bad();
+      c.admission_max_ready = u;
+    } else if (key == "watchdog") {
+      if (!ParseU64(value, &u) || u > 1) return bad();
+      c.watchdog = u == 1;
+    } else if (key == "watchdog_stall_seconds") {
+      if (!ParseDouble(value, &c.watchdog_stall_seconds)) return bad();
+    } else {
+      // A replay must not silently lose a knob it doesn't understand.
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty replay file (no header)");
+  }
+  return c;
+}
+
+LiveChaosCase ShrinkLiveChaosCase(LiveChaosCase c,
+                                  const LiveChaosPredicate& still_fails) {
+  // Halve the workload first: every later probe re-runs the case (twice,
+  // for the determinism audit), so a short horizon pays for the pass.
+  while (c.num_tasks > 1 &&
+         TryMutation(
+             c, [](LiveChaosCase& x) { x.num_tasks /= 2; }, still_fails)) {
+  }
+  // Drop whole fault dimensions, least-suspect first, so the surviving
+  // config names the mechanism that matters.
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        x.latency_spike_prob = 0.0;
+        x.mean_latency_spike = 0.0;
+      },
+      still_fails);
+  TryMutation(
+      c, [](LiveChaosCase& x) { x.fault.abort_rate = 0.0; }, still_fails);
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        x.watchdog = false;
+        x.watchdog_stall_seconds = 0.0;
+      },
+      still_fails);
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        x.fault.outage_rate = 0.0;
+        x.fault.mean_outage_duration = 0.0;
+      },
+      still_fails);
+  TryMutation(
+      c, [](LiveChaosCase& x) { x.fault.correlated_crash_prob = 0.0; },
+      still_fails);
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        // Correlated mode cannot outlive the crash stream it rides on.
+        x.fault.crash_rate = 0.0;
+        x.fault.mean_repair_duration = 0.0;
+        x.fault.correlated_crash_prob = 0.0;
+      },
+      still_fails);
+  // Disable the reactive machinery.
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        x.admission = LiveChaosCase::Admission::kNone;
+        x.admission_max_ready = 0;
+      },
+      still_fails);
+  TryMutation(
+      c,
+      [](LiveChaosCase& x) {
+        x.retry_max_attempts = 1;
+        x.retry_backoff = 0.0;
+        x.retry_backoff_multiplier = 2.0;
+        x.retry_max_backoff = 0.0;
+        x.retry_budget = 0;
+      },
+      still_fails);
+  // Level the workload shape.
+  TryMutation(
+      c, [](LiveChaosCase& x) { x.timeout_prob = 0.0; }, still_fails);
+  TryMutation(c, [](LiveChaosCase& x) { x.dep_prob = 0.0; }, still_fails);
+  TryMutation(c, [](LiveChaosCase& x) { x.max_weight = 1; }, still_fails);
+  // Remove workers one at a time.
+  while (c.num_workers > 1 &&
+         TryMutation(
+             c, [](LiveChaosCase& x) { --x.num_workers; }, still_fails)) {
+  }
+  // The dropped dimensions may have freed slack for another round of
+  // workload halving.
+  while (c.num_tasks > 1 &&
+         TryMutation(
+             c, [](LiveChaosCase& x) { x.num_tasks /= 2; }, still_fails)) {
+  }
+  return c;
+}
+
+LiveChaosCase RandomLiveChaosCase(uint64_t master_seed, uint64_t index) {
+  Rng rng(DeriveSeed(master_seed, kLiveCaseStream, index));
+  // Transaction-level policies only: the live executor schedules
+  // open-ended submissions, which workflow-level ASETS* cannot plan.
+  static const std::array<const char*, 6> kPolicies = {
+      "FCFS", "EDF", "SRPT", "HDF", "ASETS", "ASETS-BA(count=0.05)"};
+  LiveChaosCase c;
+  c.policy = kPolicies[rng.NextInRange(0, kPolicies.size() - 1)];
+  c.workload_seed = rng.Next();
+  c.num_tasks = rng.NextInRange(30, 120);
+  c.num_workers = rng.NextInRange(1, 4);
+  c.mean_duration = 0.02 + 0.18 * rng.NextDouble();
+  const double utilization = 0.3 + 1.2 * rng.NextDouble();
+  c.mean_interarrival =
+      c.mean_duration / (static_cast<double>(c.num_workers) * utilization);
+  c.deadline_slack = 0.5 + 4.0 * rng.NextDouble();
+  c.max_weight = rng.NextDouble() < 0.5 ? 1 : 10;
+  c.dep_prob = rng.NextDouble() < 0.5 ? 0.0 : 0.4 * rng.NextDouble();
+  c.timeout_prob = rng.NextDouble() < 0.7 ? 0.0 : 0.3 * rng.NextDouble();
+  // Crash streams are the point of this harness: most cases get one.
+  // The virtual horizon is a few seconds, so hazard rates run much
+  // hotter than the sim campaign's.
+  if (rng.NextDouble() < 0.85) {
+    c.fault.crash_rate = 0.05 + 0.45 * rng.NextDouble();
+    c.fault.mean_repair_duration = 0.2 + 1.8 * rng.NextDouble();
+    c.fault.migration = rng.NextDouble() < 0.5 ? MigrationPolicy::kWarm
+                                               : MigrationPolicy::kCold;
+    if (rng.NextDouble() < 0.4) {
+      c.fault.correlated_crash_prob = 0.1 + 0.8 * rng.NextDouble();
+    }
+  }
+  if (rng.NextDouble() < 0.5) {
+    c.fault.outage_rate = 0.03 + 0.27 * rng.NextDouble();
+    c.fault.mean_outage_duration = 0.2 + 1.3 * rng.NextDouble();
+    if (rng.NextDouble() < 0.6) {
+      c.watchdog = true;
+      c.watchdog_stall_seconds = 0.05 + 0.3 * rng.NextDouble();
+    }
+  }
+  if (rng.NextDouble() < 0.5) {
+    c.fault.abort_rate = 0.05 + 0.45 * rng.NextDouble();
+  }
+  if (rng.NextDouble() < 0.5) {
+    c.latency_spike_prob = 0.1 + 0.3 * rng.NextDouble();
+    c.mean_latency_spike = 0.01 + 0.09 * rng.NextDouble();
+  }
+  c.fault.seed = DeriveSeed(master_seed, kLiveFaultStream, index);
+  c.retry_max_attempts = static_cast<uint32_t>(rng.NextInRange(1, 4));
+  c.retry_backoff =
+      rng.NextDouble() < 0.5 ? 0.0 : 0.01 + 0.2 * rng.NextDouble();
+  c.retry_backoff_multiplier = 1.5 + 1.5 * rng.NextDouble();
+  c.retry_max_backoff =
+      rng.NextDouble() < 0.5 ? 0.0 : 0.05 + 0.45 * rng.NextDouble();
+  c.retry_budget = rng.NextDouble() < 0.5 ? 0 : rng.NextInRange(4, 32);
+  const double admission_draw = rng.NextDouble();
+  if (admission_draw < 0.5) {
+    c.admission = LiveChaosCase::Admission::kNone;
+  } else if (admission_draw < 0.8) {
+    c.admission = LiveChaosCase::Admission::kQueueDepth;
+    c.admission_max_ready = rng.NextInRange(8, 64);
+  } else {
+    c.admission = LiveChaosCase::Admission::kBrownout;
+  }
+  return c;
+}
+
+Result<LiveChaosCampaignResult> RunLiveChaosCampaign(
+    const LiveChaosCampaignOptions& options) {
+  LiveChaosCampaignResult out;
+  for (size_t i = 0; i < options.num_cases; ++i) {
+    const LiveChaosCase c = RandomLiveChaosCase(options.master_seed, i);
+    WEBTX_ASSIGN_OR_RETURN(LiveChaosRun first, RunLiveChaosCase(c));
+    WEBTX_ASSIGN_OR_RETURN(LiveChaosRun second, RunLiveChaosCase(c));
+    out.total_crashes += first.stats.crashes;
+    out.total_stalls += first.stats.stalls;
+    out.total_migrations += first.stats.migrations;
+    out.total_forced_aborts += first.stats.forced_aborts;
+    out.total_retries += first.stats.retries_scheduled;
+    std::string verdict_text;
+    bool mismatch = false;
+    if (first.digest != second.digest) {
+      mismatch = true;
+      std::ostringstream os;
+      os << "determinism: trace digests differ across identical runs ("
+         << std::hex << first.digest << " vs " << second.digest << ")";
+      verdict_text = os.str();
+    } else {
+      const Status verdict = CheckLiveChaosInvariants(c, first);
+      if (!verdict.ok()) verdict_text = verdict.ToString();
+    }
+    ++out.cases_run;
+    if (options.progress) options.progress(i, verdict_text);
+    if (verdict_text.empty()) continue;
+    ++out.violations;
+    if (mismatch) ++out.determinism_mismatches;
+    if (out.violations > 1) continue;  // shrink only the first failure
+    out.first_violation = verdict_text;
+    const LiveChaosPredicate fails = [](const LiveChaosCase& x) {
+      const auto a = RunLiveChaosCase(x);
+      if (!a.ok()) return false;  // invalid shrink candidate
+      const auto b = RunLiveChaosCase(x);
+      if (!b.ok()) return false;
+      if (a.ValueOrDie().digest != b.ValueOrDie().digest) return true;
+      return !CheckLiveChaosInvariants(x, a.ValueOrDie()).ok();
+    };
+    out.first_reproducer = ShrinkLiveChaosCase(c, fails);
+    if (!options.reproducer_path.empty()) {
+      std::ofstream file(options.reproducer_path);
+      file << SerializeLiveChaosCase(out.first_reproducer);
+      if (!file.good()) {
+        return Status::IOError("cannot write reproducer to " +
+                               options.reproducer_path);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace webtx

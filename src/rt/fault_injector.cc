@@ -1,0 +1,151 @@
+#include "rt/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace webtx::rt {
+
+namespace {
+/// DeriveSeed stream tag of the per-slot latency-spike RNGs (arbitrary
+/// constant, distinct from the outage/abort/crash tags inside
+/// sim/fault_plan.cc).
+constexpr uint64_t kSpikeStream = 0x5B1CEull;
+}  // namespace
+
+Result<FaultInjector> FaultInjector::Create(FaultInjectorOptions options,
+                                            size_t num_slots) {
+  // Reuse the sim plan's validation for rates and durations.
+  WEBTX_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Create(options.plan));
+  (void)plan;
+  if (options.latency_spike_prob < 0.0 || options.latency_spike_prob > 1.0) {
+    return Status::InvalidArgument("latency_spike_prob must be in [0, 1]");
+  }
+  if (options.latency_spike_prob > 0.0 && options.mean_latency_spike <= 0.0) {
+    return Status::InvalidArgument(
+        "mean_latency_spike must be > 0 when latency spikes are enabled");
+  }
+  if (num_slots == 0) {
+    return Status::InvalidArgument("fault injection needs >= 1 slot");
+  }
+  return FaultInjector(std::move(options), num_slots);
+}
+
+FaultInjector::FaultInjector(FaultInjectorOptions options, size_t num_slots)
+    : options_(std::move(options)) {
+  streams_.reserve(num_slots);
+  spike_rngs_.reserve(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    streams_.emplace_back(options_.plan, static_cast<uint32_t>(slot));
+    spike_rngs_.emplace_back(
+        DeriveSeed(options_.plan.seed, kSpikeStream, slot));
+  }
+  stall_active_.assign(num_slots, false);
+}
+
+double FaultInjector::NextEventTime() const {
+  double best = kNeverTime;
+  for (const FaultStream& stream : streams_) {
+    best = std::min(best, stream.next_crash_transition());
+    best = std::min(best, stream.next_transition());
+    best = std::min(best, stream.next_abort());
+  }
+  return best;
+}
+
+size_t FaultInjector::num_slots_up() const {
+  size_t up = 0;
+  for (const FaultStream& stream : streams_) {
+    if (!stream.down()) ++up;
+  }
+  return up;
+}
+
+void FaultInjector::CollectEventsUpTo(double now,
+                                      std::vector<Event>* events) {
+  while (true) {
+    // Global minimum over every stream's next boundary. Scan order is
+    // the tie-break: crash boundaries before outage boundaries before
+    // abort instants, slots ascending (strict < keeps the first hit).
+    double best = kNeverTime;
+    uint32_t best_slot = 0;
+    enum class Source : uint8_t { kCrash, kOutage, kAbort };
+    Source best_source = Source::kCrash;
+    for (uint32_t slot = 0; slot < streams_.size(); ++slot) {
+      const FaultStream& stream = streams_[slot];
+      if (stream.next_crash_transition() < best) {
+        best = stream.next_crash_transition();
+        best_slot = slot;
+        best_source = Source::kCrash;
+      }
+      if (stream.next_transition() < best) {
+        best = stream.next_transition();
+        best_slot = slot;
+        best_source = Source::kOutage;
+      }
+      if (stream.next_abort() < best) {
+        best = stream.next_abort();
+        best_slot = slot;
+        best_source = Source::kAbort;
+      }
+    }
+    if (best > now || best >= kNeverTime) return;
+
+    FaultStream& stream = streams_[best_slot];
+    switch (best_source) {
+      case Source::kCrash:
+        if (stream.AdvanceCrashTransition()) {
+          events->push_back({best, Event::Kind::kCrash, best_slot});
+          if (options_.plan.correlated_crash_prob > 0.0) {
+            // Fixed consumption pattern, mirroring the simulator: one
+            // correlated draw per other slot, ascending.
+            for (uint32_t victim = 0; victim < streams_.size(); ++victim) {
+              if (victim == best_slot) continue;
+              SimTime repair = 0.0;
+              if (!stream.DrawCorrelatedVictim(&repair)) continue;
+              const bool was_up = !streams_[victim].crashed();
+              streams_[victim].ForceCrash(best, repair);
+              if (was_up) {
+                events->push_back({best, Event::Kind::kCrash, victim});
+              }
+            }
+          }
+        } else {
+          events->push_back({best, Event::Kind::kRepair, best_slot});
+        }
+        break;
+      case Source::kOutage: {
+        // The stream alternates start/end strictly; mirror the phase to
+        // label the boundary (down() can't distinguish: it includes
+        // crashes).
+        stream.AdvanceTransition();
+        const bool starting = !stall_active_[best_slot];
+        stall_active_[best_slot] = starting;
+        events->push_back({best,
+                           starting ? Event::Kind::kStallStart
+                                    : Event::Kind::kStallEnd,
+                           best_slot});
+        break;
+      }
+      case Source::kAbort:
+        stream.AdvanceAbort();
+        events->push_back({best, Event::Kind::kAbort, best_slot});
+        break;
+    }
+  }
+}
+
+double FaultInjector::DrawLatencySpike(uint32_t slot) {
+  if (options_.latency_spike_prob <= 0.0) return 0.0;
+  Rng& rng = spike_rngs_[slot];
+  // Two draws per dispatch unconditionally, so the stream position is a
+  // pure function of the slot's dispatch count.
+  const double hit = rng.NextDouble();
+  const double magnitude = rng.NextDouble();
+  if (hit >= options_.latency_spike_prob) return 0.0;
+  return -std::log(1.0 - magnitude) * options_.mean_latency_spike;
+}
+
+}  // namespace webtx::rt

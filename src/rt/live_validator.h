@@ -1,0 +1,79 @@
+#ifndef WEBTX_RT_LIVE_VALIDATOR_H_
+#define WEBTX_RT_LIVE_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "rt/executor.h"
+#include "rt/live_trace.h"
+#include "txn/transaction.h"
+
+namespace webtx::rt {
+
+/// What the validator knows about one submitted task, independent of
+/// the executor's own bookkeeping (the harness builds these from the
+/// TaskSpecs it submitted, so executor accounting is cross-checked
+/// against ground truth, not against itself).
+struct LiveTaskRecord {
+  double submit_seconds = 0.0;
+  double deadline_seconds = 0.0;  // absolute (submit + relative deadline)
+  uint32_t max_attempts = 1;
+  double retry_backoff = 0.0;
+  double backoff_multiplier = 2.0;
+  /// Deterministic virtual work (TaskSpec::simulated_duration > 0):
+  /// enables exact-instant checks (forced aborts end the attempt at the
+  /// abort instant, etc.).
+  bool simulated = false;
+  std::vector<TxnId> dependencies;
+};
+
+/// Executor options the invariants depend on.
+struct LiveValidatorOptions {
+  bool watchdog = false;
+  double watchdog_stall_seconds = 0.0;
+  double retry_max_backoff = 0.0;
+};
+
+struct LiveValidationResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Audits one executor run: the recorded trace (record_trace must have
+/// been on, and the executor shut down so the trace is quiescent)
+/// against the submitted tasks, final outcomes, and stats. Checks the
+/// live crash-era invariants:
+///   - slot discipline: every dispatch lands on an up, unoccupied slot;
+///     down/up events alternate per channel (stall, crash);
+///   - no completed attempt's execution interval strictly contains a
+///     crash instant of its slot (a crash with the attempt in flight
+///     must fail over, leaving a zombie whose return is discarded);
+///   - watchdog: stall failovers happen exactly detection-delay after a
+///     stall start and only when the watchdog is on; conversely no
+///     attempt outlives the detection deadline on a stalled slot;
+///   - attempt accounting: charged dispatches == outcome.attempts and
+///     <= max_attempts; failovers == outcome.migrations; every failover
+///     eventually yields exactly one zombie end; uncharged (migration)
+///     re-dispatches never exceed failovers;
+///   - forced aborts: recorded against a real in-flight attempt, ending
+///     it (simulated tasks: at the abort instant) with an aborted or
+///     shed attempt result;
+///   - retries: every scheduled backoff delay equals the task's
+///     backoff * multiplier^(attempt-1), clamped at retry_max_backoff
+///     (clamps consistent with stats.retry_storm_suppressed), and is
+///     either released exactly at its due time or cancelled by a
+///     shutdown shed / dependency drop;
+///   - terminality: exactly one terminal event per task, agreeing with
+///     the outcome; every drop has a cause (the TaskResult); fates
+///     partition into the stats counters; admission-shed tasks are
+///     never dispatched; completed tardiness matches the deadline.
+/// `tasks` and `outcomes` are indexed by TxnId (submission order).
+LiveValidationResult ValidateLiveTrace(
+    const std::vector<LiveTraceEvent>& trace,
+    const std::vector<LiveTaskRecord>& tasks,
+    const std::vector<TaskOutcome>& outcomes, const ExecutorStats& stats,
+    const LiveValidatorOptions& options);
+
+}  // namespace webtx::rt
+
+#endif  // WEBTX_RT_LIVE_VALIDATOR_H_

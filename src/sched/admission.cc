@@ -1,6 +1,8 @@
 #include "sched/admission.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace webtx {
 
@@ -67,6 +69,100 @@ AdmissionDecision FeasibilityAdmission::Decide(TxnId id, SimTime now) {
   return AdmissionDecision::Admit();
 }
 
+BrownoutAdmission::BrownoutAdmission(BrownoutAdmissionOptions options)
+    : options_(std::move(options)) {
+  WEBTX_CHECK(options_.tardiness_slo > 0.0);
+  WEBTX_CHECK(options_.depth_slo > 0.0);
+  WEBTX_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0);
+  WEBTX_CHECK(!options_.weight_tiers.empty());
+  for (size_t i = 1; i < options_.weight_tiers.size(); ++i) {
+    WEBTX_CHECK(options_.weight_tiers[i - 1] < options_.weight_tiers[i])
+        << "weight_tiers must be strictly ascending";
+  }
+  WEBTX_CHECK(options_.breaker_trip_severity > 1.0);
+  WEBTX_CHECK(options_.breaker_cooldown > 0.0);
+}
+
+std::string BrownoutAdmission::name() const {
+  std::ostringstream os;
+  os << "brownout(slo=" << options_.tardiness_slo << ")";
+  return os.str();
+}
+
+void BrownoutAdmission::Reset() {
+  tardy_ewma_ = 0.0;
+  depth_ewma_ = 0.0;
+  breaker_ = BreakerState::kClosed;
+  open_until_ = 0.0;
+  probe_ = kInvalidTxn;
+}
+
+double BrownoutAdmission::SeverityLocked() const {
+  return std::max(tardy_ewma_ / options_.tardiness_slo,
+                  depth_ewma_ / options_.depth_slo);
+}
+
+AdmissionDecision BrownoutAdmission::Decide(TxnId id, SimTime now) {
+  // Depth signal: ready backlog per server actually up, smoothed.
+  const double depth =
+      static_cast<double>(view().ready_transactions().size()) /
+      static_cast<double>(view().num_servers_up());
+  depth_ewma_ =
+      (1.0 - options_.ewma_alpha) * depth_ewma_ + options_.ewma_alpha * depth;
+
+  const TransactionSpec& spec = view().specs()[id];
+  // Mid-workflow arrivals ride on their admitted root: shedding them
+  // would waste finished predecessor work.
+  if (!spec.dependencies.empty()) return AdmissionDecision::Admit();
+
+  const double top_tier = options_.weight_tiers.back();
+  if (breaker_ == BreakerState::kOpen) {
+    if (now < open_until_) {
+      return spec.weight >= top_tier ? AdmissionDecision::Admit()
+                                     : AdmissionDecision::Reject();
+    }
+    breaker_ = BreakerState::kHalfOpen;
+  }
+  if (breaker_ == BreakerState::kHalfOpen) {
+    if (probe_ == kInvalidTxn) {
+      probe_ = id;  // the probe: its observed tardiness decides the fate
+      return AdmissionDecision::Admit();
+    }
+    return spec.weight >= top_tier ? AdmissionDecision::Admit()
+                                   : AdmissionDecision::Reject();
+  }
+
+  const double severity = SeverityLocked();
+  if (severity >= options_.breaker_trip_severity) {
+    breaker_ = BreakerState::kOpen;
+    open_until_ = now + options_.breaker_cooldown;
+    return spec.weight >= top_tier ? AdmissionDecision::Admit()
+                                   : AdmissionDecision::Reject();
+  }
+  if (severity <= 1.0) return AdmissionDecision::Admit();
+  // Browned out: one tier of shedding per unit of overload.
+  const auto level = static_cast<size_t>(severity - 1.0) + 1;
+  const size_t tier = std::min(level, options_.weight_tiers.size()) - 1;
+  return spec.weight < options_.weight_tiers[tier]
+             ? AdmissionDecision::Reject()
+             : AdmissionDecision::Admit();
+}
+
+void BrownoutAdmission::ObserveCompletion(TxnId id, SimTime tardiness,
+                                          SimTime now) {
+  tardy_ewma_ = (1.0 - options_.ewma_alpha) * tardy_ewma_ +
+                options_.ewma_alpha * std::max(0.0, tardiness);
+  if (breaker_ == BreakerState::kHalfOpen && id == probe_) {
+    if (tardiness <= options_.tardiness_slo) {
+      breaker_ = BreakerState::kClosed;
+    } else {
+      breaker_ = BreakerState::kOpen;
+      open_until_ = now + options_.breaker_cooldown;
+    }
+    probe_ = kInvalidTxn;
+  }
+}
+
 AdmissionFactory MakeQueueDepthAdmission(QueueDepthAdmissionOptions options) {
   return [options] { return std::make_unique<QueueDepthAdmission>(options); };
 }
@@ -75,6 +171,10 @@ AdmissionFactory MakeFeasibilityAdmission(
     FeasibilityAdmissionOptions options) {
   return
       [options] { return std::make_unique<FeasibilityAdmission>(options); };
+}
+
+AdmissionFactory MakeBrownoutAdmission(BrownoutAdmissionOptions options) {
+  return [options] { return std::make_unique<BrownoutAdmission>(options); };
 }
 
 }  // namespace webtx

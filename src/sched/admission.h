@@ -70,6 +70,16 @@ class AdmissionController {
   /// kAdmit or kReject for the run to terminate.
   virtual AdmissionDecision Decide(TxnId id, SimTime now) = 0;
 
+  /// Feedback hook: the host reports every completion with its observed
+  /// tardiness (live executors report measured wall/virtual-clock
+  /// tardiness, not the oracle estimate). Default: ignored. Adaptive
+  /// controllers (BrownoutAdmission) steer shedding with it.
+  virtual void ObserveCompletion(TxnId id, SimTime tardiness, SimTime now) {
+    (void)id;
+    (void)tardiness;
+    (void)now;
+  }
+
  protected:
   AdmissionController() = default;
 
@@ -147,11 +157,73 @@ class FeasibilityAdmission final : public AdmissionController {
   FeasibilityAdmissionOptions options_;
 };
 
+struct BrownoutAdmissionOptions {
+  /// Observed-tardiness EWMA considered "at capacity" (severity 1.0).
+  SimTime tardiness_slo = 0.5;
+  /// Ready-queue depth per up-server considered "at capacity".
+  double depth_slo = 16.0;
+  /// EWMA smoothing factor in (0, 1]: applied per completion to the
+  /// tardiness signal and per arrival to the depth signal.
+  double ewma_alpha = 0.2;
+  /// SLA weight tiers, strictly ascending. At brownout level k
+  /// (1-based), dependency-free arrivals with weight below
+  /// weight_tiers[min(k, tiers) - 1] are shed; deeper overload raises
+  /// the admitted-weight floor tier by tier.
+  std::vector<double> weight_tiers = {1.0, 4.0, 16.0};
+  /// Severity at which the circuit breaker trips wide open.
+  double breaker_trip_severity = 4.0;
+  /// Seconds the breaker stays open before probing again (half-open).
+  SimTime breaker_cooldown = 5.0;
+};
+
+/// Brownout / circuit-breaker admission driven by *observed* load, not
+/// oracle estimates: the host reports measured completion tardiness via
+/// ObserveCompletion and the controller maintains EWMAs of tardiness
+/// and ready-queue depth (normalized per up-server). Severity is the
+/// worse of the two signals relative to its SLO:
+///   - severity <= 1: healthy, admit everything;
+///   - 1 < severity < trip: browned out — shed low-SLA-weight arrivals,
+///     raising the admitted-weight floor one tier per unit of overload;
+///   - severity >= trip: the breaker opens — only top-tier arrivals are
+///     admitted for breaker_cooldown seconds, then ONE probe arrival is
+///     admitted (half-open) and its observed tardiness decides between
+///     closing the breaker and re-opening it.
+/// Only dependency-free (root) arrivals are ever shed, matching the
+/// other controllers. Deterministic given the same call sequence.
+class BrownoutAdmission final : public AdmissionController {
+ public:
+  explicit BrownoutAdmission(BrownoutAdmissionOptions options = {});
+
+  std::string name() const override;
+  AdmissionDecision Decide(TxnId id, SimTime now) override;
+  void ObserveCompletion(TxnId id, SimTime tardiness, SimTime now) override;
+
+  /// Introspection for tests and benches.
+  double tardiness_ewma() const { return tardy_ewma_; }
+  double depth_ewma() const { return depth_ewma_; }
+  enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const { return breaker_; }
+
+ protected:
+  void Reset() override;
+
+ private:
+  double SeverityLocked() const;
+
+  BrownoutAdmissionOptions options_;
+  double tardy_ewma_ = 0.0;
+  double depth_ewma_ = 0.0;
+  BreakerState breaker_ = BreakerState::kClosed;
+  SimTime open_until_ = 0.0;
+  TxnId probe_ = kInvalidTxn;  // half-open probe awaiting its completion
+};
+
 /// Convenience factories for SimOptions::admission.
 AdmissionFactory MakeQueueDepthAdmission(
     QueueDepthAdmissionOptions options = {});
 AdmissionFactory MakeFeasibilityAdmission(
     FeasibilityAdmissionOptions options = {});
+AdmissionFactory MakeBrownoutAdmission(BrownoutAdmissionOptions options = {});
 
 }  // namespace webtx
 

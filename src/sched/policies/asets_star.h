@@ -108,6 +108,7 @@ class AsetsStarPolicyT final : public SchedulerPolicy {
   void OnCompletion(TxnId id, SimTime now) override;
   void OnRemainingUpdated(TxnId id, SimTime now) override;
   void OnDropped(TxnId id, SimTime now) override;
+  void OnMigrated(TxnId id, SimTime now) override;
   TxnId PickNext(SimTime now) override;
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;
@@ -433,6 +434,18 @@ void AsetsStarPolicyT<Queue>::OnCompletion(TxnId id, SimTime now) {
 
 template <typename Queue>
 void AsetsStarPolicyT<Queue>::OnRemainingUpdated(TxnId id, SimTime now) {
+  MarkWorkflowsOf(id, now);
+}
+
+template <typename Queue>
+void AsetsStarPolicyT<Queue>::OnMigrated(TxnId id, SimTime now) {
+  // Mid-workflow re-planning: a warm migration charges progress to the
+  // victim (shrinking its remaining) with no other callback, and a cold
+  // one resets it to the full estimate — either way every workflow the
+  // victim represents must re-derive rep_remaining and its head from the
+  // post-migration values before the scheduling round at the crash
+  // instant, or the EDF-/HDF-list keys that decide the next pick would
+  // reflect the pre-crash plan.
   MarkWorkflowsOf(id, now);
 }
 

@@ -71,6 +71,19 @@ class SchedulerPolicy {
     (void)now;
   }
 
+  /// A running transaction was migrated off a crashed server (warm: work
+  /// retained, the transaction stays ready; cold: work discarded — the
+  /// OnCompletion dequeue signal and the OnReady re-announcement have
+  /// already fired, exactly as for an abort). Fires after those
+  /// callbacks, before the scheduling round at the crash instant, so
+  /// policies that cache derived plans (e.g. ASETS* workflow
+  /// representatives and heads) can re-derive them from the
+  /// post-migration state. Default: no re-planning.
+  virtual void OnMigrated(TxnId id, SimTime now) {
+    (void)id;
+    (void)now;
+  }
+
   /// The transaction to run until the next scheduling point, or
   /// kInvalidTxn when no transaction is ready.
   virtual TxnId PickNext(SimTime now) = 0;

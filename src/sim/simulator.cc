@@ -552,6 +552,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       suspended_[victim] = 0;
       MakeReady(victim, t, policy);
     }
+    policy.OnMigrated(victim, t);
   };
 
   while (resolved_count < n) {

@@ -1,0 +1,173 @@
+// Shutdown racing the watchdog and delayed-retry release, under the
+// virtual clock (satellite of the live-resilience tentpole). The stall
+// watchdog fails attempts over while retries wait out backoffs; both
+// paths mutate the same ready/delayed/inflight structures a shutdown
+// tears down, so this suite drives Shutdown()/ShutdownNow() into the
+// middle of that traffic, repeatedly, and asserts liveness (the test
+// returns) plus the terminal-fate partition identity. Runs under the
+// `tsan` CMake preset (see CMakePresets.json test filter), where the
+// synchronization itself is audited.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/clock.h"
+#include "rt/executor.h"
+#include "sched/policy_factory.h"
+
+namespace webtx::rt {
+namespace {
+
+/// Stall-heavy, crash-seasoned fault plan: outage windows become live
+/// slot stalls (what the watchdog watches), crashes force failovers of
+/// their own, and aborts keep the retry queue busy.
+FaultPlanConfig StallPlan(uint64_t seed) {
+  FaultPlanConfig plan;
+  plan.outage_rate = 0.25;
+  plan.mean_outage_duration = 0.6;
+  plan.crash_rate = 0.08;
+  plan.mean_repair_duration = 0.8;
+  plan.abort_rate = 0.15;
+  plan.migration = MigrationPolicy::kWarm;
+  plan.seed = seed;
+  return plan;
+}
+
+ExecutorOptions RaceOptions(std::shared_ptr<Clock> clock, uint64_t seed) {
+  ExecutorOptions options;
+  options.num_workers = 4;
+  options.clock = std::move(clock);
+  options.faults.plan = StallPlan(seed);
+  options.faults.latency_spike_prob = 0.2;
+  options.faults.mean_latency_spike = 0.05;
+  options.watchdog = true;
+  options.watchdog_stall_seconds = 0.05;  // detect fast: maximal traffic
+  options.retry_max_backoff = 0.2;
+  options.retry_budget = 6;
+  return options;
+}
+
+/// Simulated tasks with tight timeouts and retry budgets: most attempts
+/// either time out (delayed retry) or get failed over (watchdog), so
+/// every structure the shutdown races against stays populated.
+TaskSpec RaceTask(size_t index) {
+  TaskSpec task;
+  task.estimated_cost = 0.05 + 0.01 * static_cast<double>(index % 7);
+  task.simulated_duration = task.estimated_cost;
+  task.relative_deadline = 0.5;
+  if (index % 3 == 0) task.timeout_seconds = 0.04;  // undercuts duration
+  task.max_attempts = 3;
+  task.retry_backoff_seconds = 0.03;
+  task.backoff_multiplier = 4.0;  // second delay clamps at max_backoff
+  return task;
+}
+
+void ExpectTerminalPartition(Executor& exec, size_t submitted) {
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.submitted, submitted);
+  EXPECT_EQ(exec.finished_count(), submitted);
+  EXPECT_EQ(stats.completed + stats.shed_admission + stats.shed_shutdown +
+                stats.dropped_retries + stats.dropped_dependency,
+            exec.finished_count());
+}
+
+TEST(ExecutorWatchdogRaceTest, HardShutdownRacesWatchdogFailover) {
+  // ShutdownNow lands mid-timeline while watchdog failovers and delayed
+  // retries are in flight. Several rounds, shifted shutdown instants:
+  // each round freezes the teardown against a different phase of the
+  // fault traffic.
+  for (uint64_t round = 0; round < 6; ++round) {
+    auto clock = std::make_shared<VirtualClock>();
+    auto policy = CreatePolicy("EDF");
+    ASSERT_TRUE(policy.ok()) << policy.status();
+    Executor exec(std::move(policy).ValueOrDie(),
+                  RaceOptions(clock, 77 + round));
+
+    clock->RegisterParticipant();
+    constexpr size_t kTasks = 48;
+    for (size_t i = 0; i < kTasks; ++i) {
+      clock->SleepUntil(0.01 * static_cast<double>(i + 1), nullptr);
+      ASSERT_TRUE(exec.Submit(RaceTask(i)).ok());
+    }
+    // Let the fault timeline chew on the backlog, then pull the plug at
+    // a round-dependent instant.
+    clock->SleepUntil(0.6 + 0.07 * static_cast<double>(round), nullptr);
+    exec.ShutdownNow();
+    clock->DeregisterParticipant();
+
+    ExpectTerminalPartition(exec, kTasks);
+  }
+}
+
+TEST(ExecutorWatchdogRaceTest, GracefulShutdownDrainsThroughStalls) {
+  // Shutdown() (drain-everything semantics) issued while stalls hold
+  // slots down: the drain can only finish through watchdog failovers
+  // and retry releases, so a lost wakeup or leaked delayed entry shows
+  // up as a hang here.
+  for (uint64_t round = 0; round < 4; ++round) {
+    auto clock = std::make_shared<VirtualClock>();
+    auto policy = CreatePolicy("SRPT");
+    ASSERT_TRUE(policy.ok()) << policy.status();
+    Executor exec(std::move(policy).ValueOrDie(),
+                  RaceOptions(clock, 200 + round));
+
+    clock->RegisterParticipant();
+    constexpr size_t kTasks = 32;
+    for (size_t i = 0; i < kTasks; ++i) {
+      clock->SleepUntil(0.015 * static_cast<double>(i + 1), nullptr);
+      ASSERT_TRUE(exec.Submit(RaceTask(i)).ok());
+    }
+    exec.Shutdown();  // full drain: every task reaches a terminal fate
+    clock->DeregisterParticipant();
+
+    ExpectTerminalPartition(exec, kTasks);
+    const ExecutorStats stats = exec.stats();
+    EXPECT_EQ(stats.shed_shutdown, 0u) << "graceful drain must not shed";
+  }
+}
+
+TEST(ExecutorWatchdogRaceTest, SpectatorsObserveTornDownExecutor) {
+  // Unregistered reader threads hammer the stats surface while the
+  // fault traffic runs and the driver shuts down hard — the classic
+  // reader-vs-teardown data-race shape tsan is here to audit.
+  auto clock = std::make_shared<VirtualClock>();
+  auto policy = CreatePolicy("EDF");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  Executor exec(std::move(policy).ValueOrDie(), RaceOptions(clock, 31));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> spectators;
+  for (int s = 0; s < 3; ++s) {
+    spectators.emplace_back([&] {
+      size_t last_finished = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t finished = exec.finished_count();
+        EXPECT_GE(finished, last_finished) << "finished_count regressed";
+        last_finished = finished;
+        (void)exec.stats();
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  clock->RegisterParticipant();
+  constexpr size_t kTasks = 40;
+  for (size_t i = 0; i < kTasks; ++i) {
+    clock->SleepUntil(0.01 * static_cast<double>(i + 1), nullptr);
+    ASSERT_TRUE(exec.Submit(RaceTask(i)).ok());
+  }
+  clock->SleepUntil(0.8, nullptr);
+  exec.ShutdownNow();
+  clock->DeregisterParticipant();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& s : spectators) s.join();
+  ExpectTerminalPartition(exec, kTasks);
+}
+
+}  // namespace
+}  // namespace webtx::rt

@@ -1,0 +1,210 @@
+// rt::FaultInjector unit tests: the live executor's fault event source
+// must be a deterministic, time-ordered reinterpretation of the
+// simulator's seeded per-server streams — same seed, same slot count,
+// same event list, every run. The executor's replay digests inherit
+// exactly this property.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/fault_injector.h"
+
+namespace webtx::rt {
+namespace {
+
+using Event = FaultInjector::Event;
+
+FaultInjectorOptions BusyOptions(uint64_t seed) {
+  FaultInjectorOptions options;
+  options.plan.outage_rate = 0.3;
+  options.plan.mean_outage_duration = 0.5;
+  options.plan.abort_rate = 0.2;
+  options.plan.crash_rate = 0.15;
+  options.plan.mean_repair_duration = 0.8;
+  options.plan.seed = seed;
+  options.latency_spike_prob = 0.5;
+  options.mean_latency_spike = 0.1;
+  return options;
+}
+
+std::vector<Event> DrainUpTo(FaultInjector& injector, double horizon) {
+  std::vector<Event> events;
+  injector.CollectEventsUpTo(horizon, &events);
+  return events;
+}
+
+TEST(FaultInjectorTest, CreateRejectsInvalidConfigurations) {
+  FaultInjectorOptions bad_prob = BusyOptions(1);
+  bad_prob.latency_spike_prob = 1.5;
+  EXPECT_FALSE(FaultInjector::Create(bad_prob, 2).ok());
+
+  FaultInjectorOptions no_mean = BusyOptions(1);
+  no_mean.mean_latency_spike = 0.0;
+  EXPECT_FALSE(FaultInjector::Create(no_mean, 2).ok());
+
+  FaultInjectorOptions bad_plan = BusyOptions(1);
+  bad_plan.plan.crash_rate = 0.1;
+  bad_plan.plan.mean_repair_duration = 0.0;  // FaultPlan::Create rejects
+  EXPECT_FALSE(FaultInjector::Create(bad_plan, 2).ok());
+
+  EXPECT_FALSE(FaultInjector::Create(BusyOptions(1), 0).ok());
+  EXPECT_TRUE(FaultInjector::Create(BusyOptions(1), 3).ok());
+}
+
+TEST(FaultInjectorTest, EventStreamIsDeterministic) {
+  auto a = FaultInjector::Create(BusyOptions(42), 3);
+  auto b = FaultInjector::Create(BusyOptions(42), 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  const std::vector<Event> ea = DrainUpTo(a.ValueOrDie(), 200.0);
+  const std::vector<Event> eb = DrainUpTo(b.ValueOrDie(), 200.0);
+  ASSERT_FALSE(ea.empty()) << "horizon too short to exercise the streams";
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].time, eb[i].time);
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].slot, eb[i].slot);
+  }
+
+  // The per-slot spike streams replay identically too.
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    for (int draw = 0; draw < 16; ++draw) {
+      EXPECT_EQ(a.ValueOrDie().DrawLatencySpike(slot),
+                b.ValueOrDie().DrawLatencySpike(slot));
+    }
+  }
+}
+
+TEST(FaultInjectorTest, EventsAreOrderedAndSlotStateTracksThem) {
+  // One pass collects the full list; a second injector steps through it
+  // instant by instant while the test mirrors the per-slot stall/crash
+  // state. slot_down / slot_crashed / num_slots_up must agree with the
+  // mirror after every instant, and each channel must alternate
+  // open/close per slot.
+  FaultInjectorOptions options = BusyOptions(7);
+  constexpr size_t kSlots = 3;
+  auto first = FaultInjector::Create(options, kSlots);
+  ASSERT_TRUE(first.ok());
+  const std::vector<Event> events = DrainUpTo(first.ValueOrDie(), 300.0);
+  ASSERT_GT(events.size(), 20u);
+
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time) << "out of order at " << i;
+  }
+
+  auto second = FaultInjector::Create(options, kSlots);
+  ASSERT_TRUE(second.ok());
+  FaultInjector& injector = second.ValueOrDie();
+  bool stalled[kSlots] = {false, false, false};
+  bool crashed[kSlots] = {false, false, false};
+  size_t next = 0;
+  while (next < events.size()) {
+    const double instant = events[next].time;
+    std::vector<Event> got;
+    injector.CollectEventsUpTo(instant, &got);
+    for (const Event& e : got) {
+      ASSERT_LT(e.slot, kSlots);
+      switch (e.kind) {
+        case Event::Kind::kStallStart:
+          EXPECT_FALSE(stalled[e.slot]) << "stall did not alternate";
+          stalled[e.slot] = true;
+          break;
+        case Event::Kind::kStallEnd:
+          EXPECT_TRUE(stalled[e.slot]) << "stall end without start";
+          stalled[e.slot] = false;
+          break;
+        case Event::Kind::kCrash:
+          EXPECT_FALSE(crashed[e.slot]) << "crash did not alternate";
+          crashed[e.slot] = true;
+          break;
+        case Event::Kind::kRepair:
+          EXPECT_TRUE(crashed[e.slot]) << "repair without crash";
+          crashed[e.slot] = false;
+          break;
+        case Event::Kind::kAbort:
+          break;  // instant, no slot state
+      }
+      ++next;
+    }
+    size_t up = 0;
+    for (size_t slot = 0; slot < kSlots; ++slot) {
+      EXPECT_EQ(injector.slot_down(slot), stalled[slot] || crashed[slot]);
+      EXPECT_EQ(injector.slot_crashed(slot), crashed[slot]);
+      if (!(stalled[slot] || crashed[slot])) ++up;
+    }
+    EXPECT_EQ(injector.num_slots_up(), up);
+  }
+  EXPECT_EQ(injector.num_slots(), kSlots);
+}
+
+TEST(FaultInjectorTest, NextEventTimeIsTheNextCollectableInstant) {
+  auto created = FaultInjector::Create(BusyOptions(11), 2);
+  ASSERT_TRUE(created.ok());
+  FaultInjector& injector = created.ValueOrDie();
+
+  const double t0 = injector.NextEventTime();
+  ASSERT_LT(t0, kNeverTime);
+  std::vector<Event> events;
+  injector.CollectEventsUpTo(std::nextafter(t0, 0.0), &events);
+  EXPECT_TRUE(events.empty()) << "event surfaced before NextEventTime";
+  injector.CollectEventsUpTo(t0, &events);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().time, t0);
+  // The horizon moved strictly forward.
+  EXPECT_GT(injector.NextEventTime(), t0);
+}
+
+TEST(FaultInjectorTest, LatencySpikesRespectProbabilityEdges) {
+  FaultInjectorOptions always = BusyOptions(3);
+  always.latency_spike_prob = 1.0;
+  auto hot = FaultInjector::Create(always, 2);
+  ASSERT_TRUE(hot.ok());
+  for (int draw = 0; draw < 32; ++draw) {
+    EXPECT_GT(hot.ValueOrDie().DrawLatencySpike(0), 0.0);
+  }
+
+  FaultInjectorOptions never = BusyOptions(3);
+  never.latency_spike_prob = 0.0;
+  never.mean_latency_spike = 0.0;
+  auto cold = FaultInjector::Create(never, 2);
+  ASSERT_TRUE(cold.ok());
+  for (int draw = 0; draw < 32; ++draw) {
+    EXPECT_EQ(cold.ValueOrDie().DrawLatencySpike(1), 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, SpikeStreamsAreIndependentPerSlot) {
+  auto created = FaultInjector::Create(BusyOptions(5), 2);
+  ASSERT_TRUE(created.ok());
+  FaultInjector& injector = created.ValueOrDie();
+  bool differs = false;
+  for (int draw = 0; draw < 16 && !differs; ++draw) {
+    differs = injector.DrawLatencySpike(0) != injector.DrawLatencySpike(1);
+  }
+  EXPECT_TRUE(differs) << "slots share a spike stream";
+}
+
+TEST(FaultInjectorTest, CorrelatedCrashesFellCoVictimsAtOneInstant) {
+  FaultInjectorOptions options;
+  options.plan.crash_rate = 0.2;
+  options.plan.mean_repair_duration = 0.5;
+  options.plan.correlated_crash_prob = 1.0;
+  options.plan.seed = 9;
+  auto created = FaultInjector::Create(options, 4);
+  ASSERT_TRUE(created.ok());
+  const std::vector<Event> events = DrainUpTo(created.ValueOrDie(), 100.0);
+
+  bool saw_group = false;
+  for (size_t i = 0; i + 1 < events.size() && !saw_group; ++i) {
+    saw_group = events[i].kind == Event::Kind::kCrash &&
+                events[i + 1].kind == Event::Kind::kCrash &&
+                events[i].time == events[i + 1].time &&
+                events[i].slot != events[i + 1].slot;
+  }
+  EXPECT_TRUE(saw_group) << "no correlated crash group in 100s";
+}
+
+}  // namespace
+}  // namespace webtx::rt

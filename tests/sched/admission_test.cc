@@ -196,5 +196,143 @@ TEST(AdmissionControllerTest, NullFactoryAdmitsEverything) {
   EXPECT_EQ(r.goodput, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// BrownoutAdmission: adaptive shedding from OBSERVED tardiness/depth
+// (the live executor feeds ObserveCompletion; these tests drive the
+// signals by hand). ewma_alpha = 1.0 makes each EWMA equal the latest
+// sample, so severity is exactly controllable.
+
+BrownoutAdmissionOptions ResponsiveBrownout() {
+  BrownoutAdmissionOptions options;
+  options.tardiness_slo = 0.5;
+  options.depth_slo = 16.0;
+  options.ewma_alpha = 1.0;
+  options.weight_tiers = {1.0, 4.0, 16.0};
+  options.breaker_trip_severity = 4.0;
+  options.breaker_cooldown = 5.0;
+  return options;
+}
+
+/// Roots of every weight tier plus one dependent; nothing ready, so the
+/// depth signal stays zero and tardiness alone sets the severity.
+testing::FakeView BrownoutView() {
+  std::vector<TransactionSpec> txns = {
+      Txn(0, 0, 1, 100, /*weight=*/0.5),  Txn(1, 0, 1, 100, /*weight=*/2.0),
+      Txn(2, 0, 1, 100, /*weight=*/16.0), Txn(3, 0, 1, 100, /*weight=*/0.5,
+                                              /*deps=*/{0}),
+  };
+  return testing::FakeView(std::move(txns));
+}
+
+TEST(BrownoutAdmissionTest, HealthyAdmitsEveryWeight) {
+  auto view = BrownoutView();
+  BrownoutAdmission brownout(ResponsiveBrownout());
+  brownout.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) {
+    EXPECT_EQ(brownout.Decide(id, 0.0).action,
+              AdmissionDecision::Action::kAdmit)
+        << "T" << id;
+  }
+  EXPECT_EQ(brownout.breaker_state(),
+            BrownoutAdmission::BreakerState::kClosed);
+}
+
+TEST(BrownoutAdmissionTest, BrownoutShedsByWeightTier) {
+  auto view = BrownoutView();
+  BrownoutAdmission brownout(ResponsiveBrownout());
+  brownout.Bind(view);
+
+  // severity 1.5: one unit of overload -> floor = tier 0 (weight 1.0).
+  brownout.ObserveCompletion(0, /*tardiness=*/0.75, 1.0);
+  EXPECT_EQ(brownout.Decide(0, 1.0).action,
+            AdmissionDecision::Action::kReject);  // weight 0.5 < 1.0
+  EXPECT_EQ(brownout.Decide(1, 1.0).action,
+            AdmissionDecision::Action::kAdmit);  // weight 2.0 >= 1.0
+
+  // severity 2.5: deeper overload -> floor = tier 1 (weight 4.0).
+  brownout.ObserveCompletion(0, /*tardiness=*/1.25, 2.0);
+  EXPECT_EQ(brownout.Decide(1, 2.0).action,
+            AdmissionDecision::Action::kReject);  // weight 2.0 < 4.0
+  EXPECT_EQ(brownout.Decide(2, 2.0).action,
+            AdmissionDecision::Action::kAdmit);  // weight 16.0 >= 4.0
+}
+
+TEST(BrownoutAdmissionTest, MidWorkflowArrivalsRideTheBrownoutOut) {
+  auto view = BrownoutView();
+  BrownoutAdmission brownout(ResponsiveBrownout());
+  brownout.Bind(view);
+  brownout.ObserveCompletion(0, /*tardiness=*/1.25, 1.0);  // severity 2.5
+  // T3 depends on T0: shedding it would waste finished predecessor work.
+  EXPECT_EQ(brownout.Decide(3, 1.0).action,
+            AdmissionDecision::Action::kAdmit);
+}
+
+TEST(BrownoutAdmissionTest, BreakerTripsAndRecoversThroughAProbe) {
+  auto view = BrownoutView();
+  BrownoutAdmission brownout(ResponsiveBrownout());
+  brownout.Bind(view);
+
+  // severity 4.0 >= trip: the breaker opens; only top tier passes.
+  brownout.ObserveCompletion(0, /*tardiness=*/2.0, 1.0);
+  EXPECT_EQ(brownout.Decide(1, 1.0).action,
+            AdmissionDecision::Action::kReject);
+  EXPECT_EQ(brownout.breaker_state(), BrownoutAdmission::BreakerState::kOpen);
+  EXPECT_EQ(brownout.Decide(2, 1.5).action,
+            AdmissionDecision::Action::kAdmit);  // top tier rides through
+
+  // Cooldown elapsed: the next root is admitted as the half-open probe
+  // regardless of weight; contemporaries still face the top-tier bar.
+  EXPECT_EQ(brownout.Decide(0, 7.0).action,
+            AdmissionDecision::Action::kAdmit);
+  EXPECT_EQ(brownout.breaker_state(),
+            BrownoutAdmission::BreakerState::kHalfOpen);
+  EXPECT_EQ(brownout.Decide(1, 7.0).action,
+            AdmissionDecision::Action::kReject);
+
+  // The probe meets the SLO: the breaker closes and (with the tardiness
+  // signal now healthy) low weights are admitted again.
+  brownout.ObserveCompletion(0, /*tardiness=*/0.0, 8.0);
+  EXPECT_EQ(brownout.breaker_state(),
+            BrownoutAdmission::BreakerState::kClosed);
+  EXPECT_EQ(brownout.Decide(0, 8.0).action,
+            AdmissionDecision::Action::kAdmit);
+}
+
+TEST(BrownoutAdmissionTest, TardyProbeReopensTheBreaker) {
+  auto view = BrownoutView();
+  BrownoutAdmission brownout(ResponsiveBrownout());
+  brownout.Bind(view);
+  brownout.ObserveCompletion(0, /*tardiness=*/2.0, 1.0);
+  (void)brownout.Decide(1, 1.0);  // trips the breaker open
+  (void)brownout.Decide(0, 7.0);  // half-open probe
+  brownout.ObserveCompletion(0, /*tardiness=*/1.0, 7.5);  // probe misses SLO
+  EXPECT_EQ(brownout.breaker_state(), BrownoutAdmission::BreakerState::kOpen);
+  // Re-opened for another full cooldown from the probe's completion.
+  EXPECT_EQ(brownout.Decide(0, 10.0).action,
+            AdmissionDecision::Action::kReject);
+}
+
+TEST(BrownoutAdmissionTest, DepthSignalAloneCanBrownout) {
+  // 20 ready roots on 1 server vs depth_slo 8: severity 2.5 from depth
+  // with zero observed tardiness.
+  std::vector<TransactionSpec> txns;
+  for (TxnId id = 0; id < 20; ++id) {
+    txns.push_back(Txn(id, 0, 1, 100, /*weight=*/2.0));
+  }
+  txns.push_back(Txn(20, 0, 1, 100, /*weight=*/8.0));
+  testing::FakeView view(std::move(txns));
+  view.ArriveAll();
+
+  BrownoutAdmissionOptions options = ResponsiveBrownout();
+  options.depth_slo = 8.0;
+  BrownoutAdmission brownout(options);
+  brownout.Bind(view);
+  EXPECT_EQ(brownout.Decide(0, 0.0).action,
+            AdmissionDecision::Action::kReject);  // weight 2.0 < tier-1 4.0
+  EXPECT_EQ(brownout.Decide(20, 0.0).action,
+            AdmissionDecision::Action::kAdmit);  // weight 8.0 >= 4.0
+  EXPECT_GT(brownout.depth_ewma(), options.depth_slo);
+}
+
 }  // namespace
 }  // namespace webtx

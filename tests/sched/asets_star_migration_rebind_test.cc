@@ -1,0 +1,197 @@
+// Mid-workflow re-planning on migration (OnMigrated): when a crash
+// migrates a running transaction, ASETS* must re-derive the victim's
+// workflow representatives and heads from the post-migration state —
+// warm failover charges progress with no other callback, cold failover
+// resets the work — before the scheduling round at the crash instant.
+// Two layers of proof:
+//   1. Unit: OnMigrated alone re-files a workflow whose cached plan went
+//      stale (the pre-hook snapshot demonstrably lags, the post-hook one
+//      matches a fresh rescan).
+//   2. Differential: under crash-heavy warm AND cold fault plans, the
+//      incremental production policy schedules byte-identically to the
+//      full-rescan reference (testing/asets_star_reference.h), which
+//      re-derives everything from the view on every callback.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/policies/asets_star.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "testing/asets_star_reference.h"
+#include "testing/fake_view.h"
+#include "workload/generator.h"
+
+namespace webtx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit: the hook itself.
+
+TEST(OnMigratedRebindTest, WarmMigrationRefreshesRepresentativeAndHead) {
+  // One workflow of two ready members. T0 is "running"; the simulator
+  // charges its progress silently (warm migration retains the executed
+  // work), so only OnMigrated can tell the policy the plan changed.
+  std::vector<TransactionSpec> txns = {
+      testing::Txn(0, 0.0, 10.0, 100.0),
+      testing::Txn(1, 0.0, 6.0, 100.0, 1.0, {0}),
+  };
+  testing::FakeView view(std::move(txns));
+  view.ArriveAll();
+
+  AsetsStarPolicy policy;
+  policy.Bind(view);
+  policy.OnArrival(0, 0.0);
+  policy.OnArrival(1, 0.0);
+  policy.OnReady(0, 0.0);
+  ASSERT_EQ(policy.PickNext(0.0), 0u);  // plan settled: dirty set drained
+
+  // Silent progress charge at the crash instant, as the simulator's
+  // charge_progress does for the running victim.
+  view.SetRemaining(0, 2.0);
+
+  // Without the hook the cached representative still carries the
+  // dispatch-time values: min(10 running, 6 waiting dependent) = 6.
+  auto stale = policy.SnapshotOf(0);
+  ASSERT_TRUE(stale.active);
+  EXPECT_EQ(stale.rep_remaining, 6.0);
+
+  policy.OnMigrated(0, 3.0);
+  auto fresh = policy.SnapshotOf(0);
+  ASSERT_TRUE(fresh.active);
+  EXPECT_EQ(fresh.rep_remaining, 2.0);
+  EXPECT_EQ(fresh.head, 0u);
+}
+
+TEST(OnMigratedRebindTest, ColdMigrationRestoresFullEstimate) {
+  std::vector<TransactionSpec> txns = {
+      testing::Txn(0, 0.0, 8.0, 50.0),
+  };
+  testing::FakeView view(std::move(txns));
+  view.ArriveAll();
+
+  AsetsStarPolicy policy;
+  policy.Bind(view);
+  policy.OnArrival(0, 0.0);
+  policy.OnReady(0, 0.0);
+  view.SetRemaining(0, 1.5);
+  policy.OnMigrated(0, 1.0);
+  EXPECT_EQ(policy.SnapshotOf(0).rep_remaining, 1.5);
+
+  // Cold failover: the sim resets the work (OnCompletion/OnReady have
+  // fired) and OnMigrated follows; the plan must show the full estimate.
+  view.SetRemaining(0, 8.0);
+  policy.OnCompletion(0, 2.0);
+  policy.OnReady(0, 2.0);
+  policy.OnMigrated(0, 2.0);
+  EXPECT_EQ(policy.SnapshotOf(0).rep_remaining, 8.0);
+}
+
+TEST(OnMigratedRebindTest, DefaultImplementationIsNoOp) {
+  // Policies that do not re-plan inherit a no-op; the hook must be safe
+  // to fire at any time for any of them.
+  class MinimalPolicy final : public SchedulerPolicy {
+   public:
+    std::string name() const override { return "minimal"; }
+    void OnReady(TxnId, SimTime) override {}
+    void OnCompletion(TxnId, SimTime) override {}
+    TxnId PickNext(SimTime) override { return kInvalidTxn; }
+
+   protected:
+    void Reset() override {}
+  };
+  MinimalPolicy policy;
+  policy.OnMigrated(0, 1.0);  // must not crash or require Bind
+}
+
+// ---------------------------------------------------------------------------
+// Differential: crash-heavy plans, warm and cold, vs the full-rescan
+// reference.
+
+std::vector<TransactionSpec> MakeWorkload(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.num_transactions = 250;
+  spec.utilization = 1.7;  // overloaded: migrations reshuffle real queues
+  spec.max_weight = 10;
+  spec.max_workflow_length = 5;
+  spec.max_workflows_per_txn = 2;
+  spec.burstiness = 0.5;
+  auto generator = WorkloadGenerator::Create(spec);
+  EXPECT_TRUE(generator.ok());
+  return generator.ValueOrDie().Generate(seed);
+}
+
+void ExpectIdenticalSchedules(const std::vector<TransactionSpec>& txns,
+                              const SimOptions& options) {
+  auto sim = Simulator::Create(txns, options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  AsetsStarPolicy incremental;
+  testing::ReferenceAsetsStarPolicy reference;
+  const RunResult a = sim.ValueOrDie().Run(incremental);
+  const RunResult b = sim.ValueOrDie().Run(reference);
+
+  ASSERT_EQ(a.num_migrations, b.num_migrations);
+  EXPECT_GT(a.num_migrations, 0u) << "plan produced no migrations; the "
+                                     "differential exercises nothing";
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (size_t i = 0; i < a.schedule.size(); ++i) {
+    const ScheduleSegment& sa = a.schedule[i];
+    const ScheduleSegment& sb = b.schedule[i];
+    ASSERT_EQ(sa.txn, sb.txn) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.server, sb.server) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.start, sb.start) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.end, sb.end) << "segment " << i << " diverged";
+    ASSERT_EQ(sa.attempt, sb.attempt) << "segment " << i << " diverged";
+  }
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i].finish, b.outcomes[i].finish) << "T" << i;
+    ASSERT_EQ(a.outcomes[i].fate, b.outcomes[i].fate) << "T" << i;
+    ASSERT_EQ(a.outcomes[i].migrations, b.outcomes[i].migrations) << "T" << i;
+  }
+}
+
+using RebindParam = std::tuple<MigrationPolicy, uint64_t>;
+
+class MigrationRebindMatrixTest
+    : public ::testing::TestWithParam<RebindParam> {};
+
+TEST_P(MigrationRebindMatrixTest, ScheduleByteIdenticalToReference) {
+  const auto& [migration, seed] = GetParam();
+  FaultPlanConfig config;
+  config.crash_rate = 0.05;  // crash-dense: many migration instants
+  config.mean_repair_duration = 4.0;
+  config.correlated_crash_prob = 0.4;
+  config.abort_rate = 0.02;
+  config.migration = migration;
+  config.seed = 40 + seed;
+  auto plan = FaultPlan::Create(config);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  SimOptions options;
+  options.record_schedule = true;
+  options.num_servers = 3;
+  options.fault_plan = plan.ValueOrDie();
+  options.retry.max_attempts = 4;
+  options.retry.backoff = 0.5;
+  ExpectIdenticalSchedules(MakeWorkload(seed), options);
+}
+
+std::string RebindName(const ::testing::TestParamInfo<RebindParam>& info) {
+  const auto& [migration, seed] = info.param;
+  return std::string(migration == MigrationPolicy::kWarm ? "warm_s"
+                                                         : "cold_s") +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, MigrationRebindMatrixTest,
+    ::testing::Combine(::testing::Values(MigrationPolicy::kWarm,
+                                         MigrationPolicy::kCold),
+                       ::testing::Range<uint64_t>(1, 9)),
+    RebindName);
+
+}  // namespace
+}  // namespace webtx

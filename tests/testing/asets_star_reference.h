@@ -51,6 +51,9 @@ class ReferenceAsetsStarPolicy final : public SchedulerPolicy {
   void OnDropped(TxnId id, SimTime now) override {
     RefreshWorkflowsOf(id, now);
   }
+  void OnMigrated(TxnId id, SimTime now) override {
+    RefreshWorkflowsOf(id, now);
+  }
 
   TxnId PickNext(SimTime now) override {
     MigrateDue(now);

@@ -281,6 +281,7 @@ class ReferenceSimulator final : public SimView {
         suspended_[victim] = 0;
         MakeReady(victim, t, policy);
       }
+      policy.OnMigrated(victim, t);
     };
 
     while (resolved_count < n) {

@@ -22,6 +22,20 @@
 //
 //   chaos --mint FILE [--seed S]
 //
+// Live mode: the same campaign idea pointed at the LIVE executor
+// (rt::Executor) under a VirtualClock — seeded fault injection (worker
+// crashes, stall windows, forced aborts, latency spikes), retry storms,
+// admission control, and the stall watchdog, audited by the live trace
+// validator. Every case runs twice and must produce byte-identical
+// trace digests (the determinism contract).
+//
+//   chaos --live [--cases N] [--seed S] [--out reproducer.chaos] [--verbose]
+//
+// Live replays share the --replay flag: the file header says which
+// harness the case belongs to.
+//
+//   chaos --mint-live FILE [--seed S]   mint a live regression replay
+//
 // Huge mode: scale campaign for the large-population structures. Each
 // case is a 10^5-transaction crash/abort/retry scenario run with the
 // calendar-queue pending tier and the arena-SoA transaction store
@@ -43,16 +57,19 @@
 #include <string>
 
 #include "exp/chaos.h"
+#include "exp/live_chaos.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--cases N] [--seed S] [--out FILE] [--verbose]\n"
+               "usage: %s [--live] [--cases N] [--seed S] [--out FILE] "
+               "[--verbose]\n"
                "       %s --replay FILE\n"
                "       %s --mint FILE [--seed S]\n"
+               "       %s --mint-live FILE [--seed S]\n"
                "       %s --huge [--cases N] [--seed S] [--txns T]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -120,6 +137,124 @@ int RunHugeCampaign(uint64_t master_seed, size_t num_cases, size_t num_txns) {
   return failures > 0 ? 1 : 0;
 }
 
+// Re-runs a live replay twice: prints the trace digest, the determinism
+// verdict (the two digests must match), and the live validator verdict.
+int RunLiveReplay(const webtx::LiveChaosCase& c) {
+  auto first = webtx::RunLiveChaosCase(c);
+  if (!first.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", first.status().ToString().c_str());
+    return 2;
+  }
+  auto second = webtx::RunLiveChaosCase(c);
+  if (!second.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", second.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::LiveChaosRun run = std::move(first).ValueOrDie();
+  const bool deterministic = run.digest == second.ValueOrDie().digest;
+  std::printf("mode              live\n");
+  std::printf("policy            %s\n", c.policy.c_str());
+  std::printf("tasks             %zu\n", c.num_tasks);
+  std::printf("workers           %zu\n", c.num_workers);
+  std::printf("crashes           %zu\n", run.stats.crashes);
+  std::printf("stalls            %zu\n", run.stats.stalls);
+  std::printf("migrations        %zu\n", run.stats.migrations);
+  std::printf("forced_aborts     %zu\n", run.stats.forced_aborts);
+  std::printf("completed         %zu\n", run.stats.completed);
+  std::printf("trace_digest      %016llx\n",
+              static_cast<unsigned long long>(run.digest));
+  std::printf("determinism       %s\n",
+              deterministic ? "byte-identical" : "DIVERGED");
+  const webtx::Status verdict = webtx::CheckLiveChaosInvariants(c, run);
+  std::printf("validator         %s\n", verdict.ToString().c_str());
+  return verdict.ok() && deterministic ? 0 : 1;
+}
+
+int RunLiveCampaign(const webtx::ChaosCampaignOptions& sim_options,
+                    bool verbose) {
+  webtx::LiveChaosCampaignOptions options;
+  options.master_seed = sim_options.master_seed;
+  options.num_cases = sim_options.num_cases;
+  options.reproducer_path = sim_options.reproducer_path;
+  if (verbose) {
+    options.progress = [](size_t index, const std::string& violation) {
+      if (violation.empty()) {
+        std::fprintf(stderr, "live case %zu ok\n", index);
+      } else {
+        std::fprintf(stderr, "live case %zu VIOLATION: %s\n", index,
+                     violation.c_str());
+      }
+    };
+  }
+  auto campaign = webtx::RunLiveChaosCampaign(options);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 campaign.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::LiveChaosCampaignResult r = std::move(campaign).ValueOrDie();
+  std::printf("live cases        %zu\n", r.cases_run);
+  std::printf("violations        %zu\n", r.violations);
+  std::printf("nondeterministic  %zu\n", r.determinism_mismatches);
+  std::printf("total_crashes     %zu\n", r.total_crashes);
+  std::printf("total_stalls      %zu\n", r.total_stalls);
+  std::printf("total_migrations  %zu\n", r.total_migrations);
+  std::printf("total_aborts      %zu\n", r.total_forced_aborts);
+  std::printf("total_retries     %zu\n", r.total_retries);
+  if (r.violations > 0) {
+    std::printf("first violation: %s\n", r.first_violation.c_str());
+    if (!options.reproducer_path.empty()) {
+      std::printf("shrunken reproducer written to %s\n",
+                  options.reproducer_path.c_str());
+    } else {
+      std::printf("shrunken reproducer:\n%s",
+                  webtx::SerializeLiveChaosCase(r.first_reproducer).c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int RunMintLive(const std::string& path, uint64_t master_seed) {
+  // Behavioral predicate: the case is deterministic, validates, and
+  // still fails work over off a dead slot — the deepest live path
+  // (zombie attempt, slot detach, uncharged re-dispatch).
+  const webtx::LiveChaosPredicate migrates =
+      [](const webtx::LiveChaosCase& c) {
+        auto first = webtx::RunLiveChaosCase(c);
+        if (!first.ok()) return false;
+        auto second = webtx::RunLiveChaosCase(c);
+        if (!second.ok()) return false;
+        const webtx::LiveChaosRun& run = first.ValueOrDie();
+        return run.digest == second.ValueOrDie().digest &&
+               run.stats.migrations >= 1 &&
+               webtx::CheckLiveChaosInvariants(c, run).ok();
+      };
+  for (uint64_t i = 0; i < 10000; ++i) {
+    webtx::LiveChaosCase c = webtx::RandomLiveChaosCase(master_seed, i);
+    if (!migrates(c)) continue;
+    c = webtx::ShrinkLiveChaosCase(c, migrates);
+    std::ofstream file(path);
+    file << webtx::SerializeLiveChaosCase(c);
+    if (!file.good()) {
+      std::fprintf(stderr, "chaos: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    const webtx::LiveChaosRun run =
+        webtx::RunLiveChaosCase(c).ValueOrDie();
+    std::printf("minted %s (live case %llu of seed %llu)\n", path.c_str(),
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(master_seed));
+    std::printf("tasks             %zu\n", c.num_tasks);
+    std::printf("migrations        %zu\n", run.stats.migrations);
+    std::printf("trace_digest      %016llx\n",
+                static_cast<unsigned long long>(run.digest));
+    return 0;
+  }
+  std::fprintf(stderr, "chaos: no live migration case found\n");
+  return 2;
+}
+
 int RunReplay(const std::string& path) {
   std::ifstream file(path);
   if (!file) {
@@ -128,6 +263,17 @@ int RunReplay(const std::string& path) {
   }
   std::ostringstream text;
   text << file.rdbuf();
+  // The header names the harness; try the live parser first (it rejects
+  // sim replays on the header line alone).
+  auto live = webtx::ParseLiveChaosReplay(text.str());
+  if (live.ok()) return RunLiveReplay(live.ValueOrDie());
+  const std::string live_error = live.status().ToString();
+  if (live_error.find("not a live chaos replay file") == std::string::npos) {
+    // Right header, malformed body: report the live parser's error
+    // instead of confusing the user with the sim parser's.
+    std::fprintf(stderr, "chaos: %s\n", live_error.c_str());
+    return 2;
+  }
   auto parsed = webtx::ParseChaosReplay(text.str());
   if (!parsed.ok()) {
     std::fprintf(stderr, "chaos: %s\n", parsed.status().ToString().c_str());
@@ -198,9 +344,11 @@ int main(int argc, char** argv) {
   webtx::ChaosCampaignOptions options;
   bool verbose = false;
   bool huge = false;
+  bool live = false;
   size_t huge_txns = 100000;
   std::string replay_path;
   std::string mint_path;
+  std::string mint_live_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -226,6 +374,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       mint_path = v;
+    } else if (arg == "--mint-live") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mint_live_path = v;
+    } else if (arg == "--live") {
+      live = true;
     } else if (arg == "--huge") {
       huge = true;
     } else if (arg == "--txns") {
@@ -241,6 +395,10 @@ int main(int argc, char** argv) {
 
   if (!replay_path.empty()) return RunReplay(replay_path);
   if (!mint_path.empty()) return RunMint(mint_path, options.master_seed);
+  if (!mint_live_path.empty()) {
+    return RunMintLive(mint_live_path, options.master_seed);
+  }
+  if (live) return RunLiveCampaign(options, verbose);
   if (huge) {
     // The default 200 campaign cases would be excessive at 10^5 txns.
     const size_t cases = options.num_cases == 200 ? 5 : options.num_cases;
