@@ -41,8 +41,14 @@
 # divergence; tools/chaos --huge re-proves it under a randomized fault
 # cocktail).
 #
+# A steal-smoke stage runs the sharded-policy campaign (tools/chaos
+# --steal): multi-server overloaded cases run with a global-state policy
+# and its "-sharded" variant — the schedule digests must be
+# byte-identical (the work-stealing protocol must never change a
+# decision) and the validator audits every sharded run.
+#
 # Usage: scripts/check.sh [--fast] [--chaos-smoke] [--live-smoke]
-#                         [--bench-gate] [--huge-smoke]
+#                         [--bench-gate] [--huge-smoke] [--steal-smoke]
 #   --fast         plain preset only (skips sanitizers and bench smoke)
 #   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
 #   --live-smoke   plain preset + live executor campaign only (50 cases
@@ -50,6 +56,8 @@
 #   --bench-gate   release build + fig08 perf-regression gate only
 #   --huge-smoke   release build + 10^5-txn differential of the
 #                  huge-scale structures (digest byte-identity) only
+#   --steal-smoke  plain preset + sharded-policy campaign only (25 cases
+#                  of tools/chaos --steal, digest-checked + validated)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,6 +67,7 @@ CHAOS_ONLY=0
 LIVE_ONLY=0
 BENCH_GATE=0
 HUGE_SMOKE=0
+STEAL_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -66,6 +75,7 @@ for arg in "$@"; do
     --live-smoke) LIVE_ONLY=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
     --huge-smoke) HUGE_SMOKE=1 ;;
+    --steal-smoke) STEAL_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -117,6 +127,7 @@ bench_gate() {
   cp BENCH_hotpath.json "$gate_json"
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/sweep_throughput
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_huge_scale
+  WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_multi_server
   local failed=0 threads config old new
   for threads in 1 2 8; do
     config="fig08 threads=${threads}"
@@ -169,6 +180,33 @@ bench_gate() {
       echo "bench gate: ok '$hs_config': $new vs baseline $old $hs_metric"
     fi
   done
+  # Sharded-policy rows: ASETS*-sharded at shard_threads=8 must hold its
+  # wall-clock ratio against the global-state ASETS* baseline within 10%
+  # of the committed trajectory (a drop means the steal protocol or the
+  # per-shard merge got more expensive, not machine noise — the ratio is
+  # measured within one run of the same binary).
+  local sp_servers sp_config
+  for sp_servers in 4 8; do
+    sp_config="servers=${sp_servers} threads=8 policy=sharded"
+    old=$(bench_rate BENCH_hotpath.json ext_multi_server "$sp_config" \
+          sharded_vs_global)
+    new=$(bench_rate "$gate_json" ext_multi_server "$sp_config" \
+          sharded_vs_global)
+    if [[ -z "$old" || -z "$new" ]]; then
+      echo "bench gate: missing sharded_vs_global row for '$sp_config'" >&2
+      failed=1
+      continue
+    fi
+    if awk -v new="$new" -v old="$old" 'BEGIN { exit !(new < 0.9 * old) }'
+    then
+      echo "bench gate: FAIL '$sp_config': sharded_vs_global $new < 90%" \
+           "of baseline $old" >&2
+      failed=1
+    else
+      echo "bench gate: ok '$sp_config': sharded_vs_global $new vs" \
+           "baseline $old"
+    fi
+  done
   # ...and the acceptance floor stays proven: calendar queue >= 2x the
   # binary heap at 262k+ pending events.
   new=$(bench_rate "$gate_json" ext_huge_scale "pending n=262144" \
@@ -219,6 +257,14 @@ live_smoke() {
     --out build/live_chaos_reproducer.chaos
 }
 
+steal_smoke() {
+  # 25 multi-server overloaded cases, each run with a global-state policy
+  # and its "-sharded" variant: digests must be byte-identical and the
+  # validator audits every sharded run. Exits 1 on any divergence.
+  echo "==> steal smoke [default]"
+  ./build/tools/chaos --steal --cases 25 --seed 2009
+}
+
 if [[ "$BENCH_GATE" == "1" ]]; then
   bench_gate
   echo "All checks passed."
@@ -245,10 +291,18 @@ if [[ "$LIVE_ONLY" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$STEAL_ONLY" == "1" ]]; then
+  run_preset default
+  steal_smoke
+  echo "All checks passed."
+  exit 0
+fi
+
 run_preset default
 if [[ "$FAST" == "0" ]]; then
   chaos_smoke
   live_smoke
+  steal_smoke
   run_preset tsan
   run_preset asan
   run_preset ubsan

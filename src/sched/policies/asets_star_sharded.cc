@@ -1,0 +1,8 @@
+#include "sched/policies/asets_star_sharded.h"
+
+namespace webtx {
+
+template class AsetsStarShardedPolicyT<IndexedPriorityQueue>;
+template class AsetsStarShardedPolicyT<LazyDeleteHeap>;
+
+}  // namespace webtx

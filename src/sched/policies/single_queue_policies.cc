@@ -6,47 +6,124 @@
 namespace webtx {
 
 void SingleQueuePolicy::Reset() {
-  queue_.Clear();
+  // Back to one shard until the simulator calls BindShards (which only
+  // happens after Bind, while every queue is still empty). resize keeps
+  // queue 0's capacity, so a warm re-Bind stays allocation-free.
+  queues_.resize(1);
+  for (IndexedPriorityQueue& q : queues_) q.Clear();
+  num_shards_ = 1;
+  steals_ = 0;
+}
+
+void SingleQueuePolicy::BindShards(uint32_t num_shards) {
+  WEBTX_DCHECK(queue_size() == 0) << "BindShards after events";
+  num_shards_ = std::max(1u, num_shards);
+  queues_.resize(num_shards_);
+  for (IndexedPriorityQueue& q : queues_) q.Clear();
+  steals_ = 0;
+  if (num_shards_ > 1) {
+    // Initial owner assignment: id % shards. Any fixed content-blind map
+    // works — picks merge over shard tops, so ownership never changes a
+    // decision, only which shard pays the heap operations.
+    const size_t n = view().specs().size();
+    owner_.resize(n);
+    for (size_t id = 0; id < n; ++id) {
+      owner_[id] = static_cast<uint32_t>(id % num_shards_);
+    }
+  }
 }
 
 void SingleQueuePolicy::OnReady(TxnId id, SimTime now) {
-  queue_.Push(id, KeyFor(id, now));
+  queues_[OwnerOf(id)].Push(id, KeyFor(id, now));
 }
 
 void SingleQueuePolicy::OnCompletion(TxnId id, SimTime now) {
   (void)now;
-  const bool present = queue_.Erase(id);
+  const bool present = queues_[OwnerOf(id)].Erase(id);
   WEBTX_DCHECK(present) << "completed transaction was not queued";
 }
 
 void SingleQueuePolicy::OnRemainingUpdated(TxnId id, SimTime now) {
-  if (RemainingSensitive() && queue_.Contains(id)) {
-    queue_.Update(id, KeyFor(id, now));
+  if (!RemainingSensitive()) return;
+  IndexedPriorityQueue& q = queues_[OwnerOf(id)];
+  if (q.Contains(id)) q.Update(id, KeyFor(id, now));
+}
+
+void SingleQueuePolicy::OnPlaced(TxnId id, uint32_t server, SimTime now) {
+  (void)now;
+  if (num_shards_ == 1) return;
+  const uint32_t dest =
+      server < num_shards_ ? server : server % num_shards_;
+  const uint32_t src = owner_[id];
+  if (src == dest) return;
+  // Deterministic steal: move the entry, key preserved — queue pop order
+  // is (key, id), so relocating an entry between shards cannot change
+  // any future merge decision.
+  IndexedPriorityQueue& from = queues_[src];
+  WEBTX_DCHECK(from.Contains(id)) << "placed transaction was not queued";
+  const double key = from.KeyOf(id);
+  from.Erase(id);
+  queues_[dest].Push(id, key);
+  owner_[id] = dest;
+  ++steals_;
+}
+
+size_t SingleQueuePolicy::queue_size() const {
+  size_t total = 0;
+  for (const IndexedPriorityQueue& q : queues_) total += q.size();
+  return total;
+}
+
+int SingleQueuePolicy::TopShard() const {
+  int best = -1;
+  double best_key = 0.0;
+  TxnId best_id = kInvalidTxn;
+  for (size_t s = 0; s < queues_.size(); ++s) {
+    const IndexedPriorityQueue& q = queues_[s];
+    if (q.empty()) continue;
+    const double key = q.TopKey();
+    const TxnId id = q.Top();
+    if (best < 0 || key < best_key || (key == best_key && id < best_id)) {
+      best = static_cast<int>(s);
+      best_key = key;
+      best_id = id;
+    }
   }
+  return best;
 }
 
 TxnId SingleQueuePolicy::PickNext(SimTime now) {
   (void)now;
-  if (queue_.empty()) return kInvalidTxn;
-  return queue_.Top();
+  if (num_shards_ == 1) {
+    // Global fast path: identical to the historical single queue.
+    return queues_[0].empty() ? kInvalidTxn : queues_[0].Top();
+  }
+  const int s = TopShard();
+  return s < 0 ? kInvalidTxn : queues_[s].Top();
 }
 
 TxnId SingleQueuePolicy::PickNextExcluding(
     SimTime now, const std::vector<TxnId>& exclude) {
   (void)now;
   // Park excluded tops aside, take the first admissible one, restore.
-  std::vector<std::pair<TxnId, double>> parked;
+  // The sharded walk enumerates tops in ascending (key, id) — exactly
+  // the global queue's pop order — and each parked entry restores into
+  // its owner shard with its key intact.
+  parked_.clear();
   TxnId found = kInvalidTxn;
-  while (!queue_.empty()) {
-    const TxnId top = queue_.Top();
+  for (;;) {
+    const int s = num_shards_ == 1 ? (queues_[0].empty() ? -1 : 0)
+                                   : TopShard();
+    if (s < 0) break;
+    const TxnId top = queues_[s].Top();
     if (std::find(exclude.begin(), exclude.end(), top) == exclude.end()) {
       found = top;
       break;
     }
-    parked.emplace_back(top, queue_.TopKey());
-    queue_.Pop();
+    parked_.emplace_back(top, queues_[s].TopKey());
+    queues_[s].Pop();
   }
-  for (const auto& [id, key] : parked) queue_.Push(id, key);
+  for (const auto& [id, key] : parked_) queues_[OwnerOf(id)].Push(id, key);
   return found;
 }
 

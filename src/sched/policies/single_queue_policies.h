@@ -2,6 +2,8 @@
 #define WEBTX_SCHED_POLICIES_SINGLE_QUEUE_POLICIES_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sched/indexed_priority_queue.h"
 #include "sched/scheduler_policy.h"
@@ -12,7 +14,20 @@ namespace webtx {
 /// over the ready transactions, ordered by a per-policy key (smallest key =
 /// highest priority). Subclasses provide the key; keys that depend on
 /// remaining processing time are refreshed via OnRemainingUpdated.
-class SingleQueuePolicy : public SchedulerPolicy {
+///
+/// Sharded-state variant (factory spec "<name>-sharded"): EnableSharded()
+/// before Bind splits the queue into one IndexedPriorityQueue per shard
+/// (shard = server, assigned by the simulator via BindShards). A ready
+/// transaction lives in exactly one shard — initially id % num_shards,
+/// then wherever it was last dispatched (OnPlaced steals it into the
+/// placing server's shard, key preserved). Picks take the lexicographic
+/// (key, id) minimum over the shard tops, which is exactly the pop order
+/// of the single global queue, so schedules are byte-identical to the
+/// global variant (pinned by tests/sim/sharded_differential_test.cc).
+/// Without EnableSharded (or when BindShards is never called) everything
+/// routes through shard 0 — the historical single-queue behavior.
+class SingleQueuePolicy : public SchedulerPolicy,
+                          public ShardedPolicyState {
  public:
   void OnReady(TxnId id, SimTime now) override;
   void OnCompletion(TxnId id, SimTime now) override;
@@ -21,8 +36,20 @@ class SingleQueuePolicy : public SchedulerPolicy {
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;
 
-  /// Number of ready transactions currently queued.
-  size_t queue_size() const { return queue_.size(); }
+  /// Opts into the sharded-state protocol; must precede Bind. Called by
+  /// the factory for "<name>-sharded" specs.
+  void EnableSharded() { sharded_ = true; }
+
+  // ShardedPolicyState (only reachable after EnableSharded):
+  ShardedPolicyState* AsShardedState() override {
+    return sharded_ ? this : nullptr;
+  }
+  void BindShards(uint32_t num_shards) override;
+  void OnPlaced(TxnId id, uint32_t server, SimTime now) override;
+  uint64_t steal_count() const override { return steals_; }
+
+  /// Number of ready transactions currently queued (over all shards).
+  size_t queue_size() const;
 
  protected:
   void Reset() override;
@@ -34,14 +61,36 @@ class SingleQueuePolicy : public SchedulerPolicy {
   /// transaction needs a key refresh at scheduling points.
   virtual bool RemainingSensitive() const { return false; }
 
+  /// Subclass display name, with the sharded-variant suffix applied.
+  std::string DecoratedName(const char* base) const {
+    return sharded_ ? std::string(base) + "-sharded" : base;
+  }
+
  private:
-  IndexedPriorityQueue queue_;
+  /// Shard owning transaction `id` right now.
+  uint32_t OwnerOf(TxnId id) const {
+    return num_shards_ == 1 ? 0 : owner_[id];
+  }
+
+  /// Index of the shard holding the global (key, id) minimum, or -1 when
+  /// every shard is empty.
+  int TopShard() const;
+
+  std::vector<IndexedPriorityQueue> queues_;  // one per shard; [0] only
+                                              // until BindShards
+  std::vector<uint32_t> owner_;               // TxnId -> shard (sharded only)
+  uint32_t num_shards_ = 1;
+  bool sharded_ = false;
+  uint64_t steals_ = 0;
+  /// Scratch for PickNextExcluding's park-and-restore (hoisted so the
+  /// hot path stays allocation-free after warm-up).
+  std::vector<std::pair<TxnId, double>> parked_;
 };
 
 /// First-Come-First-Served: key = arrival time.
 class FcfsPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "FCFS"; }
+  std::string name() const override { return DecoratedName("FCFS"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;
@@ -52,7 +101,7 @@ class FcfsPolicy final : public SingleQueuePolicy {
 /// effect under overload (Sec. III-A1).
 class EdfPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "EDF"; }
+  std::string name() const override { return DecoratedName("EDF"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;
@@ -63,7 +112,7 @@ class EdfPolicy final : public SingleQueuePolicy {
 /// deadline is already missed [Schroeder & Harchol-Balter].
 class SrptPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "SRPT"; }
+  std::string name() const override { return DecoratedName("SRPT"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;
@@ -75,7 +124,7 @@ class SrptPolicy final : public SingleQueuePolicy {
 /// time-independent key d_i - r_i preserves the ordering.
 class LsPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "LS"; }
+  std::string name() const override { return DecoratedName("LS"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;
@@ -87,7 +136,7 @@ class LsPolicy final : public SingleQueuePolicy {
 /// [Becchetti et al. 2001]; reduces to SRPT under equal weights.
 class HdfPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "HDF"; }
+  std::string name() const override { return DecoratedName("HDF"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;
@@ -98,7 +147,7 @@ class HdfPolicy final : public SingleQueuePolicy {
 /// Deadline- and length-oblivious; included as an extra baseline.
 class HvfPolicy final : public SingleQueuePolicy {
  public:
-  std::string name() const override { return "HVF"; }
+  std::string name() const override { return DecoratedName("HVF"); }
 
  protected:
   double KeyFor(TxnId id, SimTime now) const override;

@@ -5,6 +5,7 @@
 #include "common/csv.h"
 #include "sched/policies/asets.h"
 #include "sched/policies/asets_star.h"
+#include "sched/policies/asets_star_sharded.h"
 #include "sched/policies/balance_aware.h"
 #include "sched/policies/mix.h"
 #include "sched/policies/single_queue_policies.h"
@@ -31,10 +32,43 @@ std::unique_ptr<SchedulerPolicy> CreatePlain(const std::string& name) {
   return nullptr;
 }
 
+/// "<base>-sharded": the sharded-state implementation variant of `base`
+/// (see ShardedPolicyState in sched/scheduler_policy.h). Byte-identical
+/// schedules to the base policy — pinned by the sharded differential
+/// matrix — so, like "ASETS*-lazy", these are NOT distinct policies and
+/// stay out of KnownPolicyNames().
+std::unique_ptr<SchedulerPolicy> CreateSharded(const std::string& base) {
+  if (base == "ASETS*") return std::make_unique<AsetsStarShardedPolicy>();
+  if (base == "ASETS*-lazy") {
+    return std::make_unique<AsetsStarShardedLazyPolicy>();
+  }
+  auto inner = CreatePlain(base);
+  if (auto* sq = dynamic_cast<SingleQueuePolicy*>(inner.get())) {
+    sq->EnableSharded();
+    return inner;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<SchedulerPolicy>> CreatePolicy(
     const std::string& spec) {
+  // Sharded-state variant: "<base>-sharded".
+  const std::string sharded_suffix = "-sharded";
+  if (spec.size() > sharded_suffix.size() &&
+      spec.compare(spec.size() - sharded_suffix.size(),
+                   sharded_suffix.size(), sharded_suffix) == 0) {
+    const std::string base =
+        spec.substr(0, spec.size() - sharded_suffix.size());
+    auto policy = CreateSharded(base);
+    if (policy == nullptr) {
+      return Status::NotFound("policy '" + base +
+                              "' has no sharded-state variant");
+    }
+    return policy;
+  }
+
   // MIX with an explicit blend: "MIX(<beta>)"; bare "MIX" uses beta=0.5.
   if (spec == "MIX") {
     return std::unique_ptr<SchedulerPolicy>(std::make_unique<MixPolicy>());

@@ -20,8 +20,15 @@ namespace webtx {
 ///   "ASETS*"                      workflow-level general ASETS*
 ///   "<inner>-BA(time=<rate>)"     balance-aware wrapper, time-based
 ///   "<inner>-BA(count=<rate>)"    balance-aware wrapper, count-based
+///   "<base>-sharded"              sharded-state implementation variant
+///                                 (per-shard queues + deterministic
+///                                 work stealing; byte-identical
+///                                 schedules — supported for the
+///                                 single-queue policies, "ASETS*" and
+///                                 "ASETS*-lazy")
 ///
-/// Examples: "ASETS*-BA(time=0.005)", "ASETS-BA(count=0.05)".
+/// Examples: "ASETS*-BA(time=0.005)", "ASETS-BA(count=0.05)",
+/// "SRPT-sharded", "ASETS*-lazy-sharded".
 Result<std::unique_ptr<SchedulerPolicy>> CreatePolicy(const std::string& spec);
 
 /// Names of the plain (non-wrapped) policies the factory knows about.

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <string>
@@ -261,6 +262,16 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   ResetRuntimeState();
   policy.Bind(*this);
   WEBTX_CHECK_GE(options_.num_servers, 1u);
+  // Sharded-state policies partition their ready set one shard per
+  // server and get the ShardedPolicyState protocol driven below
+  // (PrepareRound before each multi-server round, OnPlaced per newly
+  // dispatched transaction in ascending server order). Results are
+  // byte-identical to global-state policies by the (key, id) pop-order
+  // argument in sched/scheduler_policy.h.
+  ShardedPolicyState* const sharded = policy.AsShardedState();
+  if (sharded != nullptr) {
+    sharded->BindShards(static_cast<uint32_t>(options_.num_servers));
+  }
 
   std::unique_ptr<AdmissionController> admission;
   if (options_.admission) {
@@ -284,8 +295,12 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
                                    ? ThreadPool::DefaultConcurrency()
                                    : options_.shard_threads;
   const bool buffered = faults && !correlated && shard_threads > 1;
+  // A sharded-state policy can fan its per-shard round maintenance out
+  // on the same pool (PrepareRound); both uses are barriered inside one
+  // event, so sharing the workers is safe.
+  const bool policy_parallel = sharded != nullptr && shard_threads > 1 && k > 1;
   ThreadPool* pool = nullptr;
-  if (buffered) {
+  if (buffered || policy_parallel) {
     // One in-flight prefetch per fault process per shard is the most
     // the timelines can keep busy.
     const size_t pool_size = std::min(shard_threads, 3 * k);
@@ -428,6 +443,11 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   std::vector<uint32_t> pick_slot(n, 0);
   SimTime now = 0.0;
   size_t scheduling_points = 0;
+  // Wall-clock attribution of the scheduling rounds (policy consultation
+  // + pick assignment) — bench plumbing, only sampled when a timing sink
+  // is configured, never affects results.
+  const bool time_policy = options_.timing != nullptr;
+  double policy_wait_ms = 0.0;
   size_t preemptions = 0;
   size_t idle_decisions = 0;
   size_t retries = 0;
@@ -808,6 +828,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     // servers are (re)filled greedily; the policy sees the transactions
     // already placed this round as excluded. Down servers take no work.
     ++scheduling_points;
+    std::chrono::steady_clock::time_point round_start;
+    if (time_policy) round_start = std::chrono::steady_clock::now();
 
     // Single-server fast path: one pick, no assignment matching. The
     // documented PickNextExcluding contract (empty exclude == PickNext)
@@ -838,8 +860,19 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         }
         running[0] = pick;
       }
+      if (time_policy) {
+        policy_wait_ms += std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - round_start)
+                              .count();
+      }
       continue;
     }
+
+    // Deferred per-shard maintenance (e.g. the ASETS* dirty flush), fanned
+    // out on the shard pool. Without a pool every policy flushes lazily
+    // inside the first pick instead, so the hook is skipped entirely — it
+    // would be a per-round no-op virtual call on the serial path.
+    if (pool != nullptr && sharded != nullptr) sharded->PrepareRound(now, pool);
 
     const size_t k_up = faults ? num_up_ : k;
     picks.clear();
@@ -909,9 +942,22 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         if (next_running[s] != kInvalidTxn) {
           dispatch_time[s] = now + options_.context_switch_cost;
           segment_start[s] = dispatch_time[s];
+          // Steal/handoff point of the sharded-state protocol: newly
+          // dispatched transactions are announced in ascending server
+          // order — the same deterministic (time, shard, seq) discipline
+          // as the crash mailbox — so cross-shard moves replay
+          // identically run to run.
+          if (sharded != nullptr) {
+            sharded->OnPlaced(next_running[s], static_cast<uint32_t>(s), now);
+          }
         }
       }
       running[s] = next_running[s];
+    }
+    if (time_policy) {
+      policy_wait_ms += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - round_start)
+                            .count();
     }
   }
 
@@ -921,6 +967,12 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   if (buffered) {
     for (size_t s = 0; s < k; ++s) {
       timelines_[s].Finish(options_.timing);
+    }
+  }
+  if (options_.timing != nullptr) {
+    options_.timing->policy_wait_ms += policy_wait_ms;
+    if (sharded != nullptr) {
+      options_.timing->steal_count += sharded->steal_count();
     }
   }
 

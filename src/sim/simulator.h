@@ -165,12 +165,16 @@ struct SimOptions {
   /// scheduling policy learns of the transaction; null admits everything.
   /// A fresh controller is constructed per Run.
   AdmissionFactory admission;
-  /// Worker threads for per-shard background work (today: double-buffered
-  /// fault-timeline pregeneration, sim/fault_timeline.h). 1 = fully
-  /// serial, 0 = hardware concurrency. Only engages when the fault plan
-  /// is enabled and uncorrelated (a correlated crash process is mutated
-  /// mid-run and cannot be pregenerated). MUST NOT affect results: every
-  /// run is byte-identical across shard_threads values — pinned by
+  /// Worker threads for per-shard background work: double-buffered
+  /// fault-timeline pregeneration (sim/fault_timeline.h) and, for
+  /// sharded-state policies (ShardedPolicyState), the fanned-out
+  /// per-shard round maintenance in PrepareRound. 1 = fully serial, 0 =
+  /// hardware concurrency. Pregeneration engages only when the fault
+  /// plan is enabled and uncorrelated (a correlated crash process is
+  /// mutated mid-run and cannot be pregenerated); the policy fan-out
+  /// engages only for multi-server runs of a sharded-state policy. MUST
+  /// NOT affect results: every run is byte-identical across
+  /// shard_threads values — pinned by
   /// tests/sim/sharded_differential_test.cc against the frozen pre-shard
   /// simulator in tests/testing/reference_simulator.h.
   size_t shard_threads = 1;

@@ -174,6 +174,110 @@ TEST(ShardedDifferentialTest, CountersMatchReference) {
   }
 }
 
+// --- Sharded policy state: the steal-protocol differential matrix ---
+//
+// "<base>-sharded" partitions the POLICY's ready set per shard with
+// deterministic work stealing (sched/scheduler_policy.h). The matrix
+// pins every sharded-state variant byte-identical to its global-state
+// base run on the frozen pre-shard reference, under steal-heavy
+// workloads: deep ready sets (utilization >> 1) with workflow chains,
+// so every multi-server round shuffles pick ranks across servers and
+// OnPlaced constantly re-homes entries between shards.
+
+constexpr const char* kShardedBases[] = {"FCFS", "EDF",  "SRPT",
+                                         "LS",   "HDF",  "HVF",
+                                         "ASETS*", "ASETS*-lazy"};
+
+std::vector<TransactionSpec> MakeStealHeavyWorkload(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.num_transactions = 100;
+  spec.utilization = 3.0;  // overloaded: all k servers contend every round
+  spec.min_weight = 1;
+  spec.max_weight = 10;
+  spec.estimate_error = 0.2;
+  spec.max_workflow_length = 5;
+  spec.max_workflows_per_txn = 2;
+  auto generator = WorkloadGenerator::Create(spec);
+  EXPECT_TRUE(generator.ok()) << generator.status();
+  return generator.ValueOrDie().Generate(seed);
+}
+
+void RunStealMatrix(Regime regime) {
+  for (const size_t servers : kServers) {
+    const std::vector<TransactionSpec> txns =
+        MakeStealHeavyWorkload(29u + servers);
+    const SimOptions options = RegimeOptions(regime, servers);
+    for (const char* base : kShardedBases) {
+      const uint64_t want = ReferenceDigest(txns, options, base);
+      for (const size_t threads : kShardThreads) {
+        const RunResult got =
+            RunSharded(txns, options, std::string(base) + "-sharded", threads);
+        EXPECT_EQ(ScheduleDigest(got), want)
+            << "sharded policy state diverged from the global-state base: "
+            << "policy=" << base << "-sharded servers=" << servers
+            << " shard_threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedPolicyDifferentialTest, StealMatrixFailureFree) {
+  RunStealMatrix(Regime::kFailureFree);
+}
+
+TEST(ShardedPolicyDifferentialTest, StealMatrixFaulty) {
+  RunStealMatrix(Regime::kFaulty);
+}
+
+TEST(ShardedPolicyDifferentialTest, StealMatrixCrashy) {
+  RunStealMatrix(Regime::kCrashy);
+}
+
+TEST(ShardedPolicyDifferentialTest, StealMatrixCorrelatedCrashes) {
+  RunStealMatrix(Regime::kCorrelated);
+}
+
+// The huge-scale structures compose with sharded policy state: calendar
+// pending queue + arena-SoA store + sharded policies must still match
+// the reference running the historical structures and global policies.
+TEST(ShardedPolicyDifferentialTest, HugeStructuresMatchReference) {
+  const std::vector<TransactionSpec> txns = MakeStealHeavyWorkload(13);
+  for (const char* base : {"SRPT", "ASETS*", "ASETS*-lazy"}) {
+    SimOptions options = RegimeOptions(Regime::kFaulty, 4);
+    const uint64_t want = ReferenceDigest(txns, options, base);
+    options.pending_queue = PendingQueueImpl::kCalendarQueue;
+    options.txn_store = TxnStoreLayout::kArenaSoA;
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      const RunResult got =
+          RunSharded(txns, options, std::string(base) + "-sharded", threads);
+      EXPECT_EQ(ScheduleDigest(got), want)
+          << "policy=" << base << "-sharded with calendar+SoA structures, "
+          << "shard_threads=" << threads;
+    }
+  }
+}
+
+// The steal protocol must actually engage on contended multi-server
+// runs (a matrix that never steals proves nothing), and its accounting
+// must land in ShardTiming — with the global-state twin reporting zero.
+TEST(ShardedPolicyDifferentialTest, StealProtocolEngagesAndIsAccounted) {
+  const std::vector<TransactionSpec> txns = MakeStealHeavyWorkload(5);
+  for (const char* spec : {"SRPT-sharded", "ASETS*-sharded"}) {
+    SimOptions options = RegimeOptions(Regime::kCrashy, 4);
+    ShardTiming timing;
+    options.timing = &timing;
+    RunSharded(txns, options, spec, 1);
+    EXPECT_GT(timing.steal_count, 0u)
+        << spec << " never stole on a contended 4-server run";
+    EXPECT_GT(timing.policy_wait_ms, 0.0);
+  }
+  SimOptions options = RegimeOptions(Regime::kCrashy, 4);
+  ShardTiming timing;
+  options.timing = &timing;
+  RunSharded(txns, options, "SRPT", 1);
+  EXPECT_EQ(timing.steal_count, 0u);
+}
+
 // A fault process denser than FaultTimeline::kChunkEvents forces
 // multiple chunk barriers (and, with shard workers, prefetch handoffs);
 // the digest must still match the lazy-stream reference exactly.

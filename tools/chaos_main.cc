@@ -45,8 +45,18 @@
 //
 //   chaos --huge [--cases N] [--seed S] [--txns T]
 //
+// Steal mode: campaign for the sharded policy state. Each case is a
+// multi-server, workflow-heavy, overloaded scenario run once with a
+// global-state policy and once with its "-sharded" variant (per-shard
+// ready structures + deterministic work stealing; see
+// sched/scheduler_policy.h). The sharded run is audited by the
+// schedule validator and its digest must be byte-identical to the
+// global run — the steal protocol must never change a decision.
+//
+//   chaos --steal [--cases N] [--seed S]
+//
 // Exit status: 0 when every case passed (or the replay validates),
-// 1 on invariant violations (or a huge-mode digest divergence),
+// 1 on invariant violations (or a huge-/steal-mode digest divergence),
 // 2 on usage/IO errors.
 
 #include <cstdint>
@@ -68,8 +78,9 @@ int Usage(const char* argv0) {
                "       %s --replay FILE\n"
                "       %s --mint FILE [--seed S]\n"
                "       %s --mint-live FILE [--seed S]\n"
-               "       %s --huge [--cases N] [--seed S] [--txns T]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "       %s --huge [--cases N] [--seed S] [--txns T]\n"
+               "       %s --steal [--cases N] [--seed S]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -133,6 +144,68 @@ int RunHugeCampaign(uint64_t master_seed, size_t num_cases, size_t num_txns) {
     if (!verdict.ok() || diverged) ++failures;
   }
   std::printf("huge cases        %zu\n", num_cases);
+  std::printf("failures          %d\n", failures);
+  return failures > 0 ? 1 : 0;
+}
+
+// One case of the steal campaign: multi-server, workflow-heavy and
+// overloaded (every round places k heads, so cross-shard steals are
+// dense), with the randomized policy mapped onto a base that has a
+// sharded-state variant.
+webtx::ChaosCase StealChaosCase(uint64_t master_seed, uint64_t index) {
+  webtx::ChaosCase c = webtx::RandomChaosCase(master_seed, index);
+  c.num_servers = 1u << (1 + index % 3);  // 2, 4, 8
+  if (c.utilization < 2.0) c.utilization = 2.0;
+  if (c.max_workflow_length < 3) c.max_workflow_length = 3;
+  if (c.max_workflows_per_txn < 2) c.max_workflows_per_txn = 2;
+  static const char* const kShardedBases[] = {
+      "FCFS", "EDF", "SRPT", "LS", "HDF", "HVF", "ASETS*", "ASETS*-lazy"};
+  for (const char* base : kShardedBases) {
+    if (c.policy == base) return c;
+  }
+  c.policy = kShardedBases[index % 8];
+  return c;
+}
+
+int RunStealCampaign(uint64_t master_seed, size_t num_cases) {
+  int failures = 0;
+  for (uint64_t i = 0; i < num_cases; ++i) {
+    const webtx::ChaosCase global = StealChaosCase(master_seed, i);
+    auto global_run = webtx::RunChaosCase(global);
+    if (!global_run.ok()) {
+      std::fprintf(stderr, "chaos: steal case %llu (global): %s\n",
+                   static_cast<unsigned long long>(i),
+                   global_run.status().ToString().c_str());
+      return 2;
+    }
+    const uint64_t global_digest =
+        webtx::ScheduleDigest(global_run.ValueOrDie());
+
+    webtx::ChaosCase sharded = global;
+    sharded.policy = global.policy + "-sharded";
+    auto run = webtx::RunChaosCase(sharded);
+    if (!run.ok()) {
+      std::fprintf(stderr, "chaos: steal case %llu (sharded): %s\n",
+                   static_cast<unsigned long long>(i),
+                   run.status().ToString().c_str());
+      return 2;
+    }
+    const webtx::RunResult result = std::move(run).ValueOrDie();
+    const webtx::Status verdict =
+        webtx::CheckChaosInvariants(sharded, result);
+    const uint64_t digest = webtx::ScheduleDigest(result);
+    const bool diverged = digest != global_digest;
+    std::printf(
+        "case %llu policy=%-22s servers=%zu crashes=%zu migrations=%zu "
+        "aborts=%zu digest=%016llx validator=%s steal=%s\n",
+        static_cast<unsigned long long>(i), sharded.policy.c_str(),
+        sharded.num_servers, result.num_crashes, result.num_migrations,
+        result.num_aborts, static_cast<unsigned long long>(digest),
+        verdict.ok() ? "ok" : verdict.ToString().c_str(),
+        diverged ? "DIVERGED" : "byte-identical");
+    if (!verdict.ok() || diverged) ++failures;
+  }
+  std::printf("steal cases       %zu\n", num_cases);
   std::printf("failures          %d\n", failures);
   return failures > 0 ? 1 : 0;
 }
@@ -345,6 +418,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool huge = false;
   bool live = false;
+  bool steal = false;
   size_t huge_txns = 100000;
   std::string replay_path;
   std::string mint_path;
@@ -382,6 +456,8 @@ int main(int argc, char** argv) {
       live = true;
     } else if (arg == "--huge") {
       huge = true;
+    } else if (arg == "--steal") {
+      steal = true;
     } else if (arg == "--txns") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -403,6 +479,11 @@ int main(int argc, char** argv) {
     // The default 200 campaign cases would be excessive at 10^5 txns.
     const size_t cases = options.num_cases == 200 ? 5 : options.num_cases;
     return RunHugeCampaign(options.master_seed, cases, huge_txns);
+  }
+  if (steal) {
+    // Each steal case runs twice (global + sharded); trim the default.
+    const size_t cases = options.num_cases == 200 ? 25 : options.num_cases;
+    return RunStealCampaign(options.master_seed, cases);
   }
 
   if (verbose) {
