@@ -1,0 +1,201 @@
+// Extension: digital-twin serving loop (rt/twin.h). One seeded flash
+// crowd — base load a 4-worker pool handles comfortably, then a 6x rate
+// spike — served three ways under the deterministic VirtualClock:
+//
+//   static      controller off: FCFS, no admission, start to finish
+//   controller  shadow-simulator control loop live: per-tick what-if
+//               forecasts over {FCFS, EDF, SRPT+depth, EDF+brownout},
+//               hysteresis switching at quiescent points
+//   divergence  the controller again, but with its snapshot stream
+//               corrupted 10x — the guard must notice the model lying,
+//               fall back to static, and the run must still validate
+//
+// Everything is virtual-clock deterministic, so the A-B is exact: same
+// arrivals, same fault timeline, and every run's digest (trace +
+// decision log) is byte-stable — the bench runs each configuration
+// twice and fails on any digest mismatch. It also fails (exit 1) unless
+// the controller strictly improves average tardiness or shed ratio over
+// static serving, and unless the corrupted run triggers >= 1 fallback
+// with zero validator violations — the acceptance gate of the twin.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rt/live_validator.h"
+#include "rt/twin.h"
+#include "workload/live_arrivals.h"
+
+namespace webtx {
+namespace {
+
+constexpr size_t kNumWorkers = 4;
+constexpr size_t kNumTasks = 600;
+constexpr uint64_t kWorkloadSeed = 2009;
+
+std::vector<LiveArrival> FlashCrowd() {
+  LiveArrivalOptions options;
+  options.shape = LiveArrivalShape::kFlashCrowd;
+  options.seed = kWorkloadSeed;
+  options.num_tasks = kNumTasks;
+  // Base load ~70% of the pool; the spike multiplies the rate 6x over
+  // one virtual second — far past feasibility, where policy and
+  // admission choices dominate.
+  options.rate = 56.0;
+  options.spike_factor = 6.0;
+  options.spike_start = 1.0;
+  options.spike_duration = 1.0;
+  options.mean_duration = 0.05;
+  options.deadline_slack = 2.0;
+  return GenerateLiveArrivals(options);
+}
+
+rt::TwinOptions BaseOptions() {
+  rt::TwinOptions options;
+  options.num_workers = kNumWorkers;
+  // Candidate 0 is the static configuration: plain FCFS, no admission.
+  rt::TwinCandidate fcfs;
+  rt::TwinCandidate edf;
+  edf.policy = "EDF";
+  rt::TwinCandidate srpt_depth;
+  srpt_depth.policy = "SRPT";
+  srpt_depth.admission = rt::TwinCandidate::Admission::kQueueDepth;
+  srpt_depth.max_ready = 6 * kNumWorkers;
+  rt::TwinCandidate edf_brownout;
+  edf_brownout.policy = "EDF";
+  edf_brownout.admission = rt::TwinCandidate::Admission::kBrownout;
+  edf_brownout.capacity_slo = 0.5;
+  options.candidates = {fcfs, edf, srpt_depth, edf_brownout};
+  options.static_index = 0;
+  options.control_interval = 0.25;
+  options.forecast_horizon = 0.75;
+  options.switch_margin = 0.1;
+  options.dwell_ticks = 1;
+  options.shed_penalty = 1.0;
+  options.forecast_seed = kWorkloadSeed;
+  // Light crash seasoning, identical across configurations: the
+  // brownout candidate's crash-aware signal has something to see.
+  options.faults.plan.crash_rate = 0.02;
+  options.faults.plan.mean_repair_duration = 1.0;
+  options.faults.plan.seed = 11;
+  options.retry_max_backoff = 0.2;
+  return options;
+}
+
+struct RunRow {
+  rt::TwinReport report;
+  bool deterministic = false;
+  size_t violations = 0;
+};
+
+RunRow RunConfig(const rt::TwinOptions& options,
+                 const std::vector<LiveArrival>& arrivals) {
+  RunRow row;
+  rt::Twin twin(options);
+  auto first = twin.Run(arrivals);
+  WEBTX_CHECK(first.ok()) << first.status().ToString();
+  auto second = rt::Twin(options).Run(arrivals);
+  WEBTX_CHECK(second.ok()) << second.status().ToString();
+  row.report = std::move(first).ValueOrDie();
+  row.deterministic = row.report.digest == second.ValueOrDie().digest;
+  const rt::LiveValidationResult verdict = rt::ValidateLiveTrace(
+      row.report.trace, row.report.tasks, row.report.outcomes,
+      row.report.stats, row.report.validator_options);
+  row.violations = verdict.violations.size();
+  return row;
+}
+
+}  // namespace
+}  // namespace webtx
+
+int main() {
+  using namespace webtx;
+  const std::vector<LiveArrival> arrivals = FlashCrowd();
+
+  rt::TwinOptions static_options = BaseOptions();
+  static_options.controller_enabled = false;
+  const RunRow static_run = RunConfig(static_options, arrivals);
+
+  const rt::TwinOptions controller_options = BaseOptions();
+  const RunRow controller_run = RunConfig(controller_options, arrivals);
+
+  rt::TwinOptions divergence_options = BaseOptions();
+  divergence_options.snapshot_corruption = 10.0;
+  const RunRow divergence_run = RunConfig(divergence_options, arrivals);
+
+  std::printf(
+      "Digital twin under a flash crowd (%zu tasks, %zu workers, "
+      "6x spike, virtual clock):\n\n",
+      kNumTasks, static_cast<size_t>(kNumWorkers));
+  const std::vector<std::string> header = {"config",   "avg_tardiness",
+                                           "shed_ratio", "goodput",
+                                           "switches", "fallbacks"};
+  Table table(header);
+  const auto add = [&table](const std::string& label, const RunRow& row) {
+    table.AddNumericRow(label, {row.report.avg_tardiness,
+                                row.report.shed_ratio, row.report.goodput,
+                                static_cast<double>(row.report.switches),
+                                static_cast<double>(row.report.fallbacks)});
+  };
+  add("static", static_run);
+  add("controller", controller_run);
+  add("divergence", divergence_run);
+  table.Print(std::cout);
+  bench::SaveCsv(table, "ext_twin_flash_crowd");
+
+  std::printf("\nstatic digest      %016llx  determinism %s\n",
+              static_cast<unsigned long long>(static_run.report.digest),
+              static_run.deterministic ? "byte-identical" : "DIVERGED");
+  std::printf("controller digest  %016llx  determinism %s\n",
+              static_cast<unsigned long long>(controller_run.report.digest),
+              controller_run.deterministic ? "byte-identical" : "DIVERGED");
+  std::printf("divergence digest  %016llx  determinism %s\n",
+              static_cast<unsigned long long>(divergence_run.report.digest),
+              divergence_run.deterministic ? "byte-identical" : "DIVERGED");
+
+  // Acceptance gate: a strict win on tardiness OR shed ratio, a guard
+  // that actually fired on the corrupted model, clean validators, and
+  // byte-stable digests everywhere.
+  const bool wins = controller_run.report.avg_tardiness <
+                        static_run.report.avg_tardiness ||
+                    controller_run.report.shed_ratio <
+                        static_run.report.shed_ratio;
+  const bool guard_fired = divergence_run.report.fallbacks >= 1;
+  const size_t total_violations = static_run.violations +
+                                  controller_run.violations +
+                                  divergence_run.violations;
+  const bool deterministic = static_run.deterministic &&
+                             controller_run.deterministic &&
+                             divergence_run.deterministic;
+  std::printf("\ncontroller_wins    %s\n", wins ? "yes" : "NO");
+  std::printf("guard_fired        %s (%zu fallback(s))\n",
+              guard_fired ? "yes" : "NO", divergence_run.report.fallbacks);
+  std::printf("validator          %zu violation(s)\n", total_violations);
+
+  std::vector<bench::BenchRow> rows;
+  const auto emit = [&rows](const std::string& config, const RunRow& row) {
+    rows.push_back(bench::BenchRow{"ext_twin", config, "avg_tardiness",
+                                   row.report.avg_tardiness, "s"});
+    rows.push_back(bench::BenchRow{"ext_twin", config, "shed_ratio",
+                                   row.report.shed_ratio, "1"});
+    rows.push_back(bench::BenchRow{"ext_twin", config, "goodput",
+                                   row.report.goodput, "1"});
+  };
+  emit("flash static", static_run);
+  emit("flash controller", controller_run);
+  emit("flash divergence", divergence_run);
+  rows.push_back(bench::BenchRow{"ext_twin", "flash controller",
+                                 "controller_wins", wins ? 1.0 : 0.0, "1"});
+  rows.push_back(bench::BenchRow{
+      "ext_twin", "flash divergence", "guard_fallbacks",
+      static_cast<double>(divergence_run.report.fallbacks), "1"});
+  bench::WriteBenchRows(rows);
+
+  if (!wins || !guard_fired || total_violations > 0 || !deterministic) {
+    std::fprintf(stderr, "ext_twin: acceptance gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -47,8 +47,16 @@
 # byte-identical (the work-stealing protocol must never change a
 # decision) and the validator audits every sharded run.
 #
+# A twin-smoke stage runs the digital-twin campaign (tools/chaos
+# --twin): randomized flash-crowd / ON-OFF cases where the shadow
+# simulator steers the live executor (rt::Twin) — every case runs twice
+# (trace+decision digests must match), the live validator audits the
+# trace, and the controller contract (hysteresis, dwell, fallback
+# cooldown) is checked decision by decision.
+#
 # Usage: scripts/check.sh [--fast] [--chaos-smoke] [--live-smoke]
 #                         [--bench-gate] [--huge-smoke] [--steal-smoke]
+#                         [--twin-smoke]
 #   --fast         plain preset only (skips sanitizers and bench smoke)
 #   --chaos-smoke  plain preset + chaos campaign only (quick fault audit)
 #   --live-smoke   plain preset + live executor campaign only (50 cases
@@ -58,6 +66,8 @@
 #                  huge-scale structures (digest byte-identity) only
 #   --steal-smoke  plain preset + sharded-policy campaign only (25 cases
 #                  of tools/chaos --steal, digest-checked + validated)
+#   --twin-smoke   plain preset + digital-twin campaign only (25 cases
+#                  of tools/chaos --twin, digest-checked + validated)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -68,6 +78,7 @@ LIVE_ONLY=0
 BENCH_GATE=0
 HUGE_SMOKE=0
 STEAL_ONLY=0
+TWIN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -76,6 +87,7 @@ for arg in "$@"; do
     --bench-gate) BENCH_GATE=1 ;;
     --huge-smoke) HUGE_SMOKE=1 ;;
     --steal-smoke) STEAL_ONLY=1 ;;
+    --twin-smoke) TWIN_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -128,6 +140,7 @@ bench_gate() {
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/sweep_throughput
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_huge_scale
   WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_multi_server
+  WEBTX_BENCH_JSON="$gate_json" ./build-release/bench/ext_twin
   local failed=0 threads config old new
   for threads in 1 2 8; do
     config="fig08 threads=${threads}"
@@ -207,6 +220,27 @@ bench_gate() {
            "baseline $old"
     fi
   done
+  # Digital-twin rows: the flash-crowd metrics are virtual-clock
+  # deterministic (not wall-clock), so the controller must STRICTLY beat
+  # static serving on tardiness or shed ratio every run, and the
+  # divergence guard must fire on the corrupted model. ext_twin itself
+  # exits 1 on a miss; the row checks here catch a silently-stale JSON.
+  new=$(bench_rate "$gate_json" ext_twin "flash controller" \
+        controller_wins)
+  if [[ -z "$new" ]] || awk -v w="$new" 'BEGIN { exit !(w < 1) }'; then
+    echo "bench gate: FAIL ext_twin controller_wins = '${new}' != 1" >&2
+    failed=1
+  else
+    echo "bench gate: ok ext_twin controller beats static serving"
+  fi
+  new=$(bench_rate "$gate_json" ext_twin "flash divergence" \
+        guard_fallbacks)
+  if [[ -z "$new" ]] || awk -v f="$new" 'BEGIN { exit !(f < 1) }'; then
+    echo "bench gate: FAIL ext_twin guard_fallbacks = '${new}' < 1" >&2
+    failed=1
+  else
+    echo "bench gate: ok ext_twin divergence guard fired ($new fallback)"
+  fi
   # ...and the acceptance floor stays proven: calendar queue >= 2x the
   # binary heap at 262k+ pending events.
   new=$(bench_rate "$gate_json" ext_huge_scale "pending n=262144" \
@@ -265,6 +299,18 @@ steal_smoke() {
   ./build/tools/chaos --steal --cases 25 --seed 2009
 }
 
+twin_smoke() {
+  # 25 randomized digital-twin cases: the shadow-simulator controller
+  # steers rt::Executor through flash crowds / ON-OFF arrivals under the
+  # virtual clock. Each case runs twice (trace+decision digest must
+  # match), the live validator audits the trace, and the controller
+  # contract (dwell, hysteresis, fallback cooldown) is checked. A
+  # violation exits nonzero after writing the shrunken reproducer.
+  echo "==> twin smoke [default]"
+  ./build/tools/chaos --twin --cases 25 --seed 2009 \
+    --out build/twin_chaos_reproducer.chaos
+}
+
 if [[ "$BENCH_GATE" == "1" ]]; then
   bench_gate
   echo "All checks passed."
@@ -298,11 +344,19 @@ if [[ "$STEAL_ONLY" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$TWIN_ONLY" == "1" ]]; then
+  run_preset default
+  twin_smoke
+  echo "All checks passed."
+  exit 0
+fi
+
 run_preset default
 if [[ "$FAST" == "0" ]]; then
   chaos_smoke
   live_smoke
   steal_smoke
+  twin_smoke
   run_preset tsan
   run_preset asan
   run_preset ubsan

@@ -195,6 +195,7 @@ Result<TxnId> Executor::Submit(TaskSpec task) {
   backoff_multipliers_.push_back(task.backoff_multiplier);
   progress_done_.push_back(0.0);
   migration_credits_.push_back(0);
+  announced_.push_back(0);
   TaskOutcome outcome;
   outcome.submit_seconds = now;
   outcomes_.push_back(outcome);
@@ -232,6 +233,7 @@ Result<TxnId> Executor::Submit(TaskSpec task) {
     }
   }
 
+  announced_[id] = 1;
   policy_->OnArrival(id, now);
   if (unmet == 0) {
     ready_list_.push_back(id);
@@ -327,6 +329,130 @@ void Executor::PumpLoop() {
   }
   lock.unlock();
   clock_->DeregisterParticipant();
+}
+
+bool Executor::QuiescentLocked(double now) const {
+  // A non-zombie attempt whose wake instant has been reached is a
+  // completion that has not been APPLIED yet (its thread is between
+  // waking and re-acquiring mu_) — the state is mid-transition.
+  for (const Attempt& attempt : inflight_) {
+    if (!attempt.zombie && attempt.wake_due <= now) return false;
+  }
+  // Quiescent = nothing dispatchable either: every consequence of the
+  // current instant (releases, completions, the dispatches they enable)
+  // has landed.
+  return !CanDispatchLocked(now);
+}
+
+void Executor::AwaitQuiescenceLocked(std::unique_lock<std::mutex>& lock,
+                                     double* now_out) {
+  // Spin-with-yield rather than a cv wait: under a VirtualClock a
+  // runnable registered caller freezes the timeline, so this loop pins
+  // the clock at the current instant while the workers apply due
+  // completions and drain the dispatchable set. Parking in WaitUntil
+  // instead would either busy-wake (a due of `now` returns immediately)
+  // or let the timeline advance past the instant being captured.
+  while (true) {
+    const double now = clock_->Now();
+    PumpTimedEventsLocked(now);
+    const bool drained = shutting_down_ && finished_ == specs_.size();
+    if (drained || QuiescentLocked(now)) {
+      *now_out = now;
+      return;
+    }
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+}
+
+ExecutorSnapshot Executor::SnapshotAtQuiescence() {
+  std::unique_lock<std::mutex> lock(mu_);
+  double now = 0.0;
+  AwaitQuiescenceLocked(lock, &now);
+
+  ExecutorSnapshot snap;
+  snap.now = now;
+  snap.num_workers = options_.num_workers;
+  snap.num_workers_up = view_.num_servers_up();
+  snap.stats = stats_;
+  for (TxnId id = 0; id < static_cast<TxnId>(specs_.size()); ++id) {
+    if (outcomes_[id].finished) continue;
+    SnapshotTask task;
+    task.id = id;
+    task.remaining = remaining_[id];
+    task.release = now;
+    task.deadline = specs_[id].deadline;
+    task.weight = specs_[id].weight;
+    for (const TxnId dep : specs_[id].dependencies) {
+      if (!outcomes_[dep].finished) {
+        task.unfinished_dependencies.push_back(dep);
+      }
+    }
+    task.state = SnapshotTaskState::kWaitingDeps;
+    for (const Attempt& attempt : inflight_) {
+      if (!attempt.zombie && attempt.id == id) {
+        task.state = SnapshotTaskState::kInFlight;
+        if (attempt.simulated && attempt.wake_due < kNeverSeconds) {
+          task.remaining = std::max(0.0, attempt.wake_due - now);
+        }
+        break;
+      }
+    }
+    if (task.state == SnapshotTaskState::kWaitingDeps) {
+      if (std::find(ready_list_.begin(), ready_list_.end(), id) !=
+          ready_list_.end()) {
+        task.state = SnapshotTaskState::kReady;
+      } else {
+        for (const DelayedEntry& entry : delayed_) {
+          if (entry.id == id) {
+            task.state = SnapshotTaskState::kDelayed;
+            task.release = entry.due_seconds;
+            break;
+          }
+        }
+        for (const DelayedEntry& entry : deferred_) {
+          if (entry.id == id) {
+            task.state = SnapshotTaskState::kDeferred;
+            task.release = entry.due_seconds;
+            break;
+          }
+        }
+      }
+    }
+    snap.tasks.push_back(std::move(task));
+  }
+  return snap;
+}
+
+void Executor::Reconfigure(ReconfigureRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  double now = 0.0;
+  AwaitQuiescenceLocked(lock, &now);
+  if (request.policy != nullptr) {
+    policy_ = std::move(request.policy);
+    policy_->Bind(view_);
+    // Replay the live state: every announced unfinished task re-arrives
+    // (in-flight and delayed tasks included — OnArrival fires once per
+    // task and only OnCompletion dequeues, so this mirrors the event
+    // history a policy bound from the start would have seen), then the
+    // ready set re-enters in queue order. In-flight work is untouched:
+    // dispatched tasks were already dequeued and their attempts keep
+    // running to completion on their slots.
+    for (TxnId id = 0; id < static_cast<TxnId>(specs_.size()); ++id) {
+      if (announced_[id] && !outcomes_[id].finished) {
+        policy_->OnArrival(id, now);
+      }
+    }
+    for (const TxnId id : ready_list_) {
+      policy_->OnReady(id, now);
+    }
+  }
+  if (request.replace_admission) {
+    admission_ = request.admission != nullptr ? request.admission() : nullptr;
+    if (admission_ != nullptr) admission_->Bind(view_);
+  }
+  clock_->NotifyAll(work_available_);
 }
 
 void Executor::DispatchOneLocked(std::unique_lock<std::mutex>& lock) {
@@ -513,6 +639,7 @@ void Executor::ApplyAttemptReturnLocked(uint64_t serial, bool threw) {
     outcome.tardiness_seconds = std::max(0.0, tardiness);
     stats_.tardiness_ewma = (1.0 - kStatsAlpha) * stats_.tardiness_ewma +
                             kStatsAlpha * outcome.tardiness_seconds;
+    stats_.tardiness_total += outcome.tardiness_seconds;
     if (admission_ != nullptr) {
       admission_->ObserveCompletion(id, tardiness, now);
     }
@@ -766,7 +893,11 @@ void Executor::ReleaseDueDeferred(double now) {
     deferred_[i] = deferred_.back();
     deferred_.pop_back();
     if (outcomes_[entry.id].finished) continue;
-    const AdmissionDecision decision = admission_->Decide(entry.id, now);
+    // A reconfigure may have removed the controller while arrivals were
+    // deferred; a missing controller admits everything.
+    const AdmissionDecision decision = admission_ != nullptr
+                                           ? admission_->Decide(entry.id, now)
+                                           : AdmissionDecision::Admit();
     switch (decision.action) {
       case AdmissionDecision::Action::kReject:
         RecordLocked(now, LiveEventKind::kShedAdmission, entry.id);
@@ -781,6 +912,7 @@ void Executor::ReleaseDueDeferred(double now) {
                      LiveTraceEvent::kNoSlot, 0, Bits(decision.defer_delay));
         break;
       case AdmissionDecision::Action::kAdmit:
+        announced_[entry.id] = 1;
         policy_->OnArrival(entry.id, now);
         if (unmet_deps_[entry.id] == 0) {
           ready_list_.push_back(entry.id);

@@ -134,6 +134,64 @@ struct ExecutorStats {
   /// for benches): completion tardiness and ready-queue depth.
   double tardiness_ewma = 0.0;
   double ready_depth_ewma = 0.0;
+  /// Sum of tardiness_seconds over completions so far: with `completed`
+  /// this yields exact windowed averages between two stats snapshots
+  /// (the digital twin's observed-metrics input).
+  double tardiness_total = 0.0;
+};
+
+/// Where one unfinished task sits inside a quiescent snapshot.
+enum class SnapshotTaskState : uint8_t {
+  kReady = 0,      // in the ready set, schedulable now
+  kInFlight,       // an attempt is executing on a slot
+  kWaitingDeps,    // unmet dependencies remain
+  kDelayed,        // retry waiting out its backoff
+  kDeferred,       // admission-deferred arrival awaiting re-decision
+};
+
+/// One unfinished task as seen at a quiescent point — everything a
+/// shadow simulator needs to warm-start a what-if forecast from live
+/// state: estimated remaining work, the earliest instant the task can
+/// (re)run, its absolute deadline/weight, and the unfinished
+/// dependencies still gating it.
+struct SnapshotTask {
+  TxnId id = kInvalidTxn;
+  SnapshotTaskState state = SnapshotTaskState::kReady;
+  /// Estimated remaining cost in seconds. In-flight simulated attempts
+  /// report their exact wake-derived residual; everything else reports
+  /// the policy-visible remaining estimate.
+  double remaining = 0.0;
+  /// Earliest instant the task can (re)enter execution: `now` for
+  /// ready/in-flight/waiting tasks, the timer due instant for delayed
+  /// retries and deferred arrivals.
+  double release = 0.0;
+  double deadline = 0.0;  // absolute, executor-clock seconds
+  double weight = 1.0;
+  /// Dependencies not yet finished (subset of the spec's dependencies).
+  std::vector<TxnId> unfinished_dependencies;
+};
+
+/// A consistent view of the executor at a quiescent point (see
+/// Executor::SnapshotAtQuiescence).
+struct ExecutorSnapshot {
+  double now = 0.0;
+  size_t num_workers = 0;
+  size_t num_workers_up = 0;
+  ExecutorStats stats;
+  /// Every unfinished task, ascending id.
+  std::vector<SnapshotTask> tasks;
+};
+
+/// A configuration change applied at a quiescent point (see
+/// Executor::Reconfigure). Null members mean "keep the current one".
+struct ReconfigureRequest {
+  /// Replacement scheduling policy (transaction-level), or null to keep
+  /// the current policy.
+  std::unique_ptr<SchedulerPolicy> policy;
+  /// When true the admission controller is replaced by admission()
+  /// (null factory/product = run without admission control from now on).
+  bool replace_admission = false;
+  AdmissionFactory admission;
 };
 
 struct ExecutorOptions {
@@ -267,6 +325,28 @@ class Executor {
   /// after Shutdown/Drain for a complete, quiescent trace.
   std::vector<LiveTraceEvent> TakeTrace();
 
+  /// Blocks until the executor is quiescent at the CURRENT clock
+  /// instant — every completion due by now has been applied, every due
+  /// timer fired, and no dispatch is possible — then returns a
+  /// consistent snapshot of all unfinished work. Under a VirtualClock
+  /// the caller should be a registered participant: a runnable
+  /// registered thread freezes the timeline, so the snapshot captures
+  /// the exact virtual instant (the digital twin's control-tick
+  /// contract). Safe from any thread; returns an empty-task snapshot
+  /// once the run is drained.
+  ExecutorSnapshot SnapshotAtQuiescence();
+
+  /// Swaps the scheduling policy and/or admission controller at a
+  /// quiescent point: waits for quiescence exactly like
+  /// SnapshotAtQuiescence, then rebinds the new policy and replays the
+  /// live state into it (OnArrival for every announced unfinished task,
+  /// OnReady for the ready set in queue order). In-flight attempts are
+  /// untouched — the executor is non-preemptive, so reconfiguration
+  /// never loses work; delayed retries and deferred arrivals re-enter
+  /// through their normal release paths and announce themselves to the
+  /// new policy there.
+  void Reconfigure(ReconfigureRequest request);
+
   /// Seconds elapsed on the executor's Clock (its SimTime).
   double NowSeconds() const;
 
@@ -345,6 +425,12 @@ class Executor {
 
   void WorkerLoop();
   void PumpLoop();
+  /// Spins (dropping mu_ between probes) until the executor is
+  /// quiescent at the current clock instant or fully drained; returns
+  /// with mu_ held by `lock` and the quiescence instant in *now_out.
+  void AwaitQuiescenceLocked(std::unique_lock<std::mutex>& lock,
+                             double* now_out);
+  bool QuiescentLocked(double now) const;
   // The helpers below require mu_ to be held.
   bool CanDispatchLocked(double now) const;
   size_t FreeUpSlotLocked() const;
@@ -404,6 +490,10 @@ class Executor {
   std::vector<double> progress_done_;
   /// Outstanding uncharged re-dispatches owed to failovers.
   std::vector<uint32_t> migration_credits_;
+  /// Whether the policy has heard OnArrival for the task (admitted
+  /// arrivals only; deferred arrivals announce on admit). Reconfigure
+  /// replays exactly these into a replacement policy.
+  std::vector<char> announced_;
   std::vector<TxnId> ready_list_;
   std::vector<DelayedEntry> delayed_;    // retries in backoff
   std::vector<DelayedEntry> deferred_;   // admission-deferred arrivals

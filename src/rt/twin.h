@@ -1,0 +1,171 @@
+#ifndef WEBTX_RT_TWIN_H_
+#define WEBTX_RT_TWIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rt/executor.h"
+#include "rt/live_trace.h"
+#include "rt/live_validator.h"
+#include "sim/fault_plan.h"
+#include "workload/live_arrivals.h"
+
+namespace webtx::rt {
+
+/// One live configuration the twin's controller can apply online: a
+/// transaction-level policy spec (sched/policy_factory.h) plus an
+/// admission knob.
+struct TwinCandidate {
+  std::string policy = "FCFS";
+  enum class Admission : uint8_t { kNone = 0, kQueueDepth, kBrownout };
+  Admission admission = Admission::kNone;
+  /// kQueueDepth cap (>= 1 when used).
+  size_t max_ready = 64;
+  /// kBrownout crash-aware down-fraction SLO (0 = signal off); see
+  /// BrownoutAdmissionOptions::capacity_slo.
+  double capacity_slo = 0.0;
+};
+
+/// Digital-twin serving-loop knobs. The `candidates` table is the
+/// controller's whole action space; `static_index` names both the
+/// configuration the run starts under and the one the divergence guard
+/// falls back to.
+struct TwinOptions {
+  size_t num_workers = 2;
+  std::vector<TwinCandidate> candidates;
+  size_t static_index = 0;
+  /// Off = pure static serving (the A side of every A-B): no control
+  /// ticks, no reconfiguration, no decisions.
+  bool controller_enabled = true;
+
+  // -- Control-loop cadence and hysteresis --
+  double control_interval = 0.25;  // virtual seconds between ticks
+  double forecast_horizon = 0.5;   // what-if lookahead per tick
+  /// Required relative score improvement before a switch (plus a dwell
+  /// of `dwell_ticks` ticks since the last switch): hysteresis against
+  /// forecast-noise flapping.
+  double switch_margin = 0.1;
+  size_t dwell_ticks = 2;
+  /// Score = predicted avg tardiness + shed_penalty * predicted shed
+  /// fraction (lower is better).
+  double shed_penalty = 1.0;
+
+  // -- Divergence guard (the robustness headline) --
+  /// Observed window tardiness diverges when it misses the forecast by
+  /// more than tolerance * max(forecast, abs_floor) AND by more than
+  /// abs_floor seconds; shed ratios diverge when they differ by more
+  /// than shed_divergence (absolute, both in [0, 1]).
+  double divergence_tolerance = 2.0;
+  double divergence_abs_floor = 0.05;
+  double shed_divergence = 0.5;
+  /// Consecutive divergent ticks before the guard trips.
+  size_t guard_strikes = 2;
+  /// Ticks the controller stays on the static configuration (no
+  /// forecasts, no switches) after tripping.
+  size_t guard_cooldown_ticks = 4;
+
+  // -- Shadow-model fidelity --
+  uint64_t forecast_seed = 2009;
+  /// Multiplies every service-time estimate the shadow simulator is fed
+  /// (snapshot residuals and synthetic future durations). 1.0 =
+  /// faithful model; anything else corrupts the twin — the forced-
+  /// divergence hook the guard's acceptance test leans on.
+  double snapshot_corruption = 1.0;
+  /// Cap on synthetic future arrivals per forecast (tick cost bound).
+  size_t max_forecast_arrivals = 2000;
+
+  // -- Live executor knobs (mirror ExecutorOptions) --
+  FaultInjectorOptions faults;
+  MigrationPolicy migration = MigrationPolicy::kWarm;
+  bool watchdog = false;
+  double watchdog_stall_seconds = 0.0;
+  uint32_t retry_max_attempts = 1;
+  double retry_backoff = 0.0;
+  double retry_backoff_multiplier = 2.0;
+  double retry_max_backoff = 0.0;
+  size_t retry_budget = 0;
+};
+
+/// One recorded controller decision (one per control tick).
+struct TwinDecision {
+  enum class Kind : uint8_t {
+    kHold = 0,   // kept the applied configuration
+    kSwitch,     // reconfigured to a better-scoring candidate
+    kFallback,   // divergence guard tripped: reverted to static
+    kCooldown,   // guard cooldown tick (no forecasting)
+    kReenable,   // last cooldown tick: controller live again next tick
+  };
+  double time = 0.0;
+  Kind kind = Kind::kHold;
+  /// Candidate index in force AFTER the tick.
+  uint32_t applied = 0;
+  /// Forecast winner (kHold/kSwitch ticks only).
+  uint32_t best = 0;
+  /// Shadow forecast for the post-tick applied configuration
+  /// (kHold/kSwitch only) — next tick's guard reference.
+  double predicted_tardiness = 0.0;
+  double predicted_shed_ratio = 0.0;
+  /// Observed metrics of the window that just closed.
+  double observed_tardiness = 0.0;
+  double observed_shed_ratio = 0.0;
+};
+
+const char* TwinDecisionKindName(TwinDecision::Kind kind);
+
+/// Everything one twin run produced: the validated-trace bundle (same
+/// shape exp/live_chaos consumes), the decision log, and a combined
+/// digest covering both — byte-identity of a twin run includes what the
+/// controller DID, not just what the executor executed.
+struct TwinReport {
+  std::vector<LiveTraceEvent> trace;
+  std::vector<LiveTaskRecord> tasks;  // validator ground truth, by TxnId
+  std::vector<TaskOutcome> outcomes;  // by TxnId
+  ExecutorStats stats;
+  std::vector<TwinDecision> decisions;
+  uint64_t digest = 0;
+  size_t switches = 0;
+  size_t fallbacks = 0;
+  uint32_t final_config = 0;
+  /// Options the live validator needs to audit `trace`.
+  LiveValidatorOptions validator_options;
+  // Headline metrics.
+  double avg_tardiness = 0.0;  // mean over completed tasks
+  double shed_ratio = 0.0;     // non-completed / submitted
+  double goodput = 0.0;        // completed / submitted
+};
+
+/// The digital-twin serving loop: a live front end submits `arrivals`
+/// to an rt::Executor at their exact virtual instants while, every
+/// control_interval, a shadow Simulator warm-started from a quiescent
+/// executor snapshot runs faster-than-real-time what-if forecasts
+/// (tardiness / shed ratio / goodput for every candidate policy ×
+/// admission knob over forecast_horizon of projected traffic) and a
+/// hysteresis controller applies the winner via
+/// Executor::Reconfigure — at quiescent points, so in-flight work is
+/// never lost. A divergence guard compares each window's observed
+/// tardiness/shed against the previous tick's forecast and, after
+/// guard_strikes consecutive misses, falls back to the static
+/// configuration for guard_cooldown_ticks (the twin must survive its
+/// own model being wrong). On a VirtualClock the whole loop — arrivals,
+/// faults, forecasts, reconfigurations — is one deterministic timeline:
+/// TwinReport::digest is byte-stable across repeats and host thread
+/// counts (tools/chaos --twin pins it).
+class Twin {
+ public:
+  explicit Twin(TwinOptions options);
+
+  /// Runs the serving loop over the materialized arrival batch to
+  /// quiescence. The calling thread drives submissions and control
+  /// ticks as a registered clock participant. Fails on invalid options
+  /// (unknown policy spec, bad fault plan, empty candidate table, ...).
+  Result<TwinReport> Run(const std::vector<LiveArrival>& arrivals);
+
+ private:
+  TwinOptions options_;
+};
+
+}  // namespace webtx::rt
+
+#endif  // WEBTX_RT_TWIN_H_

@@ -81,6 +81,8 @@ BrownoutAdmission::BrownoutAdmission(BrownoutAdmissionOptions options)
   }
   WEBTX_CHECK(options_.breaker_trip_severity > 1.0);
   WEBTX_CHECK(options_.breaker_cooldown > 0.0);
+  WEBTX_CHECK(options_.capacity_slo >= 0.0 && options_.capacity_slo <= 1.0)
+      << "capacity_slo is a down-fraction in [0, 1]";
 }
 
 std::string BrownoutAdmission::name() const {
@@ -98,8 +100,20 @@ void BrownoutAdmission::Reset() {
 }
 
 double BrownoutAdmission::SeverityLocked() const {
-  return std::max(tardy_ewma_ / options_.tardiness_slo,
-                  depth_ewma_ / options_.depth_slo);
+  double severity = std::max(tardy_ewma_ / options_.tardiness_slo,
+                             depth_ewma_ / options_.depth_slo);
+  if (options_.capacity_slo > 0.0) {
+    // Crash-aware signal: shed against the capacity that is GONE, not
+    // only the symptoms (tardiness/depth) it eventually causes. Uses
+    // the instantaneous pool size, not an EWMA — a crash should tighten
+    // admission at the very next arrival.
+    const auto total = static_cast<double>(view().num_servers());
+    const auto up = static_cast<double>(
+        std::min(view().num_servers_up(), view().num_servers()));
+    const double down_fraction = total > 0.0 ? (total - up) / total : 0.0;
+    severity = std::max(severity, down_fraction / options_.capacity_slo);
+  }
+  return severity;
 }
 
 AdmissionDecision BrownoutAdmission::Decide(TxnId id, SimTime now) {

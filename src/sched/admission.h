@@ -174,6 +174,14 @@ struct BrownoutAdmissionOptions {
   double breaker_trip_severity = 4.0;
   /// Seconds the breaker stays open before probing again (half-open).
   SimTime breaker_cooldown = 5.0;
+  /// Crash-aware severity: fraction of servers down considered "at
+  /// capacity" (severity 1.0). 0 disables the signal (the historical
+  /// behavior — severity then reacts to crashes only indirectly,
+  /// through the tardiness/depth the shrunken pool causes). With e.g.
+  /// capacity_slo = 0.5, half the farm being down alone browns the
+  /// controller out, so admission tightens the moment workers crash
+  /// instead of waiting for the backlog to build.
+  double capacity_slo = 0.0;
 };
 
 /// Brownout / circuit-breaker admission driven by *observed* load, not

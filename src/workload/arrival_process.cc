@@ -1,6 +1,8 @@
 #include "workload/arrival_process.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -56,6 +58,45 @@ SimTime OnOffPoissonProcess::Next(Rng& rng) {
     }
     // The would-be arrival falls past the ON window: close the phase.
     in_on_phase_ = false;
+  }
+}
+
+FlashCrowdProcess::FlashCrowdProcess(double base_rate, double spike_factor,
+                                     double spike_start,
+                                     double spike_duration)
+    : base_rate_(base_rate),
+      spike_factor_(spike_factor),
+      spike_start_(spike_start),
+      spike_duration_(spike_duration) {
+  WEBTX_CHECK_GT(base_rate, 0.0);
+  WEBTX_CHECK_GE(spike_factor, 1.0);
+  WEBTX_CHECK_GE(spike_start, 0.0);
+  WEBTX_CHECK_GE(spike_duration, 0.0);
+}
+
+SimTime FlashCrowdProcess::SegmentEnd(SimTime t) const {
+  if (t < spike_start_) return spike_start_;
+  if (t < spike_start_ + spike_duration_) {
+    return spike_start_ + spike_duration_;
+  }
+  return std::numeric_limits<SimTime>::infinity();
+}
+
+SimTime FlashCrowdProcess::Next(Rng& rng) {
+  while (true) {
+    const double rate = rate_at(clock_);
+    const SimTime segment_end = SegmentEnd(clock_);
+    // Inverse-CDF exponential gap at the segment's rate; one draw per
+    // probe keeps the stream a pure function of (knobs, seed).
+    const SimTime gap = -std::log1p(-rng.NextDouble()) / rate;
+    const SimTime candidate = clock_ + gap;
+    if (candidate < segment_end) {
+      clock_ = candidate;
+      return clock_;
+    }
+    // Crossed a rate boundary: memorylessness lets us restart the draw
+    // exactly at the boundary under the new rate.
+    clock_ = segment_end;
   }
 }
 

@@ -68,6 +68,38 @@ class OnOffPoissonProcess final : public ArrivalProcess {
   bool in_on_phase_ = false;
 };
 
+/// Flash-crowd process: piecewise-constant-rate Poisson arrivals at
+/// `base_rate` outside the spike window and `base_rate * spike_factor`
+/// inside [spike_start, spike_start + spike_duration) — the "breaking
+/// news" load shape the digital twin's controller is evaluated under.
+/// The Poisson process is memoryless, so a candidate arrival falling on
+/// the far side of a rate boundary is discarded and redrawn from the
+/// boundary at the new rate (exact piecewise-constant thinning).
+class FlashCrowdProcess final : public ArrivalProcess {
+ public:
+  FlashCrowdProcess(double base_rate, double spike_factor,
+                    double spike_start, double spike_duration);
+
+  SimTime Next(Rng& rng) override;
+  void Reset() override { clock_ = 0.0; }
+
+  double rate_at(SimTime t) const {
+    const bool in_spike =
+        t >= spike_start_ && t < spike_start_ + spike_duration_;
+    return in_spike ? base_rate_ * spike_factor_ : base_rate_;
+  }
+
+ private:
+  /// End of the rate segment containing `t` (kNever for the tail).
+  SimTime SegmentEnd(SimTime t) const;
+
+  double base_rate_;
+  double spike_factor_;
+  double spike_start_;
+  double spike_duration_;
+  SimTime clock_ = 0.0;
+};
+
 /// Builds the process implied by (rate, burstiness): plain Poisson when
 /// burstiness == 0, ON/OFF modulated otherwise.
 std::unique_ptr<ArrivalProcess> MakeArrivalProcess(double rate,

@@ -1,0 +1,73 @@
+#ifndef WEBTX_WORKLOAD_LIVE_ARRIVALS_H_
+#define WEBTX_WORKLOAD_LIVE_ARRIVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace webtx {
+
+/// One arrival the live front end will submit to rt::Executor: the
+/// common currency between the trace replayer, the open-loop load
+/// generator, and the digital twin's serving loop (rt/twin.h). All
+/// times are seconds; `arrival` instants are non-decreasing within a
+/// generated batch.
+struct LiveArrival {
+  double arrival = 0.0;
+  /// Simulated execution cost (TaskSpec::simulated_duration AND the
+  /// policy's estimate — the live generator models honest estimates;
+  /// estimate error studies live in bench/ext_estimate_error).
+  double duration = 0.0;
+  double relative_deadline = 0.0;
+  double weight = 1.0;
+};
+
+/// Arrival-shape of the open-loop generator.
+enum class LiveArrivalShape : uint8_t {
+  kPoisson = 0,     // homogeneous Poisson at `rate`
+  kOnOff,           // bursty Markov-modulated ON/OFF (workload/arrival_process)
+  kFlashCrowd,      // rate spike in [spike_start, spike_start + spike_duration)
+};
+
+const char* LiveArrivalShapeName(LiveArrivalShape shape);
+
+struct LiveArrivalOptions {
+  LiveArrivalShape shape = LiveArrivalShape::kPoisson;
+  uint64_t seed = 1;
+  size_t num_tasks = 100;
+  /// Long-run arrival rate (per second). For kFlashCrowd this is the
+  /// BASE rate; the spike multiplies it by spike_factor.
+  double rate = 100.0;
+  /// kOnOff: burstiness in [0, 1) and expected ON+OFF cycle seconds.
+  double burstiness = 0.5;
+  double on_off_mean_cycle = 2.0;
+  /// kFlashCrowd knobs.
+  double spike_factor = 8.0;
+  double spike_start = 1.0;
+  double spike_duration = 1.0;
+  /// Exponential task durations with this mean (floored at a small
+  /// positive epsilon).
+  double mean_duration = 0.05;
+  /// relative_deadline = duration * (1 + deadline_slack * U[0,1)).
+  double deadline_slack = 2.0;
+  /// Weights drawn uniformly from {1, ..., max_weight}.
+  uint64_t max_weight = 1;
+};
+
+/// Materializes the whole batch up front (arrival order fixes TxnId
+/// assignment at submission, the live determinism contract). A pure
+/// function of the options, byte-stable across platforms.
+std::vector<LiveArrival> GenerateLiveArrivals(const LiveArrivalOptions& options);
+
+/// Trace replayer adapter: converts recorded TransactionSpecs
+/// (workload/trace.h ReadTrace) into live arrivals, sorted by (arrival,
+/// id). Dependencies are dropped — the live replayer feeds open-ended
+/// submissions. Deadlines already in the past of their arrival are
+/// clamped to a tiny positive relative deadline (Submit requires > 0).
+std::vector<LiveArrival> LiveArrivalsFromTrace(
+    const std::vector<TransactionSpec>& specs);
+
+}  // namespace webtx
+
+#endif  // WEBTX_WORKLOAD_LIVE_ARRIVALS_H_

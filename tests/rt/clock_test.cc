@@ -208,6 +208,99 @@ TEST(VirtualClockTest, InterruptSleepersIsTransparentWithoutTokens) {
   EXPECT_EQ(clock.Now(), 5.0);
 }
 
+TEST(VirtualClockTest, AdvanceToInterleavedWithSleepsStaysMonotone) {
+  // Manual AdvanceTo calls interleave with participant sleeps on one
+  // monotone timeline: same-instant re-advances are no-ops and a rewind
+  // is an invariant violation (CHECK), never a silent time warp.
+  VirtualClock clock;
+  clock.RegisterParticipant();
+  clock.AdvanceTo(2.0);
+  EXPECT_EQ(clock.Now(), 2.0);
+  clock.SleepUntil(4.0, nullptr);
+  EXPECT_EQ(clock.Now(), 4.0);
+  clock.AdvanceTo(4.0);  // same-instant re-advance: no-op
+  EXPECT_EQ(clock.Now(), 4.0);
+  clock.SleepUntil(4.0, nullptr);  // sleep to "now": returns in place
+  EXPECT_EQ(clock.Now(), 4.0);
+  clock.AdvanceTo(5.0);
+  EXPECT_EQ(clock.Now(), 5.0);
+  EXPECT_DEATH(clock.AdvanceTo(3.0), "CHECK failed");  // stale rewind
+  clock.DeregisterParticipant();
+}
+
+TEST(VirtualClockTest, ZeroDurationSleepDoesNotAdvanceTheTimeline) {
+  // A sleep due exactly at Now() (the twin driver's arrival-at-tick
+  // boundary case) completes without moving time — for a registered
+  // participant and for an unregistered observer alike.
+  VirtualClock clock;
+  clock.RegisterParticipant();
+  clock.SleepUntil(1.5, nullptr);
+  EXPECT_EQ(clock.Now(), 1.5);
+  clock.SleepUntil(1.5, nullptr);
+  EXPECT_EQ(clock.Now(), 1.5);
+  clock.DeregisterParticipant();
+  clock.SleepUntil(1.5, nullptr);  // unregistered, due == now
+  EXPECT_EQ(clock.Now(), 1.5);
+}
+
+TEST(VirtualClockTest, TiedSleepersAllWakeAtTheSharedInstant) {
+  // Several participants blocked on the SAME due: one advance serves
+  // them all, every waker observes exactly the tied instant, and the
+  // clock does not overshoot it.
+  constexpr int kSleepers = 4;
+  VirtualClock clock;
+  std::atomic<int> woke_at_tie{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSleepers);
+  for (int t = 0; t < kSleepers; ++t) {
+    threads.emplace_back([&] {
+      clock.RegisterParticipant();
+      clock.SleepUntil(2.5, nullptr);
+      if (clock.Now() == 2.5) woke_at_tie.fetch_add(1);
+      clock.DeregisterParticipant();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(woke_at_tie.load(), kSleepers);
+  EXPECT_EQ(clock.Now(), 2.5);
+}
+
+TEST(VirtualClockTest, TieBetweenSleepAndLaterDueRespectsOrder) {
+  // A tie at t=1 between two sleepers must not leapfrog a third blocked
+  // strictly later: the earliest due always wins the advance. The main
+  // thread holds the clock as a registered-but-awake participant until
+  // all three sleepers are registered — otherwise the late sleeper
+  // could briefly be the only participant and legally advance to 7.
+  VirtualClock clock;
+  std::atomic<int> registered{0};
+  std::atomic<double> late_wake{-1.0};
+  std::atomic<int> early_wakes_at_one{0};
+  clock.RegisterParticipant();
+  std::thread late([&] {
+    clock.RegisterParticipant();
+    registered.fetch_add(1);
+    clock.SleepUntil(7.0, nullptr);
+    late_wake.store(clock.Now());
+    clock.DeregisterParticipant();
+  });
+  std::vector<std::thread> tied;
+  for (int t = 0; t < 2; ++t) {
+    tied.emplace_back([&] {
+      clock.RegisterParticipant();
+      registered.fetch_add(1);
+      clock.SleepUntil(1.0, nullptr);
+      if (clock.Now() == 1.0) early_wakes_at_one.fetch_add(1);
+      clock.DeregisterParticipant();
+    });
+  }
+  while (registered.load() < 3) std::this_thread::yield();
+  clock.DeregisterParticipant();  // release the timeline
+  for (std::thread& t : tied) t.join();
+  EXPECT_EQ(early_wakes_at_one.load(), 2);
+  late.join();
+  EXPECT_EQ(late_wake.load(), 7.0);
+}
+
 TEST(VirtualClockTest, ManyParticipantsConvergeOnTheSameTimeline) {
   // Stress shape for tsan: N participants ping-pong through staggered
   // sleeps; every thread must observe exactly its own due instants.

@@ -1,0 +1,146 @@
+// Watchdog detection-boundary regression (rt/executor.cc
+// PumpTimedEventsLocked): a stall that ends EXACTLY at the watchdog's
+// detection deadline must not fail the attempt over — the kStallEnd
+// fault event applies before due stall watches at the shared instant,
+// disarming the watch, and the slot_down() re-check backstops it. The
+// same timeline with a strictly shorter detection delay must fail over
+// exactly once: the boundary is the discriminator, never a double count
+// (one stall producing both a failover and a recovered attempt).
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/clock.h"
+#include "rt/executor.h"
+#include "rt/fault_injector.h"
+#include "sched/policy_factory.h"
+
+namespace webtx::rt {
+namespace {
+
+/// Outage-only fault stream: stalls are the only timed events.
+FaultInjectorOptions OutageOnly(uint64_t seed) {
+  FaultInjectorOptions faults;
+  faults.plan.outage_rate = 0.5;
+  faults.plan.mean_outage_duration = 0.3;
+  faults.plan.seed = seed;
+  return faults;
+}
+
+struct StallWindow {
+  uint64_t seed = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double next_start = 0.0;  // following stall (gap after `end`)
+};
+
+/// Scans seeded single-slot fault timelines for a first stall window
+/// usable as an exact boundary probe: late enough to dispatch a task
+/// before it, an isolation gap after it, and — the fussy part — a
+/// length that reconstructs its own end exactly in double arithmetic
+/// (start + (end - start) == end), so `watchdog_stall_seconds =
+/// end - start` puts the detection deadline EXACTLY on the stall end.
+StallWindow FindBoundaryWindow() {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    auto injector = FaultInjector::Create(OutageOnly(seed), 1);
+    if (!injector.ok()) continue;
+    std::vector<FaultInjector::Event> events;
+    injector.ValueOrDie().CollectEventsUpTo(50.0, &events);
+    StallWindow window;
+    window.seed = seed;
+    for (const FaultInjector::Event& event : events) {
+      if (event.kind == FaultInjector::Event::Kind::kStallStart) {
+        if (window.start == 0.0) {
+          window.start = event.time;
+        } else if (window.end > 0.0) {
+          window.next_start = event.time;
+          break;
+        }
+      } else if (event.kind == FaultInjector::Event::Kind::kStallEnd &&
+                 window.start > 0.0 && window.end == 0.0) {
+        window.end = event.time;
+      }
+    }
+    if (window.start < 0.2 || window.end <= window.start) continue;
+    if (window.next_start <= window.end + 0.1) continue;
+    const double length = window.end - window.start;
+    if (window.start + length != window.end) continue;  // FP misalignment
+    return window;
+  }
+  return {};
+}
+
+/// One simulated task dispatched before the stall opens and completing
+/// in the isolation gap after it closes, so the stall window is spent
+/// entirely under this single in-flight attempt.
+ExecutorStats RunThroughWindow(const StallWindow& window,
+                               double watchdog_stall_seconds,
+                               TaskOutcome* outcome) {
+  auto clock = std::make_shared<VirtualClock>();
+  ExecutorOptions options;
+  options.num_workers = 1;
+  options.clock = clock;
+  options.faults = OutageOnly(window.seed);
+  options.watchdog = true;
+  options.watchdog_stall_seconds = watchdog_stall_seconds;
+  auto policy = CreatePolicy("FCFS");
+  EXPECT_TRUE(policy.ok()) << policy.status();
+  Executor exec(std::move(policy).ValueOrDie(), options);
+
+  const double submit_at = window.start / 2.0;
+  const double finish_at =
+      window.end + std::min(0.05, (window.next_start - window.end) / 2.0);
+  clock->RegisterParticipant();
+  clock->SleepUntil(submit_at, nullptr);
+  TaskSpec task;
+  task.relative_deadline = finish_at;  // generous: tardiness not at issue
+  task.estimated_cost = finish_at - submit_at;
+  task.simulated_duration = finish_at - submit_at;
+  auto id = exec.Submit(std::move(task));
+  EXPECT_TRUE(id.ok()) << id.status();
+  exec.Shutdown();  // full drain: the task reaches a terminal fate
+  clock->DeregisterParticipant();
+  *outcome = exec.OutcomeOf(id.ValueOrDie());
+  return exec.stats();
+}
+
+TEST(ExecutorWatchdogBoundaryTest, StallEndingExactlyAtDeadlineIsNotFailedOver) {
+  const StallWindow window = FindBoundaryWindow();
+  ASSERT_GT(window.end, window.start) << "no usable seeded stall window";
+
+  TaskOutcome outcome;
+  const ExecutorStats stats =
+      RunThroughWindow(window, window.end - window.start, &outcome);
+  // The recovery and the detection deadline share one instant: the
+  // attempt rides the stall out — no failover, no migration, and above
+  // all no double count of the one stall.
+  EXPECT_GE(stats.stalls, 1u);
+  EXPECT_EQ(stats.watchdog_failovers, 0u);
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(outcome.result, TaskResult::kCompleted);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.migrations, 0u);
+}
+
+TEST(ExecutorWatchdogBoundaryTest, StrictlyShorterDeadlineFailsOverOnce) {
+  const StallWindow window = FindBoundaryWindow();
+  ASSERT_GT(window.end, window.start) << "no usable seeded stall window";
+
+  TaskOutcome outcome;
+  const ExecutorStats stats = RunThroughWindow(
+      window, (window.end - window.start) / 2.0, &outcome);
+  // Same timeline, detection strictly inside the window: exactly one
+  // watchdog failover, and the task still completes after re-dispatch.
+  EXPECT_EQ(stats.watchdog_failovers, 1u);
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(outcome.result, TaskResult::kCompleted);
+  EXPECT_EQ(outcome.migrations, 1u);
+}
+
+}  // namespace
+}  // namespace webtx::rt

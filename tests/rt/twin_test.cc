@@ -1,0 +1,152 @@
+// Digital-twin serving loop unit tests (rt/twin.h): option validation,
+// deterministic end-to-end service, the control-tick grid, and
+// decision/counter agreement. Heavier randomized coverage (fallbacks,
+// corruption, campaigns) lives in exp/twin_chaos_test.cc.
+
+#include "rt/twin.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/live_arrivals.h"
+
+namespace webtx {
+namespace {
+
+std::vector<LiveArrival> FeasiblePoisson(size_t num_tasks = 40) {
+  LiveArrivalOptions options;
+  options.shape = LiveArrivalShape::kPoisson;
+  options.seed = 7;
+  options.num_tasks = num_tasks;
+  options.rate = 20.0;         // 2 workers x 0.05s mean = 50% utilization
+  options.mean_duration = 0.05;
+  options.deadline_slack = 3.0;
+  return GenerateLiveArrivals(options);
+}
+
+rt::TwinOptions TwoCandidateOptions() {
+  rt::TwinOptions options;
+  options.num_workers = 2;
+  rt::TwinCandidate fcfs;
+  rt::TwinCandidate edf;
+  edf.policy = "EDF";
+  options.candidates = {fcfs, edf};
+  options.control_interval = 0.2;
+  options.forecast_horizon = 0.4;
+  return options;
+}
+
+TEST(TwinTest, RejectsInvalidOptions) {
+  const std::vector<LiveArrival> arrivals = FeasiblePoisson(5);
+
+  rt::TwinOptions no_candidates = TwoCandidateOptions();
+  no_candidates.candidates.clear();
+  EXPECT_FALSE(rt::Twin(no_candidates).Run(arrivals).ok());
+
+  rt::TwinOptions bad_static = TwoCandidateOptions();
+  bad_static.static_index = 2;
+  EXPECT_FALSE(rt::Twin(bad_static).Run(arrivals).ok());
+
+  rt::TwinOptions bad_policy = TwoCandidateOptions();
+  bad_policy.candidates[1].policy = "NOT_A_POLICY";
+  EXPECT_FALSE(rt::Twin(bad_policy).Run(arrivals).ok());
+
+  rt::TwinOptions no_workers = TwoCandidateOptions();
+  no_workers.num_workers = 0;
+  EXPECT_FALSE(rt::Twin(no_workers).Run(arrivals).ok());
+
+  rt::TwinOptions bad_corruption = TwoCandidateOptions();
+  bad_corruption.snapshot_corruption = 0.0;
+  EXPECT_FALSE(rt::Twin(bad_corruption).Run(arrivals).ok());
+
+  rt::TwinOptions bad_slo = TwoCandidateOptions();
+  bad_slo.candidates[1].admission = rt::TwinCandidate::Admission::kBrownout;
+  bad_slo.candidates[1].capacity_slo = 1.5;
+  EXPECT_FALSE(rt::Twin(bad_slo).Run(arrivals).ok());
+}
+
+TEST(TwinTest, ControllerOffServesEverythingDeterministically) {
+  const std::vector<LiveArrival> arrivals = FeasiblePoisson();
+  rt::TwinOptions options = TwoCandidateOptions();
+  options.controller_enabled = false;
+
+  auto first = rt::Twin(options).Run(arrivals);
+  auto second = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  const rt::TwinReport& report = first.ValueOrDie();
+  EXPECT_EQ(report.digest, second.ValueOrDie().digest);
+  EXPECT_TRUE(report.decisions.empty());
+  EXPECT_EQ(report.switches, 0u);
+  EXPECT_EQ(report.fallbacks, 0u);
+  EXPECT_EQ(report.final_config, options.static_index);
+  // Feasible load, no faults: everything completes.
+  EXPECT_EQ(report.stats.completed, arrivals.size());
+  EXPECT_DOUBLE_EQ(report.goodput, 1.0);
+  EXPECT_DOUBLE_EQ(report.shed_ratio, 0.0);
+  const rt::LiveValidationResult verdict =
+      rt::ValidateLiveTrace(report.trace, report.tasks, report.outcomes,
+                            report.stats, report.validator_options);
+  EXPECT_TRUE(verdict.ok()) << verdict.violations.front();
+}
+
+TEST(TwinTest, DecisionsLandOnTheControlTickGrid) {
+  const std::vector<LiveArrival> arrivals = FeasiblePoisson();
+  const rt::TwinOptions options = TwoCandidateOptions();
+  auto run = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const rt::TwinReport& report = run.ValueOrDie();
+  ASSERT_FALSE(report.decisions.empty());
+  double prev = -1.0;
+  for (const rt::TwinDecision& d : report.decisions) {
+    EXPECT_GT(d.time, prev);
+    prev = d.time;
+    // Every decision sits on a multiple of the control interval: ticks
+    // happen at quiescent points of the exact scheduled instant (the
+    // driver freezes the virtual clock while the controller thinks).
+    const double ticks = d.time / options.control_interval;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-9) << "at t=" << d.time;
+    EXPECT_LT(d.applied, options.candidates.size());
+    EXPECT_LT(d.best, options.candidates.size());
+  }
+}
+
+TEST(TwinTest, DecisionLogAgreesWithTheCounters) {
+  LiveArrivalOptions load;
+  load.shape = LiveArrivalShape::kFlashCrowd;
+  load.seed = 13;
+  load.num_tasks = 120;
+  load.rate = 30.0;
+  load.spike_factor = 8.0;
+  load.spike_start = 0.5;
+  load.spike_duration = 0.8;
+  load.mean_duration = 0.05;
+  const std::vector<LiveArrival> arrivals = GenerateLiveArrivals(load);
+
+  rt::TwinOptions options = TwoCandidateOptions();
+  options.candidates[1].policy = "SRPT";
+  options.dwell_ticks = 1;
+  auto run = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const rt::TwinReport& report = run.ValueOrDie();
+
+  size_t switches = 0;
+  size_t fallbacks = 0;
+  uint32_t applied = static_cast<uint32_t>(options.static_index);
+  for (const rt::TwinDecision& d : report.decisions) {
+    if (d.kind == rt::TwinDecision::Kind::kSwitch) ++switches;
+    if (d.kind == rt::TwinDecision::Kind::kFallback) ++fallbacks;
+    applied = d.applied;
+  }
+  EXPECT_EQ(report.switches, switches);
+  EXPECT_EQ(report.fallbacks, fallbacks);
+  EXPECT_EQ(report.final_config, applied);
+  // Counters cross-check the stats: completed + sheds cover the batch.
+  EXPECT_EQ(report.stats.submitted, arrivals.size());
+  EXPECT_NEAR(report.goodput + report.shed_ratio, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace webtx

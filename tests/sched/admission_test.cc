@@ -334,5 +334,79 @@ TEST(BrownoutAdmissionTest, DepthSignalAloneCanBrownout) {
   EXPECT_GT(brownout.depth_ewma(), options.depth_slo);
 }
 
+/// FakeView with a controllable server pool, for the crash-aware
+/// severity signal (FakeView itself is final, so delegate).
+class CrashyView final : public SimView {
+ public:
+  explicit CrashyView(std::vector<TransactionSpec> txns)
+      : inner_(std::move(txns)) {}
+
+  void SetServers(size_t total, size_t up) {
+    total_ = total;
+    up_ = up;
+  }
+
+  const std::vector<TransactionSpec>& specs() const override {
+    return inner_.specs();
+  }
+  const DependencyGraph& graph() const override { return inner_.graph(); }
+  const WorkflowRegistry& workflows() const override {
+    return inner_.workflows();
+  }
+  SimTime remaining(TxnId id) const override { return inner_.remaining(id); }
+  bool IsArrived(TxnId id) const override { return inner_.IsArrived(id); }
+  bool IsFinished(TxnId id) const override { return inner_.IsFinished(id); }
+  bool IsReady(TxnId id) const override { return inner_.IsReady(id); }
+  const std::vector<TxnId>& ready_transactions() const override {
+    return inner_.ready_transactions();
+  }
+  size_t num_servers() const override { return total_; }
+  size_t num_servers_up() const override { return up_; }
+
+ private:
+  testing::FakeView inner_;
+  size_t total_ = 1;
+  size_t up_ = 1;
+};
+
+TEST(BrownoutAdmissionTest, CrashAwareSeverityShedsWhenWorkersDie) {
+  // Zero tardiness, zero depth: only the crash signal can brown out.
+  CrashyView view({Txn(0, 0, 1, 100, /*weight=*/0.5),
+                   Txn(1, 0, 1, 100, /*weight=*/2.0)});
+  view.SetServers(4, 4);
+  BrownoutAdmissionOptions options = ResponsiveBrownout();
+  options.capacity_slo = 0.5;  // half the farm down = "at capacity"
+  BrownoutAdmission brownout(options);
+  brownout.Bind(view);
+
+  // Full pool: healthy, everything admitted.
+  EXPECT_EQ(brownout.Decide(0, 0.0).action,
+            AdmissionDecision::Action::kAdmit);
+
+  // 3 of 4 down: down_fraction 0.75 / slo 0.5 = severity 1.5 -> floor
+  // tier 0 (weight 1.0) purely from lost capacity, before any backlog
+  // symptom shows up in tardiness or depth.
+  view.SetServers(4, 1);
+  EXPECT_EQ(brownout.Decide(0, 1.0).action,
+            AdmissionDecision::Action::kReject);  // weight 0.5 < 1.0
+  EXPECT_EQ(brownout.Decide(1, 1.0).action,
+            AdmissionDecision::Action::kAdmit);  // weight 2.0 >= 1.0
+
+  // The signal is instantaneous, not an EWMA: repairs restore admission
+  // at the very next arrival.
+  view.SetServers(4, 4);
+  EXPECT_EQ(brownout.Decide(0, 2.0).action,
+            AdmissionDecision::Action::kAdmit);
+}
+
+TEST(BrownoutAdmissionTest, CapacitySloZeroDisablesTheCrashSignal) {
+  CrashyView view({Txn(0, 0, 1, 100, /*weight=*/0.5)});
+  view.SetServers(4, 0);  // the whole farm is down
+  BrownoutAdmission brownout(ResponsiveBrownout());  // capacity_slo = 0
+  brownout.Bind(view);
+  EXPECT_EQ(brownout.Decide(0, 0.0).action,
+            AdmissionDecision::Action::kAdmit);
+}
+
 }  // namespace
 }  // namespace webtx

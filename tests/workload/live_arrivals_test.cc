@@ -1,0 +1,135 @@
+// Live arrival generation (workload/live_arrivals.h): seed
+// determinism, batch invariants shared by every shape, the flash-crowd
+// density spike, and the trace-replayer adapter's sorting/clamping.
+
+#include "workload/live_arrivals.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webtx {
+namespace {
+
+LiveArrivalOptions ShapeOptions(LiveArrivalShape shape) {
+  LiveArrivalOptions options;
+  options.shape = shape;
+  options.seed = 17;
+  options.num_tasks = 400;
+  options.rate = 80.0;
+  options.max_weight = 4;
+  return options;
+}
+
+void ExpectBatchInvariants(const std::vector<LiveArrival>& batch,
+                           const LiveArrivalOptions& options) {
+  ASSERT_EQ(batch.size(), options.num_tasks);
+  double prev = 0.0;
+  for (const LiveArrival& a : batch) {
+    EXPECT_GE(a.arrival, prev);  // non-decreasing submission order
+    prev = a.arrival;
+    EXPECT_GT(a.duration, 0.0);
+    // deadline_slack >= 0 means every deadline covers the work itself.
+    EXPECT_GE(a.relative_deadline, a.duration);
+    EXPECT_GE(a.weight, 1.0);
+    EXPECT_LE(a.weight, static_cast<double>(options.max_weight));
+  }
+}
+
+TEST(LiveArrivalsTest, EveryShapeIsDeterministicPerSeedAndHonorsInvariants) {
+  for (LiveArrivalShape shape :
+       {LiveArrivalShape::kPoisson, LiveArrivalShape::kOnOff,
+        LiveArrivalShape::kFlashCrowd}) {
+    const LiveArrivalOptions options = ShapeOptions(shape);
+    const std::vector<LiveArrival> first = GenerateLiveArrivals(options);
+    const std::vector<LiveArrival> second = GenerateLiveArrivals(options);
+    ExpectBatchInvariants(first, options);
+    ASSERT_EQ(first.size(), second.size());
+    // Byte-stable, not merely approximately equal: the twin's replay
+    // digests hang off this.
+    EXPECT_EQ(0, std::memcmp(first.data(), second.data(),
+                             first.size() * sizeof(LiveArrival)))
+        << LiveArrivalShapeName(shape);
+
+    LiveArrivalOptions reseeded = options;
+    reseeded.seed = 18;
+    const std::vector<LiveArrival> other = GenerateLiveArrivals(reseeded);
+    EXPECT_NE(0, std::memcmp(first.data(), other.data(),
+                             first.size() * sizeof(LiveArrival)))
+        << LiveArrivalShapeName(shape);
+  }
+}
+
+TEST(LiveArrivalsTest, ShapeNamesAreStable) {
+  EXPECT_STREQ(LiveArrivalShapeName(LiveArrivalShape::kPoisson), "poisson");
+  EXPECT_STREQ(LiveArrivalShapeName(LiveArrivalShape::kOnOff), "onoff");
+  EXPECT_STREQ(LiveArrivalShapeName(LiveArrivalShape::kFlashCrowd), "flash");
+}
+
+TEST(LiveArrivalsTest, FlashCrowdSpikesInsideItsWindow) {
+  LiveArrivalOptions options = ShapeOptions(LiveArrivalShape::kFlashCrowd);
+  options.num_tasks = 2000;
+  options.rate = 50.0;
+  options.spike_factor = 8.0;
+  options.spike_start = 2.0;
+  options.spike_duration = 1.0;
+  const std::vector<LiveArrival> batch = GenerateLiveArrivals(options);
+
+  // Compare empirical density inside the spike window against an
+  // equally long stretch of base load before it. With an 8x factor the
+  // gap is enormous; 3x is a loose, seed-robust bound.
+  size_t in_spike = 0;
+  size_t before_spike = 0;
+  for (const LiveArrival& a : batch) {
+    if (a.arrival >= options.spike_start &&
+        a.arrival < options.spike_start + options.spike_duration) {
+      ++in_spike;
+    } else if (a.arrival >= options.spike_start - options.spike_duration &&
+               a.arrival < options.spike_start) {
+      ++before_spike;
+    }
+  }
+  ASSERT_GT(before_spike, 0u);
+  EXPECT_GT(in_spike, 3 * before_spike);
+}
+
+TEST(LiveArrivalsTest, TraceAdapterSortsClampsAndDropsDependencies) {
+  std::vector<TransactionSpec> specs(3);
+  specs[0].id = 7;
+  specs[0].arrival = 2.0;
+  specs[0].length = 0.5;
+  specs[0].deadline = 1.0;  // already missed at arrival: clamp
+  specs[1].id = 3;
+  specs[1].arrival = 1.0;
+  specs[1].length = 0.25;
+  specs[1].deadline = 4.0;
+  specs[1].weight = 2.5;
+  specs[1].dependencies = {7};  // dropped by the adapter
+  specs[2].id = 1;
+  specs[2].arrival = 2.0;  // ties with specs[0]: input order breaks it
+  specs[2].length = 0.125;
+  specs[2].deadline = 2.5;
+
+  const std::vector<LiveArrival> live = LiveArrivalsFromTrace(specs);
+  ASSERT_EQ(live.size(), 3u);
+  // Sorted by arrival, stable on ties: t=1 first, then the two t=2
+  // entries in input order (spec 0 before spec 2).
+  EXPECT_DOUBLE_EQ(live[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(live[0].duration, 0.25);
+  EXPECT_DOUBLE_EQ(live[0].relative_deadline, 3.0);  // 4.0 - 1.0
+  EXPECT_DOUBLE_EQ(live[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(live[1].arrival, 2.0);
+  EXPECT_DOUBLE_EQ(live[1].duration, 0.5);
+  // The missed deadline clamps to a tiny positive relative deadline —
+  // Submit requires > 0 and the validator scores it tardy, not invalid.
+  EXPECT_GT(live[1].relative_deadline, 0.0);
+  EXPECT_LT(live[1].relative_deadline, 0.01);
+  EXPECT_DOUBLE_EQ(live[2].arrival, 2.0);
+  EXPECT_DOUBLE_EQ(live[2].duration, 0.125);
+  EXPECT_DOUBLE_EQ(live[2].relative_deadline, 0.5);  // 2.5 - 2.0
+}
+
+}  // namespace
+}  // namespace webtx

@@ -36,6 +36,19 @@
 //
 //   chaos --mint-live FILE [--seed S]   mint a live regression replay
 //
+// Twin mode: the digital-twin campaign (rt::Twin via exp/twin_chaos.h):
+// seeded open-loop workloads (flash crowds, bursty ON/OFF) served live
+// while the shadow-simulator controller forecasts, switches, and falls
+// back behind its divergence guard. Every case runs twice and must
+// produce byte-identical digests covering the trace AND the decision
+// log; the first run is audited by the live validator plus the
+// controller contract.
+//
+//   chaos --twin [--cases N] [--seed S] [--out reproducer.chaos] [--verbose]
+//   chaos --mint-twin FILE [--seed S]   mint a guard-exercising replay
+//
+// Twin replays also route through --replay (by file header).
+//
 // Huge mode: scale campaign for the large-population structures. Each
 // case is a 10^5-transaction crash/abort/retry scenario run with the
 // calendar-queue pending tier and the arena-SoA transaction store
@@ -68,19 +81,21 @@
 
 #include "exp/chaos.h"
 #include "exp/live_chaos.h"
+#include "exp/twin_chaos.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--live] [--cases N] [--seed S] [--out FILE] "
+               "usage: %s [--live|--twin] [--cases N] [--seed S] [--out FILE] "
                "[--verbose]\n"
                "       %s --replay FILE\n"
                "       %s --mint FILE [--seed S]\n"
                "       %s --mint-live FILE [--seed S]\n"
+               "       %s --mint-twin FILE [--seed S]\n"
                "       %s --huge [--cases N] [--seed S] [--txns T]\n"
                "       %s --steal [--cases N] [--seed S]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -328,6 +343,137 @@ int RunMintLive(const std::string& path, uint64_t master_seed) {
   return 2;
 }
 
+// Re-runs a twin replay twice: prints the combined digest (trace +
+// decision log), the determinism verdict, and the invariant verdict.
+int RunTwinReplay(const webtx::TwinChaosCase& c) {
+  auto first = webtx::RunTwinChaosCase(c);
+  if (!first.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", first.status().ToString().c_str());
+    return 2;
+  }
+  auto second = webtx::RunTwinChaosCase(c);
+  if (!second.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", second.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::rt::TwinReport report = std::move(first).ValueOrDie();
+  const bool deterministic = report.digest == second.ValueOrDie().digest;
+  std::printf("mode              twin\n");
+  std::printf("shape             %s\n", webtx::LiveArrivalShapeName(c.shape));
+  std::printf("tasks             %zu\n", c.num_tasks);
+  std::printf("workers           %zu\n", c.num_workers);
+  std::printf("candidates        %zu\n", c.candidates.size());
+  std::printf("controller        %s\n", c.controller_enabled ? "on" : "off");
+  std::printf("decisions         %zu\n", report.decisions.size());
+  std::printf("switches          %zu\n", report.switches);
+  std::printf("fallbacks         %zu\n", report.fallbacks);
+  std::printf("completed         %zu\n", report.stats.completed);
+  std::printf("avg_tardiness     %.6f\n", report.avg_tardiness);
+  std::printf("shed_ratio        %.4f\n", report.shed_ratio);
+  std::printf("twin_digest       %016llx\n",
+              static_cast<unsigned long long>(report.digest));
+  std::printf("determinism       %s\n",
+              deterministic ? "byte-identical" : "DIVERGED");
+  const webtx::Status verdict = webtx::CheckTwinChaosInvariants(c, report);
+  std::printf("validator         %s\n", verdict.ToString().c_str());
+  return verdict.ok() && deterministic ? 0 : 1;
+}
+
+int RunTwinCampaign(const webtx::ChaosCampaignOptions& sim_options,
+                    bool verbose) {
+  webtx::TwinChaosCampaignOptions options;
+  options.master_seed = sim_options.master_seed;
+  // Each twin case runs the live loop twice plus a simulator fleet per
+  // control tick; trim the sim campaign's default.
+  options.num_cases =
+      sim_options.num_cases == 200 ? 25 : sim_options.num_cases;
+  options.reproducer_path = sim_options.reproducer_path;
+  if (verbose) {
+    options.progress = [](size_t index, const std::string& violation) {
+      if (violation.empty()) {
+        std::fprintf(stderr, "twin case %zu ok\n", index);
+      } else {
+        std::fprintf(stderr, "twin case %zu VIOLATION: %s\n", index,
+                     violation.c_str());
+      }
+    };
+  }
+  auto campaign = webtx::RunTwinChaosCampaign(options);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 campaign.status().ToString().c_str());
+    return 2;
+  }
+  const webtx::TwinChaosCampaignResult r = std::move(campaign).ValueOrDie();
+  std::printf("twin cases        %zu\n", r.cases_run);
+  std::printf("violations        %zu\n", r.violations);
+  std::printf("nondeterministic  %zu\n", r.determinism_mismatches);
+  std::printf("total_decisions   %zu\n", r.total_decisions);
+  std::printf("total_switches    %zu\n", r.total_switches);
+  std::printf("total_fallbacks   %zu\n", r.total_fallbacks);
+  std::printf("total_crashes     %zu\n", r.total_crashes);
+  std::printf("total_migrations  %zu\n", r.total_migrations);
+  if (r.violations > 0) {
+    std::printf("first violation: %s\n", r.first_violation.c_str());
+    if (!options.reproducer_path.empty()) {
+      std::printf("shrunken reproducer written to %s\n",
+                  options.reproducer_path.c_str());
+    } else {
+      std::printf("shrunken reproducer:\n%s",
+                  webtx::SerializeTwinChaosCase(r.first_reproducer).c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int RunMintTwin(const std::string& path, uint64_t master_seed) {
+  // Behavioral predicate: the case is deterministic, passes every
+  // invariant, and the divergence guard actually fired — the controller
+  // noticed its shadow model lying and fell back. The pinned replay
+  // regression-tests the whole loop: live serving, forecasting,
+  // reconfiguration, guard, cooldown.
+  const webtx::TwinChaosPredicate guard_fired =
+      [](const webtx::TwinChaosCase& c) {
+        auto first = webtx::RunTwinChaosCase(c);
+        if (!first.ok()) return false;
+        auto second = webtx::RunTwinChaosCase(c);
+        if (!second.ok()) return false;
+        const webtx::rt::TwinReport& report = first.ValueOrDie();
+        return report.digest == second.ValueOrDie().digest &&
+               report.fallbacks >= 1 &&
+               webtx::CheckTwinChaosInvariants(c, report).ok();
+      };
+  for (uint64_t i = 0; i < 10000; ++i) {
+    webtx::TwinChaosCase c = webtx::RandomTwinChaosCase(master_seed, i);
+    // Pin the acceptance scenario: a flash crowd served by an enabled
+    // controller whose snapshot stream is corrupted.
+    c.shape = webtx::LiveArrivalShape::kFlashCrowd;
+    c.controller_enabled = true;
+    if (c.snapshot_corruption == 1.0) c.snapshot_corruption = 8.0;
+    if (!guard_fired(c)) continue;
+    c = webtx::ShrinkTwinChaosCase(c, guard_fired);
+    std::ofstream file(path);
+    file << webtx::SerializeTwinChaosCase(c);
+    if (!file.good()) {
+      std::fprintf(stderr, "chaos: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    const webtx::rt::TwinReport report =
+        webtx::RunTwinChaosCase(c).ValueOrDie();
+    std::printf("minted %s (twin case %llu of seed %llu)\n", path.c_str(),
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(master_seed));
+    std::printf("tasks             %zu\n", c.num_tasks);
+    std::printf("fallbacks         %zu\n", report.fallbacks);
+    std::printf("twin_digest       %016llx\n",
+                static_cast<unsigned long long>(report.digest));
+    return 0;
+  }
+  std::fprintf(stderr, "chaos: no guard-exercising twin case found\n");
+  return 2;
+}
+
 int RunReplay(const std::string& path) {
   std::ifstream file(path);
   if (!file) {
@@ -345,6 +491,13 @@ int RunReplay(const std::string& path) {
     // Right header, malformed body: report the live parser's error
     // instead of confusing the user with the sim parser's.
     std::fprintf(stderr, "chaos: %s\n", live_error.c_str());
+    return 2;
+  }
+  auto twin = webtx::ParseTwinChaosReplay(text.str());
+  if (twin.ok()) return RunTwinReplay(twin.ValueOrDie());
+  const std::string twin_error = twin.status().ToString();
+  if (twin_error.find("not a twin replay file") == std::string::npos) {
+    std::fprintf(stderr, "chaos: %s\n", twin_error.c_str());
     return 2;
   }
   auto parsed = webtx::ParseChaosReplay(text.str());
@@ -419,10 +572,12 @@ int main(int argc, char** argv) {
   bool huge = false;
   bool live = false;
   bool steal = false;
+  bool twin = false;
   size_t huge_txns = 100000;
   std::string replay_path;
   std::string mint_path;
   std::string mint_live_path;
+  std::string mint_twin_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -452,8 +607,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       mint_live_path = v;
+    } else if (arg == "--mint-twin") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mint_twin_path = v;
     } else if (arg == "--live") {
       live = true;
+    } else if (arg == "--twin") {
+      twin = true;
     } else if (arg == "--huge") {
       huge = true;
     } else if (arg == "--steal") {
@@ -474,7 +635,11 @@ int main(int argc, char** argv) {
   if (!mint_live_path.empty()) {
     return RunMintLive(mint_live_path, options.master_seed);
   }
+  if (!mint_twin_path.empty()) {
+    return RunMintTwin(mint_twin_path, options.master_seed);
+  }
   if (live) return RunLiveCampaign(options, verbose);
+  if (twin) return RunTwinCampaign(options, verbose);
   if (huge) {
     // The default 200 campaign cases would be excessive at 10^5 txns.
     const size_t cases = options.num_cases == 200 ? 5 : options.num_cases;
