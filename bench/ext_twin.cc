@@ -84,11 +84,139 @@ rt::TwinOptions BaseOptions() {
   return options;
 }
 
+// Candidate roster for the decision-loop cost grid: eight distinct
+// policies, then the same eight again behind queue-depth admission.
+// Truncated to the requested count, so cand=2 is {FCFS, EDF} and
+// cand=16 exercises every slot.
+std::vector<rt::TwinCandidate> DecisionCandidates(size_t count) {
+  static const char* const kPolicies[] = {"FCFS", "EDF",  "SRPT",  "LS",
+                                          "HDF",  "HVF",  "ASETS", "ASETS*"};
+  std::vector<rt::TwinCandidate> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rt::TwinCandidate c;
+    c.policy = kPolicies[i % 8];
+    if (i >= 8) {
+      c.admission = rt::TwinCandidate::Admission::kQueueDepth;
+      c.max_ready = 4 * kNumWorkers;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
 struct RunRow {
   rt::TwinReport report;
   bool deterministic = false;
   size_t violations = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Decision-loop cost measurement: an isolated TwinForecastEngine driven
+// over a fixed hand-built snapshot. Whole-twin wall-clock timing is too
+// noisy for a gate (the live executor's worker threads compete with the
+// control thread for cores), so cost is measured where it accrues — the
+// per-tick Forecast() call — while the digest-neutrality contract is
+// still checked on whole twin runs below.
+
+/// A mid-flash-crowd moment: a backlog of ready work plus a busy recent
+/// arrival window. Pure data, identical every call.
+rt::ExecutorSnapshot DecisionSnapshot() {
+  rt::ExecutorSnapshot snap;
+  snap.now = 10.0;
+  snap.num_workers = kNumWorkers;
+  snap.num_workers_up = kNumWorkers;
+  for (TxnId id = 0; id < 24; ++id) {
+    rt::SnapshotTask task;
+    task.id = id;
+    task.remaining = 0.05;
+    task.release = snap.now;
+    task.deadline = snap.now + 0.5 + 0.01 * static_cast<double>(id);
+    task.weight = 1.0;
+    task.state = rt::SnapshotTaskState::kReady;
+    snap.tasks.push_back(task);
+  }
+  return snap;
+}
+
+rt::TwinArrivalWindow DecisionWindow() {
+  rt::TwinArrivalWindow window;
+  for (int i = 0; i < 14; ++i) {
+    LiveArrival a;
+    a.duration = 0.05;
+    a.relative_deadline = 0.5;
+    a.weight = 1.0;
+    window.Observe(a);
+  }
+  return window;
+}
+
+struct DecisionLoopResult {
+  double ms_per_tick = 0.0;
+  double events_per_sec = 0.0;
+  uint64_t forecasts_pruned = 0;
+  /// Forecast winner per measured tick (incumbent fixed at 0) — the
+  /// pruning win-rate-preservation comparison keys off these.
+  std::vector<uint32_t> winners;
+};
+
+DecisionLoopResult MeasureDecisionLoop(const rt::TwinOptions& options) {
+  const rt::ExecutorSnapshot snap = DecisionSnapshot();
+  const rt::TwinArrivalWindow window = DecisionWindow();
+  auto engine = rt::TwinForecastEngine::Create(options);
+  WEBTX_CHECK(engine.ok()) << engine.status().ToString();
+  rt::TwinForecastEngine& e = engine.ValueOrDie();
+  // Several short repetitions of the same tick cycle; the per-tick cost
+  // is the best repetition (min-of-k filters scheduler and frequency
+  // noise out of a wall-clock microbench; every repetition does
+  // identical work). Winners are recorded on the first repetition —
+  // forecasts are pure functions of (snapshot, window, tick), so every
+  // repetition ranks identically.
+  constexpr size_t kWarmup = 3;
+  constexpr size_t kReps = 7;
+  constexpr size_t kItersPerRep = 78;  // 6 full 13-tick cycles
+  for (size_t w = 0; w < kWarmup; ++w) (void)e.Forecast(snap, window, 7, 0);
+  DecisionLoopResult out;
+  out.winners.reserve(kItersPerRep);
+  double best_ms = std::numeric_limits<double>::infinity();
+  double best_events = 0.0;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    const rt::TwinDecisionStats before = e.stats();
+    for (size_t i = 0; i < kItersPerRep; ++i) {
+      // Vary the tick so every synthetic-arrival stream in a 13-tick
+      // cycle is exercised; the sequence is identical across variants.
+      const std::vector<rt::TwinForecast>& table =
+          e.Forecast(snap, window, 7 + (i % 13), 0);
+      if (rep > 0) continue;
+      uint32_t best = 0;
+      for (uint32_t c = 1; c < table.size(); ++c) {
+        if (table[c].score < table[best].score) best = c;
+      }
+      out.winners.push_back(best);
+    }
+    const rt::TwinDecisionStats& s = e.stats();
+    const double ms = s.decision_ms - before.decision_ms;
+    if (ms < best_ms) {
+      best_ms = ms;
+      best_events = static_cast<double>(s.forecast_events -
+                                        before.forecast_events);
+    }
+    if (rep == 0) {
+      out.forecasts_pruned = s.forecasts_pruned - before.forecasts_pruned;
+    }
+  }
+  out.ms_per_tick = best_ms / static_cast<double>(kItersPerRep);
+  out.events_per_sec = best_ms > 0.0 ? best_events / (best_ms / 1e3) : 0.0;
+  return out;
+}
+
+/// Digest of one whole twin run (the contract check half of the grid).
+uint64_t TwinDigestOf(const rt::TwinOptions& options,
+                      const std::vector<LiveArrival>& arrivals) {
+  auto report = rt::Twin(options).Run(arrivals);
+  WEBTX_CHECK(report.ok()) << report.status().ToString();
+  return report.ValueOrDie().digest;
+}
 
 RunRow RunConfig(const rt::TwinOptions& options,
                  const std::vector<LiveArrival>& arrivals) {
@@ -145,6 +273,20 @@ int main() {
   table.Print(std::cout);
   bench::SaveCsv(table, "ext_twin_flash_crowd");
 
+  const auto print_stats = [](const std::string& label, const RunRow& row) {
+    const rt::TwinDecisionStats& s = row.report.decision_stats;
+    std::printf(
+        "%-11s decision_ms %.3f  forecast_events %llu  forecasts_run %llu"
+        "  forecasts_pruned %llu\n",
+        label.c_str(), s.decision_ms,
+        static_cast<unsigned long long>(s.forecast_events),
+        static_cast<unsigned long long>(s.forecasts_run),
+        static_cast<unsigned long long>(s.forecasts_pruned));
+  };
+  std::printf("\nDecision-loop cost (whole run, wall clock):\n");
+  print_stats("controller", controller_run);
+  print_stats("divergence", divergence_run);
+
   std::printf("\nstatic digest      %016llx  determinism %s\n",
               static_cast<unsigned long long>(static_run.report.digest),
               static_run.deterministic ? "byte-identical" : "DIVERGED");
@@ -191,9 +333,147 @@ int main() {
   rows.push_back(bench::BenchRow{
       "ext_twin", "flash divergence", "guard_fallbacks",
       static_cast<double>(divergence_run.report.fallbacks), "1"});
+
+  // ------------------------------------------------------------------
+  // Decision-loop cost grid: the per-tick forecast fan-out at 2/4/8/16
+  // candidates under four forecast-execution configurations, measured
+  // on an isolated TwinForecastEngine over a fixed snapshot (stable
+  // wall clock — no executor threads competing for cores). The contract
+  // half is hard-gated on whole twin runs (rebuilt, pooled, and
+  // threads=8 digests must be byte-identical — execution strategy may
+  // only change cost); the perf half is recorded as bench rows and
+  // gated against the committed baseline by scripts/check.sh
+  // --bench-gate. serial_speedup relates the optimized loop to the
+  // "twin_seed_baseline" family — the per-candidate
+  // rebuild-and-run-to-completion decision loop the twin shipped with,
+  // measured once at the pre-optimization revision and kept in
+  // BENCH_hotpath.json since (the sweep_throughput seed_baseline
+  // precedent). Pruning is the one knob allowed to change decisions, so
+  // its agreement is REPORTED (whole-run digest match + per-tick winner
+  // match rate), not gated.
+  const std::vector<bench::BenchRow> committed = bench::ReadBenchRows();
+  const auto seed_decision_ms = [&committed](size_t cand) -> double {
+    const std::string cfg = "decision cand=" + std::to_string(cand);
+    for (const bench::BenchRow& b : committed) {
+      if (b.bench == "twin_seed_baseline" && b.config == cfg &&
+          b.metric == "decision_ms") {
+        return b.value;
+      }
+    }
+    return 0.0;  // not pinned yet: fall back to this binary's rebuilt path
+  };
+
+  std::printf("\nDecision-loop cost grid (ms per control tick):\n\n");
+  const std::vector<std::string> grid_header = {
+      "candidates", "seed_ms",       "rebuilt_ms",  "pooled_ms",
+      "prune_ms",   "threads8_ms",   "seed_speedup", "winner_match"};
+  Table grid(grid_header);
+  bool decision_digests_ok = true;
+  for (const size_t cand : {size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
+    rt::TwinOptions base = BaseOptions();
+    base.candidates = DecisionCandidates(cand);
+
+    rt::TwinOptions rebuilt = base;
+    rebuilt.pooled_forecasts = false;
+    const rt::TwinOptions pooled = base;  // pooled serial is the default
+    rt::TwinOptions prune = base;
+    prune.prune = true;
+    rt::TwinOptions threads8 = base;
+    threads8.forecast_threads = 8;
+
+    // Contract: whole twin runs across the digest-neutral variants.
+    const uint64_t rebuilt_digest = TwinDigestOf(rebuilt, arrivals);
+    const uint64_t pooled_digest = TwinDigestOf(pooled, arrivals);
+    const uint64_t threads8_digest = TwinDigestOf(threads8, arrivals);
+    if (rebuilt_digest != pooled_digest || pooled_digest != threads8_digest) {
+      std::fprintf(stderr,
+                   "ext_twin: decision digests DIVERGED at %zu candidates "
+                   "(rebuilt %016llx pooled %016llx threads8 %016llx)\n",
+                   cand, static_cast<unsigned long long>(rebuilt_digest),
+                   static_cast<unsigned long long>(pooled_digest),
+                   static_cast<unsigned long long>(threads8_digest));
+      decision_digests_ok = false;
+    }
+    const bool prune_same = TwinDigestOf(prune, arrivals) == pooled_digest;
+
+    // Cost: the isolated per-tick fan-out.
+    const DecisionLoopResult rebuilt_loop = MeasureDecisionLoop(rebuilt);
+    const DecisionLoopResult pooled_loop = MeasureDecisionLoop(pooled);
+    const DecisionLoopResult prune_loop = MeasureDecisionLoop(prune);
+    const DecisionLoopResult threads8_loop = MeasureDecisionLoop(threads8);
+
+    size_t winner_matches = 0;
+    for (size_t i = 0; i < pooled_loop.winners.size(); ++i) {
+      winner_matches += prune_loop.winners[i] == pooled_loop.winners[i];
+    }
+    const double winner_match =
+        static_cast<double>(winner_matches) /
+        static_cast<double>(pooled_loop.winners.size());
+
+    double seed_ms = seed_decision_ms(cand);
+    if (seed_ms <= 0.0) {
+      std::printf(
+          "(no twin_seed_baseline row for cand=%zu; using this binary's "
+          "rebuilt path as the serial baseline)\n",
+          cand);
+      seed_ms = rebuilt_loop.ms_per_tick;
+    }
+    // The gated headline: pooling + pruning vs the seed decision loop,
+    // both strictly serial (forecast_threads 1) — no parallel credit.
+    const double seed_speedup =
+        prune_loop.ms_per_tick > 0.0 ? seed_ms / prune_loop.ms_per_tick : 0.0;
+    const double pooled_speedup =
+        pooled_loop.ms_per_tick > 0.0 ? seed_ms / pooled_loop.ms_per_tick
+                                      : 0.0;
+    const double parallel_speedup =
+        threads8_loop.ms_per_tick > 0.0
+            ? pooled_loop.ms_per_tick / threads8_loop.ms_per_tick
+            : 0.0;
+    grid.AddNumericRow(
+        std::to_string(cand),
+        {seed_ms, rebuilt_loop.ms_per_tick, pooled_loop.ms_per_tick,
+         prune_loop.ms_per_tick, threads8_loop.ms_per_tick, seed_speedup,
+         winner_match});
+
+    const std::string tag = "decision cand=" + std::to_string(cand);
+    const auto emit_loop = [&rows, &tag](const std::string& variant,
+                                         const DecisionLoopResult& loop) {
+      rows.push_back(bench::BenchRow{"ext_twin", tag + " " + variant,
+                                     "decision_ms", loop.ms_per_tick, "ms"});
+      rows.push_back(bench::BenchRow{"ext_twin", tag + " " + variant,
+                                     "forecast_events_per_sec",
+                                     loop.events_per_sec, "1/s"});
+    };
+    emit_loop("rebuilt", rebuilt_loop);
+    emit_loop("pooled", pooled_loop);
+    emit_loop("prune", prune_loop);
+    emit_loop("threads8", threads8_loop);
+    rows.push_back(bench::BenchRow{"ext_twin", tag + " pooled",
+                                   "serial_speedup", pooled_speedup, "x"});
+    rows.push_back(bench::BenchRow{"ext_twin", tag + " prune",
+                                   "serial_speedup", seed_speedup, "x"});
+    rows.push_back(bench::BenchRow{"ext_twin", tag + " prune", "winner_match",
+                                   winner_match, "1"});
+    rows.push_back(bench::BenchRow{"ext_twin", tag + " prune",
+                                   "prune_digest_match",
+                                   prune_same ? 1.0 : 0.0, "1"});
+    rows.push_back(bench::BenchRow{
+        "ext_twin", tag + " prune", "forecasts_pruned",
+        static_cast<double>(prune_loop.forecasts_pruned), "1"});
+    rows.push_back(bench::BenchRow{"ext_twin", tag + " threads8",
+                                   "parallel_speedup", parallel_speedup, "x"});
+  }
+  grid.Print(std::cout);
+  std::printf(
+      "(seed_speedup = serial pooling+pruning vs the pinned "
+      "twin_seed_baseline rebuild loop; threads8 parallel speedup is "
+      "reported separately and depends on free cores)\n");
+  bench::SaveCsv(grid, "ext_twin_decision_loop");
+
   bench::WriteBenchRows(rows);
 
-  if (!wins || !guard_fired || total_violations > 0 || !deterministic) {
+  if (!wins || !guard_fired || total_violations > 0 || !deterministic ||
+      !decision_digests_ok) {
     std::fprintf(stderr, "ext_twin: acceptance gate FAILED\n");
     return 1;
   }

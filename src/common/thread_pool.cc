@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
@@ -38,6 +40,31 @@ std::future<void> ThreadPool::Submit(std::function<void()> job) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::RunBatch(size_t count,
+                          const std::function<void(size_t)>& job) {
+  WEBTX_CHECK(job != nullptr) << "ThreadPool::RunBatch requires a job";
+  if (count == 0) return;
+  // The caller is one worker, so only count-1 helpers can ever find an
+  // unclaimed index.
+  const size_t helpers = std::min(num_threads_, count - 1);
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, count, &job] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      job(i);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) {
+    futures.push_back(Submit(drain));
+  }
+  drain();
+  for (std::future<void>& f : futures) {
+    f.get();  // rethrows a helper's captured exception
+  }
 }
 
 void ThreadPool::Shutdown() {

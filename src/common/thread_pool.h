@@ -42,6 +42,18 @@ class ThreadPool {
   /// be submitted afterwards; the pool stays usable.
   void Wait();
 
+  /// Runs `job(0) .. job(count-1)` across the pool and the calling
+  /// thread, returning when all have finished. Indices are claimed from
+  /// a shared atomic counter, so the work is balanced regardless of
+  /// per-index cost; at most min(size(), count) helper jobs are
+  /// enqueued and the caller participates, so a 1-thread pool degrades
+  /// to a plain serial loop. Exceptions from `job` are rethrown on the
+  /// calling thread (first helper's exception wins if the caller's own
+  /// slice was clean). Must NOT be called from a job running on this
+  /// pool — the caller blocks on helpers that may sit behind it in the
+  /// queue.
+  void RunBatch(size_t count, const std::function<void(size_t)>& job);
+
   /// Stops accepting jobs, drains the queue, joins workers. Idempotent.
   void Shutdown();
 

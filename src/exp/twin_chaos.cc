@@ -86,6 +86,12 @@ rt::TwinOptions TwinOptionsFor(const TwinChaosCase& c) {
   options.guard_cooldown_ticks = c.guard_cooldown_ticks;
   options.forecast_seed = c.forecast_seed;
   options.snapshot_corruption = c.snapshot_corruption;
+  options.forecast_threads = c.forecast_threads;
+  options.pooled_forecasts = c.pooled_forecasts;
+  options.pending_queue = c.pending_queue;
+  options.txn_store = c.txn_store;
+  options.prune = c.prune;
+  options.prune_prefix = c.prune_prefix;
   options.faults.plan = c.fault;
   options.faults.latency_spike_prob = c.latency_spike_prob;
   options.faults.mean_latency_spike = c.mean_latency_spike;
@@ -238,6 +244,16 @@ std::string SerializeTwinChaosCase(const TwinChaosCase& c) {
   os << "guard_cooldown_ticks " << c.guard_cooldown_ticks << "\n";
   os << "forecast_seed " << c.forecast_seed << "\n";
   os << "snapshot_corruption " << FormatDouble(c.snapshot_corruption) << "\n";
+  os << "forecast_threads " << c.forecast_threads << "\n";
+  os << "pooled_forecasts " << (c.pooled_forecasts ? 1 : 0) << "\n";
+  os << "pending_queue "
+     << (c.pending_queue == PendingQueueImpl::kCalendarQueue ? "calendar"
+                                                             : "heap")
+     << "\n";
+  os << "txn_store "
+     << (c.txn_store == TxnStoreLayout::kArenaSoA ? "soa" : "vector") << "\n";
+  os << "prune " << (c.prune ? 1 : 0) << "\n";
+  os << "prune_prefix " << FormatDouble(c.prune_prefix) << "\n";
   os << "num_workers " << c.num_workers << "\n";
   os << "outage_rate " << FormatDouble(c.fault.outage_rate) << "\n";
   os << "mean_outage_duration " << FormatDouble(c.fault.mean_outage_duration)
@@ -385,6 +401,33 @@ Result<TwinChaosCase> ParseTwinChaosReplay(const std::string& text) {
       if (!ParseU64(value, &c.forecast_seed)) return bad();
     } else if (key == "snapshot_corruption") {
       if (!ParseDouble(value, &c.snapshot_corruption)) return bad();
+    } else if (key == "forecast_threads") {
+      if (!ParseU64(value, &u)) return bad();
+      c.forecast_threads = u;
+    } else if (key == "pooled_forecasts") {
+      if (!ParseU64(value, &u) || u > 1) return bad();
+      c.pooled_forecasts = u == 1;
+    } else if (key == "pending_queue") {
+      if (value == "heap") {
+        c.pending_queue = PendingQueueImpl::kBinaryHeap;
+      } else if (value == "calendar") {
+        c.pending_queue = PendingQueueImpl::kCalendarQueue;
+      } else {
+        return bad();
+      }
+    } else if (key == "txn_store") {
+      if (value == "vector") {
+        c.txn_store = TxnStoreLayout::kSpecVector;
+      } else if (value == "soa") {
+        c.txn_store = TxnStoreLayout::kArenaSoA;
+      } else {
+        return bad();
+      }
+    } else if (key == "prune") {
+      if (!ParseU64(value, &u) || u > 1) return bad();
+      c.prune = u == 1;
+    } else if (key == "prune_prefix") {
+      if (!ParseDouble(value, &c.prune_prefix)) return bad();
     } else if (key == "num_workers") {
       if (!ParseU64(value, &u)) return bad();
       c.num_workers = u;
@@ -635,6 +678,21 @@ TwinChaosCase RandomTwinChaosCase(uint64_t master_seed, uint64_t index) {
   c.retry_max_backoff =
       rng.NextDouble() < 0.5 ? 0.0 : 0.05 + 0.3 * rng.NextDouble();
   c.retry_budget = rng.NextDouble() < 0.5 ? 0 : rng.NextInRange(4, 24);
+  // Forecast-execution dimensions, drawn last so the case population
+  // above is unchanged from earlier campaign versions. All of these are
+  // digest-neutral by contract; the campaign's determinism audit and
+  // neutrality sweep enforce it.
+  const double threads_draw = rng.NextDouble();
+  c.forecast_threads = threads_draw < 0.5 ? 1 : (threads_draw < 0.8 ? 2 : 8);
+  c.pooled_forecasts = rng.NextDouble() < 0.8;
+  c.pending_queue = rng.NextDouble() < 0.5 ? PendingQueueImpl::kBinaryHeap
+                                           : PendingQueueImpl::kCalendarQueue;
+  c.txn_store = rng.NextDouble() < 0.5 ? TxnStoreLayout::kSpecVector
+                                       : TxnStoreLayout::kArenaSoA;
+  if (rng.NextDouble() < 0.25) {
+    c.prune = true;
+    c.prune_prefix = 0.3 + 0.5 * rng.NextDouble();
+  }
   return c;
 }
 
@@ -652,6 +710,7 @@ Result<TwinChaosCampaignResult> RunTwinChaosCampaign(
     out.total_migrations += first.stats.migrations;
     std::string verdict_text;
     bool mismatch = false;
+    bool neutrality_broke = false;
     if (first.digest != second.digest) {
       mismatch = true;
       std::ostringstream os;
@@ -662,19 +721,67 @@ Result<TwinChaosCampaignResult> RunTwinChaosCampaign(
       const Status verdict = CheckTwinChaosInvariants(c, first);
       if (!verdict.ok()) verdict_text = verdict.ToString();
     }
+    if (verdict_text.empty() && c.controller_enabled) {
+      // Digest-neutrality sweep: the forecast-execution knobs may only
+      // change how fast the controller decides, never what it decides.
+      // Re-run the case across forecast_threads 1/2/8 and with pooling
+      // toggled; every digest must match the baseline.
+      for (int variant_idx = 0; variant_idx < 3; ++variant_idx) {
+        TwinChaosCase variant = c;
+        std::string dim;
+        if (variant_idx < 2) {
+          const size_t threads[] = {c.forecast_threads == 1 ? 2u : 1u,
+                                    c.forecast_threads == 8 ? 2u : 8u};
+          variant.forecast_threads = threads[variant_idx];
+          dim = "forecast_threads=" + std::to_string(variant.forecast_threads);
+        } else {
+          variant.pooled_forecasts = !c.pooled_forecasts;
+          dim = variant.pooled_forecasts ? "pooled_forecasts=1"
+                                         : "pooled_forecasts=0";
+        }
+        WEBTX_ASSIGN_OR_RETURN(rt::TwinReport swept, RunTwinChaosCase(variant));
+        if (swept.digest != first.digest) {
+          neutrality_broke = true;
+          std::ostringstream os;
+          os << "neutrality: " << dim << " changed the twin digest ("
+             << std::hex << first.digest << " vs " << swept.digest << ")";
+          verdict_text = os.str();
+          break;
+        }
+      }
+    }
     ++out.cases_run;
     if (options.progress) options.progress(i, verdict_text);
     if (verdict_text.empty()) continue;
     ++out.violations;
     if (mismatch) ++out.determinism_mismatches;
+    if (neutrality_broke) ++out.neutrality_mismatches;
     if (out.violations > 1) continue;  // shrink only the first failure
     out.first_violation = verdict_text;
-    const TwinChaosPredicate fails = [](const TwinChaosCase& x) {
+    const bool check_neutrality = neutrality_broke;
+    const TwinChaosPredicate fails = [check_neutrality](
+                                         const TwinChaosCase& x) {
       const auto a = RunTwinChaosCase(x);
       if (!a.ok()) return false;  // invalid shrink candidate
       const auto b = RunTwinChaosCase(x);
       if (!b.ok()) return false;
       if (a.ValueOrDie().digest != b.ValueOrDie().digest) return true;
+      if (check_neutrality && x.controller_enabled) {
+        for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+          TwinChaosCase v = x;
+          v.forecast_threads = threads;
+          const auto r = RunTwinChaosCase(v);
+          if (r.ok() && r.ValueOrDie().digest != a.ValueOrDie().digest) {
+            return true;
+          }
+        }
+        TwinChaosCase v = x;
+        v.pooled_forecasts = !x.pooled_forecasts;
+        const auto r = RunTwinChaosCase(v);
+        if (r.ok() && r.ValueOrDie().digest != a.ValueOrDie().digest) {
+          return true;
+        }
+      }
       return !CheckTwinChaosInvariants(x, a.ValueOrDie()).ok();
     };
     out.first_reproducer = ShrinkTwinChaosCase(c, fails);

@@ -53,6 +53,16 @@ struct TwinChaosCase {
   uint64_t forecast_seed = 2009;
   double snapshot_corruption = 1.0;
 
+  // -- Forecast execution (decision-loop cost knobs) --
+  // Digest-neutral by contract (rt::TwinOptions); the campaign sweeps
+  // them and the determinism audit is the enforcement.
+  size_t forecast_threads = 1;
+  bool pooled_forecasts = true;
+  PendingQueueImpl pending_queue = PendingQueueImpl::kBinaryHeap;
+  TxnStoreLayout txn_store = TxnStoreLayout::kSpecVector;
+  bool prune = false;
+  double prune_prefix = 0.4;
+
   // -- Executor configuration --
   size_t num_workers = 2;
   FaultPlanConfig fault;
@@ -119,6 +129,11 @@ struct TwinChaosCampaignResult {
   /// Cases whose two runs produced different digests — the determinism
   /// contract (trace + decision log) broke. Counted in `violations` too.
   size_t determinism_mismatches = 0;
+  /// Cases where re-running with a different forecast_threads (1/2/8)
+  /// or with pooling toggled changed the digest — the digest-neutrality
+  /// contract of the forecast-execution knobs broke. Counted in
+  /// `violations` too.
+  size_t neutrality_mismatches = 0;
   std::string first_violation;
   TwinChaosCase first_reproducer;
   // Aggregate controller exposure, to prove the campaign exercised the

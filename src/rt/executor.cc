@@ -367,11 +367,18 @@ void Executor::AwaitQuiescenceLocked(std::unique_lock<std::mutex>& lock,
 }
 
 ExecutorSnapshot Executor::SnapshotAtQuiescence() {
+  ExecutorSnapshot snap;
+  SnapshotAtQuiescence(&snap);
+  return snap;
+}
+
+void Executor::SnapshotAtQuiescence(ExecutorSnapshot* out) {
   std::unique_lock<std::mutex> lock(mu_);
   double now = 0.0;
   AwaitQuiescenceLocked(lock, &now);
 
-  ExecutorSnapshot snap;
+  ExecutorSnapshot& snap = *out;
+  snap.tasks.clear();
   snap.now = now;
   snap.num_workers = options_.num_workers;
   snap.num_workers_up = view_.num_servers_up();
@@ -422,7 +429,6 @@ ExecutorSnapshot Executor::SnapshotAtQuiescence() {
     }
     snap.tasks.push_back(std::move(task));
   }
-  return snap;
 }
 
 void Executor::Reconfigure(ReconfigureRequest request) {

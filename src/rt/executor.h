@@ -336,6 +336,11 @@ class Executor {
   /// once the run is drained.
   ExecutorSnapshot SnapshotAtQuiescence();
 
+  /// Buffer-reuse variant for callers that snapshot on a cadence (the
+  /// twin's control tick): fills `out` in place, reusing its task
+  /// vector's capacity so steady-state snapshots allocate nothing new.
+  void SnapshotAtQuiescence(ExecutorSnapshot* out);
+
   /// Swaps the scheduling policy and/or admission controller at a
   /// quiescent point: waits for quiescence exactly like
   /// SnapshotAtQuiescence, then rebinds the new policy and replays the

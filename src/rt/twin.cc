@@ -1,6 +1,7 @@
 #include "rt/twin.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -68,30 +69,6 @@ AdmissionFactory AdmissionFor(const TwinCandidate& candidate) {
   return nullptr;
 }
 
-/// What one shadow run predicts for one candidate.
-struct Forecast {
-  double tardiness = 0.0;
-  double shed_ratio = 0.0;
-  double score = std::numeric_limits<double>::infinity();
-};
-
-/// Recent-traffic statistics the driver accumulates between ticks, the
-/// forecast's model of future arrivals.
-struct ArrivalWindow {
-  size_t count = 0;
-  double duration_sum = 0.0;
-  double deadline_sum = 0.0;  // relative deadlines
-  double weight_sum = 0.0;
-
-  void Observe(const LiveArrival& a) {
-    ++count;
-    duration_sum += a.duration;
-    deadline_sum += a.relative_deadline;
-    weight_sum += a.weight;
-  }
-  void Reset() { *this = ArrivalWindow(); }
-};
-
 /// Mutable controller state threaded through the serving loop.
 struct ControllerState {
   uint32_t applied = 0;
@@ -102,7 +79,7 @@ struct ControllerState {
   double forecast_tardiness = 0.0;
   double forecast_shed = 0.0;
   ExecutorStats prev_stats;  // window baseline
-  ArrivalWindow window;
+  TwinArrivalWindow window;
 };
 
 }  // namespace
@@ -125,23 +102,72 @@ const char* TwinDecisionKindName(TwinDecision::Kind kind) {
 
 Twin::Twin(TwinOptions options) : options_(std::move(options)) {}
 
-namespace {
+TwinForecastEngine::TwinForecastEngine(TwinForecastEngine&&) noexcept = default;
+TwinForecastEngine& TwinForecastEngine::operator=(TwinForecastEngine&&) noexcept =
+    default;
+TwinForecastEngine::~TwinForecastEngine() = default;
+
+Result<TwinForecastEngine> TwinForecastEngine::Create(
+    const TwinOptions& options) {
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("twin needs at least one candidate");
+  }
+  if (options.prune &&
+      !(options.prune_prefix > 0.0 && options.prune_prefix <= 1.0)) {
+    return Status::InvalidArgument("prune_prefix must be in (0, 1]");
+  }
+  TwinForecastEngine engine;
+  engine.options_ = options;
+  engine.pooled_ = options.pooled_forecasts;
+  const size_t threads = options.forecast_threads == 0
+                             ? ThreadPool::DefaultConcurrency()
+                             : options.forecast_threads;
+  // The control thread is one worker, so forecast_threads = N means
+  // N-1 pool helpers; 1 stays a plain serial loop with no pool at all.
+  if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads - 1);
+  if (engine.pooled_) {
+    engine.full_ = std::make_shared<SimWorkload>();
+    engine.slots_.reserve(options.candidates.size());
+    for (const TwinCandidate& candidate : options.candidates) {
+      Slot slot;
+      WEBTX_ASSIGN_OR_RETURN(slot.policy, CreatePolicy(candidate.policy));
+      SimOptions sim_options;
+      sim_options.admission = AdmissionFor(candidate);
+      sim_options.record_outcomes = false;
+      sim_options.pending_queue = options.pending_queue;
+      WEBTX_ASSIGN_OR_RETURN(
+          Simulator sim,
+          Simulator::CreateShared(engine.full_, std::move(sim_options)));
+      slot.sim = std::make_unique<Simulator>(std::move(sim));
+      engine.slots_.push_back(std::move(slot));
+    }
+  } else {
+    for (const TwinCandidate& candidate : options.candidates) {
+      WEBTX_ASSIGN_OR_RETURN(auto probe, CreatePolicy(candidate.policy));
+      (void)probe;
+    }
+  }
+  return engine;
+}
 
 /// Translates a quiescent executor snapshot plus projected traffic into
 /// the shadow simulator's workload, rebased so the snapshot instant is
 /// t = 0. Already-late work keeps its (negative) relative deadline —
-/// the simulator scores it tardy exactly as the live run would.
-std::vector<TransactionSpec> BuildForecastSpecs(const TwinOptions& options,
-                                                const ExecutorSnapshot& snap,
-                                                const ArrivalWindow& window,
-                                                uint64_t tick) {
-  std::vector<TransactionSpec> specs;
-  specs.reserve(snap.tasks.size());
+/// the simulator scores it tardy exactly as the live run would. The
+/// spec values are a pure function of (snapshot, window, options,
+/// tick); reusing the engine's buffers only recycles their capacity.
+void TwinForecastEngine::BuildSpecsInto(const ExecutorSnapshot& snap,
+                                        const TwinArrivalWindow& window,
+                                        uint64_t tick) {
+  const TwinOptions& options = options_;
+  std::vector<TransactionSpec>& specs = spec_buffer_;
+  specs.clear();
+  if (specs.capacity() < snap.tasks.size()) specs.reserve(snap.tasks.size());
   // Snapshot id -> forecast index, for dependency remapping.
-  std::vector<TxnId> remap;
+  remap_.clear();
   for (const SnapshotTask& task : snap.tasks) {
-    if (task.id >= remap.size()) remap.resize(task.id + 1, kInvalidTxn);
-    remap[task.id] = specs.size();
+    if (task.id >= remap_.size()) remap_.resize(task.id + 1, kInvalidTxn);
+    remap_[task.id] = specs.size();
     TransactionSpec spec;
     spec.id = specs.size();
     spec.arrival = std::max(0.0, task.release - snap.now);
@@ -154,8 +180,8 @@ std::vector<TransactionSpec> BuildForecastSpecs(const TwinOptions& options,
   }
   for (size_t i = 0; i < snap.tasks.size(); ++i) {
     for (const TxnId dep : snap.tasks[i].unfinished_dependencies) {
-      if (dep < remap.size() && remap[dep] != kInvalidTxn) {
-        specs[i].dependencies.push_back(remap[dep]);
+      if (dep < remap_.size() && remap_[dep] != kInvalidTxn) {
+        specs[i].dependencies.push_back(remap_[dep]);
       }
     }
   }
@@ -192,44 +218,156 @@ std::vector<TransactionSpec> BuildForecastSpecs(const TwinOptions& options,
       ++synthesized;
     }
   }
-  return specs;
 }
 
-/// Runs one candidate's what-if forecast on the shadow simulator.
-Forecast ForecastCandidate(const TwinOptions& options,
-                           const TwinCandidate& candidate,
-                           const std::vector<TransactionSpec>& specs,
-                           size_t num_servers_up) {
-  Forecast f;
-  if (specs.empty()) {
-    // Nothing to serve: every candidate forecasts a clean slate.
-    f.score = 0.0;
+TwinForecast TwinForecastEngine::ForecastOne(size_t index, bool full_horizon,
+                                             size_t num_workers_up) {
+  const TwinCandidate& candidate = options_.candidates[index];
+  // The pruning pass scores candidates on a simulated-time prefix of
+  // the horizon: the SAME workload, cut off at prune_prefix of the
+  // horizon, so it pays only the events due before the cutoff.
+  const SimTime run_horizon =
+      full_horizon ? 0.0 : options_.prune_prefix * options_.forecast_horizon;
+  TwinForecast f;
+  if (pooled_) {
+    Slot& slot = slots_[index];
+    slot.sim->BindWorkload(full_);
+    slot.sim->set_num_servers(std::max<size_t>(1, num_workers_up));
+    slot.sim->set_run_horizon(run_horizon);
+    const RunResult r = slot.sim->Run(*slot.policy);
+    slot_events_[index] += r.num_scheduling_points;
+    f.tardiness = r.avg_tardiness;
+    f.shed_ratio = 1.0 - r.goodput;
+    f.score = f.tardiness + options_.shed_penalty * f.shed_ratio;
     return f;
   }
+  // Rebuilt path: fresh policy + simulator (spec copy, graph rebuild,
+  // cold arrays) per candidate per tick — exactly the pre-pooling
+  // decision loop, kept as the differential and benchmark baseline.
   Result<std::unique_ptr<SchedulerPolicy>> policy =
       CreatePolicy(candidate.policy);
   if (!policy.ok()) return f;
   SimOptions sim_options;
-  sim_options.num_servers = std::max<size_t>(1, num_servers_up);
+  sim_options.num_servers = std::max<size_t>(1, num_workers_up);
   sim_options.admission = AdmissionFor(candidate);
   sim_options.record_outcomes = false;
-  Result<Simulator> sim = Simulator::Create(specs, sim_options);
+  sim_options.pending_queue = options_.pending_queue;
+  sim_options.txn_store = options_.txn_store;
+  sim_options.run_horizon = run_horizon;
+  Result<Simulator> sim = Simulator::Create(spec_buffer_, std::move(sim_options));
   if (!sim.ok()) return f;
   const RunResult r = sim.ValueOrDie().Run(*policy.ValueOrDie());
+  slot_events_[index] += r.num_scheduling_points;
   f.tardiness = r.avg_tardiness;
   f.shed_ratio = 1.0 - r.goodput;
-  f.score = f.tardiness + options.shed_penalty * f.shed_ratio;
+  f.score = f.tardiness + options_.shed_penalty * f.shed_ratio;
   return f;
 }
+
+const std::vector<TwinForecast>& TwinForecastEngine::Forecast(
+    const ExecutorSnapshot& snap, const TwinArrivalWindow& window,
+    uint64_t tick, uint32_t incumbent) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t num_candidates = options_.candidates.size();
+  WEBTX_CHECK(incumbent < num_candidates)
+      << "incumbent candidate out of range";
+  forecasts_.assign(num_candidates, TwinForecast{});
+  slot_events_.assign(num_candidates, 0);
+  BuildSpecsInto(snap, window, tick);
+
+  if (spec_buffer_.empty()) {
+    // Nothing to serve: every candidate forecasts a clean slate.
+    for (TwinForecast& f : forecasts_) f.score = 0.0;
+  } else {
+    const size_t num_up = snap.num_workers_up;
+    const bool prune = options_.prune && num_candidates >= 2;
+    bool built = true;
+    if (pooled_) {
+      built = full_->Rebuild(spec_buffer_, options_.txn_store).ok();
+    }
+    if (built) {
+      survivor_.assign(num_candidates, 1);
+      const auto run_phase = [&](bool full_horizon) {
+        const auto job = [&](size_t i) {
+          if (!survivor_[i]) return;
+          const TwinForecast f = ForecastOne(i, full_horizon, num_up);
+          // Each candidate writes only its own index, so the merged
+          // table is identical for any thread count.
+          if (full_horizon) {
+            forecasts_[i] = f;
+          } else {
+            prefix_score_[i] = f.score;
+          }
+        };
+        if (pool_ != nullptr) {
+          pool_->RunBatch(num_candidates, job);
+        } else {
+          for (size_t i = 0; i < num_candidates; ++i) job(i);
+        }
+      };
+      if (prune) {
+        prefix_score_.assign(num_candidates, 0.0);
+        run_phase(/*full_horizon=*/false);
+        // Successive halving: keep the top ceil(K/2) by (prefix score,
+        // index) — the index tiebreak keeps survivor selection total —
+        // and always the incumbent, whose full-horizon forecast feeds
+        // the decision digest and the divergence guard.
+        order_.resize(num_candidates);
+        for (size_t i = 0; i < num_candidates; ++i) {
+          order_[i] = static_cast<uint32_t>(i);
+        }
+        std::sort(order_.begin(), order_.end(),
+                  [this](uint32_t a, uint32_t b) {
+                    if (prefix_score_[a] != prefix_score_[b]) {
+                      return prefix_score_[a] < prefix_score_[b];
+                    }
+                    return a < b;
+                  });
+        const size_t keep = (num_candidates + 1) / 2;
+        survivor_.assign(num_candidates, 0);
+        for (size_t k = 0; k < keep; ++k) survivor_[order_[k]] = 1;
+        survivor_[incumbent] = 1;
+      }
+      run_phase(/*full_horizon=*/true);
+      for (size_t i = 0; i < num_candidates; ++i) {
+        if (survivor_[i]) {
+          ++stats_.forecasts_run;
+        } else {
+          forecasts_[i].pruned = true;  // keeps the default infinite score
+          ++stats_.forecasts_pruned;
+        }
+      }
+    }
+    // !built: an invalid spec made the shared workload unbuildable.
+    // Leave every candidate at the default infinite score — the same
+    // degraded table the rebuilt path produces when each per-candidate
+    // Simulator::Create rejects those specs.
+  }
+
+  // Sum per-slot event counts in candidate-index order so the total is
+  // independent of which thread ran which candidate.
+  for (size_t i = 0; i < num_candidates; ++i) {
+    stats_.forecast_events += slot_events_[i];
+  }
+  stats_.decision_ms +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return forecasts_;
+}
+
+namespace {
 
 /// One control tick: close the observation window, run the divergence
 /// guard, and (when the guard allows) forecast every candidate and apply
 /// the hysteresis switch rule. Runs on the driver thread while it is a
 /// runnable clock participant, so the whole tick — snapshot, forecasts,
-/// reconfiguration — happens at one frozen virtual instant.
+/// reconfiguration — happens at one frozen virtual instant. `snap` is a
+/// caller-owned buffer reused across ticks.
 void ControlTick(const TwinOptions& options, Executor& exec,
-                 ControllerState& ctl, uint64_t tick, TwinReport& report) {
-  const ExecutorSnapshot snap = exec.SnapshotAtQuiescence();
+                 TwinForecastEngine& engine, ControllerState& ctl,
+                 uint64_t tick, TwinReport& report, ExecutorSnapshot& snap) {
+  exec.SnapshotAtQuiescence(&snap);
 
   // Observed metrics of the window that just closed, from exact
   // counter diffs.
@@ -311,14 +449,9 @@ void ControlTick(const TwinOptions& options, Executor& exec,
 
   // Shadow what-if forecasts, one per candidate, all from the same
   // warm-started workload.
-  const std::vector<TransactionSpec> specs =
-      BuildForecastSpecs(options, snap, ctl.window, tick);
+  const std::vector<TwinForecast>& forecasts =
+      engine.Forecast(snap, ctl.window, tick, ctl.applied);
   ctl.window.Reset();
-  std::vector<Forecast> forecasts(options.candidates.size());
-  for (size_t i = 0; i < options.candidates.size(); ++i) {
-    forecasts[i] = ForecastCandidate(options, options.candidates[i], specs,
-                                     snap.num_workers_up);
-  }
   uint32_t best = 0;
   for (uint32_t i = 1; i < forecasts.size(); ++i) {
     if (forecasts[i].score < forecasts[best].score) best = i;
@@ -410,6 +543,16 @@ Result<TwinReport> Twin::Run(const std::vector<LiveArrival>& arrivals) {
                          FaultPlan::Create(options_.faults.plan));
   (void)plan_check;
 
+  // The forecast engine owns the per-candidate shadow simulators (and
+  // validates the forecast-execution knobs); only built when control
+  // ticks will actually run.
+  std::unique_ptr<TwinForecastEngine> engine;
+  if (options_.controller_enabled) {
+    WEBTX_ASSIGN_OR_RETURN(TwinForecastEngine built,
+                           TwinForecastEngine::Create(options_));
+    engine = std::make_unique<TwinForecastEngine>(std::move(built));
+  }
+
   const TwinCandidate& initial = options_.candidates[options_.static_index];
   WEBTX_ASSIGN_OR_RETURN(auto policy, CreatePolicy(initial.policy));
 
@@ -439,6 +582,7 @@ Result<TwinReport> Twin::Run(const std::vector<LiveArrival>& arrivals) {
   ctl.applied = static_cast<uint32_t>(options_.static_index);
   uint64_t tick = 0;
   double next_tick = options_.control_interval;
+  ExecutorSnapshot snap;  // reused across control ticks
 
   // The driver is a clock participant: virtual time halts while it
   // submits, snapshots, forecasts, and reconfigures, so every arrival
@@ -457,7 +601,7 @@ Result<TwinReport> Twin::Run(const std::vector<LiveArrival>& arrivals) {
       clock->SleepUntil(arrival_due, nullptr);
     } else if (arrival_due > next_tick) {
       clock->SleepUntil(next_tick, nullptr);
-      ControlTick(options_, exec, ctl, tick, report);
+      ControlTick(options_, exec, *engine, ctl, tick, report, snap);
       ++tick;
       next_tick += options_.control_interval;
       continue;
@@ -512,6 +656,7 @@ Result<TwinReport> Twin::Run(const std::vector<LiveArrival>& arrivals) {
   report.goodput = s.submitted > 0 ? static_cast<double>(s.completed) /
                                          static_cast<double>(s.submitted)
                                    : 0.0;
+  if (engine != nullptr) report.decision_stats = engine->stats();
   report.digest = TwinDigest(report);
   return report;
 }

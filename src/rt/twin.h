@@ -2,14 +2,19 @@
 #define WEBTX_RT_TWIN_H_
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "rt/executor.h"
 #include "rt/live_trace.h"
 #include "rt/live_validator.h"
+#include "sched/scheduler_policy.h"
 #include "sim/fault_plan.h"
+#include "sim/simulator.h"
 #include "workload/live_arrivals.h"
 
 namespace webtx::rt {
@@ -76,6 +81,39 @@ struct TwinOptions {
   /// Cap on synthetic future arrivals per forecast (tick cost bound).
   size_t max_forecast_arrivals = 2000;
 
+  // -- Forecast execution (decision-loop cost knobs) --
+  // None of these may change WHAT the controller decides, only how fast
+  // it decides it: the decision sequence (and so TwinReport::digest) is
+  // byte-identical across every setting below, except that `prune` is
+  // identity-preserving only when the halved prefix ranking keeps the
+  // full-horizon winner (pinned by differential tests on the committed
+  // scenarios; prune stays off by default).
+  /// Worker threads for the per-candidate forecast fan-out. 1 = serial
+  /// in the control thread; 0 = hardware concurrency. Results merge in
+  /// candidate-index order, so the digest is thread-count invariant.
+  size_t forecast_threads = 1;
+  /// Keep one warm shadow simulator + policy per candidate and share a
+  /// single immutable per-tick workload across them, instead of
+  /// rebuilding specs/graph/simulator per candidate per tick.
+  bool pooled_forecasts = true;
+  /// Pending-event structure for the shadow simulators.
+  PendingQueueImpl pending_queue = PendingQueueImpl::kBinaryHeap;
+  /// Transaction-attribute layout for the shadow simulators.
+  TxnStoreLayout txn_store = TxnStoreLayout::kSpecVector;
+  /// Successive-halving candidate pruning: score every candidate on a
+  /// simulated-time prefix of the horizon (the same shared workload
+  /// under a SimOptions::run_horizon cutoff, so the prefix pass pays
+  /// only a fraction of the full event count), keep the top half (plus,
+  /// always, the applied candidate — its full-horizon forecast feeds
+  /// the digest and the divergence guard), and only extend survivors to
+  /// the full horizon.
+  bool prune = false;
+  /// Prefix length for the pruning pass, as a fraction of
+  /// forecast_horizon (in (0, 1]; only validated when prune is on). The
+  /// default is one of the prefix lengths the committed flash-crowd
+  /// differential pins as digest-preserving (tests/rt/twin_test.cc).
+  double prune_prefix = 0.35;
+
   // -- Live executor knobs (mirror ExecutorOptions) --
   FaultInjectorOptions faults;
   MigrationPolicy migration = MigrationPolicy::kWarm;
@@ -114,6 +152,129 @@ struct TwinDecision {
 
 const char* TwinDecisionKindName(TwinDecision::Kind kind);
 
+/// Aggregate statistics over the arrivals observed since the last
+/// control tick — the controller's traffic model for synthesizing
+/// future arrivals in each forecast.
+struct TwinArrivalWindow {
+  size_t count = 0;
+  double duration_sum = 0.0;
+  double deadline_sum = 0.0;
+  double weight_sum = 0.0;
+
+  void Observe(const LiveArrival& arrival) {
+    ++count;
+    duration_sum += arrival.duration;
+    deadline_sum += arrival.relative_deadline;
+    weight_sum += arrival.weight;
+  }
+  void Reset() { *this = TwinArrivalWindow{}; }
+};
+
+/// One candidate's shadow-forecast outcome for a control tick. A
+/// default-constructed value (infinite score) means "not ranked": the
+/// candidate was pruned or its shadow run could not be built.
+struct TwinForecast {
+  double tardiness = 0.0;
+  double shed_ratio = 0.0;
+  double score = std::numeric_limits<double>::infinity();
+  bool pruned = false;
+};
+
+/// Decision-loop cost counters, accumulated across every Forecast()
+/// call on an engine. Wall-clock time NEVER feeds the twin digest —
+/// these are reporting-only.
+struct TwinDecisionStats {
+  /// Wall-clock milliseconds spent inside Forecast() (spec build, shadow
+  /// runs, pruning, merge).
+  double decision_ms = 0.0;
+  /// Scheduling points executed across all shadow runs (prefix and
+  /// full-horizon), summed in candidate-index order.
+  uint64_t forecast_events = 0;
+  /// Full-horizon candidate forecasts executed.
+  uint64_t forecasts_run = 0;
+  /// Candidates stopped at the prefix horizon by pruning.
+  uint64_t forecasts_pruned = 0;
+};
+
+/// The twin's per-tick forecast fan-out, factored out of the serving
+/// loop so its cost structure is independently testable. One engine is
+/// built per twin run; each Forecast() call projects the executor
+/// snapshot + arrival window through every candidate's shadow simulator
+/// and returns the scored table the controller ranks.
+///
+/// Cost model (all digest-neutral, see TwinOptions):
+///  - pooled_forecasts: specs are built once per tick into a shared
+///    immutable SimWorkload; each candidate slot keeps a warm simulator
+///    (scratch arenas survive across ticks) and a reusable policy
+///    instead of rebuilding everything per candidate.
+///  - forecast_threads: candidates fan out over a ThreadPool; slots are
+///    fully independent, and results land at their candidate index, so
+///    the merge order — and therefore the decision — is deterministic.
+///  - prune: successive halving over a prefix horizon (the applied
+///    candidate always runs the full horizon).
+class TwinForecastEngine {
+ public:
+  /// Validates the forecast-relevant options (candidate policies,
+  /// prune_prefix, ...) and builds the candidate slots.
+  static Result<TwinForecastEngine> Create(const TwinOptions& options);
+
+  TwinForecastEngine(TwinForecastEngine&&) noexcept;
+  TwinForecastEngine& operator=(TwinForecastEngine&&) noexcept;
+  ~TwinForecastEngine();
+
+  /// Runs every candidate's shadow forecast for one control tick.
+  /// `incumbent` is the currently applied candidate index (never
+  /// pruned). The returned reference is owned by the engine and valid
+  /// until the next Forecast() call. Deterministic for fixed inputs
+  /// regardless of forecast_threads / pooled_forecasts / structure
+  /// knobs. Not thread-safe; one Forecast() at a time.
+  const std::vector<TwinForecast>& Forecast(const ExecutorSnapshot& snap,
+                                            const TwinArrivalWindow& window,
+                                            uint64_t tick,
+                                            uint32_t incumbent);
+
+  const TwinDecisionStats& stats() const { return stats_; }
+
+ private:
+  /// One pooled candidate: a long-lived policy and a warm simulator
+  /// bound to the engine's shared per-tick workload.
+  struct Slot {
+    std::unique_ptr<SchedulerPolicy> policy;
+    std::unique_ptr<Simulator> sim;
+  };
+
+  TwinForecastEngine() = default;
+
+  /// Rebuilds spec_buffer_ (and remap_) from the snapshot + window;
+  /// reuses capacity so steady-state ticks allocate nothing.
+  void BuildSpecsInto(const ExecutorSnapshot& snap,
+                      const TwinArrivalWindow& window, uint64_t tick);
+
+  /// Forecasts candidate `index` on the full or prefix workload,
+  /// adding the run's scheduling points to slot_events_[index].
+  TwinForecast ForecastOne(size_t index, bool full_horizon,
+                           size_t num_workers_up);
+
+  TwinOptions options_;
+  bool pooled_ = true;
+  std::unique_ptr<ThreadPool> pool_;  // null when forecast_threads == 1
+  /// The shared per-tick workload. Mutated only between shadow runs,
+  /// via Rebuild; pruning's prefix pass runs the SAME workload under a
+  /// simulated-time cutoff (SimOptions::run_horizon), not a separate
+  /// spec prefix.
+  std::shared_ptr<SimWorkload> full_;
+  std::vector<Slot> slots_;  // empty when !pooled_
+  // Reused per-tick buffers.
+  std::vector<TransactionSpec> spec_buffer_;
+  std::vector<TxnId> remap_;
+  std::vector<TwinForecast> forecasts_;
+  std::vector<double> prefix_score_;
+  std::vector<uint32_t> order_;
+  std::vector<char> survivor_;
+  std::vector<uint64_t> slot_events_;
+  TwinDecisionStats stats_;
+};
+
 /// Everything one twin run produced: the validated-trace bundle (same
 /// shape exp/live_chaos consumes), the decision log, and a combined
 /// digest covering both — byte-identity of a twin run includes what the
@@ -134,6 +295,9 @@ struct TwinReport {
   double avg_tardiness = 0.0;  // mean over completed tasks
   double shed_ratio = 0.0;     // non-completed / submitted
   double goodput = 0.0;        // completed / submitted
+  /// Decision-loop cost totals across the run (TwinForecastEngine
+  /// accounting; wall clock, reporting-only, never digested).
+  TwinDecisionStats decision_stats;
 };
 
 /// The digital-twin serving loop: a live front end submits `arrivals`

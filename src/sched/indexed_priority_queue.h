@@ -1,6 +1,7 @@
 #ifndef WEBTX_SCHED_INDEXED_PRIORITY_QUEUE_H_
 #define WEBTX_SCHED_INDEXED_PRIORITY_QUEUE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -147,6 +148,43 @@ class IndexedPriorityQueue {
     heap_.clear();
   }
 
+  /// One frontier node of the read-only top-k walk: a heap slot plus a
+  /// copy of its (key, id) so comparisons never touch the main heap.
+  struct FrontierEntry {
+    double key;
+    uint32_t id;
+    uint32_t slot;
+  };
+  /// Caller-owned scratch for AppendTopK; reuse it across calls so the
+  /// walk is allocation-free once warm (it never exceeds k + 1 entries).
+  using TopKScratch = std::vector<FrontierEntry>;
+
+  /// Appends the queue's min(k, size) smallest ids to `out`, in exactly
+  /// the (key, id) order k successive Pops would produce, WITHOUT
+  /// mutating the heap: a frontier min-heap over heap slots starts at
+  /// the root and expands children as slots are consumed, so the main
+  /// heap sees no sifts, no position updates, and no writes at all.
+  /// O(k log k) instead of the pop-k/push-k-back round trip.
+  void AppendTopK(size_t k, std::vector<uint32_t>& out,
+                  TopKScratch& frontier) const {
+    frontier.clear();
+    if (k == 0 || heap_.empty()) return;
+    frontier.push_back(FrontierEntry{heap_[0].key, heap_[0].id, 0});
+    for (size_t taken = 0; taken < k && !frontier.empty(); ++taken) {
+      std::pop_heap(frontier.begin(), frontier.end(), FrontierAfter);
+      const FrontierEntry next = frontier.back();
+      frontier.pop_back();
+      out.push_back(next.id);
+      const size_t left = 2 * static_cast<size_t>(next.slot) + 1;
+      for (size_t child = left; child < left + 2 && child < heap_.size();
+           ++child) {
+        frontier.push_back(FrontierEntry{heap_[child].key, heap_[child].id,
+                                         static_cast<uint32_t>(child)});
+        std::push_heap(frontier.begin(), frontier.end(), FrontierAfter);
+      }
+    }
+  }
+
  private:
   struct Entry {
     double key;
@@ -157,6 +195,13 @@ class IndexedPriorityQueue {
   static bool Less(const Entry& a, const Entry& b) {
     if (a.key != b.key) return a.key < b.key;
     return a.id < b.id;
+  }
+
+  /// std::push_heap/pop_heap build a max-heap under the comparator, so
+  /// "a pops after b" puts the smallest (key, id) on top.
+  static bool FrontierAfter(const FrontierEntry& a, const FrontierEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id > b.id;
   }
 
   void SwapEntries(size_t i, size_t j) {

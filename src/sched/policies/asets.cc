@@ -55,14 +55,7 @@ void AsetsPolicy::MigrateDue(SimTime now) {
   }
 }
 
-TxnId AsetsPolicy::PickNext(SimTime now) {
-  MigrateDue(now);
-  if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
-  if (edf_.empty()) return hdf_.Top();
-  if (hdf_.empty()) return edf_.Top();
-
-  const TxnId e = edf_.Top();
-  const TxnId h = hdf_.Top();
+bool AsetsPolicy::RunEdfHead(TxnId e, TxnId h, SimTime now) const {
   const double r_e = view().remaining(e);
   const double r_h = view().remaining(h);
   const double w_e = view().specs()[e].weight;
@@ -79,9 +72,17 @@ TxnId AsetsPolicy::PickNext(SimTime now) {
     impact_e = (r_e - s_h) * w_h;
     impact_h = (r_h - s_e) * w_e;
   }
-  const bool run_edf =
-      options_.ties_to_edf ? impact_e <= impact_h : impact_e < impact_h;
-  return run_edf ? e : h;
+  return options_.ties_to_edf ? impact_e <= impact_h : impact_e < impact_h;
+}
+
+TxnId AsetsPolicy::PickNext(SimTime now) {
+  MigrateDue(now);
+  if (edf_.empty() && hdf_.empty()) return kInvalidTxn;
+  if (edf_.empty()) return hdf_.Top();
+  if (hdf_.empty()) return edf_.Top();
+  const TxnId e = edf_.Top();
+  const TxnId h = hdf_.Top();
+  return RunEdfHead(e, h, now) ? e : h;
 }
 
 TxnId AsetsPolicy::PickNextExcluding(SimTime now,
@@ -120,6 +121,42 @@ TxnId AsetsPolicy::PickNextExcluding(SimTime now,
     }
   }
   return found;
+}
+
+void AsetsPolicy::PickBatch(SimTime now, size_t k, std::vector<TxnId>& out) {
+  out.clear();
+  if (k == 0) return;
+  // In the greedy chain each call runs MigrateDue(now) and then compares
+  // the two list heads with the prior picks parked away. At a fixed
+  // `now`, parking only shrinks the lists, so migrations past the first
+  // call are no-ops, and the successive heads of each list are exactly
+  // its top-k in (key, id) order. The whole round therefore reduces to
+  // one MigrateDue plus a two-pointer walk over read-only top-k streams
+  // of the lists under the shared head compare — identical picks, no
+  // erase/re-push round trip (and none of its three-heap sift churn).
+  MigrateDue(now);
+  edf_stream_.clear();
+  hdf_stream_.clear();
+  edf_.AppendTopK(k, edf_stream_, frontier_);
+  hdf_.AppendTopK(k, hdf_stream_, frontier_);
+  size_t i = 0;
+  size_t j = 0;
+  while (out.size() < k) {
+    const bool has_e = i < edf_stream_.size();
+    const bool has_h = j < hdf_stream_.size();
+    if (!has_e && !has_h) break;
+    TxnId pick;
+    if (!has_e) {
+      pick = hdf_stream_[j++];
+    } else if (!has_h) {
+      pick = edf_stream_[i++];
+    } else if (RunEdfHead(edf_stream_[i], hdf_stream_[j], now)) {
+      pick = edf_stream_[i++];
+    } else {
+      pick = hdf_stream_[j++];
+    }
+    out.push_back(pick);
+  }
 }
 
 }  // namespace webtx

@@ -48,6 +48,7 @@ class AsetsPolicy : public SchedulerPolicy {
   TxnId PickNext(SimTime now) override;
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;
+  void PickBatch(SimTime now, size_t k, std::vector<TxnId>& out) override;
 
   /// Introspection for tests: current list sizes.
   size_t edf_list_size() const { return edf_.size(); }
@@ -63,10 +64,21 @@ class AsetsPolicy : public SchedulerPolicy {
 
   double HdfKey(TxnId id) const;
 
+  /// The Fig. 7 head compare: true when the EDF-List head `e` should run
+  /// ahead of the HDF-List head `h`. Shared by PickNext and PickBatch so
+  /// the batched round cannot drift from the single pick.
+  bool RunEdfHead(TxnId e, TxnId h, SimTime now) const;
+
   AsetsOptions options_;
   IndexedPriorityQueue edf_;       // key: deadline d_i
   IndexedPriorityQueue hdf_;       // key: r_i / w_i
   IndexedPriorityQueue critical_;  // EDF-List members, key: d_i - r_i
+  /// PickBatch scratch (hoisted so batched rounds are allocation-free
+  /// after warm-up): read-only top-k streams of each list plus the
+  /// heap-walk frontier.
+  std::vector<TxnId> edf_stream_;
+  std::vector<TxnId> hdf_stream_;
+  IndexedPriorityQueue::TopKScratch frontier_;
 };
 
 /// The *Ready* baseline of Sec. III-B: dependent transactions sit in an

@@ -127,6 +127,37 @@ TxnId SingleQueuePolicy::PickNextExcluding(
   return found;
 }
 
+void SingleQueuePolicy::PickBatch(SimTime now, size_t k,
+                                  std::vector<TxnId>& out) {
+  (void)now;
+  // In the greedy PickNextExcluding chain the slot-i exclude set is
+  // exactly the i previous picks, which are exactly the i least (key,
+  // id) entries over all shards — so each call parks precisely those i
+  // entries and returns the (i+1)-least. The whole round is therefore
+  // the k least entries in merge order: identical picks, without the
+  // per-slot re-park/re-push churn that made rounds quadratic in k.
+  out.clear();
+  if (num_shards_ == 1) {
+    // Hot path: a read-only top-k walk of the heap — no pops, no
+    // restores, no heap writes at all (sched/indexed_priority_queue.h).
+    queues_[0].AppendTopK(k, out, frontier_);
+    return;
+  }
+  // Sharded: pop the k least across shards via the TopShard merge and
+  // restore once. (Rounds are k-bounded and shard counts small; the
+  // sharded digest battery pins this path byte for byte.)
+  parked_.clear();
+  while (out.size() < k) {
+    const int s = TopShard();
+    if (s < 0) break;
+    const TxnId top = queues_[s].Top();
+    out.push_back(top);
+    parked_.emplace_back(top, queues_[s].TopKey());
+    queues_[s].Pop();
+  }
+  for (const auto& [id, key] : parked_) queues_[OwnerOf(id)].Push(id, key);
+}
+
 double FcfsPolicy::KeyFor(TxnId id, SimTime now) const {
   (void)now;
   return view().specs()[id].arrival;

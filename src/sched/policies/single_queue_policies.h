@@ -35,6 +35,10 @@ class SingleQueuePolicy : public SchedulerPolicy,
   TxnId PickNext(SimTime now) override;
   TxnId PickNextExcluding(SimTime now,
                           const std::vector<TxnId>& exclude) override;
+  void PickBatch(SimTime now, size_t k, std::vector<TxnId>& out) override;
+  /// Policies with time-independent keys (FCFS, EDF, HVF) never react to
+  /// OnRemainingUpdated, so the simulator may skip the calls outright.
+  bool WantsRemainingUpdates() const override { return RemainingSensitive(); }
 
   /// Opts into the sharded-state protocol; must precede Bind. Called by
   /// the factory for "<name>-sharded" specs.
@@ -85,6 +89,8 @@ class SingleQueuePolicy : public SchedulerPolicy,
   /// Scratch for PickNextExcluding's park-and-restore (hoisted so the
   /// hot path stays allocation-free after warm-up).
   std::vector<std::pair<TxnId, double>> parked_;
+  /// Scratch for PickBatch's read-only top-k heap walk (ditto).
+  IndexedPriorityQueue::TopKScratch frontier_;
 };
 
 /// First-Come-First-Served: key = arrival time.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/sim_time.h"
@@ -159,6 +160,33 @@ class SchedulerPolicy {
         << name() << " does not support multi-server scheduling";
     return PickNext(now);
   }
+
+  /// One whole multi-server scheduling round: fills `out` (cleared
+  /// first) with the picks for up to `k` free servers, in server-slot
+  /// order, stopping early when the policy idles. MUST equal the greedy
+  /// PickNextExcluding chain — out[i] is exactly what
+  /// PickNextExcluding(now, {out[0..i-1]}) would return — which is what
+  /// the default does literally, call by call. Policies whose exclusion
+  /// semantics reduce to "the next k pops" may override with a batch
+  /// implementation that skips the per-slot park-and-restore churn; the
+  /// override carries the proof burden of byte-identical picks
+  /// (differential-tested against the greedy chain by
+  /// tests/sched/pick_excluding_test.cc and every pinned digest).
+  virtual void PickBatch(SimTime now, size_t k, std::vector<TxnId>& out) {
+    out.clear();
+    for (size_t slot = 0; slot < k; ++slot) {
+      const TxnId pick = PickNextExcluding(now, out);
+      if (pick == kInvalidTxn) break;
+      out.push_back(pick);
+    }
+  }
+
+  /// False when OnRemainingUpdated is a no-op for this policy (its
+  /// priority keys ignore remaining processing time), licensing the
+  /// simulator to skip the per-scheduling-point refresh calls entirely.
+  /// Skipping a no-op cannot change decisions; policies that return
+  /// false but do react to the callback are contract violations.
+  virtual bool WantsRemainingUpdates() const { return true; }
 
   /// The policy's sharded-state surface, or null for global-state
   /// policies (the default). The simulator calls this once per Run,

@@ -150,6 +150,29 @@ struct RunResult {
   static RunResult FromOutcomes(std::string policy_name,
                                 const std::vector<TransactionSpec>& specs,
                                 std::vector<TxnOutcome> outcomes);
+
+  /// As FromOutcomes, but leaves `outcomes` with the caller and returns
+  /// a result whose `outcomes` vector is empty — the record_outcomes
+  /// = false path, where stealing the buffer would defeat a pooled
+  /// simulator's scratch reuse. Aggregates are bit-identical to
+  /// FromOutcomes of the same data.
+  static RunResult FromOutcomesView(std::string policy_name,
+                                    const std::vector<TransactionSpec>& specs,
+                                    const std::vector<TxnOutcome>& outcomes);
+
+  /// Aggregates a horizon-bounded run (SimOptions::run_horizon): only
+  /// transactions with resolved[i] != 0 reached a terminal fate before
+  /// the cutoff; the rest have default-constructed outcomes that MUST
+  /// NOT be read (TxnOutcome::fate defaults to kCompleted, so treating
+  /// them as terminal would silently count every unfinished transaction
+  /// as a zero-tardiness completion). Unresolved transactions count
+  /// against goodput and the miss ratio and stay out of the tardiness /
+  /// response aggregates — a ranking signal over identical cutoffs, not
+  /// a prefix of the unbounded run's metrics.
+  static RunResult FromPrefixOutcomes(std::string policy_name,
+                                      const std::vector<TransactionSpec>& specs,
+                                      const std::vector<TxnOutcome>& outcomes,
+                                      const std::vector<char>& resolved);
 };
 
 }  // namespace webtx

@@ -1,0 +1,83 @@
+#ifndef WEBTX_SIM_SIM_WORKLOAD_H_
+#define WEBTX_SIM_SIM_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/txn_store.h"
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+#include "txn/workflow.h"
+
+namespace webtx {
+
+/// Memory layout for the per-transaction static data the event loop
+/// reads (arrival/length/estimate/deadline/weight, dependency edges).
+/// Accessors return identical values either way, so the knob can never
+/// change results (same differential pins as PendingQueueImpl).
+enum class TxnStoreLayout : uint8_t {
+  /// Read the TransactionSpec vector directly (the historical layout).
+  kSpecVector = 0,
+  /// Arena-backed structure-of-arrays mirror (sim/txn_store.h): dense
+  /// field arrays + CSR successor edges, built once at Create.
+  kArenaSoA = 1,
+};
+
+/// The validated, immutable-per-run workload state a Simulator executes
+/// against: the specs plus every structure derived from them (dependency
+/// graph, workflow decomposition, optional SoA mirror, arrival order).
+///
+/// Factored out of the Simulator so several simulators can SHARE one
+/// workload without copying it (Simulator::CreateShared) — the digital
+/// twin builds one forecast workload per control tick and points every
+/// candidate's pooled shadow sim at it — and so the whole bundle can be
+/// warm-`Rebuild`ed in place each tick, reusing all derived-structure
+/// storage from the previous build (zero steady-state allocations for
+/// equal-or-smaller spec sets with no dependencies).
+///
+/// Thread safety: const access is safe from any number of threads (the
+/// parallel forecast fan-out reads one workload from all candidate
+/// sims); `Rebuild` must be externally quiesced.
+class SimWorkload {
+ public:
+  SimWorkload() = default;
+
+  /// Validates the specs (dense ids, acyclic dependencies, positive
+  /// lengths, non-negative arrivals) and builds the derived structures.
+  static Result<SimWorkload> Build(
+      std::vector<TransactionSpec> txns,
+      TxnStoreLayout layout = TxnStoreLayout::kSpecVector);
+
+  /// Rebuilds this workload in place from a new spec set, reusing all
+  /// derived-structure storage. `txns` is swapped into place: on return
+  /// it holds the PREVIOUS build's spec storage (cleared content,
+  /// retained capacity), so a caller ping-ponging one staging buffer
+  /// through Rebuild every tick allocates nothing in steady state. On
+  /// error the workload is left in an unspecified state and must be
+  /// rebuilt before use.
+  Status Rebuild(std::vector<TransactionSpec>& txns, TxnStoreLayout layout);
+
+  size_t size() const { return specs_.size(); }
+  const std::vector<TransactionSpec>& specs() const { return specs_; }
+  const DependencyGraph& graph() const { return graph_; }
+  const WorkflowRegistry& workflows() const { return registry_; }
+  /// SoA mirror of specs + graph; inert (enabled() false) unless built
+  /// with TxnStoreLayout::kArenaSoA.
+  const TxnStore& store() const { return store_; }
+  /// Transaction ids sorted by (arrival, id).
+  const std::vector<TxnId>& arrival_order() const { return arrival_order_; }
+
+ private:
+  std::vector<TransactionSpec> specs_;
+  DependencyGraph graph_;
+  WorkflowRegistry registry_;
+  TxnStore store_;
+  std::vector<TxnId> arrival_order_;
+};
+
+}  // namespace webtx
+
+#endif  // WEBTX_SIM_SIM_WORKLOAD_H_

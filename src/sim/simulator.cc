@@ -24,6 +24,7 @@ constexpr SimTime kMinEstimatedRemaining = 1e-6;
 class PendingQueue {
  public:
   void Reserve(size_t n) { heap_.reserve(n); }
+  void clear() { heap_.clear(); }
   bool empty() const { return heap_.empty(); }
   const internal::PendingEvent& top() const { return heap_.front(); }
   void push(const internal::PendingEvent& e) {
@@ -58,8 +59,19 @@ struct PendingTraits {
 // it.
 class PendingEvents {
  public:
+  PendingEvents() = default;
   explicit PendingEvents(PendingQueueImpl impl)
       : calendar_(impl == PendingQueueImpl::kCalendarQueue) {}
+
+  /// Re-targets the wrapper at `impl` and empties both structures
+  /// (allocated storage retained) — the per-run warm reset. A run can
+  /// end with stale entries for transactions that resolved another way,
+  /// so clearing here is what makes cross-run reuse safe.
+  void Configure(PendingQueueImpl impl) {
+    calendar_ = impl == PendingQueueImpl::kCalendarQueue;
+    heap_.clear();
+    wheel_.clear();
+  }
 
   void Reserve(size_t n) {
     if (calendar_) {
@@ -88,7 +100,7 @@ class PendingEvents {
   }
 
  private:
-  bool calendar_;
+  bool calendar_ = false;
   PendingQueue heap_;
   CalendarQueue<internal::PendingEvent, PendingTraits> wheel_;
 };
@@ -145,26 +157,50 @@ struct FaultSource {
 };
 }  // namespace
 
+/// Everything Run() used to stack-allocate per call, hoisted into a
+/// lazily built, warm-reused arena: a pooled simulator (the twin keeps
+/// one per candidate slot) re-runs every control tick with zero
+/// steady-state allocations. Each field is re-initialized at the top of
+/// Run to exactly the value its former local had, so results are
+/// byte-identical to the per-call layout.
+struct Simulator::RunScratch {
+  std::vector<TxnOutcome> outcomes;
+  std::vector<FaultStream> fault_streams;
+  std::vector<FaultSource> sources;
+  std::vector<SimTime> fault_time;
+  std::vector<internal::ShardEventClass> fault_cls;
+  std::vector<char> down;
+  std::vector<TxnId> running;
+  std::vector<SimTime> dispatch_time;
+  std::vector<SimTime> segment_start;
+  std::vector<ScheduleSegment> schedule;
+  PendingEvents pending;
+  std::vector<TxnId> picks;
+  std::vector<TxnId> next_running;
+  std::vector<char> pick_taken;
+  std::vector<std::pair<TxnId, TxnFate>> resolve_stack;
+  std::vector<internal::ShardMessage> mailbox;
+  std::vector<uint64_t> pick_stamp;
+  std::vector<uint64_t> placed_stamp;
+  std::vector<uint32_t> pick_slot;
+  std::vector<OutageWindow> outages;
+  std::vector<OutageWindow> crashes;
+};
+
 Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
                                     SimOptions options) {
-  for (size_t i = 0; i < txns.size(); ++i) {
-    const TransactionSpec& t = txns[i];
-    if (t.length <= 0.0) {
-      return Status::InvalidArgument("T" + std::to_string(i) +
-                                     " has non-positive length");
-    }
-    if (t.arrival < 0.0) {
-      return Status::InvalidArgument("T" + std::to_string(i) +
-                                     " has negative arrival time");
-    }
-    if (t.weight <= 0.0) {
-      return Status::InvalidArgument("T" + std::to_string(i) +
-                                     " has non-positive weight");
-    }
-    if (t.length_estimate < 0.0) {
-      return Status::InvalidArgument("T" + std::to_string(i) +
-                                     " has negative length estimate");
-    }
+  WEBTX_ASSIGN_OR_RETURN(
+      SimWorkload workload,
+      SimWorkload::Build(std::move(txns), options.txn_store));
+  return CreateShared(
+      std::make_shared<const SimWorkload>(std::move(workload)),
+      std::move(options));
+}
+
+Result<Simulator> Simulator::CreateShared(
+    std::shared_ptr<const SimWorkload> workload, SimOptions options) {
+  if (workload == nullptr) {
+    return Status::InvalidArgument("workload must be non-null");
   }
   if (options.retry.max_attempts < 1) {
     return Status::InvalidArgument("retry.max_attempts must be >= 1");
@@ -173,33 +209,16 @@ Result<Simulator> Simulator::Create(std::vector<TransactionSpec> txns,
       options.retry.max_backoff < 0.0) {
     return Status::InvalidArgument("retry backoff must be non-negative");
   }
-  WEBTX_ASSIGN_OR_RETURN(DependencyGraph graph, DependencyGraph::Build(txns));
-  WorkflowRegistry registry = WorkflowRegistry::Build(graph);
-  return Simulator(std::move(txns), std::move(graph), std::move(registry),
-                   std::move(options));
+  return Simulator(std::move(workload), std::move(options));
 }
 
-Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
-                     WorkflowRegistry registry, SimOptions options)
-    : specs_(std::move(txns)),
-      graph_(std::move(graph)),
-      registry_(std::move(registry)),
-      options_(std::move(options)) {
-  const size_t n = specs_.size();
-  arrival_order_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    arrival_order_[i] = static_cast<TxnId>(i);
-  }
-  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
-                   [this](TxnId a, TxnId b) {
-                     if (specs_[a].arrival != specs_[b].arrival) {
-                       return specs_[a].arrival < specs_[b].arrival;
-                     }
-                     return a < b;
-                   });
+Simulator::Simulator(std::shared_ptr<const SimWorkload> workload,
+                     SimOptions options)
+    : workload_(std::move(workload)), options_(std::move(options)) {
   // Size all per-transaction runtime state once, here, so Run() and
   // ResetRuntimeState() only ever rewrite in place — the warm-up
   // allocation spike is paid at construction, not in the measured run.
+  const size_t n = workload_->size();
   true_remaining_.resize(n);
   estimated_remaining_.resize(n);
   arrived_.resize(n);
@@ -208,31 +227,46 @@ Simulator::Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
   unmet_deps_.resize(n);
   ready_list_.reserve(n);
   ready_pos_.resize(n);
-  if (options_.txn_store == TxnStoreLayout::kArenaSoA) {
-    store_.Build(specs_, graph_);
-  }
+}
+
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+Simulator::~Simulator() = default;
+
+void Simulator::BindWorkload(std::shared_ptr<const SimWorkload> workload) {
+  WEBTX_CHECK(workload != nullptr);
+  workload_ = std::move(workload);
 }
 
 void Simulator::ResetRuntimeState() {
-  const size_t n = specs_.size();
+  const std::vector<TransactionSpec>& specs = workload_->specs();
+  const TxnStore& store = workload_->store();
+  const size_t n = specs.size();
+  // The bound workload may have changed size since the last run
+  // (BindWorkload): the indexed loops below need current extents. For a
+  // stable or shrinking workload these are no-ops.
+  true_remaining_.resize(n);
+  estimated_remaining_.resize(n);
+  unmet_deps_.resize(n);
+  if (ready_list_.capacity() < n) ready_list_.reserve(n);
   arrived_.assign(n, 0);
   finished_.assign(n, 0);
   suspended_.assign(n, 0);
   ready_list_.clear();
   ready_pos_.assign(n, kNoReadyPos);
-  if (store_.enabled()) {
+  if (store.enabled()) {
     // Dense-array pass: 3 contiguous reads per transaction instead of a
     // full AoS cache line — the values are bit-identical copies.
     for (size_t i = 0; i < n; ++i) {
-      true_remaining_[i] = store_.length(i);
-      estimated_remaining_[i] = store_.estimate_or_length(i);
-      unmet_deps_[i] = store_.num_deps(i);
+      true_remaining_[i] = store.length(i);
+      estimated_remaining_[i] = store.estimate_or_length(i);
+      unmet_deps_[i] = store.num_deps(i);
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
-      true_remaining_[i] = specs_[i].length;
-      estimated_remaining_[i] = specs_[i].EstimateOrLength();
-      unmet_deps_[i] = static_cast<uint32_t>(specs_[i].dependencies.size());
+      true_remaining_[i] = specs[i].length;
+      estimated_remaining_[i] = specs[i].EstimateOrLength();
+      unmet_deps_[i] = static_cast<uint32_t>(specs[i].dependencies.size());
     }
   }
 }
@@ -279,11 +313,26 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     admission->Bind(*this);
   }
 
-  const size_t n = specs_.size();
+  const std::vector<TransactionSpec>& specs = workload_->specs();
+  const DependencyGraph& graph = workload_->graph();
+  const std::vector<TxnId>& arrival_order = workload_->arrival_order();
+  const size_t n = specs.size();
   const size_t k = options_.num_servers;
-  std::vector<TxnOutcome> outcomes(n);
+  // All per-run buffers live in the warm-reused scratch arena; each is
+  // re-initialized here to exactly the value its former per-call local
+  // had (the references keep the event loop below textually unchanged).
+  if (!scratch_) scratch_ = std::make_unique<RunScratch>();
+  RunScratch& sc = *scratch_;
+  std::vector<TxnOutcome>& outcomes = sc.outcomes;
+  outcomes.assign(n, TxnOutcome{});
 
   const bool faults = options_.fault_plan.enabled();
+  // Policies whose keys ignore remaining time never react to
+  // OnRemainingUpdated; hoisting the predicate skips up to k no-op
+  // virtual calls per scheduling point.
+  const bool wants_remaining = policy.WantsRemainingUpdates();
+  const SimTime run_horizon = options_.run_horizon;
+  bool horizon_cut = false;
   const bool correlated =
       options_.fault_plan.config().correlated_crash_prob > 0.0;
   // Resolve the shard-worker count. Buffered (pregenerated) fault
@@ -312,8 +361,10 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
 
   // Each server shard consumes its fault processes through a FaultSource
   // backed by either a lazy stream or a buffered timeline.
-  std::vector<FaultStream> fault_streams;
-  std::vector<FaultSource> sources(k);
+  std::vector<FaultStream>& fault_streams = sc.fault_streams;
+  fault_streams.clear();
+  std::vector<FaultSource>& sources = sc.sources;
+  sources.assign(k, FaultSource{});
   if (faults) {
     if (buffered) {
       if (timelines_.size() < k) timelines_.resize(k);
@@ -339,9 +390,10 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   // shard's processes advances — the pre-shard simulator instead
   // rescanned every stream per fault type on every fault event
   // (tests/testing/reference_simulator.h).
-  std::vector<SimTime> fault_time(k, kNever);
-  std::vector<internal::ShardEventClass> fault_cls(
-      k, internal::ShardEventClass::kOutage);
+  std::vector<SimTime>& fault_time = sc.fault_time;
+  fault_time.assign(k, kNever);
+  std::vector<internal::ShardEventClass>& fault_cls = sc.fault_cls;
+  fault_cls.assign(k, internal::ShardEventClass::kOutage);
   const auto refresh_fault_head = [&](size_t s) {
     const FaultSource& src = sources[s];
     SimTime t = src.next_transition();
@@ -364,7 +416,8 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   // bits (the pre-shard simulator recounted all k streams per fault
   // event).
   num_up_ = k;
-  std::vector<char> down(k, 0);
+  std::vector<char>& down = sc.down;
+  down.assign(k, 0);
   const auto sync_down = [&](size_t s) {
     const char d = sources[s].down() ? 1 : 0;
     if (d != down[s]) {
@@ -384,63 +437,79 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
 
   size_t next_arrival = 0;
   size_t resolved_count = 0;  // completed + shed + dropped
-  std::vector<TxnId> running(k, kInvalidTxn);
-  std::vector<SimTime> dispatch_time(k, 0.0);
-  std::vector<SimTime> segment_start(k, 0.0);
-  std::vector<ScheduleSegment> schedule;
+  std::vector<TxnId>& running = sc.running;
+  running.assign(k, kInvalidTxn);
+  std::vector<SimTime>& dispatch_time = sc.dispatch_time;
+  dispatch_time.assign(k, 0.0);
+  std::vector<SimTime>& segment_start = sc.segment_start;
+  segment_start.assign(k, 0.0);
+  std::vector<ScheduleSegment>& schedule = sc.schedule;
+  schedule.clear();
   if (options_.record_schedule) schedule.reserve(2 * n);
-  PendingEvents pending(options_.pending_queue);
+  PendingEvents& pending = sc.pending;
+  pending.Configure(options_.pending_queue);
   // At most one pending entry per unresolved transaction exists at any
   // instant, and only abort retries or admission deferrals create them.
   if (faults || admission) pending.Reserve(n);
   // Static per-transaction reads, routed through the SoA store when
   // enabled. The store mirrors the spec values bit-for-bit, so the two
   // branches are indistinguishable in results.
-  const TxnStore* const store = store_.enabled() ? &store_ : nullptr;
+  const TxnStore* const store =
+      workload_->store().enabled() ? &workload_->store() : nullptr;
   const auto spec_arrival = [&](TxnId id) {
-    return store ? store->arrival(id) : specs_[id].arrival;
+    return store ? store->arrival(id) : specs[id].arrival;
   };
   const auto spec_deadline = [&](TxnId id) {
-    return store ? store->deadline(id) : specs_[id].deadline;
+    return store ? store->deadline(id) : specs[id].deadline;
   };
   const auto spec_weight = [&](TxnId id) {
-    return store ? store->weight(id) : specs_[id].weight;
+    return store ? store->weight(id) : specs[id].weight;
   };
   const auto spec_length = [&](TxnId id) {
-    return store ? store->length(id) : specs_[id].length;
+    return store ? store->length(id) : specs[id].length;
   };
   const auto spec_estimate = [&](TxnId id) {
     return store ? store->estimate_or_length(id)
-                 : specs_[id].EstimateOrLength();
+                 : specs[id].EstimateOrLength();
   };
   const auto successors_of =
       [&](TxnId id) -> std::pair<const TxnId*, const TxnId*> {
     if (store) return store->successors(id);
-    const std::vector<TxnId>& succ = graph_.successors(id);
+    const std::vector<TxnId>& succ = graph.successors(id);
     return {succ.data(), succ.data() + succ.size()};
   };
   // Scratch buffers for the per-event scheduling round, hoisted out of
   // the loop so the steady-state iteration performs no allocation.
-  std::vector<TxnId> picks;
+  std::vector<TxnId>& picks = sc.picks;
+  picks.clear();
   picks.reserve(k);
-  std::vector<TxnId> next_running(k, kInvalidTxn);
-  std::vector<char> pick_taken;
+  std::vector<TxnId>& next_running = sc.next_running;
+  next_running.assign(k, kInvalidTxn);
+  std::vector<char>& pick_taken = sc.pick_taken;
+  pick_taken.clear();
   pick_taken.reserve(k);
-  std::vector<std::pair<TxnId, TxnFate>> resolve_stack;
+  std::vector<std::pair<TxnId, TxnFate>>& resolve_stack = sc.resolve_stack;
+  resolve_stack.clear();
   resolve_stack.reserve(n);
   // Cross-shard mailbox: the handoffs of one crash instant (the
   // crashing shard's own migration back into the global ready set, then
   // correlated victims), drained in MessageBefore (time, origin, seq)
   // order — by construction the enqueue order, DCHECKed at drain.
-  std::vector<internal::ShardMessage> mailbox;
+  std::vector<internal::ShardMessage>& mailbox = sc.mailbox;
+  mailbox.clear();
   mailbox.reserve(k);
   // Epoch-stamped pick-assignment lookup: a stamp equal to the current
   // scheduling round marks "picked this round" / "placed this round"
   // without any clearing between rounds. Replaces the pre-shard O(k^2)
-  // std::find matching of picks to servers with O(k).
-  std::vector<uint64_t> pick_stamp(n, 0);
-  std::vector<uint64_t> placed_stamp(n, 0);
-  std::vector<uint32_t> pick_slot(n, 0);
+  // std::find matching of picks to servers with O(k). The stamps MUST
+  // be zeroed per run — the round counter restarts at 1 every run, so a
+  // stale stamp from a previous run would alias a fresh round.
+  std::vector<uint64_t>& pick_stamp = sc.pick_stamp;
+  pick_stamp.assign(n, 0);
+  std::vector<uint64_t>& placed_stamp = sc.placed_stamp;
+  placed_stamp.assign(n, 0);
+  std::vector<uint32_t>& pick_slot = sc.pick_slot;
+  pick_slot.assign(n, 0);
   SimTime now = 0.0;
   size_t scheduling_points = 0;
   // Wall-clock attribution of the scheduling rounds (policy consultation
@@ -455,10 +524,12 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
   size_t deferrals = 0;
   size_t outage_preemptions = 0;
   double total_outage_time = 0.0;
-  std::vector<OutageWindow> outages;
+  std::vector<OutageWindow>& outages = sc.outages;
+  outages.clear();
   size_t num_migrations = 0;
   double total_repair_time = 0.0;
-  std::vector<OutageWindow> crashes;
+  std::vector<OutageWindow>& crashes = sc.crashes;
+  crashes.clear();
   const bool cold_migration =
       options_.fault_plan.config().migration == MigrationPolicy::kCold;
 
@@ -577,7 +648,7 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
 
   while (resolved_count < n) {
     const SimTime t_arrival =
-        next_arrival < n ? spec_arrival(arrival_order_[next_arrival]) : kNever;
+        next_arrival < n ? spec_arrival(arrival_order[next_arrival]) : kNever;
     const SimTime t_pending = pending.empty() ? kNever : pending.top().time;
 
     // Head scan: the next step is the EventBefore-least head over all
@@ -623,6 +694,14 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
         << "simulation stalled: " << (n - resolved_count)
         << " transactions unresolved, nothing running, no arrivals left "
            "(policy idled while work was pending?)";
+
+    // Horizon-bounded runs stop before the first event past the cutoff;
+    // everything unresolved stays unresolved and is aggregated as such
+    // below (FromPrefixOutcomes).
+    if (run_horizon > 0.0 && best.time > run_horizon) {
+      horizon_cut = true;
+      break;
+    }
 
     now = best.time;
     charge_progress(now);
@@ -809,17 +888,19 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       }
       case internal::ShardEventClass::kArrival: {
         while (next_arrival < n &&
-               spec_arrival(arrival_order_[next_arrival]) == now) {
-          const TxnId id = arrival_order_[next_arrival++];
+               spec_arrival(arrival_order[next_arrival]) == now) {
+          const TxnId id = arrival_order[next_arrival++];
           if (finished_[id]) continue;  // dropped before it arrived
           admit_arrival(id, now);
         }
         break;
       }
     }
-    for (size_t s = 0; s < k; ++s) {
-      if (running[s] != kInvalidTxn) {
-        policy.OnRemainingUpdated(running[s], now);
+    if (wants_remaining) {
+      for (size_t s = 0; s < k; ++s) {
+        if (running[s] != kInvalidTxn) {
+          policy.OnRemainingUpdated(running[s], now);
+        }
       }
     }
 
@@ -875,17 +956,22 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     if (pool != nullptr && sharded != nullptr) sharded->PrepareRound(now, pool);
 
     const size_t k_up = faults ? num_up_ : k;
-    picks.clear();
-    for (size_t slot = 0; slot < k_up; ++slot) {
-      const TxnId pick = policy.PickNextExcluding(now, picks);
-      if (pick == kInvalidTxn) break;
-      WEBTX_CHECK(IsReady(pick))
-          << "policy " << policy.name() << " picked non-ready T" << pick
+    // One batched round in place of the greedy per-slot chain; the
+    // PickBatch contract (sched/scheduler_policy.h) pins out[i] to
+    // exactly what PickNextExcluding(now, {out[0..i-1]}) would return,
+    // so the round — and every digest downstream — is byte-identical.
+    policy.PickBatch(now, k_up, picks);
+    WEBTX_CHECK(picks.size() <= k_up)
+        << "policy " << policy.name() << " picked " << picks.size()
+        << " transactions for " << k_up << " servers at t=" << now;
+    for (size_t p = 0; p < picks.size(); ++p) {
+      WEBTX_CHECK(IsReady(picks[p]))
+          << "policy " << policy.name() << " picked non-ready T" << picks[p]
           << " at t=" << now;
-      WEBTX_DCHECK(std::find(picks.begin(), picks.end(), pick) ==
-                   picks.end())
-          << "policy " << policy.name() << " picked T" << pick << " twice";
-      picks.push_back(pick);
+      WEBTX_DCHECK(std::find(picks.begin(), picks.begin() + p, picks[p]) ==
+                   picks.begin() + p)
+          << "policy " << policy.name() << " picked T" << picks[p]
+          << " twice";
     }
     if (picks.size() < k_up) {
       WEBTX_CHECK_EQ(picks.size(),
@@ -976,8 +1062,21 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
     }
   }
 
-  RunResult result =
-      RunResult::FromOutcomes(policy.name(), specs_, std::move(outcomes));
+  // record_outcomes steals the scratch outcomes buffer into the result
+  // (the caller keeps the arrays); the view path aggregates in place and
+  // leaves the buffer with the scratch arena for the next run. A
+  // horizon-bounded run must not read unresolved outcomes (their fate
+  // field is default-initialized), so it takes the prefix aggregator.
+  RunResult result;
+  if (horizon_cut) {
+    result =
+        RunResult::FromPrefixOutcomes(policy.name(), specs, outcomes, finished_);
+    if (options_.record_outcomes) result.outcomes = std::move(outcomes);
+  } else if (options_.record_outcomes) {
+    result = RunResult::FromOutcomes(policy.name(), specs, std::move(outcomes));
+  } else {
+    result = RunResult::FromOutcomesView(policy.name(), specs, outcomes);
+  }
   result.num_scheduling_points = scheduling_points;
   result.num_preemptions = preemptions;
   result.num_idle_decisions = idle_decisions;
@@ -993,7 +1092,6 @@ RunResult Simulator::Run(SchedulerPolicy& policy) {
       << "FromOutcomes migration sum disagrees with the event loop";
   result.total_repair_time = total_repair_time;
   result.crashes = std::move(crashes);
-  if (!options_.record_outcomes) result.outcomes.clear();
   if (options_.record_schedule) {
     std::sort(schedule.begin(), schedule.end(),
               [](const ScheduleSegment& a, const ScheduleSegment& b) {

@@ -14,6 +14,7 @@
 #include "sim/fault_plan.h"
 #include "sim/fault_timeline.h"
 #include "sim/metrics.h"
+#include "sim/sim_workload.h"
 #include "sim/txn_store.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
@@ -123,17 +124,8 @@ enum class PendingQueueImpl : uint8_t {
   kCalendarQueue = 1,
 };
 
-/// Memory layout for the per-transaction static data the event loop
-/// reads (arrival/length/estimate/deadline/weight, dependency edges).
-/// Accessors return identical values either way, so the knob can never
-/// change results (same differential pins as PendingQueueImpl).
-enum class TxnStoreLayout : uint8_t {
-  /// Read the TransactionSpec vector directly (the historical layout).
-  kSpecVector = 0,
-  /// Arena-backed structure-of-arrays mirror (sim/txn_store.h): dense
-  /// field arrays + CSR successor edges, built once at Create.
-  kArenaSoA = 1,
-};
+// TxnStoreLayout lives in sim/sim_workload.h (the workload owns the
+// mirror); re-exported here for the SimOptions knob below.
 
 /// Simulator knobs. The defaults model the paper's testbed: a single
 /// back-end database server, preemption at scheduling points (transaction
@@ -190,6 +182,18 @@ struct SimOptions {
   /// Per-transaction static data layout; results are byte-identical
   /// across values (huge-scale perf knob).
   TxnStoreLayout txn_store = TxnStoreLayout::kSpecVector;
+  /// Simulated-time cutoff (0 = run to completion, the default). When
+  /// > 0, Run stops before processing the first event past this instant
+  /// and aggregates via RunResult::FromPrefixOutcomes: transactions
+  /// unresolved at the cutoff count against goodput / miss ratio and
+  /// stay out of the tardiness aggregates. Unlike every other knob in
+  /// this struct, a bounded run's metrics are NOT those of the
+  /// unbounded run — this is a ranking signal for what-if forecasts
+  /// scored on identical cutoffs (the twin's successive-halving prune),
+  /// priced at a fraction of the full event count. Ignored by
+  /// record_schedule consumers: segments still open at the cutoff are
+  /// not emitted.
+  SimTime run_horizon = 0.0;
 };
 
 /// Discrete-event RTDBMS simulator (paper Sec. IV-A): one or more servers
@@ -285,11 +289,42 @@ class Simulator final : public SimView {
  public:
   /// Validates the workload (dense ids, acyclic dependencies, positive
   /// lengths, non-negative arrivals) and builds the precedence structures.
+  /// Convenience over CreateShared: builds a private SimWorkload with the
+  /// layout `options.txn_store` requests.
   static Result<Simulator> Create(std::vector<TransactionSpec> txns,
                                   SimOptions options = {});
 
-  Simulator(Simulator&&) = default;
-  Simulator& operator=(Simulator&&) = default;
+  /// Creates a simulator over an externally owned (already validated)
+  /// workload, without copying any of it. Several simulators may share
+  /// one workload — concurrent Runs only read it — which is how the
+  /// digital twin fans candidate forecasts out over one per-tick spec
+  /// build. The workload's own store layout governs; options.txn_store
+  /// is ignored on this path.
+  static Result<Simulator> CreateShared(
+      std::shared_ptr<const SimWorkload> workload, SimOptions options = {});
+
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+  ~Simulator();
+
+  /// Repoints this simulator at a new workload (e.g. the next control
+  /// tick's forecast build). Runtime state is re-sized on the next Run;
+  /// all scratch storage is retained, so re-binding to an
+  /// equal-or-smaller workload allocates nothing.
+  void BindWorkload(std::shared_ptr<const SimWorkload> workload);
+
+  /// Adjusts the server count between runs (the twin mirrors the live
+  /// pool's up-count into its pooled forecast sims). Must be >= 1.
+  void set_num_servers(size_t num_servers) {
+    options_.num_servers = num_servers;
+  }
+
+  /// Adjusts the simulated-time cutoff between runs (0 = unbounded; see
+  /// SimOptions::run_horizon). The twin's pruning pass flips its pooled
+  /// slots between the prefix cutoff and the full horizon with this.
+  void set_run_horizon(SimTime run_horizon) {
+    options_.run_horizon = run_horizon;
+  }
 
   /// Runs the whole workload to completion under `policy` and returns the
   /// collected metrics. Resets all runtime state first, so the same
@@ -298,10 +333,12 @@ class Simulator final : public SimView {
 
   // SimView:
   const std::vector<TransactionSpec>& specs() const override {
-    return specs_;
+    return workload_->specs();
   }
-  const DependencyGraph& graph() const override { return graph_; }
-  const WorkflowRegistry& workflows() const override { return registry_; }
+  const DependencyGraph& graph() const override { return workload_->graph(); }
+  const WorkflowRegistry& workflows() const override {
+    return workload_->workflows();
+  }
   size_t num_servers() const override { return options_.num_servers; }
   /// Servers not currently held down by an outage or crash window;
   /// updated at every fault transition during Run (floored at 1, see
@@ -332,26 +369,22 @@ class Simulator final : public SimView {
   }
 
  private:
-  Simulator(std::vector<TransactionSpec> txns, DependencyGraph graph,
-            WorkflowRegistry registry, SimOptions options);
+  Simulator(std::shared_ptr<const SimWorkload> workload, SimOptions options);
 
   void ResetRuntimeState();
   void MakeReady(TxnId id, SimTime now, SchedulerPolicy& policy);
   void ReadyListAdd(TxnId id);
   void ReadyListRemove(TxnId id);
 
-  std::vector<TransactionSpec> specs_;
-  DependencyGraph graph_;
-  WorkflowRegistry registry_;
+  /// The specs and every structure derived from them, possibly shared
+  /// with other simulators (const access only).
+  std::shared_ptr<const SimWorkload> workload_;
   SimOptions options_;
-  /// SoA mirror of specs_ + graph_, built iff options_.txn_store is
-  /// kArenaSoA; inert (enabled() false) otherwise.
-  TxnStore store_;
-  std::vector<TxnId> arrival_order_;  // ids sorted by (arrival, id)
 
-  // Runtime state, sized once in the constructor and re-initialized (never
-  // reallocated) per run. `true_remaining_` drives completion events;
-  // `estimated_remaining_` is what policies observe.
+  // Runtime state, sized at construction (and re-sized on BindWorkload)
+  // and re-initialized — never reallocated — per run. `true_remaining_`
+  // drives completion events; `estimated_remaining_` is what policies
+  // observe.
   std::vector<SimTime> true_remaining_;
   std::vector<SimTime> estimated_remaining_;
   std::vector<char> arrived_;
@@ -369,6 +402,13 @@ class Simulator final : public SimView {
   // otherwise and never influence results.
   std::vector<FaultTimeline> timelines_;
   std::unique_ptr<ThreadPool> shard_pool_;
+
+  /// Per-run scratch (outcomes, fault sources, pending queue, the
+  /// scheduling round's pick/assignment buffers), lazily built on the
+  /// first Run and warm-reused after — the steady-state event loop
+  /// allocates nothing. Defined in simulator.cc.
+  struct RunScratch;
+  std::unique_ptr<RunScratch> scratch_;
 };
 
 }  // namespace webtx

@@ -71,6 +71,9 @@ class TxnStore {
     enabled_ = true;
   }
 
+  /// Disables the mirror, keeping the arenas for a later warm `Build`.
+  void Clear() { enabled_ = false; }
+
   bool enabled() const { return enabled_; }
   size_t size() const { return n_; }
 

@@ -1,17 +1,24 @@
 #include "txn/dependency_graph.h"
 
 #include <algorithm>
-#include <deque>
 #include <string>
 
 namespace webtx {
 
 Result<DependencyGraph> DependencyGraph::Build(
     const std::vector<TransactionSpec>& txns) {
-  const size_t n = txns.size();
   DependencyGraph g;
-  g.preds_.resize(n);
-  g.succs_.resize(n);
+  Status status = g.Rebuild(txns);
+  if (!status.ok()) return status;
+  return g;
+}
+
+Status DependencyGraph::Rebuild(const std::vector<TransactionSpec>& txns) {
+  const size_t n = txns.size();
+  preds_.resize(n);
+  succs_.resize(n);
+  for (auto& s : succs_) s.clear();
+  num_edges_ = 0;
 
   for (size_t i = 0; i < n; ++i) {
     if (txns[i].id != static_cast<TxnId>(i)) {
@@ -19,7 +26,8 @@ Result<DependencyGraph> DependencyGraph::Build(
           "transaction ids must be dense 0..N-1; slot " + std::to_string(i) +
           " holds id " + std::to_string(txns[i].id));
     }
-    std::vector<TxnId> deps = txns[i].dependencies;
+    std::vector<TxnId>& deps = preds_[i];
+    deps.assign(txns[i].dependencies.begin(), txns[i].dependencies.end());
     std::sort(deps.begin(), deps.end());
     for (size_t k = 0; k < deps.size(); ++k) {
       const TxnId d = deps[k];
@@ -38,35 +46,34 @@ Result<DependencyGraph> DependencyGraph::Build(
                                        std::to_string(d));
       }
     }
-    g.preds_[i] = std::move(deps);
-    for (const TxnId d : g.preds_[i]) {
-      g.succs_[d].push_back(static_cast<TxnId>(i));
-      ++g.num_edges_;
+    for (const TxnId d : deps) {
+      succs_[d].push_back(static_cast<TxnId>(i));
+      ++num_edges_;
     }
   }
-  for (auto& s : g.succs_) std::sort(s.begin(), s.end());
+  for (auto& s : succs_) std::sort(s.begin(), s.end());
 
-  // Kahn's algorithm: topological order doubling as cycle detection.
-  std::vector<size_t> indegree(n);
-  std::deque<TxnId> frontier;
+  // Kahn's algorithm: topological order doubling as cycle detection. The
+  // output array itself serves as the FIFO frontier (head index walk), which
+  // visits nodes in exactly the order a queue would while reusing topo_'s
+  // storage.
+  indeg_.resize(n);
+  topo_.clear();
   for (size_t i = 0; i < n; ++i) {
-    indegree[i] = g.preds_[i].size();
-    if (indegree[i] == 0) frontier.push_back(static_cast<TxnId>(i));
+    indeg_[i] = preds_[i].size();
+    if (indeg_[i] == 0) topo_.push_back(static_cast<TxnId>(i));
   }
-  g.topo_.reserve(n);
-  while (!frontier.empty()) {
-    const TxnId u = frontier.front();
-    frontier.pop_front();
-    g.topo_.push_back(u);
-    for (const TxnId v : g.succs_[u]) {
-      if (--indegree[v] == 0) frontier.push_back(v);
+  for (size_t head = 0; head < topo_.size(); ++head) {
+    const TxnId u = topo_[head];
+    for (const TxnId v : succs_[u]) {
+      if (--indeg_[v] == 0) topo_.push_back(v);
     }
   }
-  if (g.topo_.size() != n) {
+  if (topo_.size() != n) {
     return Status::InvalidArgument(
         "dependency lists contain a cycle; workflows must be acyclic");
   }
-  return g;
+  return Status::OK();
 }
 
 std::vector<TxnId> DependencyGraph::Roots() const {

@@ -18,9 +18,19 @@ namespace webtx {
 /// validates ids, rejects self-dependencies, duplicate edges, and cycles.
 class DependencyGraph {
  public:
+  /// An empty graph; populate with `Rebuild`.
+  DependencyGraph() = default;
+
   /// Validates and builds the graph from per-transaction dependency lists.
   static Result<DependencyGraph> Build(
       const std::vector<TransactionSpec>& txns);
+
+  /// Rebuilds this graph in place from a new transaction set, reusing the
+  /// adjacency and topological-order storage from the previous build (no
+  /// allocations once the graph has seen an equal-or-larger set). Produces
+  /// exactly the structure `Build` would. On error the graph is left in an
+  /// unspecified state and must be rebuilt before use.
+  Status Rebuild(const std::vector<TransactionSpec>& txns);
 
   size_t num_transactions() const { return preds_.size(); }
 
@@ -47,12 +57,12 @@ class DependencyGraph {
   size_t num_edges() const { return num_edges_; }
 
  private:
-  DependencyGraph() = default;
-
   std::vector<std::vector<TxnId>> preds_;
   std::vector<std::vector<TxnId>> succs_;
   std::vector<TxnId> topo_;
   size_t num_edges_ = 0;
+  /// Kahn scratch, retained across `Rebuild` calls.
+  std::vector<size_t> indeg_;
 };
 
 }  // namespace webtx

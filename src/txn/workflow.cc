@@ -6,39 +6,52 @@ namespace webtx {
 
 WorkflowRegistry WorkflowRegistry::Build(const DependencyGraph& graph) {
   WorkflowRegistry registry;
+  registry.Rebuild(graph);
+  return registry;
+}
+
+void WorkflowRegistry::Rebuild(const DependencyGraph& graph) {
   const size_t n = graph.num_transactions();
-  registry.txn_to_workflows_.resize(n);
+  txn_to_workflows_.resize(n);
+  for (auto& w : txn_to_workflows_) w.clear();
+  if (visited_.size() < n) visited_.resize(n, 0);
+  max_workflow_size_ = 0;
 
-  std::vector<char> visited(n);
-  std::vector<TxnId> stack;
-  for (const TxnId root : graph.Roots()) {
-    Workflow wf;
-    wf.id = static_cast<WorkflowId>(registry.workflows_.size());
+  // Roots ascend by id (matching DependencyGraph::Roots), and workflow slots
+  // from the previous build are reused in place.
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TxnId root = static_cast<TxnId>(i);
+    if (!graph.IsRoot(root)) continue;
+    if (w == workflows_.size()) workflows_.emplace_back();
+    Workflow& wf = workflows_[w];
+    wf.id = static_cast<WorkflowId>(w);
     wf.root = root;
+    wf.members.clear();
 
-    std::fill(visited.begin(), visited.end(), 0);
-    stack.assign(1, root);
-    visited[root] = 1;
-    while (!stack.empty()) {
-      const TxnId u = stack.back();
-      stack.pop_back();
+    const size_t stamp = ++stamp_;
+    stack_.clear();
+    stack_.push_back(root);
+    visited_[root] = stamp;
+    while (!stack_.empty()) {
+      const TxnId u = stack_.back();
+      stack_.pop_back();
       wf.members.push_back(u);
       for (const TxnId p : graph.predecessors(u)) {
-        if (!visited[p]) {
-          visited[p] = 1;
-          stack.push_back(p);
+        if (visited_[p] != stamp) {
+          visited_[p] = stamp;
+          stack_.push_back(p);
         }
       }
     }
     std::sort(wf.members.begin(), wf.members.end());
-    registry.max_workflow_size_ =
-        std::max(registry.max_workflow_size_, wf.members.size());
+    max_workflow_size_ = std::max(max_workflow_size_, wf.members.size());
     for (const TxnId m : wf.members) {
-      registry.txn_to_workflows_[m].push_back(wf.id);
+      txn_to_workflows_[m].push_back(wf.id);
     }
-    registry.workflows_.push_back(std::move(wf));
+    ++w;
   }
-  return registry;
+  workflows_.resize(w);
 }
 
 }  // namespace webtx

@@ -34,6 +34,12 @@ class WorkflowRegistry {
   /// Builds the registry by backward reachability from every root of `graph`.
   static WorkflowRegistry Build(const DependencyGraph& graph);
 
+  /// Rebuilds this registry in place for a new graph, reusing workflow and
+  /// inverse-map storage from the previous build (no allocations once the
+  /// registry has seen an equal-or-larger graph). Produces exactly the
+  /// decomposition `Build` would.
+  void Rebuild(const DependencyGraph& graph);
+
   size_t num_workflows() const { return workflows_.size(); }
   const Workflow& workflow(WorkflowId id) const { return workflows_[id]; }
   const std::vector<Workflow>& workflows() const { return workflows_; }
@@ -51,6 +57,12 @@ class WorkflowRegistry {
   std::vector<Workflow> workflows_;
   std::vector<std::vector<WorkflowId>> txn_to_workflows_;
   size_t max_workflow_size_ = 0;
+  /// DFS scratch, retained across `Rebuild` calls. `visited_` holds the
+  /// stamp of the last DFS that reached the transaction, so per-root
+  /// clearing is one counter bump instead of an O(n) fill.
+  std::vector<size_t> visited_;
+  std::vector<TxnId> stack_;
+  size_t stamp_ = 0;
 };
 
 }  // namespace webtx

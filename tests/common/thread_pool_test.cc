@@ -97,6 +97,55 @@ TEST(ThreadPoolTest, SubmitRacesFromManyThreads) {
   EXPECT_EQ(counter.load(), 8 * 50);
 }
 
+TEST(ThreadPoolTest, RunBatchCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.RunBatch(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // The pool stays usable: a second batch over a different count also
+  // covers everything once.
+  std::atomic<int> total{0};
+  pool.RunBatch(5, [&total](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 5);
+}
+
+TEST(ThreadPoolTest, RunBatchBalancesUnevenIndexCosts) {
+  ThreadPool pool(4);
+  // Index 0 is ~100x the others; atomic claiming means the other
+  // helpers drain the remaining indices instead of idling behind a
+  // static partition.
+  std::atomic<int> done{0};
+  pool.RunBatch(64, [&done](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, RunBatchWithZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.RunBatch(0, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, RunBatchRethrowsJobExceptionOnCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.RunBatch(8,
+                             [](size_t i) {
+                               if (i == 3) {
+                                 throw std::runtime_error("index 3 failed");
+                               }
+                             }),
+               std::runtime_error);
+  // Workers survived; the pool still runs ordinary jobs.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueuedJobs) {
   std::atomic<int> counter{0};
   {

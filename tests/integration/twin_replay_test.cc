@@ -84,5 +84,53 @@ TEST(TwinReplayIntegrationTest, ReserializingTheFileIsLossless) {
   EXPECT_EQ(SerializeTwinChaosCase(parsed.ValueOrDie()), text);
 }
 
+// ---------------------------------------------------------------------
+// The committed parallel-forecast replay: a flash-crowd case whose
+// controller fans candidate forecasts out over 8 threads with pooled
+// shadow sims on the calendar-queue + arena-SoA structures. Its digest
+// is pinned AND must be reproduced at every forecast_threads setting —
+// the fan-out may only change decision-loop cost, never the decisions.
+
+constexpr uint64_t kParallelGoldenDigest = 0x2a7eb7e5e14c0135ULL;
+constexpr size_t kParallelGoldenDecisions = 13;
+constexpr size_t kParallelGoldenSwitches = 1;
+constexpr size_t kParallelGoldenCompleted = 73;
+
+std::string ParallelReplayPath() {
+  return std::string(WEBTX_REPLAY_DIR) +
+         "/twin_parallel_forecast_minimal.chaos";
+}
+
+TEST(TwinReplayIntegrationTest, ParallelForecastReplayPinsItsDigest) {
+  std::ifstream file(ParallelReplayPath());
+  ASSERT_TRUE(file.is_open()) << "missing replay file: "
+                              << ParallelReplayPath();
+  std::ostringstream text;
+  text << file.rdbuf();
+  auto parsed = ParseTwinChaosReplay(text.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const TwinChaosCase base = std::move(parsed).ValueOrDie();
+  EXPECT_EQ(base.forecast_threads, 8u);
+  EXPECT_TRUE(base.pooled_forecasts);
+  EXPECT_EQ(base.pending_queue, PendingQueueImpl::kCalendarQueue);
+  EXPECT_EQ(base.txn_store, TxnStoreLayout::kArenaSoA);
+  // Lossless round trip, same contract as the guard replay.
+  EXPECT_EQ(SerializeTwinChaosCase(base), text.str());
+
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    TwinChaosCase c = base;
+    c.forecast_threads = threads;
+    auto run = RunTwinChaosCase(c);
+    ASSERT_TRUE(run.ok()) << run.status();
+    const rt::TwinReport& report = run.ValueOrDie();
+    EXPECT_EQ(report.digest, kParallelGoldenDigest) << "threads=" << threads;
+    EXPECT_EQ(report.decisions.size(), kParallelGoldenDecisions);
+    EXPECT_EQ(report.switches, kParallelGoldenSwitches);
+    EXPECT_EQ(report.stats.completed, kParallelGoldenCompleted);
+    const Status verdict = CheckTwinChaosInvariants(c, report);
+    EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace webtx

@@ -148,5 +148,158 @@ TEST(TwinTest, DecisionLogAgreesWithTheCounters) {
   EXPECT_NEAR(report.goodput + report.shed_ratio, 1.0, 1e-12);
 }
 
+// ---------------------------------------------------------------------
+// TwinForecastEngine: the decision-loop cost knobs (parallel fan-out,
+// pooled warm-start shadow sims, structure selection, pruning) must be
+// digest-neutral — same decisions, same trace, byte-identical report.
+
+std::vector<LiveArrival> FlashCrowdArrivals() {
+  LiveArrivalOptions load;
+  load.shape = LiveArrivalShape::kFlashCrowd;
+  load.seed = 13;
+  load.num_tasks = 120;
+  load.rate = 30.0;
+  load.spike_factor = 8.0;
+  load.spike_start = 0.5;
+  load.spike_duration = 0.8;
+  load.mean_duration = 0.05;
+  return GenerateLiveArrivals(load);
+}
+
+/// Four candidates so successive halving actually halves.
+rt::TwinOptions FourCandidateOptions() {
+  rt::TwinOptions options = TwoCandidateOptions();
+  rt::TwinCandidate srpt;
+  srpt.policy = "SRPT";
+  srpt.admission = rt::TwinCandidate::Admission::kQueueDepth;
+  srpt.max_ready = 24;
+  rt::TwinCandidate edf_brownout;
+  edf_brownout.policy = "EDF";
+  edf_brownout.admission = rt::TwinCandidate::Admission::kBrownout;
+  edf_brownout.capacity_slo = 0.5;
+  options.candidates.push_back(srpt);
+  options.candidates.push_back(edf_brownout);
+  options.dwell_ticks = 1;
+  return options;
+}
+
+TEST(TwinForecastEngineTest, RejectsBadPrunePrefix) {
+  const std::vector<LiveArrival> arrivals = FeasiblePoisson(5);
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    rt::TwinOptions options = FourCandidateOptions();
+    options.prune = true;
+    options.prune_prefix = bad;
+    EXPECT_FALSE(rt::Twin(options).Run(arrivals).ok()) << bad;
+  }
+  // The knob is ignored (and unvalidated) while pruning is off.
+  rt::TwinOptions off = FourCandidateOptions();
+  off.prune_prefix = 1.5;
+  EXPECT_TRUE(rt::Twin(off).Run(arrivals).ok());
+}
+
+TEST(TwinForecastEngineTest, ParallelForecastsAreByteIdentical) {
+  const std::vector<LiveArrival> arrivals = FlashCrowdArrivals();
+  rt::TwinOptions options = FourCandidateOptions();
+  uint64_t serial_digest = 0;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.forecast_threads = threads;
+    auto run = rt::Twin(options).Run(arrivals);
+    ASSERT_TRUE(run.ok()) << run.status();
+    const rt::TwinReport& report = run.ValueOrDie();
+    ASSERT_FALSE(report.decisions.empty());
+    EXPECT_GT(report.decision_stats.forecasts_run, 0u);
+    if (threads == 1) {
+      serial_digest = report.digest;
+    } else {
+      EXPECT_EQ(report.digest, serial_digest) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(TwinForecastEngineTest, PooledMatchesRebuiltByteForByte) {
+  const std::vector<LiveArrival> arrivals = FlashCrowdArrivals();
+  rt::TwinOptions options = FourCandidateOptions();
+  options.pooled_forecasts = false;
+  auto rebuilt = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  options.pooled_forecasts = true;
+  auto pooled = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(pooled.ok()) << pooled.status();
+  EXPECT_EQ(pooled.ValueOrDie().digest, rebuilt.ValueOrDie().digest);
+  EXPECT_GT(pooled.ValueOrDie().switches + pooled.ValueOrDie().fallbacks, 0u)
+      << "flash crowd should exercise the controller";
+}
+
+TEST(TwinForecastEngineTest, StructureKnobsAreByteIdentical) {
+  // Regression for wiring SimOptions::pending_queue / txn_store through
+  // TwinOptions: the calendar-queue + arena-SoA twin must reproduce the
+  // heap + spec-vector twin exactly on the committed flash-crowd
+  // scenario, pooled or not.
+  const std::vector<LiveArrival> arrivals = FlashCrowdArrivals();
+  rt::TwinOptions options = FourCandidateOptions();
+  auto baseline = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  for (const bool pooled : {true, false}) {
+    rt::TwinOptions alt = options;
+    alt.pooled_forecasts = pooled;
+    alt.pending_queue = PendingQueueImpl::kCalendarQueue;
+    alt.txn_store = TxnStoreLayout::kArenaSoA;
+    auto run = rt::Twin(alt).Run(arrivals);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run.ValueOrDie().digest, baseline.ValueOrDie().digest)
+        << "pooled=" << pooled;
+  }
+}
+
+TEST(TwinForecastEngineTest, PruneKeepsTheWinnerOnTheCommittedScenario) {
+  // Successive halving is only digest-preserving when the prefix
+  // ranking keeps the eventual winner; this differential pins that on
+  // the committed flash-crowd scenario at several prefix lengths.
+  const std::vector<LiveArrival> arrivals = FlashCrowdArrivals();
+  rt::TwinOptions options = FourCandidateOptions();
+  auto unpruned = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(unpruned.ok()) << unpruned.status();
+  // Mid-length prefixes (0.4-0.55) flip the prefix ranking on this
+  // scenario and are intentionally absent: prune may legally change
+  // decisions there, so the pinned set is the digest-preserving one.
+  for (const double prefix : {0.25, 0.35, 0.6}) {
+    rt::TwinOptions pruned = options;
+    pruned.prune = true;
+    pruned.prune_prefix = prefix;
+    auto run = rt::Twin(pruned).Run(arrivals);
+    ASSERT_TRUE(run.ok()) << run.status();
+    const rt::TwinReport& report = run.ValueOrDie();
+    EXPECT_EQ(report.digest, unpruned.ValueOrDie().digest)
+        << "prune_prefix=" << prefix;
+    // With 4 candidates, halving skips up to 2 full-horizon forecasts
+    // per forecasting tick.
+    EXPECT_GT(report.decision_stats.forecasts_pruned, 0u);
+    EXPECT_LT(report.decision_stats.forecasts_run,
+              unpruned.ValueOrDie().decision_stats.forecasts_run);
+  }
+}
+
+TEST(TwinForecastEngineTest, ReportsDecisionLoopCost) {
+  const std::vector<LiveArrival> arrivals = FlashCrowdArrivals();
+  rt::TwinOptions options = FourCandidateOptions();
+  auto run = rt::Twin(options).Run(arrivals);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const rt::TwinDecisionStats& stats = run.ValueOrDie().decision_stats;
+  // Forecasting ticks ran every candidate at the full horizon.
+  EXPECT_GT(stats.forecasts_run, 0u);
+  EXPECT_EQ(stats.forecasts_run % options.candidates.size(), 0u);
+  EXPECT_EQ(stats.forecasts_pruned, 0u);  // prune off by default
+  EXPECT_GT(stats.forecast_events, 0u);
+  EXPECT_GE(stats.decision_ms, 0.0);
+
+  // The controller-off twin never builds an engine: all-zero stats.
+  rt::TwinOptions off = options;
+  off.controller_enabled = false;
+  auto static_run = rt::Twin(off).Run(arrivals);
+  ASSERT_TRUE(static_run.ok()) << static_run.status();
+  EXPECT_EQ(static_run.ValueOrDie().decision_stats.forecasts_run, 0u);
+  EXPECT_EQ(static_run.ValueOrDie().decision_stats.forecast_events, 0u);
+}
+
 }  // namespace
 }  // namespace webtx

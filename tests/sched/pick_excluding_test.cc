@@ -92,6 +92,119 @@ TEST(PickExcludingTest, AsetsStarPrefersOtherWorkflowOverWorseMember) {
   EXPECT_EQ(policy.PickNextExcluding(0.0, {0}), 1u);
 }
 
+// The batched round must equal the greedy PickNextExcluding chain pick
+// for pick — the byte-identity contract the simulator's multi-server
+// path leans on (sched/scheduler_policy.h).
+TEST(PickBatchTest, SingleQueueBatchMatchesGreedyChainEveryK) {
+  // Duplicate keys force the (key, id) tiebreak through both paths.
+  FakeView view({Txn(0, 0, 2, 20), Txn(1, 0, 2, 10), Txn(2, 0, 2, 10),
+                 Txn(3, 0, 2, 30), Txn(4, 0, 2, 20), Txn(5, 0, 2, 5)});
+  view.ArriveAll();
+  for (size_t k = 0; k <= 8; ++k) {
+    EdfPolicy policy;
+    policy.Bind(view);
+    for (TxnId id = 0; id < 6; ++id) policy.OnReady(id, 0.0);
+
+    std::vector<TxnId> greedy;
+    for (size_t slot = 0; slot < k; ++slot) {
+      const TxnId pick = policy.PickNextExcluding(0.0, greedy);
+      if (pick == kInvalidTxn) break;
+      greedy.push_back(pick);
+    }
+    std::vector<TxnId> batch;
+    policy.PickBatch(0.0, k, batch);
+    EXPECT_EQ(batch, greedy) << "k=" << k;
+    // Queues restored bit for bit: the next round starts from scratch.
+    EXPECT_EQ(policy.queue_size(), 6u);
+    EXPECT_EQ(policy.PickNext(0.0), 5u);
+  }
+}
+
+TEST(PickBatchTest, ShardedSingleQueueBatchMatchesGreedyChain) {
+  FakeView view({Txn(0, 0, 2, 20), Txn(1, 0, 2, 10), Txn(2, 0, 2, 10),
+                 Txn(3, 0, 2, 30), Txn(4, 0, 2, 20), Txn(5, 0, 2, 5)});
+  view.ArriveAll();
+  const auto make = [&view](SrptPolicy& policy) {
+    policy.EnableSharded();
+    policy.Bind(view);
+    policy.BindShards(3);
+    for (TxnId id = 0; id < 6; ++id) policy.OnReady(id, 0.0);
+  };
+  SrptPolicy greedy_policy;
+  make(greedy_policy);
+  SrptPolicy batch_policy;
+  make(batch_policy);
+  for (size_t k = 1; k <= 6; ++k) {
+    std::vector<TxnId> greedy;
+    for (size_t slot = 0; slot < k; ++slot) {
+      const TxnId pick = greedy_policy.PickNextExcluding(0.0, greedy);
+      if (pick == kInvalidTxn) break;
+      greedy.push_back(pick);
+    }
+    std::vector<TxnId> batch;
+    batch_policy.PickBatch(0.0, k, batch);
+    EXPECT_EQ(batch, greedy) << "k=" << k;
+  }
+}
+
+TEST(PickBatchTest, AsetsBatchMatchesGreedyChainAcrossBothLists) {
+  // T0 meets its deadline (EDF-List); T1 and T2 are tardy (HDF-List),
+  // so the batch's two-pointer walk must interleave the lists exactly
+  // as the erase/re-push chain does.
+  FakeView view({Txn(0, 0, 2, 30), Txn(1, 0, 3, 1), Txn(2, 0, 5, 1)});
+  view.ArriveAll();
+  AsetsPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) policy.OnReady(id, 0.0);
+  const size_t edf_before = policy.edf_list_size();
+  const size_t hdf_before = policy.hdf_list_size();
+  std::vector<TxnId> expected;
+  for (size_t slot = 0; slot < 3; ++slot) {
+    expected.push_back(policy.PickNextExcluding(0.0, expected));
+  }
+  std::vector<TxnId> batch;
+  policy.PickBatch(0.0, 4, batch);  // k past the ready count stops early
+  EXPECT_EQ(batch, expected);
+  // The read-only walk left both lists untouched.
+  EXPECT_EQ(policy.edf_list_size(), edf_before);
+  EXPECT_EQ(policy.hdf_list_size(), hdf_before);
+}
+
+TEST(PickBatchTest, DefaultBatchDrivesOverriddenPickNextExcluding) {
+  // Policies without a PickBatch override (ASETS* here) run the greedy
+  // chain literally — the default is the chain, call by call.
+  FakeView view({Txn(0, 0, 4, 10), Txn(1, 0, 4, 20),
+                 Txn(2, 0, 2, 30, 1.0, {0, 1})});
+  view.ArriveAll();
+  AsetsStarPolicy policy;
+  policy.Bind(view);
+  for (TxnId id = 0; id < 3; ++id) {
+    policy.OnArrival(id, 0.0);
+    if (view.IsReady(id)) policy.OnReady(id, 0.0);
+  }
+  std::vector<TxnId> expected;
+  for (size_t slot = 0; slot < 3; ++slot) {
+    const TxnId pick = policy.PickNextExcluding(0.0, expected);
+    if (pick == kInvalidTxn) break;
+    expected.push_back(pick);
+  }
+  std::vector<TxnId> batch;
+  policy.PickBatch(0.0, 3, batch);
+  EXPECT_EQ(batch, expected);
+}
+
+TEST(PickBatchTest, RemainingUpdateInterestMatchesKeySensitivity) {
+  // FCFS/EDF/HVF keys ignore remaining time, so the simulator may skip
+  // their OnRemainingUpdated calls; SRPT/LS/HDF need them.
+  EXPECT_FALSE(FcfsPolicy().WantsRemainingUpdates());
+  EXPECT_FALSE(EdfPolicy().WantsRemainingUpdates());
+  EXPECT_FALSE(HvfPolicy().WantsRemainingUpdates());
+  EXPECT_TRUE(SrptPolicy().WantsRemainingUpdates());
+  EXPECT_TRUE(LsPolicy().WantsRemainingUpdates());
+  EXPECT_TRUE(HdfPolicy().WantsRemainingUpdates());
+  EXPECT_TRUE(AsetsPolicy().WantsRemainingUpdates());
+}
+
 TEST(PickExcludingDeathTest, BaseImplementationRejectsExclusion) {
   // A policy that does not override the hook only supports k = 1.
   class MinimalPolicy final : public SchedulerPolicy {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "rt/twin.h"
 #include "sched/indexed_priority_queue.h"
 #include "sched/lazy_delete_heap.h"
 #include "sched/policies/asets_star.h"
@@ -28,6 +29,7 @@
 #include "sim/simulator.h"
 #include "testing/fake_view.h"
 #include "workload/generator.h"
+#include "workload/live_arrivals.h"
 
 // Sanitizer builds own the global allocator (ASan pairs its intercepted
 // operator new with its own free and flags the malloc-based replacement
@@ -217,6 +219,67 @@ TEST(AllocationTest, PreReservedIndexedQueueStormAllocatesNothing) {
   while (!q.empty()) (void)q.Pop();
   EXPECT_EQ(AllocationCount() - before, 0u)
       << "a pre-reserved 262k storm must not touch the allocator";
+}
+
+// The twin's forecast hot path: once the engine is warm (buffers,
+// shared workload arenas, per-candidate simulator scratch all at
+// capacity), a steady-state control tick performs ZERO allocations in
+// the serial pooled configuration. Admission-free candidates only: the
+// admission factories construct a fresh controller per shadow run by
+// design, and the parallel fan-out pays one packaged_task per helper —
+// both are outside the zero-alloc contract.
+TEST(AllocationTest, TwinForecastSteadyStateAllocatesNothing) {
+  if (!WEBTX_ALLOC_COUNTING) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  rt::TwinOptions options;
+  rt::TwinCandidate fcfs;
+  rt::TwinCandidate edf;
+  edf.policy = "EDF";
+  rt::TwinCandidate srpt;
+  srpt.policy = "SRPT";
+  options.candidates = {fcfs, edf, srpt};
+  options.control_interval = 0.25;
+  options.forecast_horizon = 0.5;
+  auto engine = rt::TwinForecastEngine::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  rt::TwinForecastEngine& e = engine.ValueOrDie();
+
+  // A fixed mid-run snapshot: 16 ready tasks plus a traffic window that
+  // synthesizes future arrivals. The tick is held constant so every
+  // Forecast() call sees identical spec-buffer sizes (the synthetic
+  // count is a per-tick Poisson draw).
+  rt::ExecutorSnapshot snap;
+  snap.now = 10.0;
+  snap.num_workers = 2;
+  snap.num_workers_up = 2;
+  for (TxnId id = 0; id < 16; ++id) {
+    rt::SnapshotTask task;
+    task.id = id;
+    task.remaining = 0.05;
+    task.release = snap.now;
+    task.deadline = snap.now + 0.5 + 0.01 * static_cast<double>(id);
+    task.weight = 1.0;
+    task.state = rt::SnapshotTaskState::kReady;
+    snap.tasks.push_back(task);
+  }
+  rt::TwinArrivalWindow window;
+  for (int i = 0; i < 8; ++i) {
+    LiveArrival arrival;
+    arrival.duration = 0.05;
+    arrival.relative_deadline = 0.5;
+    arrival.weight = 1.0;
+    window.Observe(arrival);
+  }
+
+  (void)e.Forecast(snap, window, /*tick=*/7, 0);  // cold: grows buffers
+  (void)e.Forecast(snap, window, /*tick=*/7, 0);  // settles reuse
+  const uint64_t before = AllocationCount();
+  (void)e.Forecast(snap, window, /*tick=*/7, 0);
+  (void)e.Forecast(snap, window, /*tick=*/7, 0);
+  EXPECT_EQ(AllocationCount() - before, 0u)
+      << "steady-state forecast ticks must reuse the spec buffers, the "
+         "shared workload, and every shadow simulator's scratch";
 }
 
 TEST(AllocationTest, PreReservedLazyHeapStormAllocatesNothing) {

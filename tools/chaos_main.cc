@@ -42,7 +42,9 @@
 // back behind its divergence guard. Every case runs twice and must
 // produce byte-identical digests covering the trace AND the decision
 // log; the first run is audited by the live validator plus the
-// controller contract.
+// controller contract. Controller-enabled cases additionally re-run
+// across forecast_threads 1/2/8 and with forecast pooling toggled —
+// the decision-loop cost knobs must be digest-neutral.
 //
 //   chaos --twin [--cases N] [--seed S] [--out reproducer.chaos] [--verbose]
 //   chaos --mint-twin FILE [--seed S]   mint a guard-exercising replay
@@ -408,6 +410,7 @@ int RunTwinCampaign(const webtx::ChaosCampaignOptions& sim_options,
   std::printf("twin cases        %zu\n", r.cases_run);
   std::printf("violations        %zu\n", r.violations);
   std::printf("nondeterministic  %zu\n", r.determinism_mismatches);
+  std::printf("thread_mismatch   %zu\n", r.neutrality_mismatches);
   std::printf("total_decisions   %zu\n", r.total_decisions);
   std::printf("total_switches    %zu\n", r.total_switches);
   std::printf("total_fallbacks   %zu\n", r.total_fallbacks);
